@@ -1,0 +1,57 @@
+// Command flame-dns runs an authoritative DNS server for a spatial zone —
+// the discovery substrate of §5.1. Records are loaded from a simple text
+// file, one record per line:
+//
+//	; comment
+//	<name> <type> <value...>
+//	q1.q2.f2.loc.flame.arpa. TXT v=flame1 name=my-map url=http://host:8080
+//	sub.loc.flame.arpa.      NS  ns.sub.loc.flame.arpa.
+//	ns.sub.loc.flame.arpa.   A   10.0.0.9
+//	ns.sub.loc.flame.arpa.   SRV 5353
+//
+// Usage:
+//
+//	flame-dns -apex loc.flame.arpa -addr 127.0.0.1:5300 -records zone.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"openflame/internal/dns"
+)
+
+func main() {
+	apex := flag.String("apex", "loc.flame.arpa", "zone apex")
+	addr := flag.String("addr", "127.0.0.1:5300", "listen address (UDP+TCP)")
+	records := flag.String("records", "", "record file (optional)")
+	flag.Parse()
+
+	zone := dns.NewZone(*apex)
+	if *records != "" {
+		f, err := os.Open(*records)
+		if err != nil {
+			log.Fatalf("open records: %v", err)
+		}
+		n, err := dns.ParseZoneRecords(zone, f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("load records: %v", err)
+		}
+		log.Printf("loaded %d records from %s", n, *records)
+	}
+	srv, err := dns.NewServer(zone, *addr)
+	if err != nil {
+		log.Fatalf("start: %v", err)
+	}
+	defer srv.Close()
+	fmt.Printf("authoritative for %s on %s (%d records)\n", zone.Apex(), srv.Addr(), zone.RecordCount())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Printf("served %d queries", srv.QueryCount())
+}

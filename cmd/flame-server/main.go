@@ -1,0 +1,71 @@
+// Command flame-server runs one OpenFLAME map server over an OSM XML map.
+// On startup it prints the DNS TXT records the operator should install in
+// their spatial zone so clients can discover the server (§5.1).
+//
+// Usage:
+//
+//	flame-server -map city.osm.xml -addr :8080 -name my-map [-public-url http://host:8080]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"openflame/internal/discovery"
+	"openflame/internal/mapserver"
+	"openflame/internal/osm"
+	"openflame/internal/s2cell"
+)
+
+func main() {
+	mapPath := flag.String("map", "", "OSM XML map file (required)")
+	addr := flag.String("addr", ":8080", "listen address")
+	name := flag.String("name", "", "server name (default: map name)")
+	publicURL := flag.String("public-url", "", "URL to advertise in DNS (default http://<addr>)")
+	useCH := flag.Bool("ch", false, "preprocess routing with contraction hierarchies")
+	minLevel := flag.Int("min-level", discovery.DefaultMinLevel, "coarsest registration cell level")
+	maxLevel := flag.Int("max-level", discovery.DefaultMaxLevel, "finest registration cell level")
+	flag.Parse()
+
+	if *mapPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*mapPath)
+	if err != nil {
+		log.Fatalf("open map: %v", err)
+	}
+	m, err := osm.ReadXML(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("parse map: %v", err)
+	}
+	srv, err := mapserver.New(mapserver.Config{
+		Name:     *name,
+		Map:      m,
+		UseCH:    *useCH,
+		MinLevel: *minLevel,
+		MaxLevel: *maxLevel,
+	})
+	if err != nil {
+		log.Fatalf("build server: %v", err)
+	}
+
+	url := *publicURL
+	if url == "" {
+		url = "http://" + *addr
+	}
+	info := srv.Info()
+	fmt.Printf("map server %q: %d nodes, %d coverage cells\n", srv.Name(), m.NodeCount(), len(info.Coverage))
+	fmt.Println("install these records in your spatial DNS zone:")
+	ann := discovery.Announcement{Name: info.Name, URL: url, Services: info.Services, Technologies: info.Technologies}
+	for _, tok := range info.Coverage {
+		cell := s2cell.FromToken(tok)
+		fmt.Printf("  %s 60 IN TXT %q\n", discovery.CellDomain(cell, discovery.DefaultSuffix), discovery.FormatTXT(ann))
+	}
+	log.Printf("listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

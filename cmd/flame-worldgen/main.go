@@ -1,0 +1,57 @@
+// Command flame-worldgen emits a synthetic world — an outdoor city map and
+// indoor store maps — as OSM XML files, for feeding flame-server instances
+// or offline inspection.
+//
+// Usage:
+//
+//	flame-worldgen -out ./world -stores 3 -blocks 8 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"openflame/internal/osm"
+	"openflame/internal/worldgen"
+)
+
+func main() {
+	out := flag.String("out", "world", "output directory")
+	stores := flag.Int("stores", 3, "number of indoor store maps")
+	blocks := flag.Int("blocks", 8, "city grid size (blocks per side)")
+	seed := flag.Int64("seed", 1, "generation seed")
+	flag.Parse()
+
+	params := worldgen.DefaultWorldParams()
+	params.City.Seed = *seed
+	params.City.BlocksX = *blocks
+	params.City.BlocksY = *blocks
+	params.NumStores = *stores
+	params.StoreSeed = *seed + 10
+
+	w := worldgen.GenWorld(params)
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatalf("mkdir: %v", err)
+	}
+	write := func(name string, m *osm.Map) {
+		path := filepath.Join(*out, name)
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatalf("create %s: %v", path, err)
+		}
+		defer f.Close()
+		if err := m.WriteXML(f); err != nil {
+			log.Fatalf("write %s: %v", path, err)
+		}
+		fmt.Printf("wrote %-28s nodes=%-5d ways=%-4d\n", path, m.NodeCount(), m.WayCount())
+	}
+	write("city.osm.xml", w.Outdoor)
+	for i, s := range w.Stores {
+		write(fmt.Sprintf("store-%d.osm.xml", i), s.Map)
+		fmt.Printf("  %s: %d products, %d beacons, portal %s\n",
+			s.Map.Name, len(s.Products), len(s.Beacons), s.PortalID)
+	}
+}

@@ -1,0 +1,133 @@
+// Command flame is the OpenFLAME client CLI: it discovers map servers for
+// a location through the spatial DNS and runs location-based services
+// against the federation.
+//
+// Usage:
+//
+//	flame -root 127.0.0.1:5300 discover  <lat> <lng>
+//	flame -root 127.0.0.1:5300 search    <lat> <lng> <query...>
+//	flame -root 127.0.0.1:5300 geocode   -world http://host:8080 <address...>
+//	flame -root 127.0.0.1:5300 route     <fromLat> <fromLng> <toLat> <toLng>
+//	flame -root 127.0.0.1:5300 tile      <lat> <lng> <zoom> <out.png>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"openflame/internal/client"
+	"openflame/internal/discovery"
+	"openflame/internal/dns"
+	"openflame/internal/geo"
+	"openflame/internal/tiles"
+)
+
+func main() {
+	root := flag.String("root", "127.0.0.1:5300", "spatial DNS root server address")
+	world := flag.String("world", "", "world map provider URL (for geocode)")
+	user := flag.String("user", "", "identity asserted as X-Flame-User")
+	app := flag.String("app", "", "application asserted as X-Flame-App")
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+	resolver := dns.NewResolver(dns.UDPExchanger{}, []dns.RootHint{{Name: "root.", Addr: *root}})
+	disc := discovery.NewClient(resolver, discovery.DefaultSuffix)
+	c := client.New(disc, http.DefaultClient)
+	c.User, c.App, c.WorldURL = *user, *app, *world
+
+	switch args[0] {
+	case "discover":
+		ll := parseLatLng(args, 1)
+		anns := c.Discover(ll)
+		if len(anns) == 0 {
+			fmt.Println("no map servers found")
+			return
+		}
+		for _, a := range anns {
+			fmt.Printf("%-24s level=%-2d %s services=%v\n", a.Name, a.Level, a.URL, a.Services)
+		}
+	case "search":
+		ll := parseLatLng(args, 1)
+		query := strings.Join(args[3:], " ")
+		for i, r := range c.Search(query, ll, 10) {
+			fmt.Printf("%2d. %-32s %6.0fm score=%.2f via %s\n",
+				i+1, r.Name, r.DistanceMeters, r.Score, r.Source)
+		}
+	case "geocode":
+		address := strings.Join(args[1:], " ")
+		r, err := c.Geocode(address)
+		if err != nil {
+			log.Fatalf("geocode: %v", err)
+		}
+		fmt.Printf("%s at %s (score %.2f)\n", r.Name, r.Position, r.Score)
+	case "route":
+		from := parseLatLng(args, 1)
+		to := parseLatLng(args, 3)
+		route, err := c.Route(from, to)
+		if err != nil {
+			log.Fatalf("route: %v", err)
+		}
+		fmt.Printf("route: %.0fs, %.0fm across %d server(s)\n",
+			route.CostSeconds, route.LengthMeters, route.ServersUsed)
+		for _, leg := range route.Legs {
+			fmt.Printf("  leg via %-24s %.0fs, %d points\n", leg.Server, leg.CostSeconds, len(leg.Points))
+		}
+	case "tile":
+		ll := parseLatLng(args, 1)
+		z := mustInt(args, 3)
+		out := mustArg(args, 4)
+		anns := c.Discover(ll)
+		if len(anns) == 0 {
+			log.Fatal("no map servers found")
+		}
+		coord := tiles.FromLatLng(ll, z)
+		png, err := c.GetTilePNG(anns[0].URL, coord.Z, coord.X, coord.Y)
+		if err != nil {
+			log.Fatalf("tile: %v", err)
+		}
+		if err := os.WriteFile(out, png, 0o644); err != nil {
+			log.Fatalf("write: %v", err)
+		}
+		fmt.Printf("wrote %s (%d bytes, tile %s from %s)\n", out, len(png), coord, anns[0].Name)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: flame [flags] discover|search|geocode|route|tile ...")
+	flag.PrintDefaults()
+	os.Exit(2)
+}
+
+func mustArg(args []string, i int) string {
+	if i >= len(args) {
+		usage()
+	}
+	return args[i]
+}
+
+func mustInt(args []string, i int) int {
+	v, err := strconv.Atoi(mustArg(args, i))
+	if err != nil {
+		usage()
+	}
+	return v
+}
+
+func parseLatLng(args []string, i int) geo.LatLng {
+	lat, err1 := strconv.ParseFloat(mustArg(args, i), 64)
+	lng, err2 := strconv.ParseFloat(mustArg(args, i+1), 64)
+	if err1 != nil || err2 != nil {
+		usage()
+	}
+	return geo.LatLng{Lat: lat, Lng: lng}
+}

@@ -1,0 +1,121 @@
+// Campus — the fine-grained security and privacy model of §5.3.
+//
+// A university deploys its own campus map server with per-service policies:
+//
+//   - tiles:    public (anyone can view the campus map)
+//   - search:   university accounts only (user-level control)
+//   - localize: university accounts *via the campus-nav app* only
+//     (user-level + application-level control)
+//   - route:    default-deny for everyone else (service-level control)
+//
+// The example exercises the same requests as three principals — an
+// anonymous tourist, a student with a third-party app, and a student with
+// the official app — and shows exactly which calls each one can make.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"openflame/internal/core"
+	"openflame/internal/discovery"
+	"openflame/internal/geo"
+	"openflame/internal/loc"
+	"openflame/internal/mapserver"
+	"openflame/internal/wire"
+	"openflame/internal/worldgen"
+)
+
+func main() {
+	// The "campus": a generated indoor map standing in for a university
+	// building, with beacons for localization.
+	entrance := geo.LatLng{Lat: 40.4433, Lng: -79.9436}
+	sp := worldgen.DefaultStoreParams("Wean Hall", entrance)
+	sp.Aisles = 4 // corridors
+	campus := worldgen.GenStore(sp)
+
+	policy := &mapserver.Policy{
+		Default: mapserver.Rule{}, // deny
+		PerService: map[wire.Service]mapserver.Rule{
+			wire.SvcTiles:    {Public: true},
+			wire.SvcSearch:   {UserDomains: []string{"cmu.edu"}},
+			wire.SvcGeocode:  {UserDomains: []string{"cmu.edu"}},
+			wire.SvcLocalize: {UserDomains: []string{"cmu.edu"}, Apps: []string{"campus-nav"}},
+		},
+	}
+	srv, err := mapserver.New(mapserver.Config{
+		Name:      "cmu-campus",
+		Map:       campus.Map,
+		Beacons:   campus.Beacons,
+		Fiducials: campus.Fiducials,
+		Auth:      policy,
+	})
+	if err != nil {
+		log.Fatalf("build: %v", err)
+	}
+
+	fed, err := core.NewFederation()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fed.Close()
+	if _, err := fed.AddServer(srv); err != nil {
+		log.Fatal(err)
+	}
+
+	principals := []struct {
+		label string
+		user  string
+		app   string
+	}{
+		{"anonymous tourist", "", ""},
+		{"student, third-party app", "alice@cmu.edu", "random-app"},
+		{"student, campus-nav app", "alice@cmu.edu", "campus-nav"},
+	}
+
+	for _, p := range principals {
+		fmt.Printf("\n=== %s ===\n", p.label)
+		c := fed.NewClient()
+		c.User, c.App = p.user, p.app
+
+		anns := c.Discover(entrance)
+		if len(anns) == 0 {
+			log.Fatal("campus not discovered")
+		}
+		url := anns[0].URL
+		fmt.Printf("  discovered %q (discovery itself is public DNS — §5.1)\n", anns[0].Name)
+
+		// Tiles — public.
+		if _, err := c.GetTilePNG(url, 18, 0, 0); err != nil {
+			fmt.Println("  tiles:    DENIED  —", err)
+		} else {
+			fmt.Println("  tiles:    allowed (public map view)")
+		}
+
+		// Search — user-level. ("Wean" matches the entrance node.)
+		if rs := c.Search("Wean", entrance, 3); len(rs) > 0 {
+			fmt.Printf("  search:   allowed (%d hits)\n", len(rs))
+		} else {
+			fmt.Println("  search:   DENIED  (requires a cmu.edu account)")
+		}
+
+		// Localize — user + application level.
+		cue := loc.Cue{Technology: loc.TechFiducial, TagID: campus.Fiducials[0].ID}
+		if fix, ok := c.Localize(entrance, []loc.Cue{cue}, entrance, 0); ok {
+			fmt.Printf("  localize: allowed (fix at local %v)\n", fix.Local)
+		} else {
+			fmt.Println("  localize: DENIED  (requires cmu.edu account AND the campus-nav app)")
+		}
+
+		// Route — default-deny.
+		if _, err := c.Route(entrance, geo.Offset(entrance, 20, 0)); err != nil {
+			fmt.Println("  route:    DENIED  (service not offered to anyone)")
+		} else {
+			fmt.Println("  route:    allowed?! (policy bug)")
+		}
+	}
+
+	fmt.Printf("\nThe same physical region, three different views — the federated\n" +
+		"model lets the map owner, not a central platform, set these terms.\n")
+	_ = discovery.DefaultSuffix
+}

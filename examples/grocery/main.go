@@ -1,0 +1,128 @@
+// Grocery navigation — the paper's §2 example application, end to end:
+//
+//  1. The user searches for a product ("a particular flavor of seaweed")
+//     near their street location; OpenFLAME discovers the grocery store's
+//     own map server and finds the exact shelf.
+//  2. The client stitches a route: the world map leads along streets to
+//     the storefront, the store's map continues to the shelf.
+//  3. The user walks the route. Outdoors they localize with (noisy) GPS;
+//     the moment they cross the entrance portal the client switches to the
+//     store's WiFi-fingerprint localization, fused with an IMU prior —
+//     precise guidance where GPS fails.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"openflame/internal/align"
+	"openflame/internal/core"
+	"openflame/internal/geo"
+	"openflame/internal/loc"
+	"openflame/internal/worldgen"
+)
+
+func main() {
+	world := worldgen.GenWorld(worldgen.DefaultWorldParams())
+	fed, err := core.DeployWorld(world)
+	if err != nil {
+		log.Fatalf("deploy: %v", err)
+	}
+	defer fed.Close()
+
+	c := fed.NewClient()
+	rng := rand.New(rand.NewSource(2025))
+	store := world.Stores[0]
+	product := "roasted seaweed"
+	entranceTruth := store.Correspondences[len(store.Correspondences)-1].World
+	// The user stands on the street two blocks from the store.
+	userPos := geo.Offset(geo.Offset(entranceTruth, 200, 180), 15, 270)
+
+	// --- 1. Product search -------------------------------------------------
+	fmt.Printf("user at %s searches for %q\n", userPos, product)
+	results := c.Search(product, userPos, 5)
+	if len(results) == 0 {
+		log.Fatal("product not found anywhere nearby")
+	}
+	shelfHit := results[0]
+	fmt.Printf("  found %q %0.0fm away via map server %q\n",
+		shelfHit.Name, shelfHit.DistanceMeters, shelfHit.Source)
+
+	// --- 2. Stitched route -------------------------------------------------
+	route, err := c.Route(userPos, shelfHit.Position)
+	if err != nil {
+		log.Fatalf("route: %v", err)
+	}
+	fmt.Printf("\nstitched route: %.0f s, %.0f m, %d legs\n",
+		route.CostSeconds, route.LengthMeters, len(route.Legs))
+	for i, leg := range route.Legs {
+		fmt.Printf("  leg %d via %-20s %6.0f s\n", i+1, leg.Server, leg.CostSeconds)
+	}
+
+	// --- 3. Walk the route with localization hand-off ----------------------
+	ga, err := align.FitGeo(store.Correspondences)
+	if err != nil {
+		log.Fatal(err)
+	}
+	entrance := entranceTruth
+	gps := loc.DefaultGPSModel()
+	points := route.Points()
+	fmt.Printf("\nwalking %d waypoints:\n", len(points))
+	var (
+		indoor     bool
+		gpsErrSum  float64
+		gpsN       int
+		wifiErrSum float64
+		wifiN      int
+	)
+	dr := loc.NewDeadReckoner(geo.Point{}, 0.03, rng)
+	prevLocal := geo.Point{}
+	for i, p := range points {
+		truth := p.Position
+		// Crossing within 3m of the portal flips the environment.
+		if !indoor && geo.DistanceMeters(truth, entrance) < 3 {
+			indoor = true
+			fmt.Printf("  [%2d] crossed portal %q — switching to store localization\n", i, store.PortalID)
+			dr.Reset(ga.ToLocal(truth))
+			prevLocal = ga.ToLocal(truth)
+		}
+		if !indoor {
+			cue, ok := gps.Sample(truth, false, rng)
+			if ok {
+				gpsErrSum += geo.DistanceMeters(truth, *cue.GPS)
+				gpsN++
+			}
+			continue
+		}
+		// Indoors: synthesize a WiFi cue at the true local position, ask
+		// the federation to localize, fuse with the IMU prior.
+		truthLocal := ga.ToLocal(truth)
+		dr.Advance(truthLocal.Sub(prevLocal))
+		prevLocal = truthLocal
+		cue := loc.SynthesizeRSSICue(truthLocal, store.Beacons, loc.DefaultRadioModel(), rng)
+		prior, priorSigma := dr.Estimate()
+		_ = prior
+		fix, ok := c.Localize(truth, []loc.Cue{cue}, ga.ToWorld(prior), priorSigma+5)
+		if !ok {
+			fmt.Printf("  [%2d] no indoor fix!\n", i)
+			continue
+		}
+		err := fix.Local.Dist(truthLocal)
+		wifiErrSum += err
+		wifiN++
+		dr.Reset(fix.Local) // fuse: re-anchor the IMU on the accepted fix
+		fmt.Printf("  [%2d] indoor fix via %-16s err=%.1fm (σ=%.1fm)\n",
+			i, fix.Source, err, fix.SigmaMeters)
+	}
+	fmt.Printf("\nlocalization summary:\n")
+	if gpsN > 0 {
+		fmt.Printf("  outdoors: GPS mean error %.1f m over %d samples\n", gpsErrSum/float64(gpsN), gpsN)
+	}
+	if wifiN > 0 {
+		fmt.Printf("  indoors:  WiFi fingerprint mean error %.1f m over %d samples\n", wifiErrSum/float64(wifiN), wifiN)
+		indoorGPS := gps.IndoorSigmaMeters
+		fmt.Printf("  (indoor GPS would have been ~%.0f m — the store's map made precise guidance possible)\n", indoorGPS)
+	}
+	fmt.Printf("\narrived at %q.\n", shelfHit.Name)
+}

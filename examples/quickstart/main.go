@@ -1,0 +1,69 @@
+// Quickstart: stand up a complete OpenFLAME federation in-process — a city
+// "world map" server, three independently-operated grocery store servers,
+// and the DNS discovery tree — then run discovery, a federated product
+// search, and a street-to-shelf route through the public client API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"openflame/internal/core"
+	"openflame/internal/geo"
+	"openflame/internal/worldgen"
+)
+
+func main() {
+	// 1. Generate a synthetic world: an 8x8-block city and three stores
+	//    with their own local-frame indoor maps.
+	world := worldgen.GenWorld(worldgen.DefaultWorldParams())
+	fmt.Printf("world: %d outdoor nodes, %d stores\n",
+		world.Outdoor.NodeCount(), len(world.Stores))
+
+	// 2. Deploy the federation: every map gets its own HTTP map server,
+	//    and every server registers its coverage cells in the DNS.
+	fed, err := core.DeployWorld(world)
+	if err != nil {
+		log.Fatalf("deploy: %v", err)
+	}
+	defer fed.Close()
+	for _, h := range fed.Servers {
+		info := h.Server.Info()
+		fmt.Printf("  server %-20s %-28s %2d coverage cells (%s frame)\n",
+			info.Name, h.URL, len(info.Coverage), info.FrameKind)
+	}
+
+	// 3. A client device discovers the servers around a store entrance.
+	c := fed.NewClient()
+	store := world.Stores[0]
+	entrance := store.Correspondences[len(store.Correspondences)-1].World
+	fmt.Printf("\ndiscovery at %s:\n", entrance)
+	for _, a := range c.Discover(entrance) {
+		fmt.Printf("  %-20s level=%d %s\n", a.Name, a.Level, a.URL)
+	}
+
+	// 4. Federated location-based search: the product lives only in the
+	//    store's own map; the world map knows just the storefront.
+	product := store.Products[0]
+	fmt.Printf("\nsearch %q near the store:\n", product)
+	for i, r := range c.Search(product, geo.Offset(entrance, 50, 180), 5) {
+		fmt.Printf("  %d. %-32s %5.0fm via %s\n", i+1, r.Name, r.DistanceMeters, r.Source)
+	}
+
+	// 5. A stitched route: the world map routes along streets to the
+	//    storefront; the store's map takes over to the shelf.
+	shelf, err := c.Geocode(product + " shelf, " + store.Map.Name)
+	if err != nil {
+		log.Fatalf("geocode: %v", err)
+	}
+	from := geo.LatLng{Lat: 40.4400, Lng: -79.9990}
+	route, err := c.Route(from, shelf.Position)
+	if err != nil {
+		log.Fatalf("route: %v", err)
+	}
+	fmt.Printf("\nroute to the shelf: %.0f s, %.0f m, %d servers\n",
+		route.CostSeconds, route.LengthMeters, route.ServersUsed)
+	for _, leg := range route.Legs {
+		fmt.Printf("  leg via %-20s %6.0f s (%d points)\n", leg.Server, leg.CostSeconds, len(leg.Points))
+	}
+}

@@ -1,0 +1,346 @@
+// Package client implements the OpenFLAME client of Figure 2: it discovers
+// map servers for a location through the DNS-based discovery layer, fans
+// location-based service requests out to them over HTTP, and assembles the
+// answers — ranking merged search results, stitching cross-server routes
+// through shared portals, selecting the most plausible localization fix,
+// and compositing tiles (§5.2).
+package client
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"openflame/internal/discovery"
+	"openflame/internal/geo"
+	"openflame/internal/geocode"
+	"openflame/internal/loc"
+	"openflame/internal/s2cell"
+	"openflame/internal/search"
+	"openflame/internal/wire"
+)
+
+// Client is an OpenFLAME client. Create with New; safe for concurrent use.
+type Client struct {
+	disc *discovery.Client
+	http *http.Client
+
+	// User and App are the identity assertions sent with each request
+	// (§5.3).
+	User string
+	App  string
+	// WorldURL names the large world-map provider used for coarse
+	// geocoding (§5.2 names OpenStreetMap for this role).
+	WorldURL string
+	// SearchRadiusMeters bounds discovery-based search (default 1000).
+	SearchRadiusMeters float64
+
+	requests  atomic.Int64
+	infoMu    sync.Mutex
+	infoCache map[string]wire.Info
+}
+
+// New creates a client over a discovery client and an HTTP client
+// (pass http.DefaultClient or a test server's client).
+func New(disc *discovery.Client, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{
+		disc:               disc,
+		http:               httpClient,
+		SearchRadiusMeters: 1000,
+		infoCache:          make(map[string]wire.Info),
+	}
+}
+
+// RequestCount returns the number of HTTP requests issued (the fan-out
+// metric reported by the experiments).
+func (c *Client) RequestCount() int64 { return c.requests.Load() }
+
+// Discover exposes raw discovery for applications.
+func (c *Client) Discover(ll geo.LatLng) []discovery.Announcement {
+	return c.disc.Discover(ll)
+}
+
+// call POSTs a JSON request and decodes the response.
+func (c *Client) call(baseURL, path string, req, resp interface{}) error {
+	c.requests.Add(1)
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	httpReq, err := http.NewRequest(http.MethodPost, baseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	if c.User != "" {
+		httpReq.Header.Set("X-Flame-User", c.User)
+	}
+	if c.App != "" {
+		httpReq.Header.Set("X-Flame-App", c.App)
+	}
+	res, err := c.http.Do(httpReq)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		var e wire.ErrorResponse
+		_ = json.NewDecoder(res.Body).Decode(&e)
+		return fmt.Errorf("client: %s%s: status %d: %s", baseURL, path, res.StatusCode, e.Error)
+	}
+	return json.NewDecoder(res.Body).Decode(resp)
+}
+
+// Info fetches (and caches) a server's description.
+func (c *Client) Info(baseURL string) (wire.Info, error) {
+	c.infoMu.Lock()
+	if info, ok := c.infoCache[baseURL]; ok {
+		c.infoMu.Unlock()
+		return info, nil
+	}
+	c.infoMu.Unlock()
+	c.requests.Add(1)
+	res, err := c.http.Get(baseURL + "/info")
+	if err != nil {
+		return wire.Info{}, err
+	}
+	defer res.Body.Close()
+	var info wire.Info
+	if err := json.NewDecoder(res.Body).Decode(&info); err != nil {
+		return wire.Info{}, err
+	}
+	c.infoMu.Lock()
+	c.infoCache[baseURL] = info
+	c.infoMu.Unlock()
+	return info, nil
+}
+
+// Search fans a location-based search out to every server discovered in
+// the search region (not just at the query point: "restaurants around me"
+// must reach maps the user is not standing inside) and merges the ranked
+// results (§5.2). Servers that fail or deny access are skipped.
+func (c *Client) Search(query string, near geo.LatLng, limit int) []search.Result {
+	region := s2cell.CapRegion{Cap: geo.Cap{Center: near, RadiusMeters: c.SearchRadiusMeters}}
+	anns := c.disc.DiscoverRegion(region)
+	var lists [][]search.Result
+	for _, a := range anns {
+		var resp wire.SearchResponse
+		req := wire.SearchRequest{
+			Query: query, Near: &near,
+			MaxDistanceMeters: c.SearchRadiusMeters, Limit: limit,
+		}
+		if err := c.call(a.URL, "/search", req, &resp); err != nil {
+			continue
+		}
+		lists = append(lists, resp.Results)
+	}
+	return search.Merge(lists, limit)
+}
+
+// SearchFanout is Search restricted to the first maxServers discovered
+// servers — the E6 experiment's knob for measuring recall as a function of
+// how many federation members have answered.
+func (c *Client) SearchFanout(query string, near geo.LatLng, limit, maxServers int) []search.Result {
+	region := s2cell.CapRegion{Cap: geo.Cap{Center: near, RadiusMeters: c.SearchRadiusMeters}}
+	anns := c.disc.DiscoverRegion(region)
+	if maxServers > 0 && len(anns) > maxServers {
+		anns = anns[:maxServers]
+	}
+	var lists [][]search.Result
+	for _, a := range anns {
+		var resp wire.SearchResponse
+		req := wire.SearchRequest{
+			Query: query, Near: &near,
+			MaxDistanceMeters: c.SearchRadiusMeters, Limit: limit,
+		}
+		if err := c.call(a.URL, "/search", req, &resp); err != nil {
+			continue
+		}
+		lists = append(lists, resp.Results)
+	}
+	return search.Merge(lists, limit)
+}
+
+// Geocode resolves a hierarchical address (§5.2): the coarse tail goes to
+// the world provider; the specific head is asked of the fine servers
+// discovered around the coarse position. The best-scoring result wins.
+func (c *Client) Geocode(address string) (wire.GeocodeResult, error) {
+	parts := geocode.ParseAddress(address)
+	if len(parts) == 0 {
+		return wire.GeocodeResult{}, fmt.Errorf("client: empty address")
+	}
+	if c.WorldURL == "" {
+		return wire.GeocodeResult{}, fmt.Errorf("client: no world geocoder configured")
+	}
+	// Coarse: try progressively larger suffixes of the address against the
+	// world provider until something matches. The coarse score is NOT
+	// comparable to full-address scores (it saw fewer tokens), so it only
+	// pins the location.
+	var coarse wire.GeocodeResult
+	found := false
+	for cut := 1; cut < len(parts)+1 && !found; cut++ {
+		tail := join(parts[len(parts)-cut:])
+		var resp wire.GeocodeResponse
+		if err := c.call(c.WorldURL, "/geocode", wire.GeocodeRequest{Query: tail, Limit: 1}, &resp); err != nil {
+			return wire.GeocodeResult{}, err
+		}
+		if len(resp.Results) > 0 {
+			coarse = resp.Results[0]
+			found = true
+		}
+	}
+	if !found {
+		return wire.GeocodeResult{}, fmt.Errorf("client: world geocoder found nothing for %q", address)
+	}
+	// Fine: ask every server discovered around the coarse position (the
+	// world provider among them) for the FULL address and keep the best
+	// full-address score; fall back to the coarse hit.
+	var best wire.GeocodeResult
+	bestScore := -1.0
+	urls := []string{c.WorldURL}
+	for _, a := range c.disc.Discover(coarse.Position) {
+		if a.URL != c.WorldURL {
+			urls = append(urls, a.URL)
+		}
+	}
+	for _, url := range urls {
+		var resp wire.GeocodeResponse
+		if err := c.call(url, "/geocode", wire.GeocodeRequest{Query: address, Limit: 1}, &resp); err != nil {
+			continue
+		}
+		if len(resp.Results) > 0 && resp.Results[0].Score > bestScore {
+			best = resp.Results[0]
+			bestScore = best.Score
+		}
+	}
+	if bestScore < 0 {
+		return coarse, nil
+	}
+	return best, nil
+}
+
+func join(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ", "
+		}
+		out += p
+	}
+	return out
+}
+
+// ReverseGeocode asks every discovered server and returns the closest
+// addressable hit.
+func (c *Client) ReverseGeocode(ll geo.LatLng, maxMeters float64) (wire.GeocodeResult, bool) {
+	bestD := maxMeters
+	var best wire.GeocodeResult
+	found := false
+	for _, a := range c.disc.Discover(ll) {
+		var resp wire.RGeocodeResponse
+		if err := c.call(a.URL, "/rgeocode", wire.RGeocodeRequest{Position: ll, MaxMeters: maxMeters}, &resp); err != nil {
+			continue
+		}
+		if !resp.Found {
+			continue
+		}
+		if d := geo.DistanceMeters(ll, resp.Result.Position); !found || d < bestD {
+			best, bestD, found = resp.Result, d, true
+		}
+	}
+	return best, found
+}
+
+// Localize sends the cues to every discovered server advertising a
+// matching technology and picks the most plausible fix against the prior
+// (§5.2). priorSigma <= 0 disables the prior.
+func (c *Client) Localize(coarse geo.LatLng, cues []loc.Cue, prior geo.LatLng, priorSigmaMeters float64) (loc.Fix, bool) {
+	// The coarse position may be off by its own sigma (indoor GPS);
+	// discover over a cap so the right map is found anyway — at the cost
+	// of sometimes reaching "unrelated maps" the selection step rejects
+	// (§5.2).
+	radius := 2 * priorSigmaMeters
+	if radius < 60 {
+		radius = 60
+	}
+	anns := c.disc.DiscoverRegion(s2cell.CapRegion{Cap: geo.Cap{Center: coarse, RadiusMeters: radius}})
+	var fixes []loc.Fix
+	for _, a := range anns {
+		techs := make(map[loc.Technology]bool, len(a.Technologies))
+		for _, t := range a.Technologies {
+			techs[t] = true
+		}
+		for _, cue := range cues {
+			if len(a.Technologies) > 0 && !techs[cue.Technology] {
+				continue
+			}
+			var resp wire.LocalizeResponse
+			if err := c.call(a.URL, "/localize", wire.LocalizeRequest{Cue: cue}, &resp); err != nil {
+				continue
+			}
+			if resp.Found {
+				fixes = append(fixes, resp.Fix)
+			}
+		}
+	}
+	return SelectBestWorld(fixes, prior, priorSigmaMeters)
+}
+
+// SelectBestWorld picks the most plausible fix by confidence weighted with
+// agreement to a world-frame prior.
+func SelectBestWorld(fixes []loc.Fix, prior geo.LatLng, priorSigmaMeters float64) (loc.Fix, bool) {
+	if len(fixes) == 0 {
+		return loc.Fix{}, false
+	}
+	bestIdx := -1
+	bestScore := -1.0
+	for i, f := range fixes {
+		score := f.Confidence
+		if priorSigmaMeters > 0 {
+			sigma := priorSigmaMeters + f.SigmaMeters + 1
+			d := geo.DistanceMeters(f.World, prior)
+			score *= gaussian(d, sigma)
+		}
+		if score > bestScore {
+			bestScore, bestIdx = score, i
+		}
+	}
+	return fixes[bestIdx], true
+}
+
+func gaussian(d, sigma float64) float64 {
+	x := d / sigma
+	return math.Exp(-x * x / 2)
+}
+
+// GetTilePNG fetches one tile from a server.
+func (c *Client) GetTilePNG(baseURL string, z, x, y int) ([]byte, error) {
+	c.requests.Add(1)
+	req, err := http.NewRequest(http.MethodGet, fmt.Sprintf("%s/tiles/%d/%d/%d.png", baseURL, z, x, y), nil)
+	if err != nil {
+		return nil, err
+	}
+	if c.User != "" {
+		req.Header.Set("X-Flame-User", c.User)
+	}
+	if c.App != "" {
+		req.Header.Set("X-Flame-App", c.App)
+	}
+	res, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("client: tile status %d", res.StatusCode)
+	}
+	return io.ReadAll(res.Body)
+}

@@ -1,0 +1,341 @@
+package client
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"openflame/internal/discovery"
+	"openflame/internal/geo"
+	"openflame/internal/s2cell"
+	"openflame/internal/wire"
+)
+
+// Leg is one server's contribution to a stitched route.
+type Leg struct {
+	Server      string
+	URL         string
+	Points      []wire.RoutePoint
+	CostSeconds float64
+}
+
+// StitchedRoute is a cross-server route assembled by the client (§5.2:
+// "the client would collect paths from all relevant map servers, and stitch
+// them together such that the final path optimizes a metric of interest").
+type StitchedRoute struct {
+	Legs         []Leg
+	CostSeconds  float64
+	LengthMeters float64
+	// ServersUsed counts distinct servers contributing legs.
+	ServersUsed int
+}
+
+// Points flattens the legs into one polyline.
+func (r StitchedRoute) Points() []wire.RoutePoint {
+	var out []wire.RoutePoint
+	for _, leg := range r.Legs {
+		for _, p := range leg.Points {
+			if len(out) > 0 && out[len(out)-1].Position == p.Position {
+				continue
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// metaNode identifies a vertex of the portal meta-graph.
+type metaNode string
+
+const (
+	metaSrc metaNode = "\x00src"
+	metaDst metaNode = "\x00dst"
+)
+
+// metaEdge is a priced leg candidate.
+type metaEdge struct {
+	to     metaNode
+	cost   float64
+	server string // server URL providing this leg
+	// endpoint descriptors for expanding the leg later
+	fromNode int64 // 0 = use fromPos
+	toNode   int64 // 0 = use toPos
+	fromPos  geo.LatLng
+	toPos    geo.LatLng
+}
+
+// Route plans a route from one position to another across the federation:
+// it discovers servers at the endpoints and along the way, prices legs
+// between portals with route-matrix calls, finds the optimal composition on
+// the portal meta-graph, and expands each chosen leg into its full path.
+func (c *Client) Route(from, to geo.LatLng) (StitchedRoute, error) {
+	// 1. Discover the servers involved (§5.2: endpoints plus the way).
+	// Endpoints anchor to the MOST SPECIFIC (finest-level) servers
+	// covering them: a shelf inside a store belongs to the store's map,
+	// not to the world map that merely snaps it to the nearest street.
+	servers := map[string]*srvEntry{}
+	getOrAdd := func(url, name string) *srvEntry {
+		if s, ok := servers[url]; ok {
+			return s
+		}
+		s := &srvEntry{url: url, name: name}
+		servers[url] = s
+		return s
+	}
+	srcAnns := c.disc.Discover(from)
+	dstAnns := c.disc.Discover(to)
+	for _, a := range c.anchorServers(srcAnns) {
+		getOrAdd(a.URL, a.Name).src = true
+	}
+	for _, a := range c.anchorServers(dstAnns) {
+		getOrAdd(a.URL, a.Name).dst = true
+	}
+	for _, a := range srcAnns {
+		getOrAdd(a.URL, a.Name)
+	}
+	for _, a := range dstAnns {
+		getOrAdd(a.URL, a.Name)
+	}
+	for _, a := range c.disc.DiscoverAlongPath([]geo.LatLng{from, to}, 200) {
+		getOrAdd(a.URL, a.Name)
+	}
+	if len(servers) == 0 {
+		return StitchedRoute{}, fmt.Errorf("client: no map servers discovered for route")
+	}
+
+	// 2. Build the meta-graph: price legs via one route-matrix call per
+	// server. Endpoints per server: SRC (if covering from), DST (if
+	// covering to), and the server's portals.
+	adj := map[metaNode][]metaEdge{}
+	addEdge := func(f metaNode, e metaEdge) { adj[f] = append(adj[f], e) }
+
+	for url, s := range servers {
+		info, err := c.Info(url)
+		if err != nil {
+			continue
+		}
+		type endpoint struct {
+			node metaNode
+			id   int64
+			pos  geo.LatLng
+		}
+		var eps []endpoint
+		if s.src {
+			eps = append(eps, endpoint{node: metaSrc, pos: from})
+		}
+		if s.dst {
+			eps = append(eps, endpoint{node: metaDst, pos: to})
+		}
+		for _, p := range info.Portals {
+			eps = append(eps, endpoint{node: metaNode(p.ID), id: p.NodeID, pos: p.World})
+		}
+		if len(eps) < 2 {
+			continue
+		}
+		req := wire.RouteMatrixRequest{
+			FromNodes:     make([]int64, len(eps)),
+			ToNodes:       make([]int64, len(eps)),
+			FromPositions: make([]geo.LatLng, len(eps)),
+			ToPositions:   make([]geo.LatLng, len(eps)),
+		}
+		for i, ep := range eps {
+			req.FromNodes[i] = ep.id
+			req.ToNodes[i] = ep.id
+			req.FromPositions[i] = ep.pos
+			req.ToPositions[i] = ep.pos
+		}
+		var resp wire.RouteMatrixResponse
+		if err := c.call(url, "/routematrix", req, &resp); err != nil {
+			continue
+		}
+		for i := range eps {
+			for j := range eps {
+				if i == j || eps[i].node == eps[j].node {
+					continue
+				}
+				// Never route *into* SRC or *out of* DST.
+				if eps[j].node == metaSrc || eps[i].node == metaDst {
+					continue
+				}
+				cost := matrixAt(resp, i, j)
+				if cost < 0 {
+					continue
+				}
+				addEdge(eps[i].node, metaEdge{
+					to: eps[j].node, cost: cost, server: url,
+					fromNode: eps[i].id, toNode: eps[j].id,
+					fromPos: eps[i].pos, toPos: eps[j].pos,
+				})
+			}
+		}
+	}
+
+	// 3. Shortest path SRC→DST on the meta-graph.
+	chain, total, err := metaDijkstra(adj, metaSrc, metaDst)
+	if err != nil {
+		return StitchedRoute{}, err
+	}
+
+	// 4. Expand each chosen leg with a full /route call on its server.
+	route := StitchedRoute{CostSeconds: total}
+	used := map[string]bool{}
+	for _, e := range chain {
+		var resp wire.RouteResponse
+		req := wire.RouteRequest{
+			FromNode: e.fromNode, ToNode: e.toNode,
+			From: e.fromPos, To: e.toPos,
+		}
+		if err := c.call(e.server, "/route", req, &resp); err != nil || !resp.Found {
+			return StitchedRoute{}, fmt.Errorf("client: leg expansion on %s failed: %v", e.server, err)
+		}
+		name := e.server
+		if info, err := c.Info(e.server); err == nil {
+			name = info.Name
+		}
+		route.Legs = append(route.Legs, Leg{
+			Server: name, URL: e.server, Points: resp.Points, CostSeconds: resp.CostSeconds,
+		})
+		route.LengthMeters += resp.LengthMeters
+		used[e.server] = true
+	}
+	route.ServersUsed = len(used)
+	return route, nil
+}
+
+// srvEntry tracks one discovered server's role for the current route.
+type srvEntry struct {
+	url  string
+	name string
+	src  bool
+	dst  bool
+}
+
+// anchorServers picks the most specific maps covering a point to anchor a
+// route endpoint: first the announcements at the finest discovery level,
+// then — among ties — the servers whose total coverage area is within 4× of
+// the smallest (a store's map beats a city map whose covering happens to
+// include a same-level boundary cell).
+func (c *Client) anchorServers(anns []discovery.Announcement) []discovery.Announcement {
+	max := -1
+	for _, a := range anns {
+		if a.Level > max {
+			max = a.Level
+		}
+	}
+	var finest []discovery.Announcement
+	for _, a := range anns {
+		if a.Level == max {
+			finest = append(finest, a)
+		}
+	}
+	if len(finest) <= 1 {
+		return finest
+	}
+	areas := make([]float64, len(finest))
+	minArea := math.Inf(1)
+	for i, a := range finest {
+		areas[i] = math.Inf(1)
+		if info, err := c.Info(a.URL); err == nil {
+			areas[i] = coverageArea(info.Coverage)
+		}
+		if areas[i] < minArea {
+			minArea = areas[i]
+		}
+	}
+	if math.IsInf(minArea, 1) {
+		return finest
+	}
+	var out []discovery.Announcement
+	for i, a := range finest {
+		if areas[i] <= 4*minArea {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// coverageArea sums relative cell areas (4^-level) over coverage tokens.
+func coverageArea(tokens []string) float64 {
+	var area float64
+	for _, tok := range tokens {
+		cell := s2cell.FromToken(tok)
+		if !cell.IsValid() {
+			continue
+		}
+		area += math.Pow(4, -float64(cell.Level()))
+	}
+	return area
+}
+
+func matrixAt(resp wire.RouteMatrixResponse, i, j int) float64 {
+	if i >= len(resp.CostSeconds) || j >= len(resp.CostSeconds[i]) {
+		return -1
+	}
+	return resp.CostSeconds[i][j]
+}
+
+// metaDijkstra finds the cheapest edge chain from src to dst.
+func metaDijkstra(adj map[metaNode][]metaEdge, src, dst metaNode) ([]metaEdge, float64, error) {
+	type hop struct {
+		edge metaEdge
+		from metaNode
+	}
+	dist := map[metaNode]float64{src: 0}
+	prev := map[metaNode]hop{}
+	done := map[metaNode]bool{}
+	pq := &metaPQ{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(metaPQItem)
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		if it.node == dst {
+			break
+		}
+		for _, e := range adj[it.node] {
+			nd := it.dist + e.cost
+			if old, ok := dist[e.to]; !ok || nd < old {
+				dist[e.to] = nd
+				prev[e.to] = hop{edge: e, from: it.node}
+				heap.Push(pq, metaPQItem{node: e.to, dist: nd})
+			}
+		}
+	}
+	total, ok := dist[dst]
+	if !ok || math.IsInf(total, 1) || !done[dst] {
+		return nil, 0, fmt.Errorf("client: no stitched route exists")
+	}
+	var chain []metaEdge
+	for n := dst; n != src; {
+		h, ok := prev[n]
+		if !ok {
+			return nil, 0, fmt.Errorf("client: meta-path reconstruction failed")
+		}
+		chain = append(chain, h.edge)
+		n = h.from
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain, total, nil
+}
+
+type metaPQItem struct {
+	node metaNode
+	dist float64
+}
+
+type metaPQ []metaPQItem
+
+func (q metaPQ) Len() int            { return len(q) }
+func (q metaPQ) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q metaPQ) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *metaPQ) Push(x interface{}) { *q = append(*q, x.(metaPQItem)) }
+func (q *metaPQ) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}

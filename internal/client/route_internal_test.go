@@ -1,0 +1,128 @@
+package client
+
+import (
+	"math"
+	"testing"
+
+	"openflame/internal/discovery"
+	"openflame/internal/geo"
+	"openflame/internal/s2cell"
+	"openflame/internal/wire"
+)
+
+func TestMetaDijkstraPicksCheapestComposition(t *testing.T) {
+	// SRC → p1 → DST (cost 5+5) vs SRC → DST direct (cost 20).
+	adj := map[metaNode][]metaEdge{
+		metaSrc: {
+			{to: "p1", cost: 5, server: "A"},
+			{to: metaDst, cost: 20, server: "A"},
+		},
+		"p1": {
+			{to: metaDst, cost: 5, server: "B"},
+		},
+	}
+	chain, total, err := metaDijkstra(adj, metaSrc, metaDst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 10 {
+		t.Fatalf("total = %v", total)
+	}
+	if len(chain) != 2 || chain[0].server != "A" || chain[1].server != "B" {
+		t.Fatalf("chain = %+v", chain)
+	}
+}
+
+func TestMetaDijkstraNoPath(t *testing.T) {
+	adj := map[metaNode][]metaEdge{
+		metaSrc: {{to: "p1", cost: 1, server: "A"}},
+		// p1 has no outgoing edges.
+	}
+	if _, _, err := metaDijkstra(adj, metaSrc, metaDst); err == nil {
+		t.Fatal("missing path not reported")
+	}
+	if _, _, err := metaDijkstra(map[metaNode][]metaEdge{}, metaSrc, metaDst); err == nil {
+		t.Fatal("empty graph not reported")
+	}
+}
+
+func TestMetaDijkstraMultiPortal(t *testing.T) {
+	// Two portals; the cheaper pairing must win even when the first edge
+	// is more expensive.
+	adj := map[metaNode][]metaEdge{
+		metaSrc: {
+			{to: "p1", cost: 1, server: "A"},
+			{to: "p2", cost: 4, server: "A"},
+		},
+		"p1": {{to: metaDst, cost: 10, server: "B"}},
+		"p2": {{to: metaDst, cost: 2, server: "B"}},
+	}
+	chain, total, err := metaDijkstra(adj, metaSrc, metaDst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 6 {
+		t.Fatalf("total = %v (chain %+v)", total, chain)
+	}
+	if chain[0].to != "p2" {
+		t.Fatalf("wrong portal: %+v", chain)
+	}
+}
+
+func TestCoverageArea(t *testing.T) {
+	lvl12 := s2cell.FromLatLngLevel(geo.LatLng{Lat: 40, Lng: -80}, 12)
+	lvl16 := s2cell.FromLatLngLevel(geo.LatLng{Lat: 40, Lng: -80}, 16)
+	big := coverageArea([]string{lvl12.Token()})
+	small := coverageArea([]string{lvl16.Token()})
+	if big <= small {
+		t.Fatalf("area ordering wrong: %v vs %v", big, small)
+	}
+	// A level-12 cell equals 256 level-16 cells.
+	if ratio := big / small; math.Abs(ratio-256) > 1e-9 {
+		t.Fatalf("ratio = %v", ratio)
+	}
+	if coverageArea([]string{"not-a-token"}) != 0 {
+		t.Fatal("bad token contributed area")
+	}
+	if coverageArea(nil) != 0 {
+		t.Fatal("empty coverage has area")
+	}
+}
+
+func TestAnchorServersPrefersFinestThenSmallest(t *testing.T) {
+	// Without Info (no servers running), area lookup fails for all and the
+	// finest-level set is returned unfiltered.
+	c := New(discovery.NewClient(nil, ""), nil)
+	anns := []discovery.Announcement{
+		{Name: "coarse", URL: "http://x", Level: 12},
+		{Name: "fine-a", URL: "http://a", Level: 16},
+		{Name: "fine-b", URL: "http://b", Level: 16},
+	}
+	got := c.anchorServers(anns)
+	if len(got) != 2 {
+		t.Fatalf("anchors = %v", got)
+	}
+	for _, a := range got {
+		if a.Level != 16 {
+			t.Fatalf("coarse announcement anchored: %+v", a)
+		}
+	}
+	if got := c.anchorServers(nil); len(got) != 0 {
+		t.Fatalf("empty anns anchored: %v", got)
+	}
+}
+
+func TestStitchedRoutePointsDedup(t *testing.T) {
+	shared := wire.RoutePoint{NodeID: 7, Position: geo.LatLng{Lat: 40, Lng: -80}}
+	r := StitchedRoute{Legs: []Leg{
+		{Points: []wire.RoutePoint{{NodeID: 1, Position: geo.LatLng{Lat: 39.9, Lng: -80}}, shared}},
+		{Points: []wire.RoutePoint{shared, {NodeID: 9, Position: geo.LatLng{Lat: 40.1, Lng: -80}}}},
+	}}
+	pts := r.Points()
+	if len(pts) != 3 {
+		t.Fatalf("points = %v", pts)
+	}
+	if pts[1] != shared {
+		t.Fatalf("shared portal point lost: %v", pts)
+	}
+}

@@ -1,0 +1,164 @@
+// Package core assembles complete OpenFLAME federations: the DNS discovery
+// tree, any number of map servers on live HTTP endpoints, and clients wired
+// to both. It is the top of the dependency stack — examples, integration
+// tests, and the experiment harness all deploy federations through this
+// package.
+package core
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+
+	"openflame/internal/align"
+	"openflame/internal/client"
+	"openflame/internal/discovery"
+	"openflame/internal/dns"
+	"openflame/internal/mapserver"
+	"openflame/internal/worldgen"
+)
+
+// Federation is an in-process OpenFLAME deployment: a two-level DNS tree
+// (root delegating the spatial zone) on an in-memory transport, a shared
+// registry, and a set of HTTP map servers.
+type Federation struct {
+	Mem      *dns.MemExchanger
+	Root     *dns.Zone
+	Loc      *dns.Zone
+	Registry *discovery.Registry
+	Servers  []*ServerHandle
+
+	rootAddr string
+}
+
+// ServerHandle pairs a map server with its live HTTP endpoint.
+type ServerHandle struct {
+	Server *mapserver.Server
+	HTTP   *httptest.Server
+	URL    string
+}
+
+// NewFederation builds the DNS tree: a root zone for "flame.arpa."
+// delegating the spatial suffix to a second authoritative zone.
+func NewFederation() (*Federation, error) {
+	mem := dns.NewMemExchanger()
+	root := dns.NewZone("flame.arpa.")
+	locZone := dns.NewZone(discovery.DefaultSuffix)
+	if err := root.Add(dns.RR{Name: discovery.DefaultSuffix, Type: dns.TypeNS, TTL: 300,
+		Target: "ns." + discovery.DefaultSuffix}); err != nil {
+		return nil, err
+	}
+	if err := root.Add(dns.RR{Name: "ns." + discovery.DefaultSuffix, Type: dns.TypeA, TTL: 300,
+		IP: net.IPv4(10, 0, 0, 2)}); err != nil {
+		return nil, err
+	}
+	mem.Register("10.0.0.1:53", root)
+	mem.Register("10.0.0.2:53", locZone)
+	return &Federation{
+		Mem:      mem,
+		Root:     root,
+		Loc:      locZone,
+		Registry: discovery.NewRegistry(locZone, discovery.DefaultSuffix),
+		rootAddr: "10.0.0.1:53",
+	}, nil
+}
+
+// NewResolver creates a fresh caching resolver against the federation's
+// DNS tree (each client device runs its own).
+func (f *Federation) NewResolver() *dns.Resolver {
+	return dns.NewResolver(f.Mem, []dns.RootHint{{Name: "ns.flame.arpa.", Addr: f.rootAddr}})
+}
+
+// AddServer starts the map server over HTTP and registers its coverage in
+// the discovery DNS.
+func (f *Federation) AddServer(srv *mapserver.Server) (*ServerHandle, error) {
+	ts := httptest.NewServer(srv.Handler())
+	h := &ServerHandle{Server: srv, HTTP: ts, URL: ts.URL}
+	if err := f.Registry.Register(srv.Info(), ts.URL); err != nil {
+		ts.Close()
+		return nil, fmt.Errorf("core: register %s: %w", srv.Name(), err)
+	}
+	f.Servers = append(f.Servers, h)
+	return h, nil
+}
+
+// FindServer returns the handle with the given server name, or nil.
+func (f *Federation) FindServer(name string) *ServerHandle {
+	for _, h := range f.Servers {
+		if h.Server.Name() == name {
+			return h
+		}
+	}
+	return nil
+}
+
+// NewClient creates an OpenFLAME client with its own resolver cache.
+func (f *Federation) NewClient() *client.Client {
+	disc := discovery.NewClient(f.NewResolver(), discovery.DefaultSuffix)
+	c := client.New(disc, http.DefaultClient)
+	if world := f.FindServer("world-map"); world != nil {
+		c.WorldURL = world.URL
+	}
+	return c
+}
+
+// Close shuts down all HTTP servers.
+func (f *Federation) Close() {
+	for _, h := range f.Servers {
+		h.HTTP.Close()
+	}
+}
+
+// DeployWorld stands up the full paper scenario over a generated world: a
+// "world-map" server for the outdoor city (the Google-Maps analogue,
+// preprocessed with contraction hierarchies per Figure 1) and one
+// independently-operated server per store (local frame, precise alignment
+// fitted from survey correspondences, beacons and fiducials enabled).
+func DeployWorld(w *worldgen.World) (*Federation, error) {
+	f, err := NewFederation()
+	if err != nil {
+		return nil, err
+	}
+	citySrv, err := mapserver.New(mapserver.Config{
+		Name:  "world-map",
+		Map:   w.Outdoor,
+		UseCH: true,
+	})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.AddServer(citySrv); err != nil {
+		f.Close()
+		return nil, err
+	}
+	for _, store := range w.Stores {
+		ga, err := align.FitGeo(store.Correspondences)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("core: align %s: %w", store.Map.Name, err)
+		}
+		srv, err := mapserver.New(mapserver.Config{
+			Name:      worldgenServerName(store),
+			Map:       store.Map,
+			Alignment: ga,
+			Beacons:   store.Beacons,
+			Fiducials: store.Fiducials,
+			Landmarks: store.Landmarks,
+		})
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := f.AddServer(srv); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+func worldgenServerName(b *worldgen.IndoorBundle) string {
+	return b.PortalID[len("portal-"):] // "portal-corner-grocery" → "corner-grocery"
+}

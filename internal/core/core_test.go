@@ -1,0 +1,85 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"openflame/internal/geo"
+	"openflame/internal/worldgen"
+)
+
+func TestNewFederationEmpty(t *testing.T) {
+	f, err := NewFederation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	c := f.NewClient()
+	// Nothing registered: discovery is empty everywhere.
+	if got := c.Discover(geo.LatLng{Lat: 40.44, Lng: -79.99}); len(got) != 0 {
+		t.Fatalf("empty federation discovered %v", got)
+	}
+}
+
+func TestDeployWorld(t *testing.T) {
+	w := worldgen.GenWorld(worldgen.DefaultWorldParams())
+	f, err := DeployWorld(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if len(f.Servers) != 1+len(w.Stores) {
+		t.Fatalf("servers = %d", len(f.Servers))
+	}
+	if f.FindServer("world-map") == nil {
+		t.Fatal("world-map missing")
+	}
+	if f.FindServer("nonexistent") != nil {
+		t.Fatal("phantom server found")
+	}
+	// Every store server is named after its portal.
+	for _, s := range w.Stores {
+		name := s.PortalID[len("portal-"):]
+		if f.FindServer(name) == nil {
+			t.Fatalf("store server %q missing", name)
+		}
+	}
+	// Discovery at a store entrance finds both the world map and the store.
+	entrance := s0Entrance(w)
+	c := f.NewClient()
+	names := map[string]bool{}
+	for _, a := range c.Discover(entrance) {
+		names[a.Name] = true
+	}
+	if !names["world-map"] {
+		t.Fatalf("world-map not discovered at entrance: %v", names)
+	}
+	storeFound := false
+	for n := range names {
+		if strings.Contains(n, "grocery") || strings.Contains(n, "market") ||
+			strings.Contains(n, "foods") || strings.Contains(n, "pantry") {
+			storeFound = true
+		}
+	}
+	if !storeFound {
+		t.Fatalf("no store discovered at its own entrance: %v", names)
+	}
+}
+
+func s0Entrance(w *worldgen.World) geo.LatLng {
+	c := w.Stores[0].Correspondences
+	return c[len(c)-1].World
+}
+
+func TestClientHasWorldURL(t *testing.T) {
+	w := worldgen.GenWorld(worldgen.DefaultWorldParams())
+	f, err := DeployWorld(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	c := f.NewClient()
+	if _, err := c.Geocode("1st Street"); err != nil {
+		t.Fatalf("world geocode through client failed: %v", err)
+	}
+}

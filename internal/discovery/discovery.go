@@ -1,0 +1,306 @@
+// Package discovery implements the paper's map-server discovery layer
+// (§5.1): spatial cells are encoded as hierarchical domain names, map
+// servers register TXT announcements on every cell of their coverage, and
+// clients resolve their location's ancestor chain through ordinary DNS —
+// inheriting its delegation, federation, and ubiquitous caching.
+//
+// Naming: the level-k cell containing a point becomes
+//
+//	q<b_k>.q<b_{k-1}>…q<b_1>.f<face>.<suffix>
+//
+// where b_i is the cell's Hilbert quadrant at level i. The left-most label
+// is the most specific, so a cell's domain name has its spatial ancestors
+// as DNS suffixes: organizations can be delegated entire spatial subtrees
+// with standard NS records, and negative caching prunes empty regions.
+package discovery
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"openflame/internal/dns"
+	"openflame/internal/geo"
+	"openflame/internal/loc"
+	"openflame/internal/s2cell"
+	"openflame/internal/wire"
+)
+
+// DefaultSuffix is the root of the spatial namespace.
+const DefaultSuffix = "loc.flame.arpa."
+
+// Default registration levels: level 12 cells are ~2km across, level 16
+// cells are ~150m across — between a neighbourhood and a building.
+const (
+	DefaultMinLevel = 12
+	DefaultMaxLevel = 16
+)
+
+// CellDomain returns the domain name of a cell under the suffix.
+func CellDomain(c s2cell.CellID, suffix string) string {
+	suffix = dns.CanonicalName(suffix)
+	level := c.Level()
+	labels := make([]string, 0, level+1)
+	for l := level; l >= 1; l-- {
+		labels = append(labels, fmt.Sprintf("q%d", c.ChildPosition(l)))
+	}
+	labels = append(labels, fmt.Sprintf("f%d", c.Face()))
+	return strings.Join(labels, ".") + "." + suffix
+}
+
+// Announcement is one map server's presence on one cell.
+type Announcement struct {
+	Name         string           `json:"name"`
+	URL          string           `json:"url"`
+	Services     []wire.Service   `json:"services,omitempty"`
+	Technologies []loc.Technology `json:"technologies,omitempty"`
+	// Level is the cell level the announcement was found at.
+	Level int `json:"level"`
+	// CellToken identifies the cell the announcement was found on.
+	CellToken string `json:"cellToken"`
+}
+
+// FormatTXT renders the announcement as a TXT record payload.
+func FormatTXT(a Announcement) string {
+	parts := []string{"v=flame1", "name=" + a.Name, "url=" + a.URL}
+	if len(a.Services) > 0 {
+		svc := make([]string, len(a.Services))
+		for i, s := range a.Services {
+			svc[i] = string(s)
+		}
+		parts = append(parts, "srv="+strings.Join(svc, ","))
+	}
+	if len(a.Technologies) > 0 {
+		ts := make([]string, len(a.Technologies))
+		for i, t := range a.Technologies {
+			ts[i] = string(t)
+		}
+		parts = append(parts, "tech="+strings.Join(ts, ","))
+	}
+	return strings.Join(parts, " ")
+}
+
+// ParseTXT parses a TXT payload; ok is false for non-flame or malformed
+// records.
+func ParseTXT(s string) (Announcement, bool) {
+	fields := strings.Fields(s)
+	var a Announcement
+	versioned := false
+	for _, f := range fields {
+		k, v, found := strings.Cut(f, "=")
+		if !found {
+			continue
+		}
+		switch k {
+		case "v":
+			versioned = v == "flame1"
+		case "name":
+			a.Name = v
+		case "url":
+			a.URL = v
+		case "srv":
+			for _, s := range strings.Split(v, ",") {
+				if s != "" {
+					a.Services = append(a.Services, wire.Service(s))
+				}
+			}
+		case "tech":
+			for _, s := range strings.Split(v, ",") {
+				if s != "" {
+					a.Technologies = append(a.Technologies, loc.Technology(s))
+				}
+			}
+		}
+	}
+	if !versioned || a.Name == "" || a.URL == "" {
+		return Announcement{}, false
+	}
+	return a, true
+}
+
+// Registry writes map-server registrations into an authoritative zone.
+type Registry struct {
+	zone   *dns.Zone
+	suffix string
+	// TTLSeconds for announcement records; default 60.
+	TTLSeconds uint32
+}
+
+// NewRegistry creates a registry over the zone; suffix defaults to the
+// zone apex.
+func NewRegistry(zone *dns.Zone, suffix string) *Registry {
+	if suffix == "" {
+		suffix = zone.Apex()
+	}
+	return &Registry{zone: zone, suffix: dns.CanonicalName(suffix), TTLSeconds: 60}
+}
+
+// Register announces a server on every coverage cell. Cell tokens outside
+// the registry's zone are rejected.
+func (r *Registry) Register(info wire.Info, url string) error {
+	if len(info.Coverage) == 0 {
+		return fmt.Errorf("discovery: empty coverage for %s", info.Name)
+	}
+	a := Announcement{Name: info.Name, URL: url, Services: info.Services, Technologies: info.Technologies}
+	payload := FormatTXT(a)
+	for _, tok := range info.Coverage {
+		cell := s2cell.FromToken(tok)
+		if !cell.IsValid() {
+			return fmt.Errorf("discovery: bad cell token %q", tok)
+		}
+		rr := dns.RR{
+			Name: CellDomain(cell, r.suffix), Type: dns.TypeTXT,
+			TTL: r.TTLSeconds, TXT: []string{payload},
+		}
+		if err := r.zone.Add(rr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Unregister removes all announcements for the named server across the
+// coverage cells, returning how many records were removed.
+func (r *Registry) Unregister(name string, coverage []string) int {
+	needle := "name=" + name
+	removed := 0
+	for _, tok := range coverage {
+		cell := s2cell.FromToken(tok)
+		if !cell.IsValid() {
+			continue
+		}
+		removed += r.zone.RemoveWhere(CellDomain(cell, r.suffix), dns.TypeTXT, func(rr dns.RR) bool {
+			return !strings.Contains(strings.Join(rr.TXT, ""), needle)
+		})
+	}
+	return removed
+}
+
+// Client discovers map servers by location through a DNS resolver.
+type Client struct {
+	resolver *dns.Resolver
+	suffix   string
+	// MinLevel..MaxLevel is the ancestor range queried per discovery.
+	MinLevel, MaxLevel int
+}
+
+// NewClient creates a discovery client.
+func NewClient(res *dns.Resolver, suffix string) *Client {
+	if suffix == "" {
+		suffix = DefaultSuffix
+	}
+	return &Client{
+		resolver: res,
+		suffix:   dns.CanonicalName(suffix),
+		MinLevel: DefaultMinLevel,
+		MaxLevel: DefaultMaxLevel,
+	}
+}
+
+// Discover returns every map server announced on the location's cell
+// ancestor chain — possibly several per cell (overlapping maps, §3),
+// possibly none. Results are deduplicated by (name, url), finest level
+// first.
+func (c *Client) Discover(ll geo.LatLng) []Announcement {
+	leaf := s2cell.FromLatLng(ll)
+	type key struct{ name, url string }
+	seen := make(map[key]struct{})
+	var out []Announcement
+	for level := c.MaxLevel; level >= c.MinLevel; level-- {
+		cell := leaf.Parent(level)
+		txts, err := c.resolver.LookupTXT(CellDomain(cell, c.suffix))
+		if err != nil {
+			continue // NXDOMAIN and friends: nothing announced here
+		}
+		for _, t := range txts {
+			a, ok := ParseTXT(t)
+			if !ok {
+				continue
+			}
+			k := key{a.Name, a.URL}
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			a.Level = level
+			a.CellToken = cell.Token()
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// DiscoverRegion discovers servers announced anywhere on a region's
+// covering. The covering is taken at MaxLevel (announcements from small
+// zones exist only on fine cells), so the query fan-out grows with region
+// area; DNS caching absorbs repeats, and ancestors shared between covering
+// cells are resolved once.
+func (c *Client) DiscoverRegion(region s2cell.Region) []Announcement {
+	cells := s2cell.Covering(region, c.MaxLevel, 1024)
+	type key struct{ name, url string }
+	seen := make(map[key]struct{})
+	var out []Announcement
+	for _, cell := range cells {
+		for level := cell.Level(); level >= c.MinLevel; level-- {
+			parent := cell.Parent(level)
+			txts, err := c.resolver.LookupTXT(CellDomain(parent, c.suffix))
+			if err != nil {
+				continue
+			}
+			for _, t := range txts {
+				a, ok := ParseTXT(t)
+				if !ok {
+					continue
+				}
+				k := key{a.Name, a.URL}
+				if _, dup := seen[k]; dup {
+					continue
+				}
+				seen[k] = struct{}{}
+				a.Level = level
+				a.CellToken = parent.Token()
+				out = append(out, a)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].URL < out[j].URL
+	})
+	return out
+}
+
+// DiscoverAlongPath discovers servers along a polyline (the routing flow of
+// §5.2: "discovers all the map servers that lie along the way"), sampling
+// every sampleMeters.
+func (c *Client) DiscoverAlongPath(path []geo.LatLng, sampleMeters float64) []Announcement {
+	if sampleMeters <= 0 {
+		sampleMeters = 100
+	}
+	type key struct{ name, url string }
+	seen := make(map[key]struct{})
+	var out []Announcement
+	visit := func(ll geo.LatLng) {
+		for _, a := range c.Discover(ll) {
+			k := key{a.Name, a.URL}
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			out = append(out, a)
+		}
+	}
+	for i, p := range path {
+		visit(p)
+		if i+1 < len(path) {
+			d := geo.DistanceMeters(p, path[i+1])
+			steps := int(d / sampleMeters)
+			for s := 1; s <= steps; s++ {
+				visit(geo.Interpolate(p, path[i+1], float64(s)/float64(steps+1)))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+// Package geocode implements forward and reverse geocoding over a map
+// server's store (§4): text address → map node, and geographic location →
+// nearest addressable node or road (the service behind marker placement,
+// click interaction, and GPS snapping).
+package geocode
+
+import (
+	"sort"
+	"strings"
+
+	"openflame/internal/geo"
+	"openflame/internal/osm"
+	"openflame/internal/store"
+)
+
+// Result is a geocoding match.
+type Result struct {
+	NodeID   osm.NodeID `json:"nodeId"`
+	Name     string     `json:"name"`
+	Position geo.LatLng `json:"position"`
+	// Score is the fraction of query tokens matched, in (0, 1].
+	Score float64 `json:"score"`
+	// Address is the node's full address tag if present.
+	Address string `json:"address,omitempty"`
+}
+
+// Geocoder answers forward/reverse geocode queries against one store.
+type Geocoder struct {
+	s *store.Store
+}
+
+// New creates a geocoder over s.
+func New(s *store.Store) *Geocoder { return &Geocoder{s: s} }
+
+// Forward resolves a free-text address to candidate nodes, best first.
+// Matching is token-based: every query token must appear in the node's
+// indexed text for a perfect score; partial matches rank lower. At most
+// limit results are returned (limit <= 0 means 10).
+func (g *Geocoder) Forward(query string, limit int) []Result {
+	if limit <= 0 {
+		limit = 10
+	}
+	tokens := store.Tokenize(query)
+	if len(tokens) == 0 {
+		return nil
+	}
+	counts := make(map[osm.NodeID]int)
+	for _, tok := range tokens {
+		for _, id := range g.s.TokenPostings(tok) {
+			counts[id]++
+		}
+	}
+	results := make([]Result, 0, len(counts))
+	m := g.s.Map()
+	for id, c := range counts {
+		n := m.Node(id)
+		if n == nil {
+			continue
+		}
+		r := Result{
+			NodeID:   id,
+			Name:     n.Tags.Get(osm.TagName),
+			Position: m.NodePosition(n),
+			Score:    float64(c) / float64(len(tokens)),
+			Address:  n.Tags.Get(osm.TagAddr),
+		}
+		results = append(results, r)
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Score != results[j].Score {
+			return results[i].Score > results[j].Score
+		}
+		// Prefer named nodes, then stable order by ID.
+		ni := results[i].Name != ""
+		nj := results[j].Name != ""
+		if ni != nj {
+			return ni
+		}
+		return results[i].NodeID < results[j].NodeID
+	})
+	if len(results) > limit {
+		results = results[:limit]
+	}
+	return results
+}
+
+// Reverse finds the nearest addressable node (one with a name or address
+// tag) within maxMeters of ll.
+func (g *Geocoder) Reverse(ll geo.LatLng, maxMeters float64) (Result, bool) {
+	hits := g.s.NearestNodesWhere(ll, 1, maxMeters, func(n *osm.Node) bool {
+		return n.Tags.Get(osm.TagName) != "" || n.Tags.Get(osm.TagAddr) != "" ||
+			n.Tags.Get(osm.TagNumber) != ""
+	})
+	if len(hits) == 0 {
+		return Result{}, false
+	}
+	n := hits[0].Node
+	return Result{
+		NodeID:   n.ID,
+		Name:     n.Tags.Get(osm.TagName),
+		Position: g.s.Map().NodePosition(n),
+		Score:    1,
+		Address:  n.Tags.Get(osm.TagAddr),
+	}, true
+}
+
+// RoadSnap is a snap-to-road result (§4: "snapping raw GPS coordinates to
+// roads on the map while navigating").
+type RoadSnap struct {
+	WayID          osm.WayID  `json:"wayId"`
+	RoadName       string     `json:"roadName"`
+	Position       geo.LatLng `json:"position"`
+	DistanceMeters float64    `json:"distanceMeters"`
+	NodeID         osm.NodeID `json:"nodeId"`
+}
+
+// SnapToRoad projects a raw position onto the nearest mapped way.
+func (g *Geocoder) SnapToRoad(ll geo.LatLng, maxMeters float64) (RoadSnap, bool) {
+	snap, ok := g.s.SnapToWay(ll, maxMeters)
+	if !ok {
+		return RoadSnap{}, false
+	}
+	return RoadSnap{
+		WayID:          snap.Way.ID,
+		RoadName:       snap.Way.Tags.Get(osm.TagName),
+		Position:       snap.Position,
+		DistanceMeters: snap.DistanceMeters,
+		NodeID:         snap.NodeID,
+	}, true
+}
+
+// ParseAddress splits a comma-separated hierarchical address into
+// components, most specific first: "Seaweed Shelf, Corner Grocery,
+// Pittsburgh" → ["Seaweed Shelf", "Corner Grocery", "Pittsburgh"]. The
+// client uses the coarse tail with a world geocoder and the specific head
+// with the discovered fine map servers (§5.2).
+func ParseAddress(addr string) []string {
+	parts := strings.Split(addr, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package geocode
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"openflame/internal/geo"
+	"openflame/internal/osm"
+	"openflame/internal/store"
+)
+
+func townStore(t *testing.T) *store.Store {
+	t.Helper()
+	m := osm.NewMap("town", osm.Frame{Kind: osm.FrameGeodetic})
+	a := m.AddNode(&osm.Node{Pos: geo.LatLng{Lat: 40.4400, Lng: -79.9960}})
+	b := m.AddNode(&osm.Node{Pos: geo.LatLng{Lat: 40.4420, Lng: -79.9960}})
+	if _, err := m.AddWay(&osm.Way{NodeIDs: []osm.NodeID{a, b},
+		Tags: osm.Tags{osm.TagHighway: "residential", osm.TagName: "Forbes Avenue"}}); err != nil {
+		t.Fatal(err)
+	}
+	m.AddNode(&osm.Node{Pos: geo.LatLng{Lat: 40.4405, Lng: -79.9950}, Tags: osm.Tags{
+		osm.TagName: "Corner Grocery", osm.TagShop: "grocery",
+		osm.TagAddr: "411 Forbes Avenue, Pittsburgh", osm.TagStreet: "Forbes Avenue",
+		osm.TagNumber: "411", osm.TagCity: "Pittsburgh"}})
+	m.AddNode(&osm.Node{Pos: geo.LatLng{Lat: 40.4415, Lng: -79.9952}, Tags: osm.Tags{
+		osm.TagName: "Bean There Cafe", osm.TagAmenity: "cafe",
+		osm.TagAddr: "415 Forbes Avenue, Pittsburgh"}})
+	return store.New(m)
+}
+
+func TestForwardExactName(t *testing.T) {
+	g := New(townStore(t))
+	rs := g.Forward("Corner Grocery", 5)
+	if len(rs) == 0 {
+		t.Fatal("no results")
+	}
+	if rs[0].Name != "Corner Grocery" || rs[0].Score != 1 {
+		t.Fatalf("top = %+v", rs[0])
+	}
+}
+
+func TestForwardFullAddress(t *testing.T) {
+	g := New(townStore(t))
+	rs := g.Forward("411 Forbes Avenue Pittsburgh", 5)
+	if len(rs) == 0 {
+		t.Fatal("no results")
+	}
+	if rs[0].Name != "Corner Grocery" {
+		t.Fatalf("top = %+v", rs[0])
+	}
+	if rs[0].Score != 1 {
+		t.Fatalf("score = %v", rs[0].Score)
+	}
+}
+
+func TestForwardPartialMatchRanksLower(t *testing.T) {
+	g := New(townStore(t))
+	// "Corner Grocery" matches 2/3 tokens; the cafe matches only "cafe".
+	rs := g.Forward("Corner Grocery Cafe", 5)
+	if len(rs) < 2 {
+		t.Fatalf("got %d results", len(rs))
+	}
+	if rs[0].Name != "Corner Grocery" {
+		t.Fatalf("top = %+v", rs[0])
+	}
+	if rs[1].Score >= rs[0].Score {
+		t.Fatal("ranking not descending")
+	}
+}
+
+func TestForwardNoMatch(t *testing.T) {
+	g := New(townStore(t))
+	if rs := g.Forward("zanzibar palace", 5); len(rs) != 0 {
+		t.Fatalf("unexpected results: %v", rs)
+	}
+	if rs := g.Forward("", 5); rs != nil {
+		t.Fatalf("empty query results: %v", rs)
+	}
+}
+
+func TestForwardLimit(t *testing.T) {
+	g := New(townStore(t))
+	rs := g.Forward("Forbes Avenue", 1)
+	if len(rs) != 1 {
+		t.Fatalf("limit ignored: %d results", len(rs))
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := New(townStore(t))
+	q := geo.Offset(geo.LatLng{Lat: 40.4405, Lng: -79.9950}, 5, 0)
+	r, ok := g.Reverse(q, 100)
+	if !ok {
+		t.Fatal("no reverse result")
+	}
+	if r.Name != "Corner Grocery" {
+		t.Fatalf("reverse = %+v", r)
+	}
+	// Unnamed street nodes are not addressable.
+	if _, ok := g.Reverse(geo.LatLng{Lat: 40.4400, Lng: -79.9960}, 5); ok {
+		t.Fatal("unnamed node returned")
+	}
+	if _, ok := g.Reverse(geo.LatLng{Lat: 41, Lng: -79}, 100); ok {
+		t.Fatal("far query returned result")
+	}
+}
+
+func TestSnapToRoad(t *testing.T) {
+	g := New(townStore(t))
+	// 20m east of the street.
+	q := geo.Offset(geo.LatLng{Lat: 40.4410, Lng: -79.9960}, 20, 90)
+	snap, ok := g.SnapToRoad(q, 50)
+	if !ok {
+		t.Fatal("no snap")
+	}
+	if snap.RoadName != "Forbes Avenue" {
+		t.Fatalf("snap = %+v", snap)
+	}
+	if math.Abs(snap.DistanceMeters-20) > 2 {
+		t.Fatalf("distance = %v", snap.DistanceMeters)
+	}
+	if _, ok := g.SnapToRoad(q, 5); ok {
+		t.Fatal("snapped beyond budget")
+	}
+}
+
+func TestParseAddress(t *testing.T) {
+	got := ParseAddress(" Seaweed Shelf , Corner Grocery, Pittsburgh ")
+	want := []string{"Seaweed Shelf", "Corner Grocery", "Pittsburgh"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParseAddress = %v", got)
+	}
+	if got := ParseAddress(""); len(got) != 0 {
+		t.Fatalf("empty address parsed to %v", got)
+	}
+	if got := ParseAddress(",,"); len(got) != 0 {
+		t.Fatalf("commas parsed to %v", got)
+	}
+}

@@ -1,0 +1,150 @@
+package geocode
+
+import (
+	"math/rand"
+	"testing"
+
+	"openflame/internal/geo"
+	"openflame/internal/osm"
+	"openflame/internal/store"
+)
+
+// parallelStreets builds two parallel east-west streets 30m apart.
+func parallelStreets(t *testing.T) (*store.Store, geo.LatLng) {
+	t.Helper()
+	m := osm.NewMap("streets", osm.Frame{Kind: osm.FrameGeodetic})
+	origin := geo.LatLng{Lat: 40.4400, Lng: -79.9990}
+	addStreet := func(name string, northOffset float64) {
+		var ids []osm.NodeID
+		for i := 0; i <= 10; i++ {
+			pos := geo.Offset(geo.Offset(origin, northOffset, 0), float64(i)*50, 90)
+			ids = append(ids, m.AddNode(&osm.Node{Pos: pos}))
+		}
+		if _, err := m.AddWay(&osm.Way{NodeIDs: ids,
+			Tags: osm.Tags{osm.TagHighway: "residential", osm.TagName: name}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addStreet("South Street", 0)
+	addStreet("North Street", 30)
+	return store.New(m), origin
+}
+
+func TestMatchTraceSticksToOneStreet(t *testing.T) {
+	s, origin := parallelStreets(t)
+	g := New(s)
+	rng := rand.New(rand.NewSource(1))
+	// Walk along South Street with 8m GPS noise: naive point snapping
+	// would sometimes pick North Street (14m closer threshold); the
+	// matcher's continuity keeps the track on one way.
+	var trace []geo.LatLng
+	for i := 0; i <= 20; i++ {
+		truth := geo.Offset(origin, float64(i)*25, 90)
+		noisy := geo.Offset(truth, rng.Float64()*8, rng.Float64()*360)
+		trace = append(trace, noisy)
+	}
+	matched := g.MatchTrace(trace, 50, 30)
+	if len(matched) != len(trace) {
+		t.Fatalf("matched %d of %d points", len(matched), len(trace))
+	}
+	south := 0
+	for _, tp := range matched {
+		if tp.RoadName == "South Street" {
+			south++
+		}
+	}
+	if south != len(matched) {
+		t.Fatalf("only %d/%d points on South Street", south, len(matched))
+	}
+	// Matched positions are closer to the street than the raw readings on
+	// average.
+	var rawErr, matchErr float64
+	for i, tp := range matched {
+		truth := geo.Offset(origin, float64(i)*25, 90)
+		rawErr += geo.DistanceMeters(tp.Raw, truth)
+		matchErr += geo.DistanceMeters(tp.Matched, truth)
+	}
+	if matchErr >= rawErr {
+		t.Fatalf("matching did not reduce error: %.1f vs %.1f", matchErr, rawErr)
+	}
+}
+
+func TestMatchTraceSwitchesWhenWarranted(t *testing.T) {
+	s, origin := parallelStreets(t)
+	g := New(s)
+	// A trace that genuinely moves from South to North street must switch
+	// exactly once despite the penalty.
+	var trace []geo.LatLng
+	for i := 0; i <= 5; i++ { // clearly on South
+		trace = append(trace, geo.Offset(origin, float64(i)*40, 90))
+	}
+	northOrigin := geo.Offset(origin, 30, 0)
+	for i := 6; i <= 12; i++ { // clearly on North
+		trace = append(trace, geo.Offset(northOrigin, float64(i)*40, 90))
+	}
+	matched := g.MatchTrace(trace, 50, 20)
+	switches := 0
+	for i := 1; i < len(matched); i++ {
+		if matched[i].WayID != matched[i-1].WayID {
+			switches++
+		}
+	}
+	if switches != 1 {
+		t.Fatalf("switches = %d, want 1", switches)
+	}
+	if matched[0].RoadName != "South Street" || matched[len(matched)-1].RoadName != "North Street" {
+		t.Fatalf("endpoints: %s .. %s", matched[0].RoadName, matched[len(matched)-1].RoadName)
+	}
+}
+
+func TestMatchTraceDropsOffRoadPoints(t *testing.T) {
+	s, origin := parallelStreets(t)
+	g := New(s)
+	trace := []geo.LatLng{
+		geo.Offset(origin, 10, 90),
+		geo.Offset(origin, 500, 0), // 500m off the grid
+		geo.Offset(origin, 50, 90),
+	}
+	matched := g.MatchTrace(trace, 40, 20)
+	if len(matched) != 2 {
+		t.Fatalf("matched %d points, want 2", len(matched))
+	}
+}
+
+func TestMatchTraceEmpty(t *testing.T) {
+	s, _ := parallelStreets(t)
+	g := New(s)
+	if got := g.MatchTrace(nil, 50, 20); got != nil {
+		t.Fatalf("empty trace matched: %v", got)
+	}
+	far := []geo.LatLng{{Lat: 10, Lng: 10}}
+	if got := g.MatchTrace(far, 50, 20); got != nil {
+		t.Fatalf("unmatchable trace returned %v", got)
+	}
+}
+
+func BenchmarkMatchTrace(b *testing.B) {
+	m := osm.NewMap("streets", osm.Frame{Kind: osm.FrameGeodetic})
+	origin := geo.LatLng{Lat: 40.4400, Lng: -79.9990}
+	var ids []osm.NodeID
+	for i := 0; i <= 40; i++ {
+		ids = append(ids, m.AddNode(&osm.Node{Pos: geo.Offset(origin, float64(i)*25, 90)}))
+	}
+	if _, err := m.AddWay(&osm.Way{NodeIDs: ids,
+		Tags: osm.Tags{osm.TagHighway: "residential", osm.TagName: "Long Street"}}); err != nil {
+		b.Fatal(err)
+	}
+	g := New(store.New(m))
+	rng := rand.New(rand.NewSource(2))
+	var trace []geo.LatLng
+	for i := 0; i < 50; i++ {
+		trace = append(trace, geo.Offset(geo.Offset(origin, float64(i)*20, 90), rng.Float64()*10, rng.Float64()*360))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := g.MatchTrace(trace, 50, 30); len(got) == 0 {
+			b.Fatal("no match")
+		}
+	}
+}

@@ -1,0 +1,354 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// CH is a contraction-hierarchies index over a Graph: every node is assigned
+// a rank; shortcut edges preserve shortest-path distances among higher-
+// ranked nodes. Queries run bidirectional Dijkstra over upward edges only,
+// which settles orders of magnitude fewer nodes than plain Dijkstra on
+// road-like graphs (§4.1, [11]).
+type CH struct {
+	g    *Graph
+	rank []int32
+	// Upward adjacency: edges (original and shortcuts) to higher-ranked
+	// nodes, in forward and backward direction.
+	up   [][]halfEdge
+	down [][]halfEdge // reverse: for the backward search
+	// ShortcutCount is the number of shortcuts added by preprocessing.
+	ShortcutCount int
+}
+
+// chNodePQ orders nodes by contraction priority.
+type chNodePQ struct {
+	nodes []int32
+	prio  []float64
+}
+
+func (q chNodePQ) Len() int           { return len(q.nodes) }
+func (q chNodePQ) Less(i, j int) bool { return q.prio[q.nodes[i]] < q.prio[q.nodes[j]] }
+func (q chNodePQ) Swap(i, j int)      { q.nodes[i], q.nodes[j] = q.nodes[j], q.nodes[i] }
+func (q *chNodePQ) Push(x interface{}) {
+	q.nodes = append(q.nodes, x.(int32))
+}
+func (q *chNodePQ) Pop() interface{} {
+	old := q.nodes
+	n := len(old)
+	x := old[n-1]
+	q.nodes = old[:n-1]
+	return x
+}
+
+// BuildCH preprocesses the graph into a contraction hierarchy.
+func BuildCH(g *Graph) *CH {
+	n := len(g.ids)
+	// Working adjacency (mutated by contraction): remaining graph among
+	// uncontracted nodes.
+	out := make([][]halfEdge, n)
+	in := make([][]halfEdge, n)
+	for i := 0; i < n; i++ {
+		out[i] = append([]halfEdge(nil), g.out[i]...)
+		in[i] = append([]halfEdge(nil), g.in[i]...)
+	}
+	ch := &CH{
+		g:    g,
+		rank: make([]int32, n),
+		up:   make([][]halfEdge, n),
+		down: make([][]halfEdge, n),
+	}
+	contracted := make([]bool, n)
+	deletedNeighbors := make([]int32, n)
+
+	// The simulation-only contraction used to compute priorities.
+	simulate := func(v int32) (edgeDiff int) {
+		shortcuts := 0
+		for _, ein := range in[v] {
+			u := ein.to
+			if contracted[u] || u == v {
+				continue
+			}
+			for _, eout := range out[v] {
+				w := eout.to
+				if contracted[w] || w == v || w == u {
+					continue
+				}
+				if !hasWitness(out, contracted, u, w, v, ein.w+eout.w) {
+					shortcuts++
+				}
+			}
+		}
+		degree := 0
+		for _, e := range in[v] {
+			if !contracted[e.to] {
+				degree++
+			}
+		}
+		for _, e := range out[v] {
+			if !contracted[e.to] {
+				degree++
+			}
+		}
+		return shortcuts - degree
+	}
+
+	prio := make([]float64, n)
+	pqn := &chNodePQ{prio: prio}
+	for v := int32(0); v < int32(n); v++ {
+		prio[v] = float64(simulate(v))
+		pqn.nodes = append(pqn.nodes, v)
+	}
+	heap.Init(pqn)
+
+	nextRank := int32(0)
+	for pqn.Len() > 0 {
+		v := heap.Pop(pqn).(int32)
+		if contracted[v] {
+			continue
+		}
+		// Lazy update: recompute and re-push if the priority got stale.
+		cur := float64(simulate(v)) + 2*float64(deletedNeighbors[v])
+		if pqn.Len() > 0 && cur > prio[pqn.nodes[0]] {
+			prio[v] = cur
+			heap.Push(pqn, v)
+			continue
+		}
+		// Contract v.
+		contracted[v] = true
+		ch.rank[v] = nextRank
+		nextRank++
+		for _, ein := range in[v] {
+			u := ein.to
+			if contracted[u] || u == v {
+				continue
+			}
+			deletedNeighbors[u]++
+			for _, eout := range out[v] {
+				w := eout.to
+				if contracted[w] || w == v || w == u {
+					continue
+				}
+				sw := ein.w + eout.w
+				if hasWitness(out, contracted, u, w, v, sw) {
+					continue
+				}
+				addOrImprove(&out[u], halfEdge{to: w, w: sw, mid: v})
+				addOrImprove(&in[w], halfEdge{to: u, w: sw, mid: v})
+				ch.ShortcutCount++
+			}
+		}
+		for _, e := range out[v] {
+			if !contracted[e.to] {
+				deletedNeighbors[e.to]++
+			}
+		}
+	}
+
+	// Build upward/downward adjacency from the final augmented graph: an
+	// edge u→w (original or shortcut) is "upward" if rank[w] > rank[u].
+	for u := int32(0); u < int32(n); u++ {
+		for _, e := range out[u] {
+			if ch.rank[e.to] > ch.rank[u] {
+				ch.up[u] = append(ch.up[u], e)
+			}
+		}
+		for _, e := range in[u] {
+			if ch.rank[e.to] > ch.rank[u] {
+				ch.down[u] = append(ch.down[u], e)
+			}
+		}
+	}
+	return ch
+}
+
+// hasWitness reports whether a path from u to w avoiding v exists with cost
+// strictly less than limit. The search is bounded (settle limit) — failing
+// to find a witness is safe (a redundant shortcut may be added).
+func hasWitness(out [][]halfEdge, contracted []bool, u, w, v int32, limit float64) bool {
+	const settleLimit = 64
+	dist := map[int32]float64{u: 0}
+	done := map[int32]bool{}
+	q := &pq{{node: u, dist: 0}}
+	settled := 0
+	for q.Len() > 0 && settled < settleLimit {
+		it := heap.Pop(q).(pqItem)
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		settled++
+		if it.dist >= limit {
+			return false
+		}
+		if it.node == w {
+			return it.dist < limit
+		}
+		for _, e := range out[it.node] {
+			if e.to == v || contracted[e.to] {
+				continue
+			}
+			nd := it.dist + e.w
+			if nd >= limit {
+				continue
+			}
+			if old, ok := dist[e.to]; !ok || nd < old {
+				dist[e.to] = nd
+				heap.Push(q, pqItem{node: e.to, dist: nd})
+			}
+		}
+	}
+	if d, ok := dist[w]; ok && done[w] && d < limit {
+		return true
+	}
+	return false
+}
+
+// addOrImprove inserts a parallel-edge-free adjacency entry, keeping the
+// cheaper weight if an edge to the same node exists.
+func addOrImprove(edges *[]halfEdge, e halfEdge) {
+	for i := range *edges {
+		if (*edges)[i].to == e.to {
+			if e.w < (*edges)[i].w {
+				(*edges)[i] = e
+			}
+			return
+		}
+	}
+	*edges = append(*edges, e)
+}
+
+// Query computes the shortest path between external IDs using the hierarchy.
+func (c *CH) Query(src, dst int64) (Path, error) {
+	s, ok := c.g.index[src]
+	if !ok {
+		return Path{}, ErrNoPath
+	}
+	t, ok := c.g.index[dst]
+	if !ok {
+		return Path{}, ErrNoPath
+	}
+	type label struct {
+		dist float64
+		prev int32
+		via  halfEdge // edge used to reach this node (for unpacking)
+		done bool
+	}
+	fwd := map[int32]*label{s: {dist: 0, prev: -1}}
+	bwd := map[int32]*label{t: {dist: 0, prev: -1}}
+	qf := &pq{{node: s}}
+	qb := &pq{{node: t}}
+	best := math.Inf(1)
+	meet := int32(-1)
+	settled := 0
+
+	expand := func(q *pq, labels map[int32]*label, adj [][]halfEdge, other map[int32]*label) {
+		it := heap.Pop(q).(pqItem)
+		u := it.node
+		lu := labels[u]
+		if lu.done {
+			return
+		}
+		lu.done = true
+		settled++
+		if ol, ok := other[u]; ok {
+			if cost := lu.dist + ol.dist; cost < best {
+				best, meet = cost, u
+			}
+		}
+		for _, e := range adj[u] {
+			nd := lu.dist + e.w
+			le, ok := labels[e.to]
+			if !ok || nd < le.dist {
+				labels[e.to] = &label{dist: nd, prev: u, via: e}
+				heap.Push(q, pqItem{node: e.to, dist: nd})
+			}
+		}
+	}
+
+	for qf.Len() > 0 || qb.Len() > 0 {
+		topF, topB := math.Inf(1), math.Inf(1)
+		if qf.Len() > 0 {
+			topF = (*qf)[0].dist
+		}
+		if qb.Len() > 0 {
+			topB = (*qb)[0].dist
+		}
+		if math.Min(topF, topB) >= best {
+			break
+		}
+		if topF <= topB {
+			expand(qf, fwd, c.up, bwd)
+		} else {
+			expand(qb, bwd, c.down, fwd)
+		}
+	}
+	if meet < 0 {
+		return Path{Settled: settled}, ErrNoPath
+	}
+	// Reconstruct the augmented-edge chain in original direction. Forward
+	// labels record via = edge prev→u; backward labels record via = edge
+	// u→prev (down adjacency stores reverse entries whose `to` is the
+	// original edge's source).
+	type hop struct{ from, to, mid int32 }
+	var chain []hop
+	for u := meet; ; {
+		l := fwd[u]
+		if l.prev < 0 {
+			break
+		}
+		chain = append(chain, hop{from: l.prev, to: u, mid: l.via.mid})
+		u = l.prev
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	for u := meet; ; {
+		l := bwd[u]
+		if l.prev < 0 {
+			break
+		}
+		chain = append(chain, hop{from: u, to: l.prev, mid: l.via.mid})
+		u = l.prev
+	}
+
+	nodes := []int64{src}
+	for _, h := range chain {
+		nodes = c.unpack(nodes, h.from, h.to, h.mid)
+	}
+	return Path{Nodes: nodes, Cost: best, Settled: settled}, nil
+}
+
+// unpack appends the expansion of the augmented edge from→to (with shortcut
+// middle mid, or -1 for an original edge) to nodes, excluding `from` itself.
+func (c *CH) unpack(nodes []int64, from, to, mid int32) []int64 {
+	if mid < 0 {
+		return append(nodes, c.g.ids[to])
+	}
+	first, ok1 := c.findEdge(from, mid)
+	second, ok2 := c.findEdge(mid, to)
+	if !ok1 || !ok2 {
+		// Should not happen; degrade to the shortcut endpoints.
+		return append(nodes, c.g.ids[to])
+	}
+	nodes = c.unpack(nodes, from, mid, first.mid)
+	return c.unpack(nodes, mid, to, second.mid)
+}
+
+// findEdge locates the cheapest augmented edge from a to b.
+func (c *CH) findEdge(a, b int32) (halfEdge, bool) {
+	var best halfEdge
+	found := false
+	for _, e := range c.up[a] {
+		if e.to == b && (!found || e.w < best.w) {
+			best, found = e, true
+		}
+	}
+	// The edge may live in b's down list (when rank[a] > rank[b]).
+	for _, e := range c.down[b] {
+		if e.to == a && (!found || e.w < best.w) {
+			best, found = e, true
+		}
+	}
+	return best, found
+}

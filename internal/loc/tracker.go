@@ -1,0 +1,140 @@
+package loc
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"openflame/internal/geo"
+)
+
+// Tracker is a particle filter over a device's local-frame position — the
+// client-side fusion of motion (IMU steps) and map-server fixes that §5.2
+// sketches ("the client then selects the best one by comparing these
+// results with its own IMU sensors or local SLAM algorithm"). It smooths
+// noisy per-request fixes into a continuous track and exposes a prior for
+// SelectBest.
+type Tracker struct {
+	particles []particle
+	rng       *rand.Rand
+	// StepNoise is the per-meter motion noise applied in Predict
+	// (fraction of step length; default 0.1).
+	StepNoise float64
+}
+
+type particle struct {
+	pos geo.Point
+	w   float64
+}
+
+// NewTracker creates a filter with n particles spread around start with the
+// given standard deviation.
+func NewTracker(n int, start geo.Point, sigmaMeters float64, rng *rand.Rand) *Tracker {
+	if n < 8 {
+		n = 8
+	}
+	t := &Tracker{
+		particles: make([]particle, n),
+		rng:       rng,
+		StepNoise: 0.1,
+	}
+	for i := range t.particles {
+		t.particles[i] = particle{
+			pos: geo.Point{
+				X: start.X + rng.NormFloat64()*sigmaMeters,
+				Y: start.Y + rng.NormFloat64()*sigmaMeters,
+			},
+			w: 1 / float64(n),
+		}
+	}
+	return t
+}
+
+// Predict advances every particle by the measured displacement plus motion
+// noise proportional to step length.
+func (t *Tracker) Predict(delta geo.Point) {
+	n := delta.Norm()
+	sigma := t.StepNoise * n
+	for i := range t.particles {
+		t.particles[i].pos.X += delta.X + t.rng.NormFloat64()*sigma
+		t.particles[i].pos.Y += delta.Y + t.rng.NormFloat64()*sigma
+	}
+}
+
+// UpdateFix reweights particles against a localization fix and resamples
+// when the effective sample size collapses.
+func (t *Tracker) UpdateFix(fix Fix) {
+	sigma := fix.SigmaMeters
+	if sigma < 0.5 {
+		sigma = 0.5
+	}
+	var sum float64
+	for i := range t.particles {
+		d := t.particles[i].pos.Dist(fix.Local)
+		w := t.particles[i].w * math.Exp(-(d*d)/(2*sigma*sigma))
+		t.particles[i].w = w
+		sum += w
+	}
+	if sum <= 0 || math.IsNaN(sum) {
+		// Measurement contradicts every particle: reinitialize around it.
+		reinit := NewTracker(len(t.particles), fix.Local, sigma, t.rng)
+		t.particles = reinit.particles
+		return
+	}
+	var ess float64
+	for i := range t.particles {
+		t.particles[i].w /= sum
+		ess += t.particles[i].w * t.particles[i].w
+	}
+	ess = 1 / ess
+	if ess < float64(len(t.particles))/2 {
+		t.resample()
+	}
+}
+
+// resample draws a fresh particle set by systematic resampling, with
+// roughening jitter proportional to the current spread so the filter keeps
+// exploring even when updates arrive without interleaved motion.
+func (t *Tracker) resample() {
+	n := len(t.particles)
+	_, spread := t.Estimate()
+	jitter := 0.25*spread + 0.05
+	cums := make([]float64, n)
+	var acc float64
+	for i, p := range t.particles {
+		acc += p.w
+		cums[i] = acc
+	}
+	out := make([]particle, n)
+	step := 1.0 / float64(n)
+	u := t.rng.Float64() * step
+	for i := 0; i < n; i++ {
+		j := sort.SearchFloat64s(cums, u)
+		if j >= n {
+			j = n - 1
+		}
+		out[i] = particle{pos: geo.Point{
+			X: t.particles[j].pos.X + t.rng.NormFloat64()*jitter,
+			Y: t.particles[j].pos.Y + t.rng.NormFloat64()*jitter,
+		}, w: step}
+		u += step
+	}
+	t.particles = out
+}
+
+// Estimate returns the weighted mean position and its standard deviation.
+func (t *Tracker) Estimate() (geo.Point, float64) {
+	var mean geo.Point
+	for _, p := range t.particles {
+		mean = mean.Add(p.pos.Scale(p.w))
+	}
+	var varSum float64
+	for _, p := range t.particles {
+		d := p.pos.Dist(mean)
+		varSum += p.w * d * d
+	}
+	return mean, math.Sqrt(varSum)
+}
+
+// NumParticles returns the particle count.
+func (t *Tracker) NumParticles() int { return len(t.particles) }

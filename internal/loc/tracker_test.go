@@ -1,0 +1,123 @@
+package loc
+
+import (
+	"math/rand"
+	"testing"
+
+	"openflame/internal/geo"
+)
+
+func TestTrackerConvergesOnStaticTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	truth := geo.Point{X: 10, Y: 5}
+	tr := NewTracker(256, geo.Point{X: 0, Y: 0}, 10, rng)
+	for i := 0; i < 20; i++ {
+		fix := Fix{Local: geo.Point{
+			X: truth.X + rng.NormFloat64()*2,
+			Y: truth.Y + rng.NormFloat64()*2,
+		}, SigmaMeters: 2}
+		tr.UpdateFix(fix)
+	}
+	est, sigma := tr.Estimate()
+	if d := est.Dist(truth); d > 2 {
+		t.Fatalf("estimate %v m from truth (sigma %v)", d, sigma)
+	}
+	if sigma > 4 {
+		t.Fatalf("sigma did not shrink: %v", sigma)
+	}
+}
+
+func TestTrackerFollowsMovingTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := NewTracker(256, geo.Point{}, 2, rng)
+	truth := geo.Point{}
+	var errSum float64
+	const steps = 50
+	for i := 0; i < steps; i++ {
+		delta := geo.Point{X: 1, Y: 0.3}
+		truth = truth.Add(delta)
+		tr.Predict(delta)
+		if i%3 == 0 { // fixes arrive every third step
+			fix := Fix{Local: geo.Point{
+				X: truth.X + rng.NormFloat64()*3,
+				Y: truth.Y + rng.NormFloat64()*3,
+			}, SigmaMeters: 3}
+			tr.UpdateFix(fix)
+		}
+		est, _ := tr.Estimate()
+		errSum += est.Dist(truth)
+	}
+	if mean := errSum / steps; mean > 3 {
+		t.Fatalf("mean tracking error %v m", mean)
+	}
+}
+
+func TestTrackerSmoothsBetterThanRawFixes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := NewTracker(512, geo.Point{}, 1, rng)
+	truth := geo.Point{}
+	var rawErr, trackErr float64
+	const steps = 100
+	for i := 0; i < steps; i++ {
+		delta := geo.Point{X: 0.8, Y: 0}
+		truth = truth.Add(delta)
+		tr.Predict(delta)
+		raw := geo.Point{
+			X: truth.X + rng.NormFloat64()*4,
+			Y: truth.Y + rng.NormFloat64()*4,
+		}
+		tr.UpdateFix(Fix{Local: raw, SigmaMeters: 4})
+		est, _ := tr.Estimate()
+		rawErr += raw.Dist(truth)
+		trackErr += est.Dist(truth)
+	}
+	if trackErr >= rawErr {
+		t.Fatalf("tracker (%.1f total) no better than raw fixes (%.1f total)", trackErr, rawErr)
+	}
+}
+
+func TestTrackerUncertaintyGrowsWithoutFixes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr := NewTracker(256, geo.Point{}, 1, rng)
+	tr.UpdateFix(Fix{Local: geo.Point{}, SigmaMeters: 1})
+	_, s0 := tr.Estimate()
+	for i := 0; i < 30; i++ {
+		tr.Predict(geo.Point{X: 2, Y: 0})
+	}
+	_, s1 := tr.Estimate()
+	if s1 <= s0 {
+		t.Fatalf("sigma %v -> %v without measurements", s0, s1)
+	}
+}
+
+func TestTrackerRecoversFromContradiction(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := NewTracker(128, geo.Point{}, 1, rng)
+	// A fix impossibly far away (all weights underflow): tracker must
+	// reinitialize there rather than die.
+	far := geo.Point{X: 5000, Y: 5000}
+	tr.UpdateFix(Fix{Local: far, SigmaMeters: 2})
+	est, _ := tr.Estimate()
+	if d := est.Dist(far); d > 10 {
+		t.Fatalf("tracker did not recover: %v m from fix", d)
+	}
+}
+
+func TestTrackerMinParticles(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tr := NewTracker(1, geo.Point{}, 1, rng)
+	if tr.NumParticles() < 8 {
+		t.Fatalf("particle floor not applied: %d", tr.NumParticles())
+	}
+}
+
+func BenchmarkTrackerStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	tr := NewTracker(512, geo.Point{}, 1, rng)
+	fix := Fix{Local: geo.Point{X: 1, Y: 1}, SigmaMeters: 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Predict(geo.Point{X: 0.5, Y: 0})
+		tr.UpdateFix(fix)
+	}
+}

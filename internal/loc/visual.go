@@ -1,0 +1,141 @@
+package loc
+
+import (
+	"math"
+	"math/rand"
+
+	"openflame/internal/geo"
+)
+
+// Visual localization: §5.2 lists "images" among the location cues a
+// client can send. We model the standard landmark pipeline: the map server
+// knows visually distinctive landmarks (signage, storefront features) at
+// surveyed positions; the client's image processing reports which
+// landmarks it sees and their apparent distances (from apparent size);
+// the server trilaterates by nonlinear least squares.
+
+// TechVisual is the image-landmark localization technology.
+const TechVisual Technology = "visual"
+
+// Landmark is a visually identifiable feature at a known local position.
+type Landmark struct {
+	ID  string    `json:"id"`
+	Pos geo.Point `json:"pos"`
+}
+
+// VisualObservation is one recognized landmark with its estimated range.
+type VisualObservation struct {
+	LandmarkID     string  `json:"landmarkId"`
+	DistanceMeters float64 `json:"distanceMeters"`
+}
+
+// SynthesizeVisualCue builds the cue a device at p would produce: every
+// landmark within maxRange is recognized, with range error proportional to
+// distance (distNoiseFrac, e.g. 0.1 = 10%).
+func SynthesizeVisualCue(p geo.Point, landmarks []Landmark, maxRange, distNoiseFrac float64, rng *rand.Rand) Cue {
+	var obs []VisualObservation
+	for _, lm := range landmarks {
+		d := p.Dist(lm.Pos)
+		if d > maxRange {
+			continue
+		}
+		noisy := d * (1 + rng.NormFloat64()*distNoiseFrac)
+		if noisy < 0.1 {
+			noisy = 0.1
+		}
+		obs = append(obs, VisualObservation{LandmarkID: lm.ID, DistanceMeters: noisy})
+	}
+	return Cue{Technology: TechVisual, Landmarks: obs}
+}
+
+// VisualIndex answers visual cues against a landmark database.
+type VisualIndex struct {
+	byID map[string]Landmark
+}
+
+// NewVisualIndex builds the index.
+func NewVisualIndex(landmarks []Landmark) *VisualIndex {
+	idx := &VisualIndex{byID: make(map[string]Landmark, len(landmarks))}
+	for _, lm := range landmarks {
+		idx.byID[lm.ID] = lm
+	}
+	return idx
+}
+
+// Size returns the number of indexed landmarks.
+func (idx *VisualIndex) Size() int { return len(idx.byID) }
+
+// Localize trilaterates the device position from at least three recognized
+// landmarks by Gauss-Newton on Σ(|p−Lᵢ|−dᵢ)².
+func (idx *VisualIndex) Localize(cue Cue) (Fix, bool) {
+	if cue.Technology != TechVisual {
+		return Fix{}, false
+	}
+	type known struct {
+		pos geo.Point
+		d   float64
+	}
+	var obs []known
+	for _, o := range cue.Landmarks {
+		lm, ok := idx.byID[o.LandmarkID]
+		if !ok || o.DistanceMeters <= 0 {
+			continue
+		}
+		obs = append(obs, known{pos: lm.Pos, d: o.DistanceMeters})
+	}
+	if len(obs) < 3 {
+		// Two ranges leave a two-fold ambiguity; refuse rather than guess.
+		return Fix{}, false
+	}
+	// Initialize at the observation-weighted centroid.
+	var p geo.Point
+	for _, o := range obs {
+		p = p.Add(o.pos)
+	}
+	p = p.Scale(1 / float64(len(obs)))
+
+	for iter := 0; iter < 25; iter++ {
+		// Gauss-Newton step for residuals r_i = |p - L_i| - d_i.
+		var jtj00, jtj01, jtj11, jtr0, jtr1 float64
+		for _, o := range obs {
+			diff := p.Sub(o.pos)
+			dist := diff.Norm()
+			if dist < 1e-6 {
+				dist = 1e-6
+			}
+			r := dist - o.d
+			jx := diff.X / dist
+			jy := diff.Y / dist
+			jtj00 += jx * jx
+			jtj01 += jx * jy
+			jtj11 += jy * jy
+			jtr0 += jx * r
+			jtr1 += jy * r
+		}
+		det := jtj00*jtj11 - jtj01*jtj01
+		if math.Abs(det) < 1e-12 {
+			break // collinear landmarks: normal equations singular
+		}
+		dx := (jtj11*jtr0 - jtj01*jtr1) / det
+		dy := (jtj00*jtr1 - jtj01*jtr0) / det
+		p.X -= dx
+		p.Y -= dy
+		if math.Hypot(dx, dy) < 1e-4 {
+			break
+		}
+	}
+	// Residual-based quality.
+	var rss float64
+	for _, o := range obs {
+		r := p.Dist(o.pos) - o.d
+		rss += r * r
+	}
+	rms := math.Sqrt(rss / float64(len(obs)))
+	conf := 1 / (1 + rms)
+	return Fix{
+		Local:       p,
+		SigmaMeters: rms + 0.5,
+		Technology:  TechVisual,
+		Confidence:  conf,
+	}, true
+}

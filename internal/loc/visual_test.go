@@ -1,0 +1,124 @@
+package loc
+
+import (
+	"math/rand"
+	"testing"
+
+	"openflame/internal/geo"
+)
+
+func storeLandmarks() []Landmark {
+	return []Landmark{
+		{ID: "sign-entrance", Pos: geo.Point{X: 0, Y: 0.5}},
+		{ID: "sign-nw", Pos: geo.Point{X: -19, Y: 24}},
+		{ID: "sign-ne", Pos: geo.Point{X: 19, Y: 24}},
+		{ID: "sign-mid", Pos: geo.Point{X: 0, Y: 12}},
+	}
+}
+
+func TestVisualLocalizeExactRanges(t *testing.T) {
+	idx := NewVisualIndex(storeLandmarks())
+	rng := rand.New(rand.NewSource(1))
+	for _, truth := range []geo.Point{{X: 3, Y: 8}, {X: -10, Y: 15}, {X: 15, Y: 5}} {
+		cue := SynthesizeVisualCue(truth, storeLandmarks(), 100, 0, rng) // noiseless
+		fix, ok := idx.Localize(cue)
+		if !ok {
+			t.Fatalf("no fix at %v", truth)
+		}
+		if d := fix.Local.Dist(truth); d > 0.2 {
+			t.Fatalf("noiseless trilateration error %v m at %v", d, truth)
+		}
+		if fix.Technology != TechVisual {
+			t.Fatalf("technology = %v", fix.Technology)
+		}
+	}
+}
+
+func TestVisualLocalizeNoisyRanges(t *testing.T) {
+	idx := NewVisualIndex(storeLandmarks())
+	rng := rand.New(rand.NewSource(2))
+	var errSum float64
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		truth := geo.Point{X: rng.Float64()*30 - 15, Y: rng.Float64() * 20}
+		cue := SynthesizeVisualCue(truth, storeLandmarks(), 100, 0.08, rng)
+		fix, ok := idx.Localize(cue)
+		if !ok {
+			t.Fatal("no fix")
+		}
+		errSum += fix.Local.Dist(truth)
+	}
+	if mean := errSum / trials; mean > 3 {
+		t.Fatalf("mean visual error %v m", mean)
+	}
+}
+
+func TestVisualLocalizeNeedsThreeLandmarks(t *testing.T) {
+	idx := NewVisualIndex(storeLandmarks())
+	cue := Cue{Technology: TechVisual, Landmarks: []VisualObservation{
+		{LandmarkID: "sign-entrance", DistanceMeters: 5},
+		{LandmarkID: "sign-nw", DistanceMeters: 10},
+	}}
+	if _, ok := idx.Localize(cue); ok {
+		t.Fatal("two-landmark cue accepted (ambiguous)")
+	}
+	// Unknown landmarks don't count toward the minimum.
+	cue.Landmarks = append(cue.Landmarks, VisualObservation{LandmarkID: "alien", DistanceMeters: 3})
+	if _, ok := idx.Localize(cue); ok {
+		t.Fatal("unknown landmark counted")
+	}
+}
+
+func TestVisualLocalizeWrongTechnology(t *testing.T) {
+	idx := NewVisualIndex(storeLandmarks())
+	if _, ok := idx.Localize(Cue{Technology: TechGPS}); ok {
+		t.Fatal("GPS cue accepted by visual index")
+	}
+}
+
+func TestVisualCueRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Only landmarks within maxRange appear in the cue.
+	cue := SynthesizeVisualCue(geo.Point{X: 0, Y: 0}, storeLandmarks(), 10, 0, rng)
+	if len(cue.Landmarks) != 2 { // entrance (0.5m) and mid (12m? no: 12>10) → check
+		// entrance at 0.5m, mid at 12m, nw/ne ~30m: only entrance within 10m.
+		if len(cue.Landmarks) != 1 {
+			t.Fatalf("landmarks in range = %d", len(cue.Landmarks))
+		}
+	}
+}
+
+func TestVisualConfidenceTracksResidual(t *testing.T) {
+	idx := NewVisualIndex(storeLandmarks())
+	rng := rand.New(rand.NewSource(4))
+	truth := geo.Point{X: 2, Y: 10}
+	clean, ok1 := idx.Localize(SynthesizeVisualCue(truth, storeLandmarks(), 100, 0.01, rng))
+	dirty, ok2 := idx.Localize(SynthesizeVisualCue(truth, storeLandmarks(), 100, 0.4, rng))
+	if !ok1 || !ok2 {
+		t.Fatal("missing fixes")
+	}
+	if clean.Confidence <= dirty.Confidence {
+		t.Fatalf("confidence ordering: clean %v vs dirty %v", clean.Confidence, dirty.Confidence)
+	}
+}
+
+func TestVisualIndexSize(t *testing.T) {
+	if NewVisualIndex(storeLandmarks()).Size() != 4 {
+		t.Fatal("size wrong")
+	}
+	if NewVisualIndex(nil).Size() != 0 {
+		t.Fatal("empty size wrong")
+	}
+}
+
+func BenchmarkVisualLocalize(b *testing.B) {
+	idx := NewVisualIndex(storeLandmarks())
+	rng := rand.New(rand.NewSource(5))
+	cue := SynthesizeVisualCue(geo.Point{X: 3, Y: 9}, storeLandmarks(), 100, 0.05, rng)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := idx.Localize(cue); !ok {
+			b.Fatal("no fix")
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package mapserver
+
+import (
+	"sync"
+	"testing"
+
+	"openflame/internal/geo"
+	"openflame/internal/osm"
+	"openflame/internal/wire"
+)
+
+// TestConcurrentMixedWorkload hammers one server with parallel searches,
+// routes, localizations, tiles, and inventory updates — the mixed
+// read/write load a real deployment sees. Run under -race in CI.
+func TestConcurrentMixedWorkload(t *testing.T) {
+	srv, bundle := storeServer(t, nil)
+	shelf := bundle.Map.FindNodes(func(n *osm.Node) bool {
+		return n.Tags.Has(osm.TagProduct)
+	})[0]
+	entrance := bundle.Correspondences[len(bundle.Correspondences)-1].World
+
+	var wg sync.WaitGroup
+	const workers = 8
+	const iters = 50
+	errs := make(chan string, workers*4)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch (w + i) % 4 {
+				case 0:
+					srv.Search(wire.SearchRequest{Query: bundle.Products[i%len(bundle.Products)]})
+				case 1:
+					if resp := srv.Route(wire.RouteRequest{
+						From: entrance, To: geo.Offset(entrance, 15, 45)}); !resp.Found {
+						errs <- "route failed"
+						return
+					}
+				case 2:
+					srv.RGeocode(wire.RGeocodeRequest{Position: entrance, MaxMeters: 100})
+				case 3:
+					tags := shelf.Tags.Clone()
+					tags[osm.TagName] = "contended shelf"
+					srv.ApplyInventoryUpdate(shelf.ID, tags)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	// Server still sane afterwards.
+	if got := srv.Search(wire.SearchRequest{Query: "contended"}); len(got.Results) == 0 {
+		t.Fatal("post-contention search failed")
+	}
+}

@@ -1,0 +1,210 @@
+package mapserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"openflame/internal/tiles"
+	"openflame/internal/wire"
+)
+
+// Identity headers carried on every request. Authentication itself is out
+// of scope (the paper leaves it to each organization, §5.3); the policy
+// layer consumes these assertions.
+const (
+	HeaderUser = "X-Flame-User" // e.g. "alice@cmu.edu"
+	HeaderApp  = "X-Flame-App"  // e.g. "campus-nav"
+)
+
+// Rule decides access for one service.
+type Rule struct {
+	// Public allows everyone.
+	Public bool
+	// UserDomains, when non-empty, requires the user identity's domain to
+	// be listed (user-level control, §5.3).
+	UserDomains []string
+	// Apps, when non-empty, requires the application identifier to be
+	// listed (application-level control, §5.3).
+	Apps []string
+}
+
+// Allows evaluates the rule.
+func (r Rule) Allows(user, app string) bool {
+	if r.Public {
+		return true
+	}
+	if len(r.UserDomains) == 0 && len(r.Apps) == 0 {
+		return false
+	}
+	if len(r.UserDomains) > 0 {
+		at := strings.LastIndexByte(user, '@')
+		if at < 0 {
+			return false
+		}
+		domain := strings.ToLower(user[at+1:])
+		ok := false
+		for _, d := range r.UserDomains {
+			if strings.ToLower(d) == domain {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if len(r.Apps) > 0 {
+		ok := false
+		for _, a := range r.Apps {
+			if a == app {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Policy is a server's access policy: a default rule plus per-service
+// overrides (service-level control, §5.3).
+type Policy struct {
+	Default    Rule
+	PerService map[wire.Service]Rule
+}
+
+// PublicPolicy allows everything.
+func PublicPolicy() *Policy { return &Policy{Default: Rule{Public: true}} }
+
+// Allow decides whether the identity may use the service.
+func (p *Policy) Allow(svc wire.Service, user, app string) bool {
+	if p == nil {
+		return true
+	}
+	if r, ok := p.PerService[svc]; ok {
+		return r.Allows(user, app)
+	}
+	return p.Default.Allows(user, app)
+}
+
+// Handler returns the server's HTTP interface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/info", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Info())
+	})
+	mux.HandleFunc("/geocode", s.guard(wire.SvcGeocode, func(w http.ResponseWriter, r *http.Request) {
+		var req wire.GeocodeRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, s.Geocode(req))
+	}))
+	mux.HandleFunc("/rgeocode", s.guard(wire.SvcRGeocode, func(w http.ResponseWriter, r *http.Request) {
+		var req wire.RGeocodeRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, s.RGeocode(req))
+	}))
+	mux.HandleFunc("/search", s.guard(wire.SvcSearch, func(w http.ResponseWriter, r *http.Request) {
+		var req wire.SearchRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, s.Search(req))
+	}))
+	mux.HandleFunc("/route", s.guard(wire.SvcRoute, func(w http.ResponseWriter, r *http.Request) {
+		var req wire.RouteRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, s.Route(req))
+	}))
+	mux.HandleFunc("/routematrix", s.guard(wire.SvcRoute, func(w http.ResponseWriter, r *http.Request) {
+		var req wire.RouteMatrixRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, s.RouteMatrix(req))
+	}))
+	mux.HandleFunc("/localize", s.guard(wire.SvcLocalize, func(w http.ResponseWriter, r *http.Request) {
+		var req wire.LocalizeRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, s.Localize(req))
+	}))
+	mux.HandleFunc("/tiles/", s.guard(wire.SvcTiles, s.handleTile))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// guard wraps a handler with the §5.3 policy check.
+func (s *Server) guard(svc wire.Service, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		user := r.Header.Get(HeaderUser)
+		app := r.Header.Get(HeaderApp)
+		if !s.auth.Allow(svc, user, app) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusForbidden)
+			_ = json.NewEncoder(w).Encode(wire.ErrorResponse{
+				Error: fmt.Sprintf("access to %s denied by policy", svc)})
+			return
+		}
+		h(w, r)
+	}
+}
+
+// handleTile serves GET /tiles/{z}/{x}/{y}.png.
+func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
+	parts := strings.Split(strings.TrimPrefix(r.URL.Path, "/tiles/"), "/")
+	if len(parts) != 3 || !strings.HasSuffix(parts[2], ".png") {
+		httpError(w, http.StatusBadRequest, "want /tiles/{z}/{x}/{y}.png")
+		return
+	}
+	z, err1 := strconv.Atoi(parts[0])
+	x, err2 := strconv.Atoi(parts[1])
+	y, err3 := strconv.Atoi(strings.TrimSuffix(parts[2], ".png"))
+	if err1 != nil || err2 != nil || err3 != nil {
+		httpError(w, http.StatusBadRequest, "bad tile coordinates")
+		return
+	}
+	png, err := s.Tile(tiles.Coord{Z: z, X: x, Y: y})
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "image/png")
+	_, _ = w.Write(png)
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(wire.ErrorResponse{Error: msg})
+}

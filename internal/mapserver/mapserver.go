@@ -1,0 +1,457 @@
+// Package mapserver implements the paper's map server (§3): "a system that
+// stores the map of a region and provides services such as search and
+// routing on the map". One Server wraps one osm.Map with its spatial store,
+// routing graph, geocoder, searcher, localizers, and tile renderer, and
+// exposes them over HTTP with the fine-grained security policies of §5.3.
+package mapserver
+
+import (
+	"fmt"
+	"math"
+
+	"openflame/internal/align"
+	"openflame/internal/geo"
+	"openflame/internal/geocode"
+	"openflame/internal/graph"
+	"openflame/internal/loc"
+	"openflame/internal/osm"
+	"openflame/internal/s2cell"
+	"openflame/internal/search"
+	"openflame/internal/store"
+	"openflame/internal/tiles"
+	"openflame/internal/wire"
+)
+
+// Config assembles a map server.
+type Config struct {
+	// Name identifies the server (and its DNS registration).
+	Name string
+	// Map is the served map.
+	Map *osm.Map
+	// Profile weights the routing graph; nil means FootProfile.
+	Profile graph.Profile
+	// UseCH preprocesses the routing graph into a contraction hierarchy.
+	UseCH bool
+	// Coverage overrides the registration region; nil derives it from the
+	// map bounds padded by CoveragePadMeters.
+	Coverage s2cell.Region
+	// CoveragePadMeters pads derived coverage, modelling fuzzy boundaries
+	// (§3); default 25m.
+	CoveragePadMeters float64
+	// MinLevel/MaxLevel bound the DNS registration covering (§5.1);
+	// defaults 12/16.
+	MinLevel, MaxLevel int
+	// Alignment precisely relates a local-frame map to the world (§5.2);
+	// nil falls back to the map's coarse anchor.
+	Alignment *align.GeoAlignment
+	// Beacons/Fiducials/Landmarks enable the localization technologies
+	// (§4): RSSI fingerprinting, fiducial tags, and image landmarks.
+	Beacons   []loc.Beacon
+	Fiducials []loc.Fiducial
+	Landmarks []loc.Landmark
+	// RadioModel defaults to loc.DefaultRadioModel().
+	RadioModel *loc.RadioModel
+	// FingerprintStepMeters is the radio survey grid pitch; default 2m.
+	FingerprintStepMeters float64
+	// Auth is the access policy; nil means fully public.
+	Auth *Policy
+	// Style configures tile rendering.
+	Style *tiles.Style
+}
+
+// Server is a running map server (pre-HTTP; see Handler for the HTTP face).
+type Server struct {
+	cfg      Config
+	store    *store.Store
+	geocoder *geocode.Geocoder
+	searcher *search.Searcher
+	g        *graph.Graph
+	gDist    *graph.Graph // distance-weighted variant for MetricDistance
+	ch       *graph.CH
+	minSPM   float64 // fastest seconds-per-meter, for A* and estimates
+	fpdb     *loc.FingerprintDB
+	fiducial *loc.FiducialIndex
+	visual   *loc.VisualIndex
+	tileC    *tiles.Cache
+	style    tiles.Style
+	coverage []s2cell.CellID
+	portals  []wire.Portal
+	auth     *Policy
+}
+
+// New builds a server from the config.
+func New(cfg Config) (*Server, error) {
+	if cfg.Map == nil {
+		return nil, fmt.Errorf("mapserver: nil map")
+	}
+	if cfg.Name == "" {
+		cfg.Name = cfg.Map.Name
+	}
+	if cfg.Profile == nil {
+		cfg.Profile = graph.FootProfile
+	}
+	if cfg.MinLevel == 0 {
+		cfg.MinLevel = 12
+	}
+	if cfg.MaxLevel == 0 {
+		cfg.MaxLevel = 16
+	}
+	if cfg.CoveragePadMeters == 0 {
+		cfg.CoveragePadMeters = 25
+	}
+	s := &Server{cfg: cfg, auth: cfg.Auth}
+	s.store = store.New(cfg.Map)
+	s.geocoder = geocode.New(s.store)
+	s.searcher = search.New(s.store)
+	s.g = graph.FromOSM(cfg.Map, cfg.Profile)
+	s.gDist = graph.FromOSM(cfg.Map, graph.DistanceProfile(cfg.Profile))
+	if cfg.UseCH {
+		s.ch = graph.BuildCH(s.g)
+	}
+	s.minSPM = 1.0 / 1.4
+
+	region := cfg.Coverage
+	if region == nil {
+		b := s.store.Bounds().ExpandedMeters(cfg.CoveragePadMeters)
+		region = s2cell.RectRegion{Rect: b}
+	}
+	s.coverage = s2cell.RegistrationCovering(region, cfg.MinLevel, cfg.MaxLevel)
+
+	if len(cfg.Beacons) > 0 {
+		model := loc.DefaultRadioModel()
+		if cfg.RadioModel != nil {
+			model = *cfg.RadioModel
+		}
+		step := cfg.FingerprintStepMeters
+		if step <= 0 {
+			step = 2
+		}
+		min, max := localBounds(cfg.Map, cfg.Beacons)
+		fpdb, err := loc.BuildFingerprintDB(cfg.Beacons, min, max, step, model)
+		if err != nil {
+			return nil, fmt.Errorf("mapserver: fingerprint survey: %w", err)
+		}
+		s.fpdb = fpdb
+	}
+	if len(cfg.Fiducials) > 0 {
+		s.fiducial = loc.NewFiducialIndex(cfg.Fiducials)
+	}
+	if len(cfg.Landmarks) > 0 {
+		s.visual = loc.NewVisualIndex(cfg.Landmarks)
+	}
+	style := tiles.DefaultStyle()
+	if cfg.Style != nil {
+		style = *cfg.Style
+	}
+	s.style = style
+	s.tileC = tiles.NewCache(tiles.NewRenderer(cfg.Map, style))
+
+	// Portals: nodes tagged flame:portal, advertised with world positions.
+	for id, n := range cfg.Map.PortalNodes() {
+		s.portals = append(s.portals, wire.Portal{
+			ID:     id,
+			NodeID: int64(n.ID),
+			World:  s.worldPos(n),
+			Name:   n.Tags.Get(osm.TagName),
+		})
+	}
+	return s, nil
+}
+
+// localBounds returns the local-frame rectangle spanning the map's nodes
+// and beacons, for the fingerprint survey.
+func localBounds(m *osm.Map, beacons []loc.Beacon) (geo.Point, geo.Point) {
+	min := geo.Point{X: math.Inf(1), Y: math.Inf(1)}
+	max := geo.Point{X: math.Inf(-1), Y: math.Inf(-1)}
+	upd := func(p geo.Point) {
+		min.X = math.Min(min.X, p.X)
+		min.Y = math.Min(min.Y, p.Y)
+		max.X = math.Max(max.X, p.X)
+		max.Y = math.Max(max.Y, p.Y)
+	}
+	m.Nodes(func(n *osm.Node) bool {
+		upd(m.LocalPosition(n))
+		return true
+	})
+	for _, b := range beacons {
+		upd(b.Pos)
+	}
+	return min, max
+}
+
+// worldPos returns the node's best-known geodetic position: through the
+// precise alignment when available, else the frame-coarse estimate.
+func (s *Server) worldPos(n *osm.Node) geo.LatLng {
+	if s.cfg.Alignment != nil && s.cfg.Map.Frame.Kind == osm.FrameLocal {
+		return s.cfg.Alignment.ToWorld(n.Local)
+	}
+	return s.cfg.Map.NodePosition(n)
+}
+
+// Name returns the server's name.
+func (s *Server) Name() string { return s.cfg.Name }
+
+// Store exposes the underlying spatial store (read-mostly; used by
+// higher-level assembly and tests).
+func (s *Server) Store() *store.Store { return s.store }
+
+// Graph exposes the routing graph.
+func (s *Server) Graph() *graph.Graph { return s.g }
+
+// Coverage returns the DNS registration covering.
+func (s *Server) Coverage() []s2cell.CellID { return s.coverage }
+
+// Info describes the server (§5.1 discovery payload → §4 services).
+func (s *Server) Info() wire.Info {
+	info := wire.Info{
+		Name:     s.cfg.Name,
+		Services: wire.AllServices(),
+		Portals:  s.portals,
+	}
+	for _, c := range s.coverage {
+		info.Coverage = append(info.Coverage, c.Token())
+	}
+	if s.fpdb != nil {
+		info.Technologies = append(info.Technologies, loc.TechWiFiRSSI)
+	}
+	if s.fiducial != nil {
+		info.Technologies = append(info.Technologies, loc.TechFiducial)
+	}
+	if s.visual != nil {
+		info.Technologies = append(info.Technologies, loc.TechVisual)
+	}
+	if s.cfg.Map.Frame.Kind == osm.FrameLocal {
+		info.FrameKind = "local"
+	} else {
+		info.FrameKind = "geodetic"
+	}
+	return info
+}
+
+// Geocode answers a forward-geocode request.
+func (s *Server) Geocode(req wire.GeocodeRequest) wire.GeocodeResponse {
+	var resp wire.GeocodeResponse
+	for _, r := range s.geocoder.Forward(req.Query, req.Limit) {
+		resp.Results = append(resp.Results, s.toWireGeocode(r))
+	}
+	return resp
+}
+
+func (s *Server) toWireGeocode(r geocode.Result) wire.GeocodeResult {
+	out := wire.GeocodeResult{
+		NodeID: int64(r.NodeID), Name: r.Name, Position: r.Position,
+		Score: r.Score, Address: r.Address,
+	}
+	// Correct local-frame positions through the alignment.
+	if n := s.cfg.Map.Node(r.NodeID); n != nil {
+		out.Position = s.worldPos(n)
+	}
+	return out
+}
+
+// RGeocode answers a reverse-geocode request.
+func (s *Server) RGeocode(req wire.RGeocodeRequest) wire.RGeocodeResponse {
+	max := req.MaxMeters
+	if max <= 0 {
+		max = 250
+	}
+	r, ok := s.geocoder.Reverse(req.Position, max)
+	if !ok {
+		return wire.RGeocodeResponse{}
+	}
+	return wire.RGeocodeResponse{Found: true, Result: s.toWireGeocode(r)}
+}
+
+// Search answers a location-based search, tagging results with the server
+// name so the client can attribute merged results (§5.2).
+func (s *Server) Search(req wire.SearchRequest) wire.SearchResponse {
+	opt := search.Options{
+		Near:              req.Near,
+		MaxDistanceMeters: req.MaxDistanceMeters,
+		Limit:             req.Limit,
+	}
+	results := s.searcher.Search(req.Query, opt)
+	for i := range results {
+		results[i].Source = s.cfg.Name
+		if n := s.cfg.Map.Node(results[i].NodeID); n != nil {
+			results[i].Position = s.worldPos(n)
+		}
+	}
+	return wire.SearchResponse{Results: results}
+}
+
+// snapNode finds the routing-graph node to start from for a position.
+func (s *Server) snapNode(ll geo.LatLng) (int64, bool) {
+	if snap, ok := s.store.SnapToWay(ll, 250); ok && s.g.HasNode(int64(snap.NodeID)) {
+		return int64(snap.NodeID), true
+	}
+	// Fall back to the nearest graph node.
+	for _, hit := range s.store.NearestNodes(ll, 16, 500) {
+		if s.g.HasNode(int64(hit.Node.ID)) {
+			return int64(hit.Node.ID), true
+		}
+	}
+	return 0, false
+}
+
+// Route answers an in-map routing request (§5.2: each server calculates the
+// route relevant to the region it covers).
+func (s *Server) Route(req wire.RouteRequest) wire.RouteResponse {
+	from := req.FromNode
+	to := req.ToNode
+	if from == 0 {
+		id, ok := s.snapNode(req.From)
+		if !ok {
+			return wire.RouteResponse{}
+		}
+		from = id
+	}
+	if to == 0 {
+		id, ok := s.snapNode(req.To)
+		if !ok {
+			return wire.RouteResponse{}
+		}
+		to = id
+	}
+	var p graph.Path
+	var err error
+	if req.Metric == wire.MetricDistance {
+		p, err = s.gDist.BiDijkstra(from, to)
+	} else {
+		p, err = s.query(from, to)
+	}
+	if err != nil {
+		return wire.RouteResponse{}
+	}
+	resp := wire.RouteResponse{Found: true, CostSeconds: p.Cost}
+	if req.Metric == wire.MetricDistance {
+		// Cost is meters for this metric; report it as length and derive
+		// a walking-time estimate.
+		resp.CostSeconds = p.Cost / 1.4
+	}
+	for _, id := range p.Nodes {
+		n := s.cfg.Map.Node(osm.NodeID(id))
+		if n == nil {
+			continue
+		}
+		resp.Points = append(resp.Points, wire.RoutePoint{NodeID: id, Position: s.worldPos(n)})
+	}
+	for i := 1; i < len(resp.Points); i++ {
+		resp.LengthMeters += geo.DistanceMeters(resp.Points[i-1].Position, resp.Points[i].Position)
+	}
+	return resp
+}
+
+func (s *Server) query(from, to int64) (graph.Path, error) {
+	if s.ch != nil {
+		return s.ch.Query(from, to)
+	}
+	return s.g.BiDijkstra(from, to)
+}
+
+// RouteMatrix prices all from×to pairs; unreachable pairs are -1. Where a
+// node ID is zero, the corresponding position (if provided) is snapped.
+func (s *Server) RouteMatrix(req wire.RouteMatrixRequest) wire.RouteMatrixResponse {
+	resolve := func(ids []int64, positions []geo.LatLng) []int64 {
+		out := make([]int64, len(ids))
+		for i, id := range ids {
+			if id != 0 {
+				out[i] = id
+				continue
+			}
+			if i < len(positions) {
+				if snapped, ok := s.snapNode(positions[i]); ok {
+					out[i] = snapped
+					continue
+				}
+			}
+			out[i] = -1 // unresolvable
+		}
+		return out
+	}
+	// Positions-only requests may omit the node slices.
+	fromIDs := req.FromNodes
+	if len(fromIDs) == 0 && len(req.FromPositions) > 0 {
+		fromIDs = make([]int64, len(req.FromPositions))
+	}
+	toIDs := req.ToNodes
+	if len(toIDs) == 0 && len(req.ToPositions) > 0 {
+		toIDs = make([]int64, len(req.ToPositions))
+	}
+	from := resolve(fromIDs, req.FromPositions)
+	to := resolve(toIDs, req.ToPositions)
+	resp := wire.RouteMatrixResponse{CostSeconds: make([][]float64, len(from))}
+	for i, f := range from {
+		resp.CostSeconds[i] = make([]float64, len(to))
+		for j, t := range to {
+			switch {
+			case f < 0 || t < 0:
+				resp.CostSeconds[i][j] = -1
+			case f == t:
+				resp.CostSeconds[i][j] = 0
+			default:
+				p, err := s.query(f, t)
+				if err != nil {
+					resp.CostSeconds[i][j] = -1
+				} else {
+					resp.CostSeconds[i][j] = p.Cost
+				}
+			}
+		}
+	}
+	return resp
+}
+
+// Localize answers a localization request with whichever advertised
+// technology matches the cue (§5.2).
+func (s *Server) Localize(req wire.LocalizeRequest) wire.LocalizeResponse {
+	var fix loc.Fix
+	var ok bool
+	switch req.Cue.Technology {
+	case loc.TechWiFiRSSI:
+		if s.fpdb != nil {
+			fix, ok = s.fpdb.Localize(req.Cue)
+		}
+	case loc.TechFiducial:
+		if s.fiducial != nil {
+			fix, ok = s.fiducial.Localize(req.Cue)
+		}
+	case loc.TechVisual:
+		if s.visual != nil {
+			fix, ok = s.visual.Localize(req.Cue)
+		}
+	}
+	if !ok {
+		return wire.LocalizeResponse{}
+	}
+	fix.Source = s.cfg.Name
+	fix.World = s.localToWorld(fix.Local)
+	return wire.LocalizeResponse{Found: true, Fix: fix}
+}
+
+func (s *Server) localToWorld(p geo.Point) geo.LatLng {
+	if s.cfg.Alignment != nil {
+		return s.cfg.Alignment.ToWorld(p)
+	}
+	// Through the coarse frame.
+	n := &osm.Node{Local: p}
+	return s.cfg.Map.NodePosition(n)
+}
+
+// Tile renders (or serves from cache) the PNG tile.
+func (s *Server) Tile(c tiles.Coord) ([]byte, error) {
+	if c.Z < 0 || c.Z > tiles.MaxZoom {
+		return nil, fmt.Errorf("mapserver: zoom %d out of range", c.Z)
+	}
+	return s.tileC.Get(c)
+}
+
+// Portals returns the server's advertised portals.
+func (s *Server) Portals() []wire.Portal { return s.portals }
+
+// ApplyInventoryUpdate changes a node's tags (e.g. restocking a shelf) —
+// the independent map management the paper motivates (§1): no coordination
+// with any central authority.
+func (s *Server) ApplyInventoryUpdate(id osm.NodeID, tags osm.Tags) bool {
+	return s.store.UpdateNodeTags(id, tags)
+}

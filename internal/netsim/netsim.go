@@ -1,0 +1,109 @@
+// Package netsim provides the network cost models used by the experiments:
+// a real-sleep delayer for end-to-end runs and a virtual-time accountant for
+// benchmarks that want WAN-shaped numbers without wall-clock sleeps.
+package netsim
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Profile describes a link's latency distribution.
+type Profile struct {
+	RTT    time.Duration // median round-trip time
+	Jitter time.Duration // uniform ± jitter
+}
+
+// Common profiles.
+var (
+	// Localhost is effectively free.
+	Localhost = Profile{RTT: 50 * time.Microsecond}
+	// Metro models a same-city server (~10ms RTT).
+	Metro = Profile{RTT: 10 * time.Millisecond, Jitter: 2 * time.Millisecond}
+	// WAN models a cross-country server (~60ms RTT).
+	WAN = Profile{RTT: 60 * time.Millisecond, Jitter: 10 * time.Millisecond}
+)
+
+// Sample draws one round-trip time.
+func (p Profile) Sample(rng *rand.Rand) time.Duration {
+	if p.Jitter == 0 {
+		return p.RTT
+	}
+	j := time.Duration(rng.Int63n(int64(2*p.Jitter))) - p.Jitter
+	d := p.RTT + j
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// Delayer injects real sleeps according to a profile. Safe for concurrent
+// use.
+type Delayer struct {
+	mu  sync.Mutex
+	p   Profile
+	rng *rand.Rand
+}
+
+// NewDelayer creates a delayer with a deterministic seed.
+func NewDelayer(p Profile, seed int64) *Delayer {
+	return &Delayer{p: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Wait sleeps one sampled RTT.
+func (d *Delayer) Wait() {
+	d.mu.Lock()
+	rtt := d.p.Sample(d.rng)
+	d.mu.Unlock()
+	time.Sleep(rtt)
+}
+
+// Accountant accumulates virtual network time instead of sleeping, so
+// benchmarks can report WAN-shaped latencies while running at full speed.
+// Safe for concurrent use; concurrent round trips accumulate serially
+// (modelling a sequential client).
+type Accountant struct {
+	mu    sync.Mutex
+	p     Profile
+	rng   *rand.Rand
+	total time.Duration
+	trips int64
+}
+
+// NewAccountant creates an accountant for the profile.
+func NewAccountant(p Profile, seed int64) *Accountant {
+	return &Accountant{p: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Charge records one round trip and returns its sampled duration.
+func (a *Accountant) Charge() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rtt := a.p.Sample(a.rng)
+	a.total += rtt
+	a.trips++
+	return rtt
+}
+
+// Total returns the accumulated virtual time.
+func (a *Accountant) Total() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.total
+}
+
+// Trips returns the number of round trips charged.
+func (a *Accountant) Trips() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.trips
+}
+
+// Reset clears the accumulated time and trip count.
+func (a *Accountant) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.total = 0
+	a.trips = 0
+}

@@ -1,0 +1,76 @@
+package netsim
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestProfileSampleRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := Metro
+	for i := 0; i < 1000; i++ {
+		d := p.Sample(rng)
+		if d < p.RTT-p.Jitter || d > p.RTT+p.Jitter {
+			t.Fatalf("sample %v outside [%v, %v]", d, p.RTT-p.Jitter, p.RTT+p.Jitter)
+		}
+	}
+	// Jitter-free profile is constant.
+	if Localhost.Sample(rng) != Localhost.RTT {
+		t.Fatal("jitter-free profile sampled non-RTT")
+	}
+}
+
+func TestProfileSampleNeverNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := Profile{RTT: time.Millisecond, Jitter: 10 * time.Millisecond}
+	for i := 0; i < 1000; i++ {
+		if p.Sample(rng) < 0 {
+			t.Fatal("negative RTT")
+		}
+	}
+}
+
+func TestAccountant(t *testing.T) {
+	a := NewAccountant(Profile{RTT: 10 * time.Millisecond}, 1)
+	for i := 0; i < 5; i++ {
+		if got := a.Charge(); got != 10*time.Millisecond {
+			t.Fatalf("charge = %v", got)
+		}
+	}
+	if a.Total() != 50*time.Millisecond || a.Trips() != 5 {
+		t.Fatalf("total=%v trips=%d", a.Total(), a.Trips())
+	}
+	a.Reset()
+	if a.Total() != 0 || a.Trips() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestAccountantConcurrent(t *testing.T) {
+	a := NewAccountant(Metro, 7)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				a.Charge()
+			}
+		}()
+	}
+	wg.Wait()
+	if a.Trips() != 1600 {
+		t.Fatalf("trips = %d", a.Trips())
+	}
+}
+
+func TestDelayerSleeps(t *testing.T) {
+	d := NewDelayer(Profile{RTT: 2 * time.Millisecond}, 1)
+	start := time.Now()
+	d.Wait()
+	if elapsed := time.Since(start); elapsed < 1*time.Millisecond {
+		t.Fatalf("Wait returned too fast: %v", elapsed)
+	}
+}

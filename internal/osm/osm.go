@@ -1,0 +1,436 @@
+// Package osm implements the OpenStreetMap data model the paper adopts for
+// maps (§3): nodes, ways, and relations, each carrying free-form tag
+// metadata, plus an XML reader/writer compatible with the OSM interchange
+// format so real extracts can be substituted for the synthetic worlds used
+// in the experiments.
+//
+// A Map additionally carries a coordinate Frame: outdoor maps are geodetic
+// (node positions are accurate latitude/longitude), while indoor maps may be
+// local (positions are meters in the map's own frame, anchored only coarsely
+// to the world) — the heterogeneity challenge of §2.1.
+package osm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"openflame/internal/geo"
+)
+
+// Element identifiers.
+type (
+	// NodeID identifies a node within a map.
+	NodeID int64
+	// WayID identifies a way within a map.
+	WayID int64
+	// RelationID identifies a relation within a map.
+	RelationID int64
+)
+
+// Tags is free-form element metadata.
+type Tags map[string]string
+
+// Get returns the value for key, or "".
+func (t Tags) Get(key string) string { return t[key] }
+
+// Has reports whether key is present.
+func (t Tags) Has(key string) bool { _, ok := t[key]; return ok }
+
+// Clone returns a copy of the tag set.
+func (t Tags) Clone() Tags {
+	if t == nil {
+		return nil
+	}
+	out := make(Tags, len(t))
+	for k, v := range t {
+		out[k] = v
+	}
+	return out
+}
+
+// Well-known tag keys used across OpenFLAME.
+const (
+	TagName     = "name"
+	TagAmenity  = "amenity"
+	TagShop     = "shop"
+	TagHighway  = "highway"
+	TagBuilding = "building"
+	TagIndoor   = "indoor"
+	TagLevel    = "level"
+	TagAddr     = "addr:full"
+	TagStreet   = "addr:street"
+	TagNumber   = "addr:housenumber"
+	TagCity     = "addr:city"
+	TagProduct  = "flame:product" // inventory item stocked at a shelf node
+	TagPortalID = "flame:portal"  // shared boundary node linking two maps
+	TagOneway   = "oneway"
+	TagMaxSpeed = "maxspeed"
+)
+
+// Node is a point element. For geodetic maps Pos is authoritative; for
+// local-frame maps Local is authoritative and Pos holds only a coarse
+// anchor-derived estimate (possibly zero).
+type Node struct {
+	ID    NodeID
+	Pos   geo.LatLng
+	Local geo.Point
+	Tags  Tags
+}
+
+// Way is an ordered polyline (or closed polygon) of nodes.
+type Way struct {
+	ID      WayID
+	NodeIDs []NodeID
+	Tags    Tags
+}
+
+// IsClosed reports whether the way forms a ring.
+func (w *Way) IsClosed() bool {
+	return len(w.NodeIDs) >= 3 && w.NodeIDs[0] == w.NodeIDs[len(w.NodeIDs)-1]
+}
+
+// MemberType distinguishes relation member kinds.
+type MemberType int
+
+// Relation member kinds.
+const (
+	MemberNode MemberType = iota
+	MemberWay
+	MemberRelation
+)
+
+// Member is one entry of a relation.
+type Member struct {
+	Type MemberType
+	Ref  int64
+	Role string
+}
+
+// Relation groups related elements.
+type Relation struct {
+	ID      RelationID
+	Members []Member
+	Tags    Tags
+}
+
+// FrameKind distinguishes coordinate frames.
+type FrameKind int
+
+// Frame kinds.
+const (
+	// FrameGeodetic maps have accurate latitude/longitude positions.
+	FrameGeodetic FrameKind = iota
+	// FrameLocal maps have accurate positions only in their own planar
+	// metric frame; the geodetic anchor is coarse (§2.1: aligning indoor
+	// maps to the geographic frame is notoriously difficult).
+	FrameLocal
+)
+
+// Frame describes a map's coordinate system.
+type Frame struct {
+	Kind FrameKind
+	// Anchor approximates the world position of the local origin. For
+	// geodetic maps it is informational.
+	Anchor geo.LatLng
+	// AnchorBearingDeg approximates the rotation of the local +Y axis
+	// relative to true north, degrees clockwise.
+	AnchorBearingDeg float64
+}
+
+// Map is a collection of elements with a coordinate frame: "a portion of the
+// spatial namespace independently managed by an organization" (§3).
+// Maps are safe for concurrent reads; writers must hold no concurrent
+// readers (the map server serializes mutation).
+type Map struct {
+	Name  string
+	Frame Frame
+
+	mu        sync.RWMutex
+	nodes     map[NodeID]*Node
+	ways      map[WayID]*Way
+	relations map[RelationID]*Relation
+	nextNode  NodeID
+	nextWay   WayID
+	nextRel   RelationID
+}
+
+// NewMap creates an empty map.
+func NewMap(name string, frame Frame) *Map {
+	return &Map{
+		Name:      name,
+		Frame:     frame,
+		nodes:     make(map[NodeID]*Node),
+		ways:      make(map[WayID]*Way),
+		relations: make(map[RelationID]*Relation),
+	}
+}
+
+// AddNode inserts a node, allocating an ID if n.ID is zero, and returns the
+// ID. The node is stored by reference.
+func (m *Map) AddNode(n *Node) NodeID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n.ID == 0 {
+		m.nextNode++
+		n.ID = m.nextNode
+	} else if n.ID > m.nextNode {
+		m.nextNode = n.ID
+	}
+	m.nodes[n.ID] = n
+	return n.ID
+}
+
+// AddWay inserts a way, allocating an ID if w.ID is zero. All referenced
+// nodes must already exist.
+func (m *Map) AddWay(w *Way) (WayID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, nid := range w.NodeIDs {
+		if _, ok := m.nodes[nid]; !ok {
+			return 0, fmt.Errorf("osm: way references missing node %d", nid)
+		}
+	}
+	if w.ID == 0 {
+		m.nextWay++
+		w.ID = m.nextWay
+	} else if w.ID > m.nextWay {
+		m.nextWay = w.ID
+	}
+	m.ways[w.ID] = w
+	return w.ID, nil
+}
+
+// AddRelation inserts a relation, allocating an ID if r.ID is zero.
+func (m *Map) AddRelation(r *Relation) RelationID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if r.ID == 0 {
+		m.nextRel++
+		r.ID = m.nextRel
+	} else if r.ID > m.nextRel {
+		m.nextRel = r.ID
+	}
+	m.relations[r.ID] = r
+	return r.ID
+}
+
+// Node returns the node with the given ID, or nil.
+func (m *Map) Node(id NodeID) *Node {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.nodes[id]
+}
+
+// Way returns the way with the given ID, or nil.
+func (m *Map) Way(id WayID) *Way {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.ways[id]
+}
+
+// Relation returns the relation with the given ID, or nil.
+func (m *Map) Relation(id RelationID) *Relation {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.relations[id]
+}
+
+// RemoveNode deletes a node if no way references it.
+func (m *Map) RemoveNode(id NodeID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, w := range m.ways {
+		for _, nid := range w.NodeIDs {
+			if nid == id {
+				return fmt.Errorf("osm: node %d still referenced by way %d", id, w.ID)
+			}
+		}
+	}
+	delete(m.nodes, id)
+	return nil
+}
+
+// RemoveWay deletes a way.
+func (m *Map) RemoveWay(id WayID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.ways, id)
+}
+
+// NodeCount returns the number of nodes.
+func (m *Map) NodeCount() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.nodes)
+}
+
+// WayCount returns the number of ways.
+func (m *Map) WayCount() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.ways)
+}
+
+// RelationCount returns the number of relations.
+func (m *Map) RelationCount() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.relations)
+}
+
+// Nodes calls fn for each node in ascending ID order. Returning false stops
+// the iteration.
+func (m *Map) Nodes(fn func(*Node) bool) {
+	m.mu.RLock()
+	ids := make([]NodeID, 0, len(m.nodes))
+	for id := range m.nodes {
+		ids = append(ids, id)
+	}
+	m.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		n := m.Node(id)
+		if n == nil {
+			continue
+		}
+		if !fn(n) {
+			return
+		}
+	}
+}
+
+// Ways calls fn for each way in ascending ID order.
+func (m *Map) Ways(fn func(*Way) bool) {
+	m.mu.RLock()
+	ids := make([]WayID, 0, len(m.ways))
+	for id := range m.ways {
+		ids = append(ids, id)
+	}
+	m.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		w := m.Way(id)
+		if w == nil {
+			continue
+		}
+		if !fn(w) {
+			return
+		}
+	}
+}
+
+// Relations calls fn for each relation in ascending ID order.
+func (m *Map) Relations(fn func(*Relation) bool) {
+	m.mu.RLock()
+	ids := make([]RelationID, 0, len(m.relations))
+	for id := range m.relations {
+		ids = append(ids, id)
+	}
+	m.mu.RUnlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		r := m.Relation(id)
+		if r == nil {
+			continue
+		}
+		if !fn(r) {
+			return
+		}
+	}
+}
+
+// WayNodes resolves a way's node IDs to nodes, skipping dangling references.
+func (m *Map) WayNodes(w *Way) []*Node {
+	out := make([]*Node, 0, len(w.NodeIDs))
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, id := range w.NodeIDs {
+		if n := m.nodes[id]; n != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// NodePosition returns the node's position in geodetic coordinates: for
+// geodetic maps the stored position; for local maps the coarse estimate
+// obtained by projecting the local point through the frame anchor. Callers
+// needing precise alignment use the align package.
+func (m *Map) NodePosition(n *Node) geo.LatLng {
+	if m.Frame.Kind == FrameGeodetic {
+		return n.Pos
+	}
+	pr := geo.NewLocalProjection(m.Frame.Anchor)
+	p := rotate(n.Local, -m.Frame.AnchorBearingDeg)
+	return pr.ToLatLng(p)
+}
+
+// LocalPosition returns the node's position in the map's planar frame: for
+// local maps the stored point; for geodetic maps the projection around the
+// frame anchor (or the map centroid if the anchor is zero).
+func (m *Map) LocalPosition(n *Node) geo.Point {
+	if m.Frame.Kind == FrameLocal {
+		return n.Local
+	}
+	anchor := m.Frame.Anchor
+	if anchor == (geo.LatLng{}) {
+		anchor = m.Bounds().Center()
+	}
+	return geo.NewLocalProjection(anchor).ToPoint(n.Pos)
+}
+
+func rotate(p geo.Point, deg float64) geo.Point {
+	s, c := math.Sincos(geo.DegToRad(deg))
+	return geo.Point{X: p.X*c - p.Y*s, Y: p.X*s + p.Y*c}
+}
+
+// Bounds returns the geodetic bounding rectangle of all nodes (using
+// NodePosition, so local maps are bounded via their anchor).
+func (m *Map) Bounds() geo.Rect {
+	r := geo.EmptyRect()
+	m.mu.RLock()
+	nodes := make([]*Node, 0, len(m.nodes))
+	for _, n := range m.nodes {
+		nodes = append(nodes, n)
+	}
+	kind := m.Frame.Kind
+	m.mu.RUnlock()
+	if kind == FrameGeodetic {
+		for _, n := range nodes {
+			r = r.ExpandToInclude(n.Pos)
+		}
+		return r
+	}
+	pr := geo.NewLocalProjection(m.Frame.Anchor)
+	for _, n := range nodes {
+		p := rotate(n.Local, -m.Frame.AnchorBearingDeg)
+		r = r.ExpandToInclude(pr.ToLatLng(p))
+	}
+	return r
+}
+
+// FindNodes returns nodes whose tags satisfy pred, in ID order.
+func (m *Map) FindNodes(pred func(*Node) bool) []*Node {
+	var out []*Node
+	m.Nodes(func(n *Node) bool {
+		if pred(n) {
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+// PortalNodes returns nodes tagged as cross-map portals, keyed by portal ID.
+func (m *Map) PortalNodes() map[string]*Node {
+	out := make(map[string]*Node)
+	m.Nodes(func(n *Node) bool {
+		if id := n.Tags.Get(TagPortalID); id != "" {
+			out[id] = n
+		}
+		return true
+	})
+	return out
+}

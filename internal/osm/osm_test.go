@@ -1,0 +1,267 @@
+package osm
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"openflame/internal/geo"
+)
+
+func geodeticMap(t *testing.T) *Map {
+	t.Helper()
+	m := NewMap("downtown", Frame{Kind: FrameGeodetic})
+	a := m.AddNode(&Node{Pos: geo.LatLng{Lat: 40.4400, Lng: -79.9960}, Tags: Tags{TagName: "Corner A"}})
+	b := m.AddNode(&Node{Pos: geo.LatLng{Lat: 40.4410, Lng: -79.9950}})
+	c := m.AddNode(&Node{Pos: geo.LatLng{Lat: 40.4420, Lng: -79.9940}, Tags: Tags{TagAmenity: "cafe", TagName: "Bean There"}})
+	if _, err := m.AddWay(&Way{NodeIDs: []NodeID{a, b, c}, Tags: Tags{TagHighway: "residential", TagName: "Main St"}}); err != nil {
+		t.Fatal(err)
+	}
+	m.AddRelation(&Relation{
+		Members: []Member{{Type: MemberNode, Ref: int64(a), Role: "entrance"}, {Type: MemberWay, Ref: 1, Role: "street"}},
+		Tags:    Tags{"type": "street_complex"},
+	})
+	return m
+}
+
+func TestAddAndGet(t *testing.T) {
+	m := geodeticMap(t)
+	if m.NodeCount() != 3 || m.WayCount() != 1 || m.RelationCount() != 1 {
+		t.Fatalf("counts: %d %d %d", m.NodeCount(), m.WayCount(), m.RelationCount())
+	}
+	n := m.Node(1)
+	if n == nil || n.Tags.Get(TagName) != "Corner A" {
+		t.Fatalf("node 1 = %+v", n)
+	}
+	if m.Node(99) != nil {
+		t.Fatal("missing node returned non-nil")
+	}
+	w := m.Way(1)
+	if w == nil || len(w.NodeIDs) != 3 {
+		t.Fatalf("way 1 = %+v", w)
+	}
+	if got := len(m.WayNodes(w)); got != 3 {
+		t.Fatalf("WayNodes = %d", got)
+	}
+	r := m.Relation(1)
+	if r == nil || len(r.Members) != 2 {
+		t.Fatalf("relation 1 = %+v", r)
+	}
+}
+
+func TestIDAllocation(t *testing.T) {
+	m := NewMap("x", Frame{})
+	id1 := m.AddNode(&Node{Pos: geo.LatLng{Lat: 1, Lng: 1}})
+	// Explicit high ID advances the allocator.
+	m.AddNode(&Node{ID: 100, Pos: geo.LatLng{Lat: 2, Lng: 2}})
+	id3 := m.AddNode(&Node{Pos: geo.LatLng{Lat: 3, Lng: 3}})
+	if id1 != 1 || id3 != 101 {
+		t.Fatalf("ids: %d, %d", id1, id3)
+	}
+}
+
+func TestAddWayMissingNode(t *testing.T) {
+	m := NewMap("x", Frame{})
+	if _, err := m.AddWay(&Way{NodeIDs: []NodeID{42}}); err == nil {
+		t.Fatal("way with missing node accepted")
+	}
+}
+
+func TestRemoveNodeReferenced(t *testing.T) {
+	m := geodeticMap(t)
+	if err := m.RemoveNode(1); err == nil {
+		t.Fatal("removing referenced node succeeded")
+	}
+	m.RemoveWay(1)
+	if err := m.RemoveNode(1); err != nil {
+		t.Fatalf("remove after way deletion: %v", err)
+	}
+	if m.Node(1) != nil {
+		t.Fatal("node still present")
+	}
+}
+
+func TestIterationOrder(t *testing.T) {
+	m := geodeticMap(t)
+	var ids []NodeID
+	m.Nodes(func(n *Node) bool {
+		ids = append(ids, n.ID)
+		return true
+	})
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatal("nodes not in ID order")
+		}
+	}
+	// Early stop.
+	count := 0
+	m.Nodes(func(*Node) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestBoundsGeodetic(t *testing.T) {
+	m := geodeticMap(t)
+	b := m.Bounds()
+	if !b.Contains(geo.LatLng{Lat: 40.4410, Lng: -79.9950}) {
+		t.Fatalf("bounds %v missing interior node", b)
+	}
+	if b.MinLat != 40.4400 || b.MaxLat != 40.4420 {
+		t.Fatalf("bounds = %v", b)
+	}
+}
+
+func TestLocalFramePositions(t *testing.T) {
+	anchor := geo.LatLng{Lat: 40.44, Lng: -79.99}
+	m := NewMap("store", Frame{Kind: FrameLocal, Anchor: anchor})
+	id := m.AddNode(&Node{Local: geo.Point{X: 100, Y: 0}})
+	n := m.Node(id)
+	pos := m.NodePosition(n)
+	// 100m east of the anchor.
+	if d := geo.DistanceMeters(anchor, pos); math.Abs(d-100) > 1 {
+		t.Fatalf("local->geodetic distance = %v", d)
+	}
+	if brg := geo.InitialBearing(anchor, pos); math.Abs(brg-90) > 1 {
+		t.Fatalf("bearing = %v, want ~90", brg)
+	}
+}
+
+func TestLocalFrameWithBearing(t *testing.T) {
+	anchor := geo.LatLng{Lat: 40.44, Lng: -79.99}
+	// Local +Y axis points 90° (east): a node at local (0, 100) sits east.
+	m := NewMap("store", Frame{Kind: FrameLocal, Anchor: anchor, AnchorBearingDeg: 90})
+	id := m.AddNode(&Node{Local: geo.Point{X: 0, Y: 100}})
+	pos := m.NodePosition(m.Node(id))
+	if brg := geo.InitialBearing(anchor, pos); math.Abs(brg-90) > 1 {
+		t.Fatalf("bearing = %v, want ~90", brg)
+	}
+}
+
+func TestLocalPositionOfGeodeticMap(t *testing.T) {
+	m := geodeticMap(t)
+	m.Frame.Anchor = geo.LatLng{Lat: 40.4410, Lng: -79.9950}
+	n := m.Node(2) // at the anchor
+	p := m.LocalPosition(n)
+	if p.Norm() > 0.5 {
+		t.Fatalf("anchor node local position = %v", p)
+	}
+}
+
+func TestFindNodesAndPortals(t *testing.T) {
+	m := geodeticMap(t)
+	m.AddNode(&Node{Pos: geo.LatLng{Lat: 40.443, Lng: -79.993},
+		Tags: Tags{TagPortalID: "door-1", TagName: "Front Door"}})
+	cafes := m.FindNodes(func(n *Node) bool { return n.Tags.Get(TagAmenity) == "cafe" })
+	if len(cafes) != 1 || cafes[0].Tags.Get(TagName) != "Bean There" {
+		t.Fatalf("cafes = %v", cafes)
+	}
+	portals := m.PortalNodes()
+	if len(portals) != 1 || portals["door-1"] == nil {
+		t.Fatalf("portals = %v", portals)
+	}
+}
+
+func TestTags(t *testing.T) {
+	tags := Tags{"a": "1", "b": "2"}
+	if !tags.Has("a") || tags.Has("z") {
+		t.Fatal("Has wrong")
+	}
+	if tags.Get("b") != "2" || tags.Get("z") != "" {
+		t.Fatal("Get wrong")
+	}
+	cl := tags.Clone()
+	cl["a"] = "changed"
+	if tags.Get("a") != "1" {
+		t.Fatal("Clone aliases original")
+	}
+	if Tags(nil).Clone() != nil {
+		t.Fatal("nil clone not nil")
+	}
+}
+
+func TestWayIsClosed(t *testing.T) {
+	open := &Way{NodeIDs: []NodeID{1, 2, 3}}
+	closed := &Way{NodeIDs: []NodeID{1, 2, 3, 1}}
+	short := &Way{NodeIDs: []NodeID{1, 1}}
+	if open.IsClosed() || !closed.IsClosed() || short.IsClosed() {
+		t.Fatal("IsClosed wrong")
+	}
+}
+
+func TestXMLRoundTripGeodetic(t *testing.T) {
+	m := geodeticMap(t)
+	var buf bytes.Buffer
+	if err := m.WriteXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<osm") || !strings.Contains(buf.String(), "Main St") {
+		t.Fatalf("unexpected XML: %s", buf.String()[:200])
+	}
+	got, err := ReadXML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "downtown" || got.Frame.Kind != FrameGeodetic {
+		t.Fatalf("header: %q %v", got.Name, got.Frame)
+	}
+	if got.NodeCount() != 3 || got.WayCount() != 1 || got.RelationCount() != 1 {
+		t.Fatalf("counts: %d %d %d", got.NodeCount(), got.WayCount(), got.RelationCount())
+	}
+	n := got.Node(3)
+	if n.Tags.Get(TagAmenity) != "cafe" {
+		t.Fatalf("node tags lost: %v", n.Tags)
+	}
+	if n.Pos != (geo.LatLng{Lat: 40.4420, Lng: -79.9940}) {
+		t.Fatalf("position drifted: %v", n.Pos)
+	}
+	w := got.Way(1)
+	if len(w.NodeIDs) != 3 || w.NodeIDs[0] != 1 {
+		t.Fatalf("way refs: %v", w.NodeIDs)
+	}
+	r := got.Relation(1)
+	if len(r.Members) != 2 || r.Members[0].Role != "entrance" || r.Members[0].Type != MemberNode {
+		t.Fatalf("relation: %+v", r)
+	}
+}
+
+func TestXMLRoundTripLocalFrame(t *testing.T) {
+	anchor := geo.LatLng{Lat: 40.44, Lng: -79.99}
+	m := NewMap("grocery", Frame{Kind: FrameLocal, Anchor: anchor, AnchorBearingDeg: 15})
+	m.AddNode(&Node{Local: geo.Point{X: 12.5, Y: -3.25}, Tags: Tags{TagProduct: "seaweed"}})
+	var buf bytes.Buffer
+	if err := m.WriteXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadXML(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Frame.Kind != FrameLocal || got.Frame.Anchor != anchor || got.Frame.AnchorBearingDeg != 15 {
+		t.Fatalf("frame: %+v", got.Frame)
+	}
+	n := got.Node(1)
+	if n.Local != (geo.Point{X: 12.5, Y: -3.25}) {
+		t.Fatalf("local coords: %v", n.Local)
+	}
+	if n.Tags.Get(TagProduct) != "seaweed" {
+		t.Fatalf("tags: %v", n.Tags)
+	}
+}
+
+func TestReadXMLRejectsBadDocs(t *testing.T) {
+	if _, err := ReadXML(strings.NewReader("not xml")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Way referencing a missing node.
+	bad := `<?xml version="1.0"?><osm version="0.6"><way id="1"><nd ref="9"/></way></osm>`
+	if _, err := ReadXML(strings.NewReader(bad)); err == nil {
+		t.Fatal("dangling way accepted")
+	}
+	// Unknown member type.
+	bad2 := `<?xml version="1.0"?><osm version="0.6"><relation id="1"><member type="alien" ref="1" role=""/></relation></osm>`
+	if _, err := ReadXML(strings.NewReader(bad2)); err == nil {
+		t.Fatal("alien member accepted")
+	}
+}

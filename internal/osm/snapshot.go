@@ -1,0 +1,121 @@
+package osm
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"openflame/internal/geo"
+)
+
+// Binary snapshots: a compact gob encoding of a Map for fast server
+// restarts, complementing the interoperable XML format. The format is
+// versioned; readers reject unknown versions rather than misparse.
+
+const snapshotVersion = 1
+
+type snapNode struct {
+	ID    int64
+	Pos   geo.LatLng
+	Local geo.Point
+	Tags  map[string]string
+}
+
+type snapWay struct {
+	ID      int64
+	NodeIDs []int64
+	Tags    map[string]string
+}
+
+type snapMember struct {
+	Type int
+	Ref  int64
+	Role string
+}
+
+type snapRelation struct {
+	ID      int64
+	Members []snapMember
+	Tags    map[string]string
+}
+
+type snapshot struct {
+	Version   int
+	Name      string
+	FrameKind int
+	Anchor    geo.LatLng
+	AnchorBrg float64
+	Nodes     []snapNode
+	Ways      []snapWay
+	Relations []snapRelation
+}
+
+// WriteSnapshot serializes the map in the binary snapshot format.
+func (m *Map) WriteSnapshot(w io.Writer) error {
+	snap := snapshot{
+		Version:   snapshotVersion,
+		Name:      m.Name,
+		FrameKind: int(m.Frame.Kind),
+		Anchor:    m.Frame.Anchor,
+		AnchorBrg: m.Frame.AnchorBearingDeg,
+	}
+	m.Nodes(func(n *Node) bool {
+		snap.Nodes = append(snap.Nodes, snapNode{
+			ID: int64(n.ID), Pos: n.Pos, Local: n.Local, Tags: n.Tags,
+		})
+		return true
+	})
+	m.Ways(func(way *Way) bool {
+		ids := make([]int64, len(way.NodeIDs))
+		for i, id := range way.NodeIDs {
+			ids[i] = int64(id)
+		}
+		snap.Ways = append(snap.Ways, snapWay{ID: int64(way.ID), NodeIDs: ids, Tags: way.Tags})
+		return true
+	})
+	m.Relations(func(rel *Relation) bool {
+		sr := snapRelation{ID: int64(rel.ID), Tags: rel.Tags}
+		for _, mem := range rel.Members {
+			sr.Members = append(sr.Members, snapMember{Type: int(mem.Type), Ref: mem.Ref, Role: mem.Role})
+		}
+		snap.Relations = append(snap.Relations, sr)
+		return true
+	})
+	return gob.NewEncoder(w).Encode(snap)
+}
+
+// ReadSnapshot deserializes a map written by WriteSnapshot.
+func ReadSnapshot(r io.Reader) (*Map, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("osm: snapshot decode: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("osm: unsupported snapshot version %d", snap.Version)
+	}
+	m := NewMap(snap.Name, Frame{
+		Kind:             FrameKind(snap.FrameKind),
+		Anchor:           snap.Anchor,
+		AnchorBearingDeg: snap.AnchorBrg,
+	})
+	for _, sn := range snap.Nodes {
+		m.AddNode(&Node{ID: NodeID(sn.ID), Pos: sn.Pos, Local: sn.Local, Tags: sn.Tags})
+	}
+	for _, sw := range snap.Ways {
+		ids := make([]NodeID, len(sw.NodeIDs))
+		for i, id := range sw.NodeIDs {
+			ids[i] = NodeID(id)
+		}
+		if _, err := m.AddWay(&Way{ID: WayID(sw.ID), NodeIDs: ids, Tags: sw.Tags}); err != nil {
+			return nil, err
+		}
+	}
+	for _, sr := range snap.Relations {
+		rel := &Relation{ID: RelationID(sr.ID), Tags: sr.Tags}
+		for _, mem := range sr.Members {
+			rel.Members = append(rel.Members, Member{Type: MemberType(mem.Type), Ref: mem.Ref, Role: mem.Role})
+		}
+		m.AddRelation(rel)
+	}
+	return m, nil
+}

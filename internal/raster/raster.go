@@ -1,0 +1,193 @@
+// Package raster is a minimal software rasterizer over image.RGBA used by
+// the tile rendering service (§4): anti-alias-free line strokes (Bresenham
+// with thickness), scanline polygon fill, filled discs, and PNG encoding —
+// enough to draw roads, buildings, and POI markers into map tiles with the
+// standard library only.
+package raster
+
+import (
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+	"sort"
+)
+
+// Canvas is a drawable RGBA image.
+type Canvas struct {
+	Img *image.RGBA
+	W   int
+	H   int
+}
+
+// NewCanvas creates a canvas filled with the background color.
+func NewCanvas(w, h int, bg color.Color) *Canvas {
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	r, g, b, a := bg.RGBA()
+	c := color.RGBA{uint8(r >> 8), uint8(g >> 8), uint8(b >> 8), uint8(a >> 8)}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			img.SetRGBA(x, y, c)
+		}
+	}
+	return &Canvas{Img: img, W: w, H: h}
+}
+
+// Set colors one pixel, ignoring out-of-bounds coordinates.
+func (c *Canvas) Set(x, y int, col color.Color) {
+	if x < 0 || y < 0 || x >= c.W || y >= c.H {
+		return
+	}
+	c.Img.Set(x, y, col)
+}
+
+// At returns the pixel color (zero color out of bounds).
+func (c *Canvas) At(x, y int) color.RGBA {
+	if x < 0 || y < 0 || x >= c.W || y >= c.H {
+		return color.RGBA{}
+	}
+	return c.Img.RGBAAt(x, y)
+}
+
+// DrawLine strokes a segment with the given thickness in pixels.
+func (c *Canvas) DrawLine(x0, y0, x1, y1 float64, thickness int, col color.Color) {
+	if thickness < 1 {
+		thickness = 1
+	}
+	dx := math.Abs(x1 - x0)
+	dy := math.Abs(y1 - y0)
+	// Oversample 2x so unit-thickness diagonal strokes stay gapless.
+	steps := 2*int(math.Max(dx, dy)) + 1
+	for i := 0; i <= steps; i++ {
+		t := float64(i) / float64(steps)
+		x := x0 + (x1-x0)*t
+		y := y0 + (y1-y0)*t
+		c.fillDisc(x, y, float64(thickness)/2, col)
+	}
+}
+
+// DrawPolyline strokes consecutive segments through the points.
+func (c *Canvas) DrawPolyline(xs, ys []float64, thickness int, col color.Color) {
+	for i := 1; i < len(xs) && i < len(ys); i++ {
+		c.DrawLine(xs[i-1], ys[i-1], xs[i], ys[i], thickness, col)
+	}
+}
+
+// FillCircle draws a filled disc.
+func (c *Canvas) FillCircle(x, y, r float64, col color.Color) {
+	c.fillDisc(x, y, r, col)
+}
+
+func (c *Canvas) fillDisc(cx, cy, r float64, col color.Color) {
+	if r < 0.5 {
+		c.Set(int(math.Round(cx)), int(math.Round(cy)), col)
+		return
+	}
+	minX := int(math.Floor(cx - r))
+	maxX := int(math.Ceil(cx + r))
+	minY := int(math.Floor(cy - r))
+	maxY := int(math.Ceil(cy + r))
+	r2 := r * r
+	for y := minY; y <= maxY; y++ {
+		for x := minX; x <= maxX; x++ {
+			dx := float64(x) - cx
+			dy := float64(y) - cy
+			if dx*dx+dy*dy <= r2 {
+				c.Set(x, y, col)
+			}
+		}
+	}
+}
+
+// FillPolygon fills a simple polygon given vertex coordinates using the
+// even-odd scanline rule.
+func (c *Canvas) FillPolygon(xs, ys []float64, col color.Color) {
+	n := len(xs)
+	if n < 3 || len(ys) != n {
+		return
+	}
+	minY := int(math.Floor(ys[0]))
+	maxY := int(math.Ceil(ys[0]))
+	for _, y := range ys {
+		if int(math.Floor(y)) < minY {
+			minY = int(math.Floor(y))
+		}
+		if int(math.Ceil(y)) > maxY {
+			maxY = int(math.Ceil(y))
+		}
+	}
+	if minY < 0 {
+		minY = 0
+	}
+	if maxY >= c.H {
+		maxY = c.H - 1
+	}
+	for y := minY; y <= maxY; y++ {
+		fy := float64(y) + 0.5
+		var xsect []float64
+		j := n - 1
+		for i := 0; i < n; i++ {
+			yi, yj := ys[i], ys[j]
+			if (yi > fy) != (yj > fy) {
+				t := (fy - yi) / (yj - yi)
+				xsect = append(xsect, xs[i]+t*(xs[j]-xs[i]))
+			}
+			j = i
+		}
+		sort.Float64s(xsect)
+		for k := 0; k+1 < len(xsect); k += 2 {
+			x0 := int(math.Ceil(xsect[k] - 0.5))
+			x1 := int(math.Floor(xsect[k+1] - 0.5))
+			for x := x0; x <= x1; x++ {
+				c.Set(x, y, col)
+			}
+		}
+	}
+}
+
+// EncodePNG writes the canvas as PNG.
+func (c *Canvas) EncodePNG(w io.Writer) error {
+	return png.Encode(w, c.Img)
+}
+
+// DecodePNG reads a PNG image.
+func DecodePNG(r io.Reader) (image.Image, error) {
+	return png.Decode(r)
+}
+
+// Composite overlays src onto dst: any src pixel that differs from the
+// given background color replaces the dst pixel. This is the client-side
+// tile stitching primitive — map servers render onto a shared background
+// and the client layers their tiles (§5.2).
+func Composite(dst, src *Canvas, background color.RGBA) {
+	w, h := dst.W, dst.H
+	if src.W < w {
+		w = src.W
+	}
+	if src.H < h {
+		h = src.H
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			p := src.At(x, y)
+			if p != background {
+				dst.Set(x, y, p)
+			}
+		}
+	}
+}
+
+// CountNonBackground returns how many pixels differ from the background —
+// a cheap "did anything render" check used by tests and benches.
+func (c *Canvas) CountNonBackground(background color.RGBA) int {
+	n := 0
+	for y := 0; y < c.H; y++ {
+		for x := 0; x < c.W; x++ {
+			if c.At(x, y) != background {
+				n++
+			}
+		}
+	}
+	return n
+}

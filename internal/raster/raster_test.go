@@ -1,0 +1,166 @@
+package raster
+
+import (
+	"bytes"
+	"image/color"
+	"testing"
+)
+
+var (
+	white = color.RGBA{255, 255, 255, 255}
+	black = color.RGBA{0, 0, 0, 255}
+	red   = color.RGBA{255, 0, 0, 255}
+)
+
+func TestNewCanvasBackground(t *testing.T) {
+	c := NewCanvas(10, 10, white)
+	if c.At(0, 0) != white || c.At(9, 9) != white {
+		t.Fatal("background not applied")
+	}
+	if c.CountNonBackground(white) != 0 {
+		t.Fatal("fresh canvas has foreground pixels")
+	}
+}
+
+func TestSetBoundsChecked(t *testing.T) {
+	c := NewCanvas(4, 4, white)
+	c.Set(-1, 0, black)
+	c.Set(0, -1, black)
+	c.Set(4, 0, black)
+	c.Set(0, 4, black)
+	if c.CountNonBackground(white) != 0 {
+		t.Fatal("out-of-bounds set leaked")
+	}
+	if c.At(-1, -1) != (color.RGBA{}) {
+		t.Fatal("out-of-bounds At not zero")
+	}
+}
+
+func TestDrawLineHorizontal(t *testing.T) {
+	c := NewCanvas(20, 20, white)
+	c.DrawLine(2, 10, 17, 10, 1, black)
+	for x := 3; x <= 16; x++ {
+		if c.At(x, 10) != black {
+			t.Fatalf("gap at x=%d", x)
+		}
+	}
+	if c.At(10, 5) != white {
+		t.Fatal("line bled vertically")
+	}
+}
+
+func TestDrawLineDiagonalContinuous(t *testing.T) {
+	c := NewCanvas(30, 30, white)
+	c.DrawLine(0, 0, 29, 29, 1, black)
+	// Every diagonal step should be painted.
+	for i := 1; i < 29; i++ {
+		if c.At(i, i) != black {
+			t.Fatalf("gap at (%d,%d)", i, i)
+		}
+	}
+}
+
+func TestDrawLineThickness(t *testing.T) {
+	thin := NewCanvas(20, 20, white)
+	thick := NewCanvas(20, 20, white)
+	thin.DrawLine(2, 10, 18, 10, 1, black)
+	thick.DrawLine(2, 10, 18, 10, 5, black)
+	if thick.CountNonBackground(white) <= thin.CountNonBackground(white) {
+		t.Fatal("thickness has no effect")
+	}
+}
+
+func TestFillCircle(t *testing.T) {
+	c := NewCanvas(20, 20, white)
+	c.FillCircle(10, 10, 4, red)
+	if c.At(10, 10) != red || c.At(12, 10) != red {
+		t.Fatal("circle interior not filled")
+	}
+	if c.At(10, 2) != white {
+		t.Fatal("circle bled")
+	}
+	// Tiny radius still paints the center pixel.
+	c2 := NewCanvas(5, 5, white)
+	c2.FillCircle(2, 2, 0.3, red)
+	if c2.At(2, 2) != red {
+		t.Fatal("sub-pixel circle invisible")
+	}
+}
+
+func TestFillPolygonSquare(t *testing.T) {
+	c := NewCanvas(20, 20, white)
+	c.FillPolygon([]float64{5, 15, 15, 5}, []float64{5, 5, 15, 15}, black)
+	if c.At(10, 10) != black {
+		t.Fatal("square interior not filled")
+	}
+	if c.At(2, 2) != white || c.At(17, 17) != white {
+		t.Fatal("square exterior painted")
+	}
+}
+
+func TestFillPolygonConcave(t *testing.T) {
+	// L-shape: the notch must stay unpainted.
+	c := NewCanvas(30, 30, white)
+	xs := []float64{5, 25, 25, 15, 15, 5}
+	ys := []float64{5, 5, 15, 15, 25, 25}
+	c.FillPolygon(xs, ys, black)
+	if c.At(10, 10) != black || c.At(10, 20) != black || c.At(20, 10) != black {
+		t.Fatal("L interior not filled")
+	}
+	if c.At(20, 20) != white {
+		t.Fatal("L notch painted")
+	}
+}
+
+func TestFillPolygonDegenerate(t *testing.T) {
+	c := NewCanvas(10, 10, white)
+	c.FillPolygon([]float64{1, 2}, []float64{1, 2}, black)
+	c.FillPolygon(nil, nil, black)
+	c.FillPolygon([]float64{1, 2, 3}, []float64{1}, black)
+	if c.CountNonBackground(white) != 0 {
+		t.Fatal("degenerate polygon painted")
+	}
+}
+
+func TestPolylineAndPNGRoundTrip(t *testing.T) {
+	c := NewCanvas(32, 32, white)
+	c.DrawPolyline([]float64{2, 16, 30}, []float64{2, 16, 2}, 2, red)
+	var buf bytes.Buffer
+	if err := c.EncodePNG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img, err := DecodePNG(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 32 || img.Bounds().Dy() != 32 {
+		t.Fatalf("decoded size %v", img.Bounds())
+	}
+}
+
+func TestComposite(t *testing.T) {
+	base := NewCanvas(10, 10, white)
+	base.FillCircle(3, 3, 2, black)
+	overlay := NewCanvas(10, 10, white)
+	overlay.FillCircle(7, 7, 2, red)
+	Composite(base, overlay, white)
+	if base.At(3, 3) != black {
+		t.Fatal("composite destroyed base content")
+	}
+	if base.At(7, 7) != red {
+		t.Fatal("composite missed overlay content")
+	}
+	if base.At(0, 9) != white {
+		t.Fatal("background overwritten")
+	}
+}
+
+func TestCompositeSizeMismatch(t *testing.T) {
+	base := NewCanvas(10, 10, white)
+	small := NewCanvas(5, 5, white)
+	small.FillCircle(2, 2, 1, red)
+	Composite(base, small, white) // must not panic
+	if base.At(2, 2) != red {
+		t.Fatal("small overlay not composited")
+	}
+}

@@ -1,0 +1,404 @@
+// Package rtree implements an in-memory R-tree with quadratic splits over
+// latitude/longitude rectangles. It is the spatial index behind the map
+// store's reverse-geocode, nearest-neighbour, and viewport queries.
+package rtree
+
+import (
+	"container/heap"
+	"math"
+
+	"openflame/internal/geo"
+)
+
+const (
+	maxEntries = 16
+	minEntries = maxEntries * 2 / 5 // 40% fill floor, standard for quadratic R-trees
+)
+
+// Item is the payload stored in the tree. Items are compared by identity of
+// the stored value, so callers typically store pointers or small IDs.
+type Item interface{}
+
+type entry struct {
+	bound geo.Rect
+	child *node // nil for leaf entries
+	item  Item  // nil for internal entries
+}
+
+type node struct {
+	leaf    bool
+	entries []entry
+}
+
+// Tree is an R-tree. The zero value is not usable; call New.
+// Tree is not safe for concurrent mutation; wrap with a lock if needed.
+type Tree struct {
+	root *node
+	size int
+	path []*node // scratch: root-to-leaf descent of the current insert
+}
+
+// New creates an empty R-tree.
+func New() *Tree {
+	return &Tree{root: &node{leaf: true}}
+}
+
+// Len returns the number of items stored.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds an item with the given bounding rectangle.
+func (t *Tree) Insert(bound geo.Rect, item Item) {
+	e := entry{bound: bound, item: item}
+	leaf := t.chooseLeaf(t.root, e)
+	leaf.entries = append(leaf.entries, e)
+	t.size++
+	split := t.splitIfNeeded(leaf)
+	t.adjustTree(leaf, split)
+}
+
+// Delete removes the first item equal to item with exactly the given bound.
+// It returns whether an item was removed.
+func (t *Tree) Delete(bound geo.Rect, item Item) bool {
+	path := t.findLeafPath(t.root, bound, item, nil)
+	if path == nil {
+		return false
+	}
+	leaf := path[len(path)-1]
+	for i, e := range leaf.entries {
+		if e.item == item && e.bound == bound {
+			leaf.entries = append(leaf.entries[:i], leaf.entries[i+1:]...)
+			t.size--
+			t.condenseTree(path)
+			return true
+		}
+	}
+	return false
+}
+
+// Search calls fn for every item whose bound intersects query. Returning
+// false from fn stops the search early.
+func (t *Tree) Search(query geo.Rect, fn func(bound geo.Rect, item Item) bool) {
+	t.search(t.root, query, fn)
+}
+
+func (t *Tree) search(n *node, query geo.Rect, fn func(geo.Rect, Item) bool) bool {
+	for _, e := range n.entries {
+		if !e.bound.Intersects(query) {
+			continue
+		}
+		if n.leaf {
+			if !fn(e.bound, e.item) {
+				return false
+			}
+		} else if !t.search(e.child, query, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// SearchItems returns all items whose bounds intersect query.
+func (t *Tree) SearchItems(query geo.Rect) []Item {
+	var out []Item
+	t.Search(query, func(_ geo.Rect, it Item) bool {
+		out = append(out, it)
+		return true
+	})
+	return out
+}
+
+// Neighbor is a nearest-neighbour result.
+type Neighbor struct {
+	Item           Item
+	Bound          geo.Rect
+	DistanceMeters float64
+}
+
+// Nearest returns up to k items closest to ll, ordered by distance from ll
+// to the item's bounding rectangle (exact for point items). maxMeters <= 0
+// means unbounded.
+func (t *Tree) Nearest(ll geo.LatLng, k int, maxMeters float64) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	pq := &nnQueue{}
+	heap.Init(pq)
+	heap.Push(pq, nnEntry{dist: 0, node: t.root})
+	var out []Neighbor
+	for pq.Len() > 0 && len(out) < k {
+		top := heap.Pop(pq).(nnEntry)
+		if maxMeters > 0 && top.dist > maxMeters {
+			break
+		}
+		if top.node == nil {
+			out = append(out, Neighbor{Item: top.item, Bound: top.bound, DistanceMeters: top.dist})
+			continue
+		}
+		for _, e := range top.node.entries {
+			d := rectDistance(ll, e.bound)
+			if maxMeters > 0 && d > maxMeters {
+				continue
+			}
+			if top.node.leaf {
+				heap.Push(pq, nnEntry{dist: d, item: e.item, bound: e.bound})
+			} else {
+				heap.Push(pq, nnEntry{dist: d, node: e.child})
+			}
+		}
+	}
+	return out
+}
+
+// rectDistance returns the great-circle distance from ll to the nearest point
+// of r (0 if contained).
+func rectDistance(ll geo.LatLng, r geo.Rect) float64 {
+	lat := math.Max(r.MinLat, math.Min(r.MaxLat, ll.Lat))
+	lng := math.Max(r.MinLng, math.Min(r.MaxLng, ll.Lng))
+	return geo.DistanceMeters(ll, geo.LatLng{Lat: lat, Lng: lng})
+}
+
+type nnEntry struct {
+	dist  float64
+	node  *node // non-nil for tree nodes
+	item  Item
+	bound geo.Rect
+}
+
+type nnQueue []nnEntry
+
+func (q nnQueue) Len() int            { return len(q) }
+func (q nnQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q nnQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nnQueue) Push(x interface{}) { *q = append(*q, x.(nnEntry)) }
+func (q *nnQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// Bound returns the bounding rectangle of everything in the tree.
+func (t *Tree) Bound() geo.Rect {
+	return nodeBound(t.root)
+}
+
+func nodeBound(n *node) geo.Rect {
+	r := geo.EmptyRect()
+	for _, e := range n.entries {
+		r = r.Union(e.bound)
+	}
+	return r
+}
+
+// --- insertion internals ---
+
+// The tree stores no parent pointers; instead chooseLeaf records the descent
+// path in t.path for adjustTree to walk back up.
+func (t *Tree) chooseLeaf(n *node, e entry) *node {
+	t.path = t.path[:0]
+	for !n.leaf {
+		t.path = append(t.path, n)
+		best := -1
+		var bestEnl, bestArea float64
+		for i, c := range n.entries {
+			enl, area := enlargement(c.bound, e.bound)
+			if best == -1 || enl < bestEnl || (enl == bestEnl && area < bestArea) {
+				best, bestEnl, bestArea = i, enl, area
+			}
+		}
+		n = n.entries[best].child
+	}
+	t.path = append(t.path, n)
+	return n
+}
+
+func enlargement(r, add geo.Rect) (enl, area float64) {
+	area = rectArea(r)
+	return rectArea(r.Union(add)) - area, area
+}
+
+func rectArea(r geo.Rect) float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return (r.MaxLat - r.MinLat) * (r.MaxLng - r.MinLng)
+}
+
+// path is scratch space recording the most recent root-to-leaf descent.
+// (declared on Tree to avoid allocation per insert)
+
+func (t *Tree) splitIfNeeded(n *node) *node {
+	if len(n.entries) <= maxEntries {
+		return nil
+	}
+	return splitNode(n)
+}
+
+// splitNode performs a quadratic split, mutating n and returning the new
+// sibling node.
+func splitNode(n *node) *node {
+	entries := n.entries
+	// Pick seeds: the pair wasting the most area if grouped together.
+	var s1, s2 int
+	worst := math.Inf(-1)
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			d := rectArea(entries[i].bound.Union(entries[j].bound)) -
+				rectArea(entries[i].bound) - rectArea(entries[j].bound)
+			if d > worst {
+				worst, s1, s2 = d, i, j
+			}
+		}
+	}
+	g1 := []entry{entries[s1]}
+	g2 := []entry{entries[s2]}
+	b1 := entries[s1].bound
+	b2 := entries[s2].bound
+	rest := make([]entry, 0, len(entries)-2)
+	for i, e := range entries {
+		if i != s1 && i != s2 {
+			rest = append(rest, e)
+		}
+	}
+	for len(rest) > 0 {
+		// If one group must take all remaining to reach the minimum, do so.
+		if len(g1)+len(rest) == minEntries {
+			g1 = append(g1, rest...)
+			for _, e := range rest {
+				b1 = b1.Union(e.bound)
+			}
+			break
+		}
+		if len(g2)+len(rest) == minEntries {
+			g2 = append(g2, rest...)
+			for _, e := range rest {
+				b2 = b2.Union(e.bound)
+			}
+			break
+		}
+		// Choose the entry with the greatest preference for one group.
+		bestIdx, bestDiff := -1, math.Inf(-1)
+		var toG1 bool
+		for i, e := range rest {
+			d1 := rectArea(b1.Union(e.bound)) - rectArea(b1)
+			d2 := rectArea(b2.Union(e.bound)) - rectArea(b2)
+			diff := math.Abs(d1 - d2)
+			if diff > bestDiff {
+				bestDiff, bestIdx, toG1 = diff, i, d1 < d2
+			}
+		}
+		e := rest[bestIdx]
+		rest = append(rest[:bestIdx], rest[bestIdx+1:]...)
+		if toG1 {
+			g1 = append(g1, e)
+			b1 = b1.Union(e.bound)
+		} else {
+			g2 = append(g2, e)
+			b2 = b2.Union(e.bound)
+		}
+	}
+	n.entries = g1
+	return &node{leaf: n.leaf, entries: g2}
+}
+
+// adjustTree propagates bound updates and splits up the recorded path.
+func (t *Tree) adjustTree(_ *node, split *node) {
+	for i := len(t.path) - 2; i >= 0; i-- {
+		parent := t.path[i]
+		child := t.path[i+1]
+		for j := range parent.entries {
+			if parent.entries[j].child == child {
+				parent.entries[j].bound = nodeBound(child)
+				break
+			}
+		}
+		if split != nil {
+			parent.entries = append(parent.entries, entry{bound: nodeBound(split), child: split})
+			split = t.splitIfNeeded(parent)
+		}
+	}
+	if split != nil {
+		// Root split: grow the tree.
+		newRoot := &node{leaf: false, entries: []entry{
+			{bound: nodeBound(t.root), child: t.root},
+			{bound: nodeBound(split), child: split},
+		}}
+		t.root = newRoot
+	}
+}
+
+// findLeafPath returns the root-to-leaf node path to the leaf containing the
+// item, or nil.
+func (t *Tree) findLeafPath(n *node, bound geo.Rect, item Item, acc []*node) []*node {
+	acc = append(acc, n)
+	if n.leaf {
+		for _, e := range n.entries {
+			if e.item == item && e.bound == bound {
+				out := make([]*node, len(acc))
+				copy(out, acc)
+				return out
+			}
+		}
+		return nil
+	}
+	for _, e := range n.entries {
+		if e.bound.ContainsRect(bound) || e.bound.Intersects(bound) {
+			if p := t.findLeafPath(e.child, bound, item, acc); p != nil {
+				return p
+			}
+		}
+	}
+	return nil
+}
+
+// condenseTree removes underfull nodes along the path and reinserts their
+// orphaned entries.
+func (t *Tree) condenseTree(path []*node) {
+	var orphans []entry
+	for i := len(path) - 1; i >= 1; i-- {
+		n := path[i]
+		parent := path[i-1]
+		if len(n.entries) < minEntries {
+			// Remove n from parent and queue its entries for reinsertion.
+			for j := range parent.entries {
+				if parent.entries[j].child == n {
+					parent.entries = append(parent.entries[:j], parent.entries[j+1:]...)
+					break
+				}
+			}
+			orphans = append(orphans, collectLeafEntries(n)...)
+		} else {
+			for j := range parent.entries {
+				if parent.entries[j].child == n {
+					parent.entries[j].bound = nodeBound(n)
+					break
+				}
+			}
+		}
+	}
+	// Shrink the root if it has a single child.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+	}
+	if !t.root.leaf && len(t.root.entries) == 0 {
+		t.root = &node{leaf: true}
+	}
+	for _, e := range orphans {
+		t.size-- // Insert will re-increment
+		t.Insert(e.bound, e.item)
+	}
+}
+
+func collectLeafEntries(n *node) []entry {
+	if n.leaf {
+		out := make([]entry, len(n.entries))
+		copy(out, n.entries)
+		return out
+	}
+	var out []entry
+	for _, e := range n.entries {
+		out = append(out, collectLeafEntries(e.child)...)
+	}
+	return out
+}

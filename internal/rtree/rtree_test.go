@@ -1,0 +1,264 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"openflame/internal/geo"
+)
+
+func ptRect(ll geo.LatLng) geo.Rect {
+	return geo.Rect{MinLat: ll.Lat, MinLng: ll.Lng, MaxLat: ll.Lat, MaxLng: ll.Lng}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatal("new tree not empty")
+	}
+	if got := tr.SearchItems(geo.Rect{MinLat: -90, MinLng: -180, MaxLat: 90, MaxLng: 180}); len(got) != 0 {
+		t.Fatalf("search on empty tree returned %d items", len(got))
+	}
+	if got := tr.Nearest(geo.LatLng{Lat: 0, Lng: 0}, 5, 0); len(got) != 0 {
+		t.Fatalf("nearest on empty tree returned %d items", len(got))
+	}
+}
+
+func TestInsertSearchSmall(t *testing.T) {
+	tr := New()
+	pts := []geo.LatLng{{Lat: 40, Lng: -80}, {Lat: 40.5, Lng: -80.5}, {Lat: 41, Lng: -81}}
+	for i, p := range pts {
+		tr.Insert(ptRect(p), i)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	got := tr.SearchItems(geo.Rect{MinLat: 39.9, MinLng: -80.6, MaxLat: 40.6, MaxLng: -79.9})
+	if len(got) != 2 {
+		t.Fatalf("expected 2 items, got %v", got)
+	}
+}
+
+func TestInsertManyAndSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New()
+	const n = 2000
+	pts := make([]geo.LatLng, n)
+	for i := range pts {
+		pts[i] = geo.LatLng{Lat: 40 + rng.Float64(), Lng: -80 + rng.Float64()}
+		tr.Insert(ptRect(pts[i]), i)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for trial := 0; trial < 50; trial++ {
+		q := geo.Rect{
+			MinLat: 40 + rng.Float64()*0.8, MinLng: -80 + rng.Float64()*0.8,
+		}
+		q.MaxLat = q.MinLat + rng.Float64()*0.2
+		q.MaxLng = q.MinLng + rng.Float64()*0.2
+		var want []int
+		for i, p := range pts {
+			if q.Contains(p) {
+				want = append(want, i)
+			}
+		}
+		var got []int
+		tr.Search(q, func(_ geo.Rect, it Item) bool {
+			got = append(got, it.(int))
+			return true
+		})
+		sort.Ints(want)
+		sort.Ints(got)
+		if len(want) != len(got) {
+			t.Fatalf("trial %d: want %d items, got %d", trial, len(want), len(got))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("trial %d: mismatch at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert(ptRect(geo.LatLng{Lat: 40, Lng: -80}), i)
+	}
+	count := 0
+	tr.Search(geo.RectFromCenter(geo.LatLng{Lat: 40, Lng: -80}, 1, 1), func(_ geo.Rect, _ Item) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New()
+	const n = 1000
+	pts := make([]geo.LatLng, n)
+	for i := range pts {
+		pts[i] = geo.LatLng{Lat: 40 + rng.Float64()*0.5, Lng: -80 + rng.Float64()*0.5}
+		tr.Insert(ptRect(pts[i]), i)
+	}
+	for trial := 0; trial < 20; trial++ {
+		q := geo.LatLng{Lat: 40 + rng.Float64()*0.5, Lng: -80 + rng.Float64()*0.5}
+		k := 1 + rng.Intn(10)
+		got := tr.Nearest(q, k, 0)
+		if len(got) != k {
+			t.Fatalf("got %d results, want %d", len(got), k)
+		}
+		type di struct {
+			d float64
+			i int
+		}
+		all := make([]di, n)
+		for i, p := range pts {
+			all[i] = di{geo.DistanceMeters(q, p), i}
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a].d < all[b].d })
+		for i := 0; i < k; i++ {
+			if math.Abs(got[i].DistanceMeters-all[i].d) > 1e-6 {
+				t.Fatalf("trial %d rank %d: got dist %v want %v", trial, i, got[i].DistanceMeters, all[i].d)
+			}
+		}
+	}
+}
+
+func TestNearestMaxMeters(t *testing.T) {
+	tr := New()
+	center := geo.LatLng{Lat: 40, Lng: -80}
+	tr.Insert(ptRect(geo.Offset(center, 100, 0)), "near")
+	tr.Insert(ptRect(geo.Offset(center, 5000, 0)), "far")
+	got := tr.Nearest(center, 10, 1000)
+	if len(got) != 1 || got[0].Item != "near" {
+		t.Fatalf("maxMeters filter failed: %v", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := New()
+	const n = 500
+	pts := make([]geo.LatLng, n)
+	for i := range pts {
+		pts[i] = geo.LatLng{Lat: 40 + rng.Float64(), Lng: -80 + rng.Float64()}
+		tr.Insert(ptRect(pts[i]), i)
+	}
+	// Delete every other item.
+	for i := 0; i < n; i += 2 {
+		if !tr.Delete(ptRect(pts[i]), i) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("Len = %d after deletes", tr.Len())
+	}
+	// Deleted items should be gone, remaining ones still found.
+	world := geo.Rect{MinLat: 39, MinLng: -81, MaxLat: 42, MaxLng: -78}
+	found := map[int]bool{}
+	for _, it := range tr.SearchItems(world) {
+		found[it.(int)] = true
+	}
+	for i := 0; i < n; i++ {
+		want := i%2 == 1
+		if found[i] != want {
+			t.Fatalf("item %d presence = %v, want %v", i, found[i], want)
+		}
+	}
+	// Deleting a nonexistent item returns false.
+	if tr.Delete(ptRect(pts[0]), 0) {
+		t.Fatal("double delete succeeded")
+	}
+}
+
+func TestDeleteAllThenReuse(t *testing.T) {
+	tr := New()
+	pts := make([]geo.LatLng, 100)
+	rng := rand.New(rand.NewSource(9))
+	for i := range pts {
+		pts[i] = geo.LatLng{Lat: rng.Float64() * 10, Lng: rng.Float64() * 10}
+		tr.Insert(ptRect(pts[i]), i)
+	}
+	for i := range pts {
+		if !tr.Delete(ptRect(pts[i]), i) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+	tr.Insert(ptRect(geo.LatLng{Lat: 1, Lng: 1}), "x")
+	if got := tr.SearchItems(geo.RectFromCenter(geo.LatLng{Lat: 1, Lng: 1}, 0.1, 0.1)); len(got) != 1 {
+		t.Fatalf("reuse after drain failed: %v", got)
+	}
+}
+
+func TestRectItems(t *testing.T) {
+	tr := New()
+	// Non-point rectangles (e.g. way bounding boxes).
+	r1 := geo.Rect{MinLat: 40, MinLng: -80, MaxLat: 40.1, MaxLng: -79.9}
+	r2 := geo.Rect{MinLat: 40.05, MinLng: -79.95, MaxLat: 40.2, MaxLng: -79.8}
+	tr.Insert(r1, "a")
+	tr.Insert(r2, "b")
+	got := tr.SearchItems(geo.Rect{MinLat: 40.06, MinLng: -79.94, MaxLat: 40.07, MaxLng: -79.93})
+	if len(got) != 2 {
+		t.Fatalf("rect overlap search returned %v", got)
+	}
+}
+
+func TestBound(t *testing.T) {
+	tr := New()
+	if !tr.Bound().IsEmpty() {
+		t.Fatal("empty tree has non-empty bound")
+	}
+	tr.Insert(ptRect(geo.LatLng{Lat: 40, Lng: -80}), 1)
+	tr.Insert(ptRect(geo.LatLng{Lat: 41, Lng: -79}), 2)
+	b := tr.Bound()
+	want := geo.Rect{MinLat: 40, MinLng: -80, MaxLat: 41, MaxLng: -79}
+	if b != want {
+		t.Fatalf("Bound = %v, want %v", b, want)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(ptRect(geo.LatLng{Lat: rng.Float64() * 90, Lng: rng.Float64() * 180}), i)
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New()
+	for i := 0; i < 100000; i++ {
+		tr.Insert(ptRect(geo.LatLng{Lat: 40 + rng.Float64(), Lng: -80 + rng.Float64()}), i)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q := geo.RectFromCenter(geo.LatLng{Lat: 40.5, Lng: -79.5}, 0.01, 0.01)
+		tr.Search(q, func(_ geo.Rect, _ Item) bool { return true })
+	}
+}
+
+func BenchmarkNearest(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New()
+	for i := 0; i < 100000; i++ {
+		tr.Insert(ptRect(geo.LatLng{Lat: 40 + rng.Float64(), Lng: -80 + rng.Float64()}), i)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Nearest(geo.LatLng{Lat: 40.5, Lng: -79.5}, 10, 0)
+	}
+}

@@ -1,0 +1,368 @@
+// Package store implements a map server's spatial database: an R-tree over
+// node positions and way segments for geometric queries (reverse geocode,
+// snapping, viewport retrieval) and an inverted index over tag text for
+// keyword retrieval. It is the per-server "federated spatial database"
+// building block of Figure 2.
+package store
+
+import (
+	"strings"
+	"sync"
+	"unicode"
+
+	"openflame/internal/geo"
+	"openflame/internal/osm"
+	"openflame/internal/rtree"
+)
+
+// SegmentRef identifies one segment of a way.
+type SegmentRef struct {
+	WayID osm.WayID
+	Index int // segment i connects way node i and i+1
+}
+
+// Store indexes one osm.Map. Mutations go through the Store (not the
+// underlying map) so indexes stay consistent. Safe for concurrent use.
+type Store struct {
+	mu    sync.RWMutex
+	m     *osm.Map
+	nodes *rtree.Tree // items: osm.NodeID at point rects
+	segs  *rtree.Tree // items: SegmentRef at segment bounds
+	inv   map[string]map[osm.NodeID]struct{}
+	// bounds caches the map's geodetic bounds, maintained incrementally.
+	bounds geo.Rect
+}
+
+// New builds the indexes for m. The map must not be mutated externally
+// afterwards.
+func New(m *osm.Map) *Store {
+	s := &Store{
+		m:      m,
+		nodes:  rtree.New(),
+		segs:   rtree.New(),
+		inv:    make(map[string]map[osm.NodeID]struct{}),
+		bounds: geo.EmptyRect(),
+	}
+	m.Nodes(func(n *osm.Node) bool {
+		s.indexNode(n)
+		return true
+	})
+	m.Ways(func(w *osm.Way) bool {
+		s.indexWay(w)
+		return true
+	})
+	return s
+}
+
+// Map returns the underlying map (read-only use).
+func (s *Store) Map() *osm.Map { return s.m }
+
+// Bounds returns the geodetic bounding rectangle of the indexed content.
+func (s *Store) Bounds() geo.Rect {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bounds
+}
+
+func pointRect(ll geo.LatLng) geo.Rect {
+	return geo.Rect{MinLat: ll.Lat, MinLng: ll.Lng, MaxLat: ll.Lat, MaxLng: ll.Lng}
+}
+
+func (s *Store) indexNode(n *osm.Node) {
+	pos := s.m.NodePosition(n)
+	s.nodes.Insert(pointRect(pos), n.ID)
+	s.bounds = s.bounds.ExpandToInclude(pos)
+	for _, tok := range TokenizeTags(n.Tags) {
+		set := s.inv[tok]
+		if set == nil {
+			set = make(map[osm.NodeID]struct{})
+			s.inv[tok] = set
+		}
+		set[n.ID] = struct{}{}
+	}
+}
+
+func (s *Store) unindexNode(n *osm.Node) {
+	pos := s.m.NodePosition(n)
+	s.nodes.Delete(pointRect(pos), n.ID)
+	for _, tok := range TokenizeTags(n.Tags) {
+		if set := s.inv[tok]; set != nil {
+			delete(set, n.ID)
+			if len(set) == 0 {
+				delete(s.inv, tok)
+			}
+		}
+	}
+}
+
+func (s *Store) indexWay(w *osm.Way) {
+	nodes := s.m.WayNodes(w)
+	for i := 1; i < len(nodes); i++ {
+		a := s.m.NodePosition(nodes[i-1])
+		b := s.m.NodePosition(nodes[i])
+		r := geo.EmptyRect().ExpandToInclude(a).ExpandToInclude(b)
+		s.segs.Insert(r, SegmentRef{WayID: w.ID, Index: i - 1})
+	}
+}
+
+// AddNode inserts a node into the map and indexes, returning its ID.
+func (s *Store) AddNode(n *osm.Node) osm.NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.m.AddNode(n)
+	s.indexNode(n)
+	return id
+}
+
+// AddWay inserts a way into the map and indexes.
+func (s *Store) AddWay(w *osm.Way) (osm.WayID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, err := s.m.AddWay(w)
+	if err != nil {
+		return 0, err
+	}
+	s.indexWay(w)
+	return id, nil
+}
+
+// UpdateNodeTags replaces a node's tags, maintaining the inverted index.
+// The update is copy-on-write: the stored node is replaced by a fresh one,
+// so concurrent readers holding the old *osm.Node see a consistent (stale)
+// snapshot rather than a mutating map.
+func (s *Store) UpdateNodeTags(id osm.NodeID, tags osm.Tags) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.m.Node(id)
+	if n == nil {
+		return false
+	}
+	s.unindexNode(n)
+	nn := &osm.Node{ID: n.ID, Pos: n.Pos, Local: n.Local, Tags: tags}
+	s.m.AddNode(nn) // replaces the entry under the map's own lock
+	s.indexNode(nn)
+	return true
+}
+
+// RemoveNode removes an unreferenced node from map and indexes.
+func (s *Store) RemoveNode(id osm.NodeID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.m.Node(id)
+	if n == nil {
+		return false
+	}
+	if err := s.m.RemoveNode(id); err != nil {
+		return false
+	}
+	s.unindexNode(n)
+	return true
+}
+
+// NodesInRect returns nodes whose position falls in r.
+func (s *Store) NodesInRect(r geo.Rect) []*osm.Node {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*osm.Node
+	s.nodes.Search(r, func(_ geo.Rect, it rtree.Item) bool {
+		if n := s.m.Node(it.(osm.NodeID)); n != nil {
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+// NodeHit is a proximity query result.
+type NodeHit struct {
+	Node           *osm.Node
+	DistanceMeters float64
+}
+
+// NearestNodes returns up to k nodes closest to ll within maxMeters
+// (<=0 for unbounded), closest first.
+func (s *Store) NearestNodes(ll geo.LatLng, k int, maxMeters float64) []NodeHit {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	nbrs := s.nodes.Nearest(ll, k, maxMeters)
+	out := make([]NodeHit, 0, len(nbrs))
+	for _, nb := range nbrs {
+		if n := s.m.Node(nb.Item.(osm.NodeID)); n != nil {
+			out = append(out, NodeHit{Node: n, DistanceMeters: nb.DistanceMeters})
+		}
+	}
+	return out
+}
+
+// NearestNodesWhere returns up to k nodes satisfying pred closest to ll.
+// It expands the candidate pool geometrically until enough matches are
+// found or the pool is exhausted.
+func (s *Store) NearestNodesWhere(ll geo.LatLng, k int, maxMeters float64, pred func(*osm.Node) bool) []NodeHit {
+	for pool := k * 4; ; pool *= 4 {
+		hits := s.NearestNodes(ll, pool, maxMeters)
+		var out []NodeHit
+		for _, h := range hits {
+			if pred(h.Node) {
+				out = append(out, h)
+				if len(out) == k {
+					return out
+				}
+			}
+		}
+		if len(hits) < pool {
+			return out // pool exhausted
+		}
+	}
+}
+
+// Snap is a snap-to-way result: the closest point on the closest way
+// segment, the way, and the nearer way endpoint node of that segment.
+type Snap struct {
+	Way            *osm.Way
+	Position       geo.LatLng
+	DistanceMeters float64
+	// NodeID is the closer endpoint of the snapped segment, useful as a
+	// routing graph entry point.
+	NodeID osm.NodeID
+}
+
+// SnapToWay projects ll onto the nearest way within maxMeters.
+// It returns false if no way is near.
+func (s *Store) SnapToWay(ll geo.LatLng, maxMeters float64) (Snap, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	// Candidate segments: those whose bounds fall within the search box.
+	search := pointRect(ll).ExpandedMeters(maxMeters)
+	best := Snap{DistanceMeters: maxMeters + 1}
+	found := false
+	s.segs.Search(search, func(_ geo.Rect, it rtree.Item) bool {
+		ref := it.(SegmentRef)
+		w := s.m.Way(ref.WayID)
+		if w == nil || ref.Index+1 >= len(w.NodeIDs) {
+			return true
+		}
+		na := s.m.Node(w.NodeIDs[ref.Index])
+		nb := s.m.Node(w.NodeIDs[ref.Index+1])
+		if na == nil || nb == nil {
+			return true
+		}
+		pa := s.m.NodePosition(na)
+		pb := s.m.NodePosition(nb)
+		cp, t := geo.ClosestPointOnSegment(ll, pa, pb)
+		d := geo.DistanceMeters(ll, cp)
+		if d < best.DistanceMeters {
+			nodeID := na.ID
+			if t > 0.5 {
+				nodeID = nb.ID
+			}
+			best = Snap{Way: w, Position: cp, DistanceMeters: d, NodeID: nodeID}
+			found = true
+		}
+		return true
+	})
+	if !found || best.DistanceMeters > maxMeters {
+		return Snap{}, false
+	}
+	return best, true
+}
+
+// ForEachSegmentNear calls fn for every way segment whose bounding box
+// lies within maxMeters of ll, passing the owning way and the segment's
+// endpoint positions. Used by the map matcher to enumerate candidate ways.
+func (s *Store) ForEachSegmentNear(ll geo.LatLng, maxMeters float64, fn func(wayID osm.WayID, a, b geo.LatLng)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	search := pointRect(ll).ExpandedMeters(maxMeters)
+	s.segs.Search(search, func(_ geo.Rect, it rtree.Item) bool {
+		ref := it.(SegmentRef)
+		w := s.m.Way(ref.WayID)
+		if w == nil || ref.Index+1 >= len(w.NodeIDs) {
+			return true
+		}
+		na := s.m.Node(w.NodeIDs[ref.Index])
+		nb := s.m.Node(w.NodeIDs[ref.Index+1])
+		if na == nil || nb == nil {
+			return true
+		}
+		fn(w.ID, s.m.NodePosition(na), s.m.NodePosition(nb))
+		return true
+	})
+}
+
+// TokenPostings returns the node IDs whose tags contain the token.
+func (s *Store) TokenPostings(token string) []osm.NodeID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	set := s.inv[strings.ToLower(token)]
+	out := make([]osm.NodeID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	return out
+}
+
+// TokenCount returns the number of distinct indexed tokens.
+func (s *Store) TokenCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.inv)
+}
+
+// NodeCount returns the number of indexed nodes.
+func (s *Store) NodeCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.nodes.Len()
+}
+
+// Tokenize splits free text into lowercase alphanumeric tokens.
+func Tokenize(text string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	for _, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			cur.WriteRune(r)
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// TokenizeTags extracts searchable tokens from a tag set: all values, plus
+// the keys of flag-like tags. Structural keys (IDs, coordinates) are
+// skipped.
+func TokenizeTags(tags osm.Tags) []string {
+	seen := make(map[string]struct{})
+	var out []string
+	add := func(tok string) {
+		if _, ok := seen[tok]; ok {
+			return
+		}
+		seen[tok] = struct{}{}
+		out = append(out, tok)
+	}
+	for k, v := range tags {
+		if k == osm.TagPortalID || k == osm.TagLevel {
+			continue
+		}
+		for _, tok := range Tokenize(v) {
+			add(tok)
+		}
+		// Category keys (amenity=cafe etc.) are searchable by key too.
+		switch k {
+		case osm.TagAmenity, osm.TagShop, osm.TagBuilding, osm.TagProduct:
+			for _, tok := range Tokenize(k) {
+				add(tok)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+// Package wire defines the JSON API types exchanged between OpenFLAME
+// clients and map servers (Figure 2). Both sides import this package, so
+// the HTTP contract lives in one place.
+package wire
+
+import (
+	"openflame/internal/geo"
+	"openflame/internal/loc"
+	"openflame/internal/search"
+)
+
+// Service names a location-based service a map server can expose (§4).
+type Service string
+
+// The base services of §4.
+const (
+	SvcGeocode  Service = "geocode"
+	SvcRGeocode Service = "rgeocode"
+	SvcSearch   Service = "search"
+	SvcRoute    Service = "route"
+	SvcLocalize Service = "localize"
+	SvcTiles    Service = "tiles"
+)
+
+// AllServices lists every base service.
+func AllServices() []Service {
+	return []Service{SvcGeocode, SvcRGeocode, SvcSearch, SvcRoute, SvcLocalize, SvcTiles}
+}
+
+// Portal describes a cross-map connection point: a node present (under
+// possibly different labels, §2.1) in two maps, identified by a shared
+// portal ID. World is the advertising server's belief of its geodetic
+// position.
+type Portal struct {
+	ID     string     `json:"id"`
+	NodeID int64      `json:"nodeId"`
+	World  geo.LatLng `json:"world"`
+	Name   string     `json:"name,omitempty"`
+}
+
+// Info describes a map server: its identity, coverage, and capabilities.
+// Coverage is the registration covering as cell tokens — the same cells
+// the server registers in the discovery DNS (§5.1).
+type Info struct {
+	Name         string           `json:"name"`
+	Coverage     []string         `json:"coverage"`
+	Services     []Service        `json:"services"`
+	Technologies []loc.Technology `json:"technologies,omitempty"`
+	Portals      []Portal         `json:"portals,omitempty"`
+	// FrameKind is "geodetic" or "local" (§2.1 heterogeneity).
+	FrameKind string `json:"frameKind"`
+}
+
+// GeocodeRequest resolves a textual address.
+type GeocodeRequest struct {
+	Query string `json:"query"`
+	Limit int    `json:"limit,omitempty"`
+}
+
+// GeocodeResult is one forward-geocode hit.
+type GeocodeResult struct {
+	NodeID   int64      `json:"nodeId"`
+	Name     string     `json:"name"`
+	Position geo.LatLng `json:"position"`
+	Score    float64    `json:"score"`
+	Address  string     `json:"address,omitempty"`
+}
+
+// GeocodeResponse carries forward-geocode hits, best first.
+type GeocodeResponse struct {
+	Results []GeocodeResult `json:"results"`
+}
+
+// RGeocodeRequest resolves a position to the nearest addressable node.
+type RGeocodeRequest struct {
+	Position  geo.LatLng `json:"position"`
+	MaxMeters float64    `json:"maxMeters,omitempty"`
+}
+
+// RGeocodeResponse carries the reverse-geocode hit, if any.
+type RGeocodeResponse struct {
+	Found  bool          `json:"found"`
+	Result GeocodeResult `json:"result,omitempty"`
+}
+
+// SearchRequest is a location-based search (§4).
+type SearchRequest struct {
+	Query             string      `json:"query"`
+	Near              *geo.LatLng `json:"near,omitempty"`
+	MaxDistanceMeters float64     `json:"maxDistanceMeters,omitempty"`
+	Limit             int         `json:"limit,omitempty"`
+}
+
+// SearchResponse carries ranked hits.
+type SearchResponse struct {
+	Results []search.Result `json:"results"`
+}
+
+// RouteMetric selects what a route optimizes (§4: "the path usually
+// optimizes a metric such as distance, travel time, …").
+type RouteMetric string
+
+// Supported route metrics.
+const (
+	MetricTime     RouteMetric = "time"     // default: seconds by profile speed
+	MetricDistance RouteMetric = "distance" // meters, speed-agnostic
+)
+
+// RouteRequest asks for a path between two positions within the server's
+// map (the client stitches across servers, §5.2). If FromNode/ToNode are
+// non-zero they override position snapping.
+type RouteRequest struct {
+	From     geo.LatLng  `json:"from"`
+	To       geo.LatLng  `json:"to"`
+	FromNode int64       `json:"fromNode,omitempty"`
+	ToNode   int64       `json:"toNode,omitempty"`
+	Metric   RouteMetric `json:"metric,omitempty"`
+}
+
+// RoutePoint is one step of a returned route.
+type RoutePoint struct {
+	NodeID   int64      `json:"nodeId"`
+	Position geo.LatLng `json:"position"`
+}
+
+// RouteResponse carries the in-map route.
+type RouteResponse struct {
+	Found        bool         `json:"found"`
+	Points       []RoutePoint `json:"points,omitempty"`
+	CostSeconds  float64      `json:"costSeconds"`
+	LengthMeters float64      `json:"lengthMeters"`
+}
+
+// RouteMatrixRequest asks for pairwise route costs — used by the client's
+// portal meta-graph to price legs with one round trip. Endpoints are node
+// IDs or positions the server snaps (a position entry is used where the
+// corresponding node ID is zero).
+type RouteMatrixRequest struct {
+	FromNodes     []int64      `json:"fromNodes"`
+	ToNodes       []int64      `json:"toNodes"`
+	FromPositions []geo.LatLng `json:"fromPositions,omitempty"`
+	ToPositions   []geo.LatLng `json:"toPositions,omitempty"`
+}
+
+// RouteMatrixResponse carries CostSeconds[i][j] for FromNodes[i]→ToNodes[j];
+// unreachable pairs hold a negative value.
+type RouteMatrixResponse struct {
+	CostSeconds [][]float64 `json:"costSeconds"`
+}
+
+// LocalizeRequest submits sensor cues for localization (§5.2).
+type LocalizeRequest struct {
+	Cue loc.Cue `json:"cue"`
+}
+
+// LocalizeResponse carries the server's fix, if it could localize.
+type LocalizeResponse struct {
+	Found bool    `json:"found"`
+	Fix   loc.Fix `json:"fix,omitempty"`
+}
+
+// ErrorResponse is returned with non-2xx statuses.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
