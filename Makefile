@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: verify fmt vet build test race bench-fanout
+
+## verify: the full CI gate — formatting, vet, build, tests under -race.
+verify: fmt vet build race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench-fanout: the E13 sequential-vs-concurrent fan-out comparison.
+bench-fanout:
+	$(GO) test -run xxx -bench E13 -benchtime 10x .

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -50,8 +51,8 @@ func main() {
 	defer srv.Close()
 	fmt.Printf("authoritative for %s on %s (%d records)\n", zone.Apex(), srv.Addr(), zone.RecordCount())
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	<-ctx.Done()
 	log.Printf("served %d queries", srv.QueryCount())
 }

@@ -8,11 +8,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"time"
 
 	"openflame/internal/discovery"
 	"openflame/internal/mapserver"
@@ -66,6 +70,24 @@ func main() {
 		cell := s2cell.FromToken(tok)
 		fmt.Printf("  %s 60 IN TXT %q\n", discovery.CellDomain(cell, discovery.DefaultSuffix), discovery.FormatTXT(ann))
 	}
+	// Serve until interrupted, then drain in-flight requests gracefully;
+	// per-request contexts (honored by the handler) are cancelled by the
+	// shutdown deadline if a request outlives the drain window.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
 	log.Printf("listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	select {
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down, draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Fatalf("shutdown: %v", err)
+	}
 }

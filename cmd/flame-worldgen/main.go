@@ -8,12 +8,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"path/filepath"
+	"sync"
 
+	"openflame/internal/fanout"
 	"openflame/internal/osm"
 	"openflame/internal/worldgen"
 )
@@ -36,21 +39,37 @@ func main() {
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatalf("mkdir: %v", err)
 	}
-	write := func(name string, m *osm.Map) {
+	var printMu sync.Mutex
+	write := func(name string, m *osm.Map) error {
 		path := filepath.Join(*out, name)
 		f, err := os.Create(path)
 		if err != nil {
-			log.Fatalf("create %s: %v", path, err)
+			return fmt.Errorf("create %s: %v", path, err)
 		}
 		defer f.Close()
 		if err := m.WriteXML(f); err != nil {
-			log.Fatalf("write %s: %v", path, err)
+			return fmt.Errorf("write %s: %v", path, err)
 		}
+		printMu.Lock()
 		fmt.Printf("wrote %-28s nodes=%-5d ways=%-4d\n", path, m.NodeCount(), m.WayCount())
+		printMu.Unlock()
+		return nil
 	}
-	write("city.osm.xml", w.Outdoor)
-	for i, s := range w.Stores {
-		write(fmt.Sprintf("store-%d.osm.xml", i), s.Map)
+	// The maps are independent: serialize them on the bounded pool.
+	errs := make([]error, len(w.Stores)+1)
+	fanout.ForEach(context.Background(), len(w.Stores)+1, 0, func(_ context.Context, i int) {
+		if i == 0 {
+			errs[0] = write("city.osm.xml", w.Outdoor)
+			return
+		}
+		errs[i] = write(fmt.Sprintf("store-%d.osm.xml", i-1), w.Stores[i-1].Map)
+	})
+	for _, err := range errs {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, s := range w.Stores {
 		fmt.Printf("  %s: %d products, %d beacons, portal %s\n",
 			s.Map.Name, len(s.Products), len(s.Beacons), s.PortalID)
 	}

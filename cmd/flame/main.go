@@ -12,13 +12,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"openflame/internal/client"
 	"openflame/internal/discovery"
@@ -32,21 +35,35 @@ func main() {
 	world := flag.String("world", "", "world map provider URL (for geocode)")
 	user := flag.String("user", "", "identity asserted as X-Flame-User")
 	app := flag.String("app", "", "application asserted as X-Flame-App")
+	timeout := flag.Duration("timeout", 30*time.Second, "overall deadline for the command (0 = none)")
+	perServer := flag.Duration("per-server-timeout", 5*time.Second, "deadline per federation member (0 = none)")
+	concurrency := flag.Int("concurrency", 0, "max concurrent server calls (0 = default, 1 = sequential)")
 	flag.Parse()
 
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 	}
+	// Ctrl-C cancels every in-flight discovery and server call.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	resolver := dns.NewResolver(dns.UDPExchanger{}, []dns.RootHint{{Name: "root.", Addr: *root}})
 	disc := discovery.NewClient(resolver, discovery.DefaultSuffix)
+	disc.MaxConcurrency = *concurrency
 	c := client.New(disc, http.DefaultClient)
 	c.User, c.App, c.WorldURL = *user, *app, *world
+	c.MaxConcurrency = *concurrency
+	c.PerServerTimeout = *perServer
 
 	switch args[0] {
 	case "discover":
 		ll := parseLatLng(args, 1)
-		anns := c.Discover(ll)
+		anns := c.DiscoverCtx(ctx, ll)
 		if len(anns) == 0 {
 			fmt.Println("no map servers found")
 			return
@@ -57,13 +74,13 @@ func main() {
 	case "search":
 		ll := parseLatLng(args, 1)
 		query := strings.Join(args[3:], " ")
-		for i, r := range c.Search(query, ll, 10) {
+		for i, r := range c.SearchCtx(ctx, query, ll, 10) {
 			fmt.Printf("%2d. %-32s %6.0fm score=%.2f via %s\n",
 				i+1, r.Name, r.DistanceMeters, r.Score, r.Source)
 		}
 	case "geocode":
 		address := strings.Join(args[1:], " ")
-		r, err := c.Geocode(address)
+		r, err := c.GeocodeCtx(ctx, address)
 		if err != nil {
 			log.Fatalf("geocode: %v", err)
 		}
@@ -71,7 +88,7 @@ func main() {
 	case "route":
 		from := parseLatLng(args, 1)
 		to := parseLatLng(args, 3)
-		route, err := c.Route(from, to)
+		route, err := c.RouteCtx(ctx, from, to)
 		if err != nil {
 			log.Fatalf("route: %v", err)
 		}
@@ -84,12 +101,12 @@ func main() {
 		ll := parseLatLng(args, 1)
 		z := mustInt(args, 3)
 		out := mustArg(args, 4)
-		anns := c.Discover(ll)
+		anns := c.DiscoverCtx(ctx, ll)
 		if len(anns) == 0 {
 			log.Fatal("no map servers found")
 		}
 		coord := tiles.FromLatLng(ll, z)
-		png, err := c.GetTilePNG(anns[0].URL, coord.Z, coord.X, coord.Y)
+		png, err := c.GetTilePNGCtx(ctx, anns[0].URL, coord.Z, coord.X, coord.Y)
 		if err != nil {
 			log.Fatalf("tile: %v", err)
 		}

@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
 	"openflame/internal/align"
 	"openflame/internal/core"
@@ -31,7 +33,12 @@ func main() {
 	}
 	defer fed.Close()
 
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
 	c := fed.NewClient()
+	// A slow federation member is skipped after 2s instead of stalling the
+	// walk (the first-error-tolerant merge of §5.2's client aggregation).
+	c.PerServerTimeout = 2 * time.Second
 	rng := rand.New(rand.NewSource(2025))
 	store := world.Stores[0]
 	product := "roasted seaweed"
@@ -41,7 +48,7 @@ func main() {
 
 	// --- 1. Product search -------------------------------------------------
 	fmt.Printf("user at %s searches for %q\n", userPos, product)
-	results := c.Search(product, userPos, 5)
+	results := c.SearchCtx(ctx, product, userPos, 5)
 	if len(results) == 0 {
 		log.Fatal("product not found anywhere nearby")
 	}
@@ -50,7 +57,7 @@ func main() {
 		shelfHit.Name, shelfHit.DistanceMeters, shelfHit.Source)
 
 	// --- 2. Stitched route -------------------------------------------------
-	route, err := c.Route(userPos, shelfHit.Position)
+	route, err := c.RouteCtx(ctx, userPos, shelfHit.Position)
 	if err != nil {
 		log.Fatalf("route: %v", err)
 	}
@@ -103,7 +110,7 @@ func main() {
 		cue := loc.SynthesizeRSSICue(truthLocal, store.Beacons, loc.DefaultRadioModel(), rng)
 		prior, priorSigma := dr.Estimate()
 		_ = prior
-		fix, ok := c.Localize(truth, []loc.Cue{cue}, ga.ToWorld(prior), priorSigma+5)
+		fix, ok := c.LocalizeCtx(ctx, truth, []loc.Cue{cue}, ga.ToWorld(prior), priorSigma+5)
 		if !ok {
 			fmt.Printf("  [%2d] no indoor fix!\n", i)
 			continue

@@ -5,8 +5,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"openflame/internal/core"
 	"openflame/internal/geo"
@@ -14,6 +16,11 @@ import (
 )
 
 func main() {
+	// One context bounds the whole session: every discovery and every
+	// fanned-out server call below is cancelled if the deadline passes.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
 	// 1. Generate a synthetic world: an 8x8-block city and three stores
 	//    with their own local-frame indoor maps.
 	world := worldgen.GenWorld(worldgen.DefaultWorldParams())
@@ -38,26 +45,27 @@ func main() {
 	store := world.Stores[0]
 	entrance := store.Correspondences[len(store.Correspondences)-1].World
 	fmt.Printf("\ndiscovery at %s:\n", entrance)
-	for _, a := range c.Discover(entrance) {
+	for _, a := range c.DiscoverCtx(ctx, entrance) {
 		fmt.Printf("  %-20s level=%d %s\n", a.Name, a.Level, a.URL)
 	}
 
 	// 4. Federated location-based search: the product lives only in the
-	//    store's own map; the world map knows just the storefront.
+	//    store's own map; the world map knows just the storefront. The
+	//    per-server requests fan out concurrently (c.MaxConcurrency).
 	product := store.Products[0]
 	fmt.Printf("\nsearch %q near the store:\n", product)
-	for i, r := range c.Search(product, geo.Offset(entrance, 50, 180), 5) {
+	for i, r := range c.SearchCtx(ctx, product, geo.Offset(entrance, 50, 180), 5) {
 		fmt.Printf("  %d. %-32s %5.0fm via %s\n", i+1, r.Name, r.DistanceMeters, r.Source)
 	}
 
 	// 5. A stitched route: the world map routes along streets to the
 	//    storefront; the store's map takes over to the shelf.
-	shelf, err := c.Geocode(product + " shelf, " + store.Map.Name)
+	shelf, err := c.GeocodeCtx(ctx, product+" shelf, "+store.Map.Name)
 	if err != nil {
 		log.Fatalf("geocode: %v", err)
 	}
 	from := geo.LatLng{Lat: 40.4400, Lng: -79.9990}
-	route, err := c.Route(from, shelf.Position)
+	route, err := c.RouteCtx(ctx, from, shelf.Position)
 	if err != nil {
 		log.Fatalf("route: %v", err)
 	}

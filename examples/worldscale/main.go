@@ -12,6 +12,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"image/color"
 	"log"
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"openflame/internal/core"
+	"openflame/internal/fanout"
 	"openflame/internal/geo"
 	"openflame/internal/osm"
 	"openflame/internal/raster"
@@ -40,15 +42,17 @@ func main() {
 		len(fed.Servers), params.City.BlocksX, params.City.BlocksY)
 
 	// --- discovery caching -------------------------------------------------
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
 	c := fed.NewClient()
 	store := world.Stores[0]
 	entrance := store.Correspondences[len(store.Correspondences)-1].World
 
 	cold := time.Now()
-	anns := c.Discover(entrance)
+	anns := c.DiscoverCtx(ctx, entrance)
 	coldDur := time.Since(cold)
 	warm := time.Now()
-	c.Discover(entrance)
+	c.DiscoverCtx(ctx, entrance)
 	warmDur := time.Since(warm)
 	fmt.Printf("\ndiscovery at a store entrance: %d servers\n", len(anns))
 	fmt.Printf("  cold (full DNS walk): %v\n", coldDur)
@@ -78,17 +82,18 @@ func main() {
 		h.Server.Name(), time.Since(start))
 
 	// --- federated tile stitching -------------------------------------------
+	// One tile view composites layers from every covering server; fetch
+	// them concurrently and reassemble in discovery order.
 	coord := tiles.FromLatLng(entrance, 18)
-	var layers []*raster.Canvas
-	var bgs []color.RGBA
-	for _, a := range anns {
-		png, err := c.GetTilePNG(a.URL, coord.Z, coord.X, coord.Y)
+	layerSlots := make([]*raster.Canvas, len(anns))
+	fanout.ForEach(ctx, len(anns), 0, func(ctx context.Context, i int) {
+		png, err := c.GetTilePNGCtx(ctx, anns[i].URL, coord.Z, coord.X, coord.Y)
 		if err != nil {
-			continue
+			return
 		}
 		img, err := raster.DecodePNG(bytes.NewReader(png))
 		if err != nil {
-			continue
+			return
 		}
 		canvas := raster.NewCanvas(tiles.Size, tiles.Size, color.RGBA{0, 0, 0, 0})
 		for y := 0; y < tiles.Size; y++ {
@@ -96,9 +101,16 @@ func main() {
 				canvas.Img.Set(x, y, img.At(x, y))
 			}
 		}
-		layers = append(layers, canvas)
-		bgs = append(bgs, tiles.DefaultStyle().Background)
-		fmt.Printf("  fetched tile layer from %s (%d bytes)\n", a.Name, len(png))
+		layerSlots[i] = canvas
+		fmt.Printf("  fetched tile layer from %s (%d bytes)\n", anns[i].Name, len(png))
+	})
+	var layers []*raster.Canvas
+	var bgs []color.RGBA
+	for _, l := range layerSlots {
+		if l != nil {
+			layers = append(layers, l)
+			bgs = append(bgs, tiles.DefaultStyle().Background)
+		}
 	}
 	if len(layers) > 0 {
 		stitched := tiles.Stitch(layers, bgs)

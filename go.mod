@@ -1,0 +1,3 @@
+module openflame
+
+go 1.22

@@ -8,15 +8,19 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"openflame/internal/discovery"
+	"openflame/internal/fanout"
 	"openflame/internal/geo"
 	"openflame/internal/geocode"
 	"openflame/internal/loc"
@@ -26,6 +30,12 @@ import (
 )
 
 // Client is an OpenFLAME client. Create with New; safe for concurrent use.
+//
+// Every service method fans out to the servers discovered for the request
+// concurrently (the client is the federation's aggregation point, §5.2), so
+// end-to-end latency tracks the slowest responding server, not the sum of
+// all of them. Each method has a ctx-first variant; the plain variants use
+// context.Background().
 type Client struct {
 	disc *discovery.Client
 	http *http.Client
@@ -39,10 +49,18 @@ type Client struct {
 	WorldURL string
 	// SearchRadiusMeters bounds discovery-based search (default 1000).
 	SearchRadiusMeters float64
+	// MaxConcurrency bounds the per-request fan-out worker pool (default
+	// fanout.DefaultLimit; 1 reproduces the sequential client).
+	MaxConcurrency int
+	// PerServerTimeout, when > 0, caps each individual server call so one
+	// hung federation member cannot stall the merge; the slow server is
+	// skipped like any other failure.
+	PerServerTimeout time.Duration
 
-	requests  atomic.Int64
-	infoMu    sync.Mutex
-	infoCache map[string]wire.Info
+	requests   atomic.Int64
+	infoMu     sync.Mutex
+	infoCache  map[string]wire.Info
+	infoFlight fanout.Group[wire.Info]
 }
 
 // New creates a client over a discovery client and an HTTP client
@@ -65,17 +83,37 @@ func (c *Client) RequestCount() int64 { return c.requests.Load() }
 
 // Discover exposes raw discovery for applications.
 func (c *Client) Discover(ll geo.LatLng) []discovery.Announcement {
-	return c.disc.Discover(ll)
+	return c.DiscoverCtx(context.Background(), ll)
+}
+
+// DiscoverCtx is Discover under a context.
+func (c *Client) DiscoverCtx(ctx context.Context, ll geo.LatLng) []discovery.Announcement {
+	return c.disc.DiscoverCtx(ctx, ll)
+}
+
+// forEachServer runs fn over n servers on the client's bounded worker pool,
+// giving each call its own per-server timeout. fn records results into
+// caller-owned indexed slots; failed or cancelled servers simply leave
+// their slot empty (first-error-tolerant merge).
+func (c *Client) forEachServer(ctx context.Context, n int, fn func(ctx context.Context, i int)) {
+	fanout.ForEach(ctx, n, c.MaxConcurrency, func(ctx context.Context, i int) {
+		if c.PerServerTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, c.PerServerTimeout)
+			defer cancel()
+		}
+		fn(ctx, i)
+	})
 }
 
 // call POSTs a JSON request and decodes the response.
-func (c *Client) call(baseURL, path string, req, resp interface{}) error {
+func (c *Client) call(ctx context.Context, baseURL, path string, req, resp interface{}) error {
 	c.requests.Add(1)
 	body, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}
-	httpReq, err := http.NewRequest(http.MethodPost, baseURL+path, bytes.NewReader(body))
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+path, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -101,25 +139,50 @@ func (c *Client) call(baseURL, path string, req, resp interface{}) error {
 
 // Info fetches (and caches) a server's description.
 func (c *Client) Info(baseURL string) (wire.Info, error) {
+	return c.InfoCtx(context.Background(), baseURL)
+}
+
+// InfoCtx is Info under a context. Concurrent fetches of the same URL are
+// coalesced into one HTTP request.
+func (c *Client) InfoCtx(ctx context.Context, baseURL string) (wire.Info, error) {
 	c.infoMu.Lock()
 	if info, ok := c.infoCache[baseURL]; ok {
 		c.infoMu.Unlock()
 		return info, nil
 	}
 	c.infoMu.Unlock()
-	c.requests.Add(1)
-	res, err := c.http.Get(baseURL + "/info")
+	fetch := func(ctx context.Context) (wire.Info, error) {
+		c.requests.Add(1)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/info", nil)
+		if err != nil {
+			return wire.Info{}, err
+		}
+		res, err := c.http.Do(req)
+		if err != nil {
+			return wire.Info{}, err
+		}
+		defer res.Body.Close()
+		var info wire.Info
+		if err := json.NewDecoder(res.Body).Decode(&info); err != nil {
+			return wire.Info{}, err
+		}
+		c.infoMu.Lock()
+		c.infoCache[baseURL] = info
+		c.infoMu.Unlock()
+		return info, nil
+	}
+	info, err := c.infoFlight.Do(baseURL, func() (wire.Info, error) {
+		return fetch(ctx)
+	})
+	// The coalesced fetch ran under the leader's context; if it was the
+	// leader that got cancelled while our context is live, retry directly.
+	if err != nil && ctx.Err() == nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		info, err = fetch(ctx)
+	}
 	if err != nil {
 		return wire.Info{}, err
 	}
-	defer res.Body.Close()
-	var info wire.Info
-	if err := json.NewDecoder(res.Body).Decode(&info); err != nil {
-		return wire.Info{}, err
-	}
-	c.infoMu.Lock()
-	c.infoCache[baseURL] = info
-	c.infoMu.Unlock()
 	return info, nil
 }
 
@@ -128,43 +191,48 @@ func (c *Client) Info(baseURL string) (wire.Info, error) {
 // must reach maps the user is not standing inside) and merges the ranked
 // results (§5.2). Servers that fail or deny access are skipped.
 func (c *Client) Search(query string, near geo.LatLng, limit int) []search.Result {
-	region := s2cell.CapRegion{Cap: geo.Cap{Center: near, RadiusMeters: c.SearchRadiusMeters}}
-	anns := c.disc.DiscoverRegion(region)
-	var lists [][]search.Result
-	for _, a := range anns {
-		var resp wire.SearchResponse
-		req := wire.SearchRequest{
-			Query: query, Near: &near,
-			MaxDistanceMeters: c.SearchRadiusMeters, Limit: limit,
-		}
-		if err := c.call(a.URL, "/search", req, &resp); err != nil {
-			continue
-		}
-		lists = append(lists, resp.Results)
-	}
-	return search.Merge(lists, limit)
+	return c.SearchFanout(query, near, limit, 0)
+}
+
+// SearchCtx is Search under a context: cancellation aborts discovery and
+// all in-flight server calls.
+func (c *Client) SearchCtx(ctx context.Context, query string, near geo.LatLng, limit int) []search.Result {
+	return c.SearchFanoutCtx(ctx, query, near, limit, 0)
 }
 
 // SearchFanout is Search restricted to the first maxServers discovered
-// servers — the E6 experiment's knob for measuring recall as a function of
-// how many federation members have answered.
+// servers (0 = all) — the E6 experiment's knob for measuring recall as a
+// function of how many federation members have answered.
 func (c *Client) SearchFanout(query string, near geo.LatLng, limit, maxServers int) []search.Result {
+	return c.SearchFanoutCtx(context.Background(), query, near, limit, maxServers)
+}
+
+// SearchFanoutCtx is SearchFanout under a context. The per-server searches
+// run concurrently on the client's bounded pool; the merge preserves the
+// deterministic discovery order, so concurrency does not change results.
+func (c *Client) SearchFanoutCtx(ctx context.Context, query string, near geo.LatLng, limit, maxServers int) []search.Result {
 	region := s2cell.CapRegion{Cap: geo.Cap{Center: near, RadiusMeters: c.SearchRadiusMeters}}
-	anns := c.disc.DiscoverRegion(region)
+	anns := c.disc.DiscoverRegionCtx(ctx, region)
 	if maxServers > 0 && len(anns) > maxServers {
 		anns = anns[:maxServers]
 	}
-	var lists [][]search.Result
-	for _, a := range anns {
+	slots := make([][]search.Result, len(anns))
+	c.forEachServer(ctx, len(anns), func(ctx context.Context, i int) {
 		var resp wire.SearchResponse
 		req := wire.SearchRequest{
 			Query: query, Near: &near,
 			MaxDistanceMeters: c.SearchRadiusMeters, Limit: limit,
 		}
-		if err := c.call(a.URL, "/search", req, &resp); err != nil {
-			continue
+		if err := c.call(ctx, anns[i].URL, "/search", req, &resp); err != nil {
+			return
 		}
-		lists = append(lists, resp.Results)
+		slots[i] = resp.Results
+	})
+	var lists [][]search.Result
+	for _, l := range slots {
+		if l != nil {
+			lists = append(lists, l)
+		}
 	}
 	return search.Merge(lists, limit)
 }
@@ -173,6 +241,13 @@ func (c *Client) SearchFanout(query string, near geo.LatLng, limit, maxServers i
 // the world provider; the specific head is asked of the fine servers
 // discovered around the coarse position. The best-scoring result wins.
 func (c *Client) Geocode(address string) (wire.GeocodeResult, error) {
+	return c.GeocodeCtx(context.Background(), address)
+}
+
+// GeocodeCtx is Geocode under a context: the fine fan-out across discovered
+// servers runs concurrently; the coarse suffix walk stays sequential (each
+// step depends on the previous miss).
+func (c *Client) GeocodeCtx(ctx context.Context, address string) (wire.GeocodeResult, error) {
 	parts := geocode.ParseAddress(address)
 	if len(parts) == 0 {
 		return wire.GeocodeResult{}, fmt.Errorf("client: empty address")
@@ -189,7 +264,7 @@ func (c *Client) Geocode(address string) (wire.GeocodeResult, error) {
 	for cut := 1; cut < len(parts)+1 && !found; cut++ {
 		tail := join(parts[len(parts)-cut:])
 		var resp wire.GeocodeResponse
-		if err := c.call(c.WorldURL, "/geocode", wire.GeocodeRequest{Query: tail, Limit: 1}, &resp); err != nil {
+		if err := c.call(ctx, c.WorldURL, "/geocode", wire.GeocodeRequest{Query: tail, Limit: 1}, &resp); err != nil {
 			return wire.GeocodeResult{}, err
 		}
 		if len(resp.Results) > 0 {
@@ -203,22 +278,30 @@ func (c *Client) Geocode(address string) (wire.GeocodeResult, error) {
 	// Fine: ask every server discovered around the coarse position (the
 	// world provider among them) for the FULL address and keep the best
 	// full-address score; fall back to the coarse hit.
-	var best wire.GeocodeResult
-	bestScore := -1.0
 	urls := []string{c.WorldURL}
-	for _, a := range c.disc.Discover(coarse.Position) {
+	for _, a := range c.disc.DiscoverCtx(ctx, coarse.Position) {
 		if a.URL != c.WorldURL {
 			urls = append(urls, a.URL)
 		}
 	}
-	for _, url := range urls {
+	slots := make([]*wire.GeocodeResult, len(urls))
+	c.forEachServer(ctx, len(urls), func(ctx context.Context, i int) {
 		var resp wire.GeocodeResponse
-		if err := c.call(url, "/geocode", wire.GeocodeRequest{Query: address, Limit: 1}, &resp); err != nil {
-			continue
+		if err := c.call(ctx, urls[i], "/geocode", wire.GeocodeRequest{Query: address, Limit: 1}, &resp); err != nil {
+			return
 		}
-		if len(resp.Results) > 0 && resp.Results[0].Score > bestScore {
-			best = resp.Results[0]
-			bestScore = best.Score
+		if len(resp.Results) > 0 {
+			slots[i] = &resp.Results[0]
+		}
+	})
+	// Deterministic merge in URL order: strictly-better score wins, exactly
+	// as the sequential loop did.
+	var best wire.GeocodeResult
+	bestScore := -1.0
+	for _, r := range slots {
+		if r != nil && r.Score > bestScore {
+			best = *r
+			bestScore = r.Score
 		}
 	}
 	if bestScore < 0 {
@@ -241,19 +324,33 @@ func join(parts []string) string {
 // ReverseGeocode asks every discovered server and returns the closest
 // addressable hit.
 func (c *Client) ReverseGeocode(ll geo.LatLng, maxMeters float64) (wire.GeocodeResult, bool) {
+	return c.ReverseGeocodeCtx(context.Background(), ll, maxMeters)
+}
+
+// ReverseGeocodeCtx is ReverseGeocode under a context, fanning out to the
+// discovered servers concurrently.
+func (c *Client) ReverseGeocodeCtx(ctx context.Context, ll geo.LatLng, maxMeters float64) (wire.GeocodeResult, bool) {
+	anns := c.disc.DiscoverCtx(ctx, ll)
+	slots := make([]*wire.GeocodeResult, len(anns))
+	c.forEachServer(ctx, len(anns), func(ctx context.Context, i int) {
+		var resp wire.RGeocodeResponse
+		if err := c.call(ctx, anns[i].URL, "/rgeocode", wire.RGeocodeRequest{Position: ll, MaxMeters: maxMeters}, &resp); err != nil {
+			return
+		}
+		if resp.Found {
+			r := resp.Result
+			slots[i] = &r
+		}
+	})
 	bestD := maxMeters
 	var best wire.GeocodeResult
 	found := false
-	for _, a := range c.disc.Discover(ll) {
-		var resp wire.RGeocodeResponse
-		if err := c.call(a.URL, "/rgeocode", wire.RGeocodeRequest{Position: ll, MaxMeters: maxMeters}, &resp); err != nil {
+	for _, r := range slots {
+		if r == nil {
 			continue
 		}
-		if !resp.Found {
-			continue
-		}
-		if d := geo.DistanceMeters(ll, resp.Result.Position); !found || d < bestD {
-			best, bestD, found = resp.Result, d, true
+		if d := geo.DistanceMeters(ll, r.Position); !found || d < bestD {
+			best, bestD, found = *r, d, true
 		}
 	}
 	return best, found
@@ -263,6 +360,12 @@ func (c *Client) ReverseGeocode(ll geo.LatLng, maxMeters float64) (wire.GeocodeR
 // matching technology and picks the most plausible fix against the prior
 // (§5.2). priorSigma <= 0 disables the prior.
 func (c *Client) Localize(coarse geo.LatLng, cues []loc.Cue, prior geo.LatLng, priorSigmaMeters float64) (loc.Fix, bool) {
+	return c.LocalizeCtx(context.Background(), coarse, cues, prior, priorSigmaMeters)
+}
+
+// LocalizeCtx is Localize under a context: every (server, cue) pair whose
+// technology matches becomes one concurrent call on the bounded pool.
+func (c *Client) LocalizeCtx(ctx context.Context, coarse geo.LatLng, cues []loc.Cue, prior geo.LatLng, priorSigmaMeters float64) (loc.Fix, bool) {
 	// The coarse position may be off by its own sigma (indoor GPS);
 	// discover over a cap so the right map is found anyway — at the cost
 	// of sometimes reaching "unrelated maps" the selection step rejects
@@ -271,8 +374,13 @@ func (c *Client) Localize(coarse geo.LatLng, cues []loc.Cue, prior geo.LatLng, p
 	if radius < 60 {
 		radius = 60
 	}
-	anns := c.disc.DiscoverRegion(s2cell.CapRegion{Cap: geo.Cap{Center: coarse, RadiusMeters: radius}})
-	var fixes []loc.Fix
+	anns := c.disc.DiscoverRegionCtx(ctx, s2cell.CapRegion{Cap: geo.Cap{Center: coarse, RadiusMeters: radius}})
+	// Flatten to (server, cue) calls first so the pool sees them all.
+	type callSpec struct {
+		url string
+		cue loc.Cue
+	}
+	var specs []callSpec
 	for _, a := range anns {
 		techs := make(map[loc.Technology]bool, len(a.Technologies))
 		for _, t := range a.Technologies {
@@ -282,13 +390,24 @@ func (c *Client) Localize(coarse geo.LatLng, cues []loc.Cue, prior geo.LatLng, p
 			if len(a.Technologies) > 0 && !techs[cue.Technology] {
 				continue
 			}
-			var resp wire.LocalizeResponse
-			if err := c.call(a.URL, "/localize", wire.LocalizeRequest{Cue: cue}, &resp); err != nil {
-				continue
-			}
-			if resp.Found {
-				fixes = append(fixes, resp.Fix)
-			}
+			specs = append(specs, callSpec{url: a.URL, cue: cue})
+		}
+	}
+	slots := make([]*loc.Fix, len(specs))
+	c.forEachServer(ctx, len(specs), func(ctx context.Context, i int) {
+		var resp wire.LocalizeResponse
+		if err := c.call(ctx, specs[i].url, "/localize", wire.LocalizeRequest{Cue: specs[i].cue}, &resp); err != nil {
+			return
+		}
+		if resp.Found {
+			f := resp.Fix
+			slots[i] = &f
+		}
+	})
+	var fixes []loc.Fix
+	for _, f := range slots {
+		if f != nil {
+			fixes = append(fixes, *f)
 		}
 	}
 	return SelectBestWorld(fixes, prior, priorSigmaMeters)
@@ -323,8 +442,13 @@ func gaussian(d, sigma float64) float64 {
 
 // GetTilePNG fetches one tile from a server.
 func (c *Client) GetTilePNG(baseURL string, z, x, y int) ([]byte, error) {
+	return c.GetTilePNGCtx(context.Background(), baseURL, z, x, y)
+}
+
+// GetTilePNGCtx is GetTilePNG under a context.
+func (c *Client) GetTilePNGCtx(ctx context.Context, baseURL string, z, x, y int) ([]byte, error) {
 	c.requests.Add(1)
-	req, err := http.NewRequest(http.MethodGet, fmt.Sprintf("%s/tiles/%d/%d/%d.png", baseURL, z, x, y), nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, fmt.Sprintf("%s/tiles/%d/%d/%d.png", baseURL, z, x, y), nil)
 	if err != nil {
 		return nil, err
 	}

@@ -2,10 +2,13 @@ package client
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
+	"sort"
 
 	"openflame/internal/discovery"
+	"openflame/internal/fanout"
 	"openflame/internal/geo"
 	"openflame/internal/s2cell"
 	"openflame/internal/wire"
@@ -69,10 +72,31 @@ type metaEdge struct {
 // between portals with route-matrix calls, finds the optimal composition on
 // the portal meta-graph, and expands each chosen leg into its full path.
 func (c *Client) Route(from, to geo.LatLng) (StitchedRoute, error) {
+	return c.RouteCtx(context.Background(), from, to)
+}
+
+// RouteCtx is Route under a context. The three discovery sweeps (source,
+// destination, along the way), the per-server meta-graph pricing, and the
+// final leg expansions each fan out concurrently on the client's bounded
+// pool; pricing failures skip the server, leg-expansion failures fail the
+// route (a chosen leg is not optional).
+func (c *Client) RouteCtx(ctx context.Context, from, to geo.LatLng) (StitchedRoute, error) {
 	// 1. Discover the servers involved (§5.2: endpoints plus the way).
 	// Endpoints anchor to the MOST SPECIFIC (finest-level) servers
 	// covering them: a shelf inside a store belongs to the store's map,
 	// not to the world map that merely snaps it to the nearest street.
+	// These are whole discovery sweeps, not single server calls, so they
+	// run on the plain pool — PerServerTimeout must not truncate them.
+	var srcAnns, dstAnns, wayAnns []discovery.Announcement
+	discoveries := []func(ctx context.Context){
+		func(ctx context.Context) { srcAnns = c.disc.DiscoverCtx(ctx, from) },
+		func(ctx context.Context) { dstAnns = c.disc.DiscoverCtx(ctx, to) },
+		func(ctx context.Context) {
+			wayAnns = c.disc.DiscoverAlongPathCtx(ctx, []geo.LatLng{from, to}, 200)
+		},
+	}
+	fanout.ForEach(ctx, len(discoveries), c.MaxConcurrency, func(ctx context.Context, i int) { discoveries[i](ctx) })
+
 	servers := map[string]*srvEntry{}
 	getOrAdd := func(url, name string) *srvEntry {
 		if s, ok := servers[url]; ok {
@@ -82,12 +106,10 @@ func (c *Client) Route(from, to geo.LatLng) (StitchedRoute, error) {
 		servers[url] = s
 		return s
 	}
-	srcAnns := c.disc.Discover(from)
-	dstAnns := c.disc.Discover(to)
-	for _, a := range c.anchorServers(srcAnns) {
+	for _, a := range c.anchorServers(ctx, srcAnns) {
 		getOrAdd(a.URL, a.Name).src = true
 	}
-	for _, a := range c.anchorServers(dstAnns) {
+	for _, a := range c.anchorServers(ctx, dstAnns) {
 		getOrAdd(a.URL, a.Name).dst = true
 	}
 	for _, a := range srcAnns {
@@ -96,7 +118,7 @@ func (c *Client) Route(from, to geo.LatLng) (StitchedRoute, error) {
 	for _, a := range dstAnns {
 		getOrAdd(a.URL, a.Name)
 	}
-	for _, a := range c.disc.DiscoverAlongPath([]geo.LatLng{from, to}, 200) {
+	for _, a := range wayAnns {
 		getOrAdd(a.URL, a.Name)
 	}
 	if len(servers) == 0 {
@@ -104,15 +126,26 @@ func (c *Client) Route(from, to geo.LatLng) (StitchedRoute, error) {
 	}
 
 	// 2. Build the meta-graph: price legs via one route-matrix call per
-	// server. Endpoints per server: SRC (if covering from), DST (if
-	// covering to), and the server's portals.
-	adj := map[metaNode][]metaEdge{}
-	addEdge := func(f metaNode, e metaEdge) { adj[f] = append(adj[f], e) }
-
-	for url, s := range servers {
-		info, err := c.Info(url)
+	// server, all servers in parallel. Endpoints per server: SRC (if
+	// covering from), DST (if covering to), and the server's portals. The
+	// per-server edge lists land in indexed slots and merge in sorted-URL
+	// order so the adjacency (and therefore tie-breaks in the meta-graph
+	// search) is deterministic regardless of completion order.
+	urls := make([]string, 0, len(servers))
+	for url := range servers {
+		urls = append(urls, url)
+	}
+	sort.Strings(urls)
+	type pricedServer struct {
+		edges map[metaNode][]metaEdge
+	}
+	priced := make([]pricedServer, len(urls))
+	c.forEachServer(ctx, len(urls), func(ctx context.Context, idx int) {
+		url := urls[idx]
+		s := servers[url]
+		info, err := c.InfoCtx(ctx, url)
 		if err != nil {
-			continue
+			return
 		}
 		type endpoint struct {
 			node metaNode
@@ -130,7 +163,7 @@ func (c *Client) Route(from, to geo.LatLng) (StitchedRoute, error) {
 			eps = append(eps, endpoint{node: metaNode(p.ID), id: p.NodeID, pos: p.World})
 		}
 		if len(eps) < 2 {
-			continue
+			return
 		}
 		req := wire.RouteMatrixRequest{
 			FromNodes:     make([]int64, len(eps)),
@@ -145,9 +178,10 @@ func (c *Client) Route(from, to geo.LatLng) (StitchedRoute, error) {
 			req.ToPositions[i] = ep.pos
 		}
 		var resp wire.RouteMatrixResponse
-		if err := c.call(url, "/routematrix", req, &resp); err != nil {
-			continue
+		if err := c.call(ctx, url, "/routematrix", req, &resp); err != nil {
+			return
 		}
+		edges := map[metaNode][]metaEdge{}
 		for i := range eps {
 			for j := range eps {
 				if i == j || eps[i].node == eps[j].node {
@@ -161,12 +195,19 @@ func (c *Client) Route(from, to geo.LatLng) (StitchedRoute, error) {
 				if cost < 0 {
 					continue
 				}
-				addEdge(eps[i].node, metaEdge{
+				edges[eps[i].node] = append(edges[eps[i].node], metaEdge{
 					to: eps[j].node, cost: cost, server: url,
 					fromNode: eps[i].id, toNode: eps[j].id,
 					fromPos: eps[i].pos, toPos: eps[j].pos,
 				})
 			}
+		}
+		priced[idx] = pricedServer{edges: edges}
+	})
+	adj := map[metaNode][]metaEdge{}
+	for _, p := range priced {
+		for from, edges := range p.edges {
+			adj[from] = append(adj[from], edges...)
 		}
 	}
 
@@ -176,26 +217,45 @@ func (c *Client) Route(from, to geo.LatLng) (StitchedRoute, error) {
 		return StitchedRoute{}, err
 	}
 
-	// 4. Expand each chosen leg with a full /route call on its server.
-	route := StitchedRoute{CostSeconds: total}
-	used := map[string]bool{}
-	for _, e := range chain {
+	// 4. Expand every chosen leg with a full /route call on its server,
+	// all legs in parallel, reassembled in chain order.
+	legs := make([]Leg, len(chain))
+	lengths := make([]float64, len(chain))
+	legErrs := make([]error, len(chain))
+	expanded := make([]bool, len(chain))
+	c.forEachServer(ctx, len(chain), func(ctx context.Context, i int) {
+		e := chain[i]
 		var resp wire.RouteResponse
 		req := wire.RouteRequest{
 			FromNode: e.fromNode, ToNode: e.toNode,
 			From: e.fromPos, To: e.toPos,
 		}
-		if err := c.call(e.server, "/route", req, &resp); err != nil || !resp.Found {
-			return StitchedRoute{}, fmt.Errorf("client: leg expansion on %s failed: %v", e.server, err)
+		if err := c.call(ctx, e.server, "/route", req, &resp); err != nil || !resp.Found {
+			legErrs[i] = fmt.Errorf("client: leg expansion on %s failed: %v", e.server, err)
+			return
 		}
 		name := e.server
-		if info, err := c.Info(e.server); err == nil {
+		if info, err := c.InfoCtx(ctx, e.server); err == nil {
 			name = info.Name
 		}
-		route.Legs = append(route.Legs, Leg{
+		legs[i] = Leg{
 			Server: name, URL: e.server, Points: resp.Points, CostSeconds: resp.CostSeconds,
-		})
-		route.LengthMeters += resp.LengthMeters
+		}
+		lengths[i] = resp.LengthMeters
+		expanded[i] = true
+	})
+	route := StitchedRoute{CostSeconds: total}
+	used := map[string]bool{}
+	for i, e := range chain {
+		if legErrs[i] != nil {
+			return StitchedRoute{}, legErrs[i]
+		}
+		if !expanded[i] {
+			// Cancelled before the leg ran.
+			return StitchedRoute{}, fmt.Errorf("client: leg expansion on %s aborted: %v", e.server, ctx.Err())
+		}
+		route.Legs = append(route.Legs, legs[i])
+		route.LengthMeters += lengths[i]
 		used[e.server] = true
 	}
 	route.ServersUsed = len(used)
@@ -214,8 +274,9 @@ type srvEntry struct {
 // route endpoint: first the announcements at the finest discovery level,
 // then — among ties — the servers whose total coverage area is within 4× of
 // the smallest (a store's map beats a city map whose covering happens to
-// include a same-level boundary cell).
-func (c *Client) anchorServers(anns []discovery.Announcement) []discovery.Announcement {
+// include a same-level boundary cell). Coverage infos for tied servers are
+// fetched concurrently (and cached, so only the first route pays).
+func (c *Client) anchorServers(ctx context.Context, anns []discovery.Announcement) []discovery.Announcement {
 	max := -1
 	for _, a := range anns {
 		if a.Level > max {
@@ -232,14 +293,16 @@ func (c *Client) anchorServers(anns []discovery.Announcement) []discovery.Announ
 		return finest
 	}
 	areas := make([]float64, len(finest))
-	minArea := math.Inf(1)
-	for i, a := range finest {
+	c.forEachServer(ctx, len(finest), func(ctx context.Context, i int) {
 		areas[i] = math.Inf(1)
-		if info, err := c.Info(a.URL); err == nil {
+		if info, err := c.InfoCtx(ctx, finest[i].URL); err == nil {
 			areas[i] = coverageArea(info.Coverage)
 		}
-		if areas[i] < minArea {
-			minArea = areas[i]
+	})
+	minArea := math.Inf(1)
+	for _, a := range areas {
+		if a < minArea {
+			minArea = a
 		}
 	}
 	if math.IsInf(minArea, 1) {

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -98,7 +99,7 @@ func TestAnchorServersPrefersFinestThenSmallest(t *testing.T) {
 		{Name: "fine-a", URL: "http://a", Level: 16},
 		{Name: "fine-b", URL: "http://b", Level: 16},
 	}
-	got := c.anchorServers(anns)
+	got := c.anchorServers(context.Background(), anns)
 	if len(got) != 2 {
 		t.Fatalf("anchors = %v", got)
 	}
@@ -107,7 +108,7 @@ func TestAnchorServersPrefersFinestThenSmallest(t *testing.T) {
 			t.Fatalf("coarse announcement anchored: %+v", a)
 		}
 	}
-	if got := c.anchorServers(nil); len(got) != 0 {
+	if got := c.anchorServers(context.Background(), nil); len(got) != 0 {
 		t.Fatalf("empty anns anchored: %v", got)
 	}
 }

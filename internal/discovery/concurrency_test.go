@@ -1,0 +1,147 @@
+package discovery
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"openflame/internal/geo"
+	"openflame/internal/s2cell"
+	"openflame/internal/wire"
+)
+
+// regionFixture registers n servers scattered around a center point.
+func regionFixture(t testing.TB, n int) (*fixture, geo.LatLng) {
+	t.Helper()
+	f := newFixture(t)
+	center := geo.LatLng{Lat: 40.4415, Lng: -79.9955}
+	for i := 0; i < n; i++ {
+		at := geo.Offset(center, float64(40+i*30), float64(i*67%360))
+		info := wire.Info{
+			Name:     fmt.Sprintf("srv-%02d", i),
+			Coverage: coverageFor(at, 40),
+			Services: []wire.Service{wire.SvcSearch},
+		}
+		if err := f.registry.Register(info, fmt.Sprintf("http://10.1.0.%d:8080", i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f, center
+}
+
+func capAround(center geo.LatLng, radius float64) s2cell.Region {
+	return s2cell.CapRegion{Cap: geo.Cap{Center: center, RadiusMeters: radius}}
+}
+
+// TestDiscoverRegionConcurrentMatchesSequential: the bounded concurrent
+// covering sweep must return exactly what the sequential sweep returns.
+func TestDiscoverRegionConcurrentMatchesSequential(t *testing.T) {
+	f, center := regionFixture(t, 6)
+	region := capAround(center, 400)
+
+	seq := NewClient(f.resolver, DefaultSuffix)
+	seq.MaxConcurrency = 1
+	seq.AnnouncementTTL = 0
+	conc := NewClient(f.resolver, DefaultSuffix)
+	conc.MaxConcurrency = 16
+	conc.AnnouncementTTL = 0
+
+	a := seq.DiscoverRegion(region)
+	b := conc.DiscoverRegion(region)
+	if len(a) == 0 {
+		t.Fatal("sequential discovery found nothing")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("sequential %+v != concurrent %+v", a, b)
+	}
+}
+
+// TestDiscoverConcurrentCallers hammers one client from many goroutines
+// (run under -race in CI): results must stay correct and identical.
+func TestDiscoverConcurrentCallers(t *testing.T) {
+	f, center := regionFixture(t, 4)
+	want := f.client.DiscoverRegion(capAround(center, 300))
+	if len(want) == 0 {
+		t.Fatal("nothing discovered")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				got := f.client.DiscoverRegion(capAround(center, 300))
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("concurrent discovery diverged: %+v", got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestAnnouncementCacheAbsorbsRepeats: a repeat discovery within the TTL
+// issues zero resolver queries; after the TTL expires it re-resolves.
+func TestAnnouncementCacheAbsorbsRepeats(t *testing.T) {
+	f, center := regionFixture(t, 2)
+	now := time.Unix(1000, 0)
+	f.client.Now = func() time.Time { return now }
+	f.client.AnnouncementTTL = time.Second
+
+	first := f.client.Discover(center)
+	q1 := f.resolver.Stats().Queries
+	if q1 == 0 {
+		t.Fatal("no resolver queries on cold discovery")
+	}
+	second := f.client.Discover(center)
+	if q2 := f.resolver.Stats().Queries; q2 != q1 {
+		t.Fatalf("warm discovery hit the resolver: %d -> %d queries", q1, q2)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("cached discovery diverged: %+v vs %+v", first, second)
+	}
+	// Past the TTL the cache re-resolves.
+	now = now.Add(2 * time.Second)
+	f.client.Discover(center)
+	if q3 := f.resolver.Stats().Queries; q3 == q1 {
+		t.Fatal("expired cache entries were served")
+	}
+}
+
+// TestDiscoverCancelledContext: a pre-cancelled context discovers nothing
+// and issues no upstream DNS traffic.
+func TestDiscoverCancelledContext(t *testing.T) {
+	f, center := regionFixture(t, 3)
+	before := f.mem.ExchangeCount()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if got := f.client.DiscoverCtx(ctx, center); len(got) != 0 {
+		t.Fatalf("cancelled discovery returned %v", got)
+	}
+	if after := f.mem.ExchangeCount(); after != before {
+		t.Fatalf("cancelled discovery sent %d DNS exchanges", after-before)
+	}
+	// A cancelled lookup must not poison the cache: a live discovery right
+	// after still finds the servers.
+	if got := f.client.Discover(center); len(got) == 0 {
+		t.Fatal("discovery after cancelled call found nothing")
+	}
+}
+
+// TestDedupAnnouncements covers the shared dedup helper directly.
+func TestDedupAnnouncements(t *testing.T) {
+	a := Announcement{Name: "a", URL: "u1", Level: 16}
+	aCoarse := Announcement{Name: "a", URL: "u1", Level: 12}
+	b := Announcement{Name: "b", URL: "u2", Level: 14}
+	got := dedupAnnouncements([]Announcement{a, aCoarse, b, a})
+	if len(got) != 2 || !reflect.DeepEqual(got[0], a) || !reflect.DeepEqual(got[1], b) {
+		t.Fatalf("dedup = %+v", got)
+	}
+	if got := dedupAnnouncements(nil); len(got) != 0 {
+		t.Fatalf("dedup(nil) = %v", got)
+	}
+}

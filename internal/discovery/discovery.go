@@ -15,11 +15,16 @@
 package discovery
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"openflame/internal/dns"
+	"openflame/internal/fanout"
 	"openflame/internal/geo"
 	"openflame/internal/loc"
 	"openflame/internal/s2cell"
@@ -176,12 +181,40 @@ func (r *Registry) Unregister(name string, coverage []string) int {
 	return removed
 }
 
-// Client discovers map servers by location through a DNS resolver.
+// DefaultAnnouncementTTL is how long a cell's parsed announcements (and
+// negative answers) are kept in the client-side cache. It is deliberately
+// short — the DNS resolver beneath already honours record TTLs; this layer
+// only absorbs the re-resolution and re-parsing of bursts of discoveries
+// over the same area.
+const DefaultAnnouncementTTL = time.Second
+
+// Client discovers map servers by location through a DNS resolver. It is
+// safe for concurrent use; discoveries over a region fan their per-cell TXT
+// lookups out concurrently, coalescing duplicate in-flight lookups and
+// caching parsed announcements for AnnouncementTTL.
 type Client struct {
 	resolver *dns.Resolver
 	suffix   string
 	// MinLevel..MaxLevel is the ancestor range queried per discovery.
 	MinLevel, MaxLevel int
+	// MaxConcurrency bounds concurrent TXT lookups per discovery call
+	// (default fanout.DefaultLimit; 1 reproduces sequential lookups).
+	MaxConcurrency int
+	// AnnouncementTTL bounds the per-cell announcement cache; <= 0
+	// disables caching.
+	AnnouncementTTL time.Duration
+
+	// Now is the cache clock; overridable in tests.
+	Now func() time.Time
+
+	flight  fanout.Group[[]Announcement]
+	cacheMu sync.Mutex
+	cache   map[string]annCacheEntry
+}
+
+type annCacheEntry struct {
+	anns   []Announcement
+	expiry time.Time
 }
 
 // NewClient creates a discovery client.
@@ -190,11 +223,131 @@ func NewClient(res *dns.Resolver, suffix string) *Client {
 		suffix = DefaultSuffix
 	}
 	return &Client{
-		resolver: res,
-		suffix:   dns.CanonicalName(suffix),
-		MinLevel: DefaultMinLevel,
-		MaxLevel: DefaultMaxLevel,
+		resolver:        res,
+		suffix:          dns.CanonicalName(suffix),
+		MinLevel:        DefaultMinLevel,
+		MaxLevel:        DefaultMaxLevel,
+		AnnouncementTTL: DefaultAnnouncementTTL,
+		Now:             time.Now,
+		cache:           make(map[string]annCacheEntry),
 	}
+}
+
+// dedupAnnouncements keeps the first occurrence of each (name, url) pair,
+// preserving order — the shared dedup step of every discovery flavour
+// (overlapping maps announce on many cells, §3).
+func dedupAnnouncements(anns []Announcement) []Announcement {
+	type key struct{ name, url string }
+	seen := make(map[key]struct{}, len(anns))
+	out := anns[:0]
+	for _, a := range anns {
+		k := key{a.Name, a.URL}
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, a)
+	}
+	return out
+}
+
+// lookupCell resolves and parses one cell's announcements, consulting the
+// TTL cache first and coalescing concurrent duplicate lookups. Negative
+// answers (nothing announced) are cached too. The returned slice is shared:
+// callers must not mutate it.
+func (c *Client) lookupCell(ctx context.Context, domain string) []Announcement {
+	ttl := c.AnnouncementTTL
+	if ttl > 0 {
+		c.cacheMu.Lock()
+		e, ok := c.cache[domain]
+		if ok && c.Now().Before(e.expiry) {
+			c.cacheMu.Unlock()
+			return e.anns
+		}
+		c.cacheMu.Unlock()
+	}
+	resolve := func(ctx context.Context) ([]Announcement, error) {
+		txts, err := c.resolver.LookupTXTCtx(ctx, domain)
+		if err != nil {
+			return nil, err // NXDOMAIN and friends: nothing announced here
+		}
+		var out []Announcement
+		for _, t := range txts {
+			if a, ok := ParseTXT(t); ok {
+				out = append(out, a)
+			}
+		}
+		return out, nil
+	}
+	anns, err := c.flight.Do(domain, func() ([]Announcement, error) {
+		return resolve(ctx)
+	})
+	// The coalesced result ran under the *leader's* context. If it failed
+	// only because the leader was cancelled while our own context is still
+	// live, retry directly rather than report a phantom empty cell.
+	if isCtxErr(err) && ctx.Err() == nil {
+		anns, err = resolve(ctx)
+	}
+	// Cache positive answers and definitive negatives; transient failures
+	// (server failure, cancellation mid-lookup) are not cached.
+	definitive := err == nil || errors.Is(err, dns.ErrNXDomain) || errors.Is(err, dns.ErrNoData)
+	if ttl > 0 && definitive {
+		c.cacheStore(domain, anns)
+	}
+	return anns
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// maxAnnCacheEntries bounds the announcement cache (the resolver below has
+// its own LRU; this cap only guards the parsed layer).
+const maxAnnCacheEntries = 4096
+
+// cacheStore inserts an entry, evicting expired entries — and, if the
+// cache is still over the cap, arbitrary ones — so a long-lived client
+// sweeping many regions cannot grow memory without bound.
+func (c *Client) cacheStore(domain string, anns []Announcement) {
+	c.cacheMu.Lock()
+	defer c.cacheMu.Unlock()
+	if _, exists := c.cache[domain]; !exists && len(c.cache) >= maxAnnCacheEntries {
+		now := c.Now()
+		for k, e := range c.cache {
+			if now.After(e.expiry) {
+				delete(c.cache, k)
+			}
+		}
+		for k := range c.cache {
+			if len(c.cache) < maxAnnCacheEntries {
+				break
+			}
+			delete(c.cache, k)
+		}
+	}
+	c.cache[domain] = annCacheEntry{anns: anns, expiry: c.Now().Add(c.AnnouncementTTL)}
+}
+
+// lookupCells resolves a batch of cells with bounded concurrency and
+// returns the announcements per cell, annotated with the cell's level and
+// token. Order of the result matches the order of cells.
+func (c *Client) lookupCells(ctx context.Context, cells []s2cell.CellID) [][]Announcement {
+	perCell := make([][]Announcement, len(cells))
+	fanout.ForEach(ctx, len(cells), c.MaxConcurrency, func(ctx context.Context, i int) {
+		cell := cells[i]
+		anns := c.lookupCell(ctx, CellDomain(cell, c.suffix))
+		if len(anns) == 0 {
+			return
+		}
+		annotated := make([]Announcement, len(anns))
+		for j, a := range anns {
+			a.Level = cell.Level()
+			a.CellToken = cell.Token()
+			annotated[j] = a
+		}
+		perCell[i] = annotated
+	})
+	return perCell
 }
 
 // Discover returns every map server announced on the location's cell
@@ -202,67 +355,48 @@ func NewClient(res *dns.Resolver, suffix string) *Client {
 // possibly none. Results are deduplicated by (name, url), finest level
 // first.
 func (c *Client) Discover(ll geo.LatLng) []Announcement {
+	return c.DiscoverCtx(context.Background(), ll)
+}
+
+// DiscoverCtx is Discover under a context: the ancestor-chain lookups run
+// concurrently and cancellation aborts them.
+func (c *Client) DiscoverCtx(ctx context.Context, ll geo.LatLng) []Announcement {
 	leaf := s2cell.FromLatLng(ll)
-	type key struct{ name, url string }
-	seen := make(map[key]struct{})
-	var out []Announcement
+	var cells []s2cell.CellID
 	for level := c.MaxLevel; level >= c.MinLevel; level-- {
-		cell := leaf.Parent(level)
-		txts, err := c.resolver.LookupTXT(CellDomain(cell, c.suffix))
-		if err != nil {
-			continue // NXDOMAIN and friends: nothing announced here
-		}
-		for _, t := range txts {
-			a, ok := ParseTXT(t)
-			if !ok {
-				continue
-			}
-			k := key{a.Name, a.URL}
-			if _, dup := seen[k]; dup {
-				continue
-			}
-			seen[k] = struct{}{}
-			a.Level = level
-			a.CellToken = cell.Token()
-			out = append(out, a)
-		}
+		cells = append(cells, leaf.Parent(level))
 	}
-	return out
+	var out []Announcement
+	for _, anns := range c.lookupCells(ctx, cells) {
+		out = append(out, anns...)
+	}
+	return dedupAnnouncements(out)
 }
 
 // DiscoverRegion discovers servers announced anywhere on a region's
 // covering. The covering is taken at MaxLevel (announcements from small
 // zones exist only on fine cells), so the query fan-out grows with region
-// area; DNS caching absorbs repeats, and ancestors shared between covering
-// cells are resolved once.
+// area; the per-cell lookups are batched concurrently, ancestors shared
+// between covering cells are resolved once, and DNS caching absorbs
+// repeats.
 func (c *Client) DiscoverRegion(region s2cell.Region) []Announcement {
+	return c.DiscoverRegionCtx(context.Background(), region)
+}
+
+// DiscoverRegionCtx is DiscoverRegion under a context.
+func (c *Client) DiscoverRegionCtx(ctx context.Context, region s2cell.Region) []Announcement {
 	cells := s2cell.Covering(region, c.MaxLevel, 1024)
-	type key struct{ name, url string }
-	seen := make(map[key]struct{})
+	unique, index := c.ancestorSet(cells)
+	perCell := c.lookupCells(ctx, unique)
+	// Assemble in the deterministic order of the sequential loop: covering
+	// cells in order, each walking its ancestor chain finest-first.
 	var out []Announcement
 	for _, cell := range cells {
 		for level := cell.Level(); level >= c.MinLevel; level-- {
-			parent := cell.Parent(level)
-			txts, err := c.resolver.LookupTXT(CellDomain(parent, c.suffix))
-			if err != nil {
-				continue
-			}
-			for _, t := range txts {
-				a, ok := ParseTXT(t)
-				if !ok {
-					continue
-				}
-				k := key{a.Name, a.URL}
-				if _, dup := seen[k]; dup {
-					continue
-				}
-				seen[k] = struct{}{}
-				a.Level = level
-				a.CellToken = parent.Token()
-				out = append(out, a)
-			}
+			out = append(out, perCell[index[cell.Parent(level)]]...)
 		}
 	}
+	out = dedupAnnouncements(out)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Name != out[j].Name {
 			return out[i].Name < out[j].Name
@@ -272,35 +406,62 @@ func (c *Client) DiscoverRegion(region s2cell.Region) []Announcement {
 	return out
 }
 
+// ancestorSet expands cells to their ancestor chains down to MinLevel,
+// deduplicated (covering cells share most coarse ancestors), returning the
+// unique cells and an index for reassembly.
+func (c *Client) ancestorSet(cells []s2cell.CellID) ([]s2cell.CellID, map[s2cell.CellID]int) {
+	index := make(map[s2cell.CellID]int)
+	var unique []s2cell.CellID
+	for _, cell := range cells {
+		for level := cell.Level(); level >= c.MinLevel; level-- {
+			parent := cell.Parent(level)
+			if _, ok := index[parent]; ok {
+				continue
+			}
+			index[parent] = len(unique)
+			unique = append(unique, parent)
+		}
+	}
+	return unique, index
+}
+
 // DiscoverAlongPath discovers servers along a polyline (the routing flow of
 // §5.2: "discovers all the map servers that lie along the way"), sampling
 // every sampleMeters.
 func (c *Client) DiscoverAlongPath(path []geo.LatLng, sampleMeters float64) []Announcement {
+	return c.DiscoverAlongPathCtx(context.Background(), path, sampleMeters)
+}
+
+// DiscoverAlongPathCtx is DiscoverAlongPath under a context: the sample
+// points' ancestor-chain lookups are batched into one bounded concurrent
+// sweep instead of one sequential Discover per sample.
+func (c *Client) DiscoverAlongPathCtx(ctx context.Context, path []geo.LatLng, sampleMeters float64) []Announcement {
 	if sampleMeters <= 0 {
 		sampleMeters = 100
 	}
-	type key struct{ name, url string }
-	seen := make(map[key]struct{})
-	var out []Announcement
-	visit := func(ll geo.LatLng) {
-		for _, a := range c.Discover(ll) {
-			k := key{a.Name, a.URL}
-			if _, dup := seen[k]; dup {
-				continue
-			}
-			seen[k] = struct{}{}
-			out = append(out, a)
-		}
-	}
+	var samples []geo.LatLng
 	for i, p := range path {
-		visit(p)
+		samples = append(samples, p)
 		if i+1 < len(path) {
 			d := geo.DistanceMeters(p, path[i+1])
 			steps := int(d / sampleMeters)
 			for s := 1; s <= steps; s++ {
-				visit(geo.Interpolate(p, path[i+1], float64(s)/float64(steps+1)))
+				samples = append(samples, geo.Interpolate(p, path[i+1], float64(s)/float64(steps+1)))
 			}
 		}
 	}
-	return out
+	// Leaves at MaxLevel, finest-first per sample, deduped across samples.
+	var leaves []s2cell.CellID
+	for _, ll := range samples {
+		leaves = append(leaves, s2cell.FromLatLng(ll).Parent(c.MaxLevel))
+	}
+	unique, index := c.ancestorSet(leaves)
+	perCell := c.lookupCells(ctx, unique)
+	var out []Announcement
+	for _, leaf := range leaves {
+		for level := leaf.Level(); level >= c.MinLevel; level-- {
+			out = append(out, perCell[index[leaf.Parent(level)]]...)
+		}
+	}
+	return dedupAnnouncements(out)
 }

@@ -2,6 +2,7 @@ package dns
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -114,6 +115,12 @@ func (r *Resolver) CacheLen() int {
 
 // Lookup resolves name/typ iteratively, consulting the cache first.
 func (r *Resolver) Lookup(name string, typ uint16) ([]RR, error) {
+	return r.LookupCtx(context.Background(), name, typ)
+}
+
+// LookupCtx is Lookup under a context: cancellation aborts the resolution
+// between (and, for context-aware transports, during) upstream round trips.
+func (r *Resolver) LookupCtx(ctx context.Context, name string, typ uint16) ([]RR, error) {
 	name = CanonicalName(name)
 	if len(name) > 255 {
 		return nil, ErrInvalidName
@@ -121,12 +128,17 @@ func (r *Resolver) Lookup(name string, typ uint16) ([]RR, error) {
 	r.mu.Lock()
 	r.stats.Queries++
 	r.mu.Unlock()
-	return r.resolve(name, typ, 0)
+	return r.resolve(ctx, name, typ, 0)
 }
 
 // LookupTXT resolves TXT records and returns their joined strings.
 func (r *Resolver) LookupTXT(name string) ([]string, error) {
-	rrs, err := r.Lookup(name, TypeTXT)
+	return r.LookupTXTCtx(context.Background(), name)
+}
+
+// LookupTXTCtx is LookupTXT under a context.
+func (r *Resolver) LookupTXTCtx(ctx context.Context, name string) ([]string, error) {
+	rrs, err := r.LookupCtx(ctx, name, TypeTXT)
 	if err != nil {
 		return nil, err
 	}
@@ -148,7 +160,7 @@ const (
 	maxCNAME     = 8
 )
 
-func (r *Resolver) resolve(name string, typ uint16, cnameDepth int) ([]RR, error) {
+func (r *Resolver) resolve(ctx context.Context, name string, typ uint16, cnameDepth int) ([]RR, error) {
 	if cnameDepth > maxCNAME {
 		return nil, ErrLoop
 	}
@@ -161,7 +173,10 @@ func (r *Resolver) resolve(name string, typ uint16, cnameDepth int) ([]RR, error
 		return nil, ErrNoServers
 	}
 	for hop := 0; hop < maxReferrals; hop++ {
-		resp, err := r.queryAny(servers, name, typ)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		resp, err := r.queryAny(ctx, servers, name, typ)
 		if err != nil {
 			return nil, err
 		}
@@ -177,7 +192,7 @@ func (r *Resolver) resolve(name string, typ uint16, cnameDepth int) ([]RR, error
 			// chase the final target.
 			final := resp.Answers[len(resp.Answers)-1]
 			if typ != TypeCNAME && final.Type == TypeCNAME {
-				target, err := r.resolve(CanonicalName(final.Target), typ, cnameDepth+1)
+				target, err := r.resolve(ctx, CanonicalName(final.Target), typ, cnameDepth+1)
 				if err != nil {
 					return nil, err
 				}
@@ -210,15 +225,18 @@ func (r *Resolver) resolve(name string, typ uint16, cnameDepth int) ([]RR, error
 }
 
 // queryAny tries each server until one responds.
-func (r *Resolver) queryAny(servers []string, name string, typ uint16) (*Message, error) {
+func (r *Resolver) queryAny(ctx context.Context, servers []string, name string, typ uint16) (*Message, error) {
 	var lastErr error
 	for _, addr := range servers {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r.mu.Lock()
 		id := uint16(r.rng.Intn(1 << 16))
 		r.stats.UpstreamQueries++
 		r.mu.Unlock()
 		req := &Message{ID: id, Questions: []Question{{Name: name, Type: typ, Class: ClassIN}}}
-		resp, err := r.exchanger.Exchange(addr, req)
+		resp, err := exchange(ctx, r.exchanger, addr, req)
 		if err != nil {
 			lastErr = err
 			continue

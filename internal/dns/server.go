@@ -1,12 +1,14 @@
 package dns
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // MaxUDPSize is the classic DNS UDP payload limit; larger responses are
@@ -229,20 +231,45 @@ type Exchanger interface {
 	Exchange(addr string, req *Message) (*Message, error)
 }
 
+// ContextExchanger is an Exchanger that can abort an in-flight round trip
+// when the context is cancelled. The resolver uses it when available, so
+// implementing it is optional but lets cancellation interrupt a round trip
+// already on the wire rather than only between round trips.
+type ContextExchanger interface {
+	ExchangeContext(ctx context.Context, addr string, req *Message) (*Message, error)
+}
+
+// exchange routes through ExchangeContext when the transport supports it.
+func exchange(ctx context.Context, ex Exchanger, addr string, req *Message) (*Message, error) {
+	if cex, ok := ex.(ContextExchanger); ok {
+		return cex.ExchangeContext(ctx, addr, req)
+	}
+	return ex.Exchange(addr, req)
+}
+
 // UDPExchanger sends queries over UDP with TCP retry on truncation.
 type UDPExchanger struct{}
 
 // Exchange implements Exchanger.
-func (UDPExchanger) Exchange(addr string, req *Message) (*Message, error) {
+func (e UDPExchanger) Exchange(addr string, req *Message) (*Message, error) {
+	return e.ExchangeContext(context.Background(), addr, req)
+}
+
+// ExchangeContext implements ContextExchanger: the context deadline (or
+// cancellation) is applied to the socket as an I/O deadline.
+func (UDPExchanger) ExchangeContext(ctx context.Context, addr string, req *Message) (*Message, error) {
 	wire, err := req.Pack()
 	if err != nil {
 		return nil, err
 	}
-	conn, err := net.Dial("udp", addr)
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "udp", addr)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
+	stop := deadlineFromCtx(ctx, conn)
+	defer stop()
 	if _, err := conn.Write(wire); err != nil {
 		return nil, err
 	}
@@ -259,17 +286,41 @@ func (UDPExchanger) Exchange(addr string, req *Message) (*Message, error) {
 		return nil, fmt.Errorf("dns: response ID mismatch")
 	}
 	if resp.Truncated {
-		return tcpExchange(addr, wire, req.ID)
+		return tcpExchange(ctx, addr, wire, req.ID)
 	}
 	return resp, nil
 }
 
-func tcpExchange(addr string, wire []byte, id uint16) (*Message, error) {
-	conn, err := net.Dial("tcp", addr)
+// deadlineFromCtx propagates the context deadline to the connection and
+// interrupts blocked I/O if the context is cancelled mid-flight. The
+// returned stop function releases the watcher goroutine.
+func deadlineFromCtx(ctx context.Context, conn net.Conn) (stop func()) {
+	if dl, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(dl)
+	}
+	if ctx.Done() == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = conn.SetDeadline(time.Unix(0, 1)) // unblock pending reads
+		case <-done:
+		}
+	}()
+	return func() { close(done) }
+}
+
+func tcpExchange(ctx context.Context, addr string, wire []byte, id uint16) (*Message, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
+	stop := deadlineFromCtx(ctx, conn)
+	defer stop()
 	out := make([]byte, 2+len(wire))
 	binary.BigEndian.PutUint16(out, uint16(len(wire)))
 	copy(out[2:], wire)
@@ -322,9 +373,22 @@ func (m *MemExchanger) ExchangeCount() int64 { return m.count.Load() }
 
 // Exchange implements Exchanger.
 func (m *MemExchanger) Exchange(addr string, req *Message) (*Message, error) {
+	return m.ExchangeContext(context.Background(), addr, req)
+}
+
+// ExchangeContext implements ContextExchanger. The Delay hook itself is not
+// interruptible, but cancellation is observed before and after it so a
+// cancelled resolution never proceeds to serve from the zone.
+func (m *MemExchanger) ExchangeContext(ctx context.Context, addr string, req *Message) (*Message, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	m.count.Add(1)
 	if m.Delay != nil {
 		m.Delay(addr)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	m.mu.RLock()
 	zone := m.zones[addr]

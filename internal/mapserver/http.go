@@ -92,53 +92,56 @@ func (p *Policy) Allow(svc wire.Service, user, app string) bool {
 	return p.Default.Allows(user, app)
 }
 
-// Handler returns the server's HTTP interface.
+// Handler returns the server's HTTP interface. Every request honors its
+// r.Context(): when the client disconnects or cancels mid-request (a
+// federated client skipping a slow member, §5.2), the response is abandoned
+// rather than written, and the handler goroutine is released immediately.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/info", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, s.Info())
+		respond(w, r, func() interface{} { return s.Info() })
 	})
 	mux.HandleFunc("/geocode", s.guard(wire.SvcGeocode, func(w http.ResponseWriter, r *http.Request) {
 		var req wire.GeocodeRequest
 		if !readJSON(w, r, &req) {
 			return
 		}
-		writeJSON(w, s.Geocode(req))
+		respond(w, r, func() interface{} { return s.Geocode(req) })
 	}))
 	mux.HandleFunc("/rgeocode", s.guard(wire.SvcRGeocode, func(w http.ResponseWriter, r *http.Request) {
 		var req wire.RGeocodeRequest
 		if !readJSON(w, r, &req) {
 			return
 		}
-		writeJSON(w, s.RGeocode(req))
+		respond(w, r, func() interface{} { return s.RGeocode(req) })
 	}))
 	mux.HandleFunc("/search", s.guard(wire.SvcSearch, func(w http.ResponseWriter, r *http.Request) {
 		var req wire.SearchRequest
 		if !readJSON(w, r, &req) {
 			return
 		}
-		writeJSON(w, s.Search(req))
+		respond(w, r, func() interface{} { return s.Search(req) })
 	}))
 	mux.HandleFunc("/route", s.guard(wire.SvcRoute, func(w http.ResponseWriter, r *http.Request) {
 		var req wire.RouteRequest
 		if !readJSON(w, r, &req) {
 			return
 		}
-		writeJSON(w, s.Route(req))
+		respond(w, r, func() interface{} { return s.Route(req) })
 	}))
 	mux.HandleFunc("/routematrix", s.guard(wire.SvcRoute, func(w http.ResponseWriter, r *http.Request) {
 		var req wire.RouteMatrixRequest
 		if !readJSON(w, r, &req) {
 			return
 		}
-		writeJSON(w, s.RouteMatrix(req))
+		respond(w, r, func() interface{} { return s.RouteMatrix(req) })
 	}))
 	mux.HandleFunc("/localize", s.guard(wire.SvcLocalize, func(w http.ResponseWriter, r *http.Request) {
 		var req wire.LocalizeRequest
 		if !readJSON(w, r, &req) {
 			return
 		}
-		writeJSON(w, s.Localize(req))
+		respond(w, r, func() interface{} { return s.Localize(req) })
 	}))
 	mux.HandleFunc("/tiles/", s.guard(wire.SvcTiles, s.handleTile))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -147,9 +150,49 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// maxOrphanedComputes bounds computations abandoned by cancelled requests
+// that are still running in the background. Past the bound, cancelled
+// handlers block until their computation finishes — restoring the old
+// synchronous back-pressure instead of letting a cancel-and-retry client
+// amplify server work without limit.
+const maxOrphanedComputes = 64
+
+var orphanBudget = make(chan struct{}, maxOrphanedComputes)
+
+// respond computes the response body and writes it as JSON, honoring the
+// request context: a request already cancelled is never computed, and one
+// cancelled mid-compute is answered with 503 while the computation finishes
+// (and is discarded) in the background — the handler goroutine, and with it
+// the client's connection slot, is released immediately (up to the orphan
+// bound above).
+func respond(w http.ResponseWriter, r *http.Request, compute func() interface{}) {
+	ctx := r.Context()
+	if ctx.Err() != nil {
+		httpError(w, http.StatusServiceUnavailable, "request cancelled")
+		return
+	}
+	done := make(chan interface{}, 1)
+	go func() { done <- compute() }()
+	select {
+	case v := <-done:
+		writeJSON(w, v)
+	case <-ctx.Done():
+		select {
+		case orphanBudget <- struct{}{}:
+			go func() { <-done; <-orphanBudget }() // drain in the background
+		case <-done: // budget exhausted: wait it out (back-pressure)
+		}
+		httpError(w, http.StatusServiceUnavailable, "request cancelled")
+	}
+}
+
 // guard wraps a handler with the §5.3 policy check.
 func (s *Server) guard(svc wire.Service, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Context().Err() != nil {
+			httpError(w, http.StatusServiceUnavailable, "request cancelled")
+			return
+		}
 		user := r.Header.Get(HeaderUser)
 		app := r.Header.Get(HeaderApp)
 		if !s.auth.Allow(svc, user, app) {
