@@ -1,8 +1,9 @@
 GO ?= go
 
-.PHONY: verify fmt vet build test race bench-fanout
+.PHONY: verify fmt vet build test race cover bench-fanout bench-resilience
 
-## verify: the full CI gate — formatting, vet, build, tests under -race.
+## verify: the full CI gate — formatting, vet, build, tests under -race
+## (twice, so flaky tests surface).
 verify: fmt vet build race
 
 fmt:
@@ -19,8 +20,17 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -count=2 ./...
+
+## cover: coverage profile + total, as CI reports it.
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
 
 ## bench-fanout: the E13 sequential-vs-concurrent fan-out comparison.
 bench-fanout:
 	$(GO) test -run xxx -bench E13 -benchtime 10x .
+
+## bench-resilience: the E14 faulty-federation comparison (hedged vs not).
+bench-resilience:
+	$(GO) test -run xxx -bench E14 -benchtime 200x .

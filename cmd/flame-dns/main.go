@@ -25,26 +25,55 @@ import (
 	"openflame/internal/dns"
 )
 
-func main() {
-	apex := flag.String("apex", "loc.flame.arpa", "zone apex")
-	addr := flag.String("addr", "127.0.0.1:5300", "listen address (UDP+TCP)")
-	records := flag.String("records", "", "record file (optional)")
-	flag.Parse()
+// options is the CLI surface, separated from main so tests can verify the
+// flags round-trip into the zone configuration.
+type options struct {
+	apex    string
+	addr    string
+	records string
+}
 
-	zone := dns.NewZone(*apex)
-	if *records != "" {
-		f, err := os.Open(*records)
-		if err != nil {
-			log.Fatalf("open records: %v", err)
-		}
-		n, err := dns.ParseZoneRecords(zone, f)
-		f.Close()
-		if err != nil {
-			log.Fatalf("load records: %v", err)
-		}
-		log.Printf("loaded %d records from %s", n, *records)
+func newFlagSet(name string) (*flag.FlagSet, *options) {
+	o := &options{}
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.StringVar(&o.apex, "apex", "loc.flame.arpa", "zone apex")
+	fs.StringVar(&o.addr, "addr", "127.0.0.1:5300", "listen address (UDP+TCP)")
+	fs.StringVar(&o.records, "records", "", "record file (optional)")
+	return fs, o
+}
+
+// buildZone creates the authoritative zone and loads the record file when
+// one is configured, returning the number of records loaded.
+func (o *options) buildZone() (*dns.Zone, int, error) {
+	zone := dns.NewZone(o.apex)
+	if o.records == "" {
+		return zone, 0, nil
 	}
-	srv, err := dns.NewServer(zone, *addr)
+	f, err := os.Open(o.records)
+	if err != nil {
+		return nil, 0, fmt.Errorf("open records: %w", err)
+	}
+	defer f.Close()
+	n, err := dns.ParseZoneRecords(zone, f)
+	if err != nil {
+		return nil, 0, fmt.Errorf("load records: %w", err)
+	}
+	return zone, n, nil
+}
+
+func main() {
+	fs, o := newFlagSet("flame-dns")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	zone, n, err := o.buildZone()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if n > 0 {
+		log.Printf("loaded %d records from %s", n, o.records)
+	}
+	srv, err := dns.NewServer(zone, o.addr)
 	if err != nil {
 		log.Fatalf("start: %v", err)
 	}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFlagDefaultsAndRoundTrip(t *testing.T) {
+	fs, o := newFlagSet("flame-dns")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if o.apex != "loc.flame.arpa" || o.addr != "127.0.0.1:5300" || o.records != "" {
+		t.Fatalf("defaults changed: %+v", o)
+	}
+
+	fs, o = newFlagSet("flame-dns")
+	if err := fs.Parse([]string{"-apex", "geo.example.", "-addr", "0.0.0.0:53", "-records", "zone.txt"}); err != nil {
+		t.Fatal(err)
+	}
+	if o.apex != "geo.example." || o.addr != "0.0.0.0:53" || o.records != "zone.txt" {
+		t.Fatalf("flags lost: %+v", o)
+	}
+}
+
+// TestBuildZoneLoadsRecords smoke-tests startup: a record file on disk is
+// loaded into the authoritative zone.
+func TestBuildZoneLoadsRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "zone.txt")
+	records := "; test zone\n" +
+		"q1.loc.flame.arpa. TXT v=flame1 name=my-map url=http://host:8080\n"
+	if err := os.WriteFile(path, []byte(records), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	empty, _, err := (&options{apex: "loc.flame.arpa"}).buildZone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := empty.RecordCount() // a fresh zone already holds its SOA
+
+	o := &options{apex: "loc.flame.arpa", records: path}
+	zone, n, err := o.buildZone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || zone.RecordCount() != base+1 {
+		t.Fatalf("loaded %d records, zone has %d (base %d), want 1 loaded", n, zone.RecordCount(), base)
+	}
+}
+
+func TestBuildZoneWithoutRecords(t *testing.T) {
+	o := &options{apex: "loc.flame.arpa"}
+	zone, n, err := o.buildZone()
+	if err != nil || n != 0 || zone == nil {
+		t.Fatalf("empty zone build: zone=%v n=%d err=%v", zone, n, err)
+	}
+}
+
+func TestBuildZoneMissingFileFails(t *testing.T) {
+	o := &options{apex: "loc.flame.arpa", records: filepath.Join(t.TempDir(), "absent.txt")}
+	if _, _, err := o.buildZone(); err == nil {
+		t.Fatal("missing record file accepted")
+	}
+}

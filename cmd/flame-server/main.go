@@ -24,44 +24,78 @@ import (
 	"openflame/internal/s2cell"
 )
 
-func main() {
-	mapPath := flag.String("map", "", "OSM XML map file (required)")
-	addr := flag.String("addr", ":8080", "listen address")
-	name := flag.String("name", "", "server name (default: map name)")
-	publicURL := flag.String("public-url", "", "URL to advertise in DNS (default http://<addr>)")
-	useCH := flag.Bool("ch", false, "preprocess routing with contraction hierarchies")
-	minLevel := flag.Int("min-level", discovery.DefaultMinLevel, "coarsest registration cell level")
-	maxLevel := flag.Int("max-level", discovery.DefaultMaxLevel, "finest registration cell level")
-	flag.Parse()
+// options is the CLI surface, separated from main so tests can verify the
+// flags round-trip into the server configuration.
+type options struct {
+	mapPath   string
+	addr      string
+	name      string
+	publicURL string
+	useCH     bool
+	minLevel  int
+	maxLevel  int
+}
 
-	if *mapPath == "" {
-		flag.Usage()
-		os.Exit(2)
-	}
-	f, err := os.Open(*mapPath)
+func newFlagSet(name string) (*flag.FlagSet, *options) {
+	o := &options{}
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.StringVar(&o.mapPath, "map", "", "OSM XML map file (required)")
+	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&o.name, "name", "", "server name (default: map name)")
+	fs.StringVar(&o.publicURL, "public-url", "", "URL to advertise in DNS (default http://<addr>)")
+	fs.BoolVar(&o.useCH, "ch", false, "preprocess routing with contraction hierarchies")
+	fs.IntVar(&o.minLevel, "min-level", discovery.DefaultMinLevel, "coarsest registration cell level")
+	fs.IntVar(&o.maxLevel, "max-level", discovery.DefaultMaxLevel, "finest registration cell level")
+	return fs, o
+}
+
+// buildServer loads the map and constructs the configured map server.
+func (o *options) buildServer() (*mapserver.Server, *osm.Map, error) {
+	f, err := os.Open(o.mapPath)
 	if err != nil {
-		log.Fatalf("open map: %v", err)
+		return nil, nil, fmt.Errorf("open map: %w", err)
 	}
 	m, err := osm.ReadXML(f)
 	f.Close()
 	if err != nil {
-		log.Fatalf("parse map: %v", err)
+		return nil, nil, fmt.Errorf("parse map: %w", err)
 	}
 	srv, err := mapserver.New(mapserver.Config{
-		Name:     *name,
+		Name:     o.name,
 		Map:      m,
-		UseCH:    *useCH,
-		MinLevel: *minLevel,
-		MaxLevel: *maxLevel,
+		UseCH:    o.useCH,
+		MinLevel: o.minLevel,
+		MaxLevel: o.maxLevel,
 	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, m, nil
+}
+
+// advertiseURL is the URL published in the discovery DNS records.
+func (o *options) advertiseURL() string {
+	if o.publicURL != "" {
+		return o.publicURL
+	}
+	return "http://" + o.addr
+}
+
+func main() {
+	fs, o := newFlagSet("flame-server")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if o.mapPath == "" {
+		fs.Usage()
+		os.Exit(2)
+	}
+	srv, m, err := o.buildServer()
 	if err != nil {
 		log.Fatalf("build server: %v", err)
 	}
 
-	url := *publicURL
-	if url == "" {
-		url = "http://" + *addr
-	}
+	url := o.advertiseURL()
 	info := srv.Info()
 	fmt.Printf("map server %q: %d nodes, %d coverage cells\n", srv.Name(), m.NodeCount(), len(info.Coverage))
 	fmt.Println("install these records in your spatial DNS zone:")
@@ -75,10 +109,10 @@ func main() {
 	// shutdown deadline if a request outlives the drain window.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{Addr: o.addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("listening on %s", *addr)
+	log.Printf("listening on %s", o.addr)
 	select {
 	case err := <-errCh:
 		log.Fatalf("serve: %v", err)

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"openflame/internal/discovery"
+	"openflame/internal/worldgen"
+)
+
+func TestFlagDefaultsAndRoundTrip(t *testing.T) {
+	fs, o := newFlagSet("flame-server")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != ":8080" || o.mapPath != "" || o.useCH {
+		t.Fatalf("defaults changed: %+v", o)
+	}
+	if o.minLevel != discovery.DefaultMinLevel || o.maxLevel != discovery.DefaultMaxLevel {
+		t.Fatalf("level defaults changed: %+v", o)
+	}
+
+	fs, o = newFlagSet("flame-server")
+	err := fs.Parse([]string{
+		"-map", "city.osm.xml", "-addr", ":9090", "-name", "my-map",
+		"-public-url", "http://example:9090", "-ch", "-min-level", "10", "-max-level", "18",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.mapPath != "city.osm.xml" || o.addr != ":9090" || o.name != "my-map" || !o.useCH {
+		t.Fatalf("flags lost: %+v", o)
+	}
+	if o.minLevel != 10 || o.maxLevel != 18 {
+		t.Fatalf("levels lost: %+v", o)
+	}
+	if got := o.advertiseURL(); got != "http://example:9090" {
+		t.Fatalf("advertiseURL = %q", got)
+	}
+}
+
+func TestAdvertiseURLDefaultsToAddr(t *testing.T) {
+	o := &options{addr: ":8080"}
+	if got := o.advertiseURL(); got != "http://:8080" {
+		t.Fatalf("advertiseURL = %q", got)
+	}
+}
+
+// TestBuildServerFromMapFile smoke-tests the full startup path: a
+// generated store map written to disk, loaded through the flags, and
+// served as a map server with coverage.
+func TestBuildServerFromMapFile(t *testing.T) {
+	w := worldgen.GenWorld(worldgen.DefaultWorldParams())
+	path := filepath.Join(t.TempDir(), "city.osm.xml")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Outdoor.WriteXML(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	fs, o := newFlagSet("flame-server")
+	if err := fs.Parse([]string{"-map", path, "-name", "smoke"}); err != nil {
+		t.Fatal(err)
+	}
+	srv, m, err := o.buildServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Name() != "smoke" {
+		t.Fatalf("server name = %q", srv.Name())
+	}
+	if m.NodeCount() == 0 {
+		t.Fatal("loaded map is empty")
+	}
+	if len(srv.Info().Coverage) == 0 {
+		t.Fatal("server advertises no coverage")
+	}
+}
+
+func TestBuildServerMissingMapFails(t *testing.T) {
+	o := &options{mapPath: filepath.Join(t.TempDir(), "absent.xml")}
+	if _, _, err := o.buildServer(); err == nil {
+		t.Fatal("missing map accepted")
+	}
+}

@@ -21,27 +21,42 @@ import (
 	"openflame/internal/worldgen"
 )
 
-func main() {
-	out := flag.String("out", "world", "output directory")
-	stores := flag.Int("stores", 3, "number of indoor store maps")
-	blocks := flag.Int("blocks", 8, "city grid size (blocks per side)")
-	seed := flag.Int64("seed", 1, "generation seed")
-	flag.Parse()
+// options is the CLI surface, separated from main so tests can run the
+// generator end to end.
+type options struct {
+	out    string
+	stores int
+	blocks int
+	seed   int64
+}
 
+func newFlagSet(name string) (*flag.FlagSet, *options) {
+	o := &options{}
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.StringVar(&o.out, "out", "world", "output directory")
+	fs.IntVar(&o.stores, "stores", 3, "number of indoor store maps")
+	fs.IntVar(&o.blocks, "blocks", 8, "city grid size (blocks per side)")
+	fs.Int64Var(&o.seed, "seed", 1, "generation seed")
+	return fs, o
+}
+
+// run generates the world and writes every map; returns the generated
+// world for inspection.
+func (o *options) run() (*worldgen.World, error) {
 	params := worldgen.DefaultWorldParams()
-	params.City.Seed = *seed
-	params.City.BlocksX = *blocks
-	params.City.BlocksY = *blocks
-	params.NumStores = *stores
-	params.StoreSeed = *seed + 10
+	params.City.Seed = o.seed
+	params.City.BlocksX = o.blocks
+	params.City.BlocksY = o.blocks
+	params.NumStores = o.stores
+	params.StoreSeed = o.seed + 10
 
 	w := worldgen.GenWorld(params)
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		log.Fatalf("mkdir: %v", err)
+	if err := os.MkdirAll(o.out, 0o755); err != nil {
+		return nil, fmt.Errorf("mkdir: %w", err)
 	}
 	var printMu sync.Mutex
 	write := func(name string, m *osm.Map) error {
-		path := filepath.Join(*out, name)
+		path := filepath.Join(o.out, name)
 		f, err := os.Create(path)
 		if err != nil {
 			return fmt.Errorf("create %s: %v", path, err)
@@ -66,8 +81,20 @@ func main() {
 	})
 	for _, err := range errs {
 		if err != nil {
-			log.Fatal(err)
+			return nil, err
 		}
+	}
+	return w, nil
+}
+
+func main() {
+	fs, o := newFlagSet("flame-worldgen")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	w, err := o.run()
+	if err != nil {
+		log.Fatal(err)
 	}
 	for _, s := range w.Stores {
 		fmt.Printf("  %s: %d products, %d beacons, portal %s\n",

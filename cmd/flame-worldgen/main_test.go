@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFlagDefaultsAndRoundTrip(t *testing.T) {
+	fs, o := newFlagSet("flame-worldgen")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if o.out != "world" || o.stores != 3 || o.blocks != 8 || o.seed != 1 {
+		t.Fatalf("defaults changed: %+v", o)
+	}
+
+	fs, o = newFlagSet("flame-worldgen")
+	if err := fs.Parse([]string{"-out", "/tmp/w", "-stores", "2", "-blocks", "4", "-seed", "9"}); err != nil {
+		t.Fatal(err)
+	}
+	if o.out != "/tmp/w" || o.stores != 2 || o.blocks != 4 || o.seed != 9 {
+		t.Fatalf("flags lost: %+v", o)
+	}
+}
+
+// TestRunWritesWorld smoke-tests the full generation path: one city map
+// plus one file per store land in the output directory.
+func TestRunWritesWorld(t *testing.T) {
+	dir := t.TempDir()
+	o := &options{out: dir, stores: 1, blocks: 2, seed: 7}
+	w, err := o.run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Stores) != 1 {
+		t.Fatalf("generated %d stores, want 1", len(w.Stores))
+	}
+	for _, name := range []string{"city.osm.xml", "store-0.osm.xml"} {
+		st, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s not written: %v", name, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", name)
+		}
+	}
+}

@@ -9,6 +9,10 @@
 //	flame -root 127.0.0.1:5300 geocode   -world http://host:8080 <address...>
 //	flame -root 127.0.0.1:5300 route     <fromLat> <fromLng> <toLat> <toLng>
 //	flame -root 127.0.0.1:5300 tile      <lat> <lng> <zoom> <out.png>
+//
+// Resilience flags (-retries, -retry-budget, -hedge-after,
+// -breaker-threshold) tune how the client treats an unreliable
+// federation; all default off, reproducing the plain client.
 package main
 
 import (
@@ -27,42 +31,95 @@ import (
 	"openflame/internal/discovery"
 	"openflame/internal/dns"
 	"openflame/internal/geo"
+	"openflame/internal/resilience"
 	"openflame/internal/tiles"
 )
 
-func main() {
-	root := flag.String("root", "127.0.0.1:5300", "spatial DNS root server address")
-	world := flag.String("world", "", "world map provider URL (for geocode)")
-	user := flag.String("user", "", "identity asserted as X-Flame-User")
-	app := flag.String("app", "", "application asserted as X-Flame-App")
-	timeout := flag.Duration("timeout", 30*time.Second, "overall deadline for the command (0 = none)")
-	perServer := flag.Duration("per-server-timeout", 5*time.Second, "deadline per federation member (0 = none)")
-	concurrency := flag.Int("concurrency", 0, "max concurrent server calls (0 = default, 1 = sequential)")
-	flag.Parse()
+// options is the CLI surface, separated from main so tests can verify the
+// flags round-trip into the client configuration.
+type options struct {
+	root      string
+	world     string
+	user, app string
 
-	args := flag.Args()
+	timeout     time.Duration
+	perServer   time.Duration
+	concurrency int
+
+	retries          int
+	retryBackoff     time.Duration
+	retryBudget      int
+	hedgeAfter       time.Duration
+	breakerThreshold int
+	breakerCooldown  time.Duration
+}
+
+// newFlagSet declares every flame flag on a fresh FlagSet bound to a fresh
+// options value.
+func newFlagSet(name string) (*flag.FlagSet, *options) {
+	o := &options{}
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.StringVar(&o.root, "root", "127.0.0.1:5300", "spatial DNS root server address")
+	fs.StringVar(&o.world, "world", "", "world map provider URL (for geocode)")
+	fs.StringVar(&o.user, "user", "", "identity asserted as X-Flame-User")
+	fs.StringVar(&o.app, "app", "", "application asserted as X-Flame-App")
+	fs.DurationVar(&o.timeout, "timeout", 30*time.Second, "overall deadline for the command (0 = none)")
+	fs.DurationVar(&o.perServer, "per-server-timeout", 5*time.Second, "deadline per federation member, spanning its retries and hedges (0 = none)")
+	fs.IntVar(&o.concurrency, "concurrency", 0, "max concurrent server calls (0 = default, 1 = sequential)")
+	fs.IntVar(&o.retries, "retries", 0, "max attempts per server call; 5xx/timeouts/transport errors are retried with jittered backoff (0 or 1 = no retries)")
+	fs.DurationVar(&o.retryBackoff, "retry-backoff", 10*time.Millisecond, "base backoff before the first retry (doubles per attempt)")
+	fs.IntVar(&o.retryBudget, "retry-budget", 0, "max total retries per command across all federation members (0 = unlimited)")
+	fs.DurationVar(&o.hedgeAfter, "hedge-after", 0, "race a second attempt against a server that has not answered after this long; adapts to the server's tracked p95 once warmed (0 = off)")
+	fs.IntVar(&o.breakerThreshold, "breaker-threshold", 0, "consecutive failures before a member's circuit breaker opens and it is skipped without HTTP (0 = off)")
+	fs.DurationVar(&o.breakerCooldown, "breaker-cooldown", 5*time.Second, "how long an open breaker waits before a half-open probe re-admits the member")
+	return fs, o
+}
+
+// newClient builds the configured OpenFLAME client.
+func (o *options) newClient() *client.Client {
+	resolver := dns.NewResolver(dns.UDPExchanger{}, []dns.RootHint{{Name: "root.", Addr: o.root}})
+	disc := discovery.NewClient(resolver, discovery.DefaultSuffix)
+	disc.MaxConcurrency = o.concurrency
+	c := client.New(disc, http.DefaultClient)
+	c.User, c.App, c.WorldURL = o.user, o.app, o.world
+	c.MaxConcurrency = o.concurrency
+	c.PerServerTimeout = o.perServer
+	c.RetryPolicy = resilience.RetryPolicy{
+		MaxAttempts: o.retries,
+		BaseBackoff: o.retryBackoff,
+		Budget:      o.retryBudget,
+	}
+	c.HedgeAfter = o.hedgeAfter
+	c.BreakerThreshold = o.breakerThreshold
+	c.BreakerCooldown = o.breakerCooldown
+	return c
+}
+
+func main() {
+	fs, o := newFlagSet("flame")
+	fs.Usage = func() { usage(fs) }
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+
+	args := fs.Args()
 	if len(args) == 0 {
-		usage()
+		usage(fs)
+		os.Exit(2)
 	}
 	// Ctrl-C cancels every in-flight discovery and server call.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if *timeout > 0 {
+	if o.timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
 		defer cancel()
 	}
-	resolver := dns.NewResolver(dns.UDPExchanger{}, []dns.RootHint{{Name: "root.", Addr: *root}})
-	disc := discovery.NewClient(resolver, discovery.DefaultSuffix)
-	disc.MaxConcurrency = *concurrency
-	c := client.New(disc, http.DefaultClient)
-	c.User, c.App, c.WorldURL = *user, *app, *world
-	c.MaxConcurrency = *concurrency
-	c.PerServerTimeout = *perServer
+	c := o.newClient()
 
 	switch args[0] {
 	case "discover":
-		ll := parseLatLng(args, 1)
+		ll := parseLatLng(fs, args, 1)
 		anns := c.DiscoverCtx(ctx, ll)
 		if len(anns) == 0 {
 			fmt.Println("no map servers found")
@@ -72,7 +129,7 @@ func main() {
 			fmt.Printf("%-24s level=%-2d %s services=%v\n", a.Name, a.Level, a.URL, a.Services)
 		}
 	case "search":
-		ll := parseLatLng(args, 1)
+		ll := parseLatLng(fs, args, 1)
 		query := strings.Join(args[3:], " ")
 		for i, r := range c.SearchCtx(ctx, query, ll, 10) {
 			fmt.Printf("%2d. %-32s %6.0fm score=%.2f via %s\n",
@@ -86,8 +143,8 @@ func main() {
 		}
 		fmt.Printf("%s at %s (score %.2f)\n", r.Name, r.Position, r.Score)
 	case "route":
-		from := parseLatLng(args, 1)
-		to := parseLatLng(args, 3)
+		from := parseLatLng(fs, args, 1)
+		to := parseLatLng(fs, args, 3)
 		route, err := c.RouteCtx(ctx, from, to)
 		if err != nil {
 			log.Fatalf("route: %v", err)
@@ -98,9 +155,9 @@ func main() {
 			fmt.Printf("  leg via %-24s %.0fs, %d points\n", leg.Server, leg.CostSeconds, len(leg.Points))
 		}
 	case "tile":
-		ll := parseLatLng(args, 1)
-		z := mustInt(args, 3)
-		out := mustArg(args, 4)
+		ll := parseLatLng(fs, args, 1)
+		z := mustInt(fs, args, 3)
+		out := mustArg(fs, args, 4)
 		anns := c.DiscoverCtx(ctx, ll)
 		if len(anns) == 0 {
 			log.Fatal("no map servers found")
@@ -115,36 +172,39 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%d bytes, tile %s from %s)\n", out, len(png), coord, anns[0].Name)
 	default:
-		usage()
+		usage(fs)
+		os.Exit(2)
 	}
 }
 
-func usage() {
+func usage(fs *flag.FlagSet) {
 	fmt.Fprintln(os.Stderr, "usage: flame [flags] discover|search|geocode|route|tile ...")
-	flag.PrintDefaults()
-	os.Exit(2)
+	fs.PrintDefaults()
 }
 
-func mustArg(args []string, i int) string {
+func mustArg(fs *flag.FlagSet, args []string, i int) string {
 	if i >= len(args) {
-		usage()
+		usage(fs)
+		os.Exit(2)
 	}
 	return args[i]
 }
 
-func mustInt(args []string, i int) int {
-	v, err := strconv.Atoi(mustArg(args, i))
+func mustInt(fs *flag.FlagSet, args []string, i int) int {
+	v, err := strconv.Atoi(mustArg(fs, args, i))
 	if err != nil {
-		usage()
+		usage(fs)
+		os.Exit(2)
 	}
 	return v
 }
 
-func parseLatLng(args []string, i int) geo.LatLng {
-	lat, err1 := strconv.ParseFloat(mustArg(args, i), 64)
-	lng, err2 := strconv.ParseFloat(mustArg(args, i+1), 64)
+func parseLatLng(fs *flag.FlagSet, args []string, i int) geo.LatLng {
+	lat, err1 := strconv.ParseFloat(mustArg(fs, args, i), 64)
+	lng, err2 := strconv.ParseFloat(mustArg(fs, args, i+1), 64)
 	if err1 != nil || err2 != nil {
-		usage()
+		usage(fs)
+		os.Exit(2)
 	}
 	return geo.LatLng{Lat: lat, Lng: lng}
 }

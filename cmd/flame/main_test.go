@@ -1,0 +1,89 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"openflame/internal/resilience"
+)
+
+// TestFlagDefaults pins the CLI defaults: everything resilience-related is
+// off, reproducing the plain client.
+func TestFlagDefaults(t *testing.T) {
+	fs, o := newFlagSet("flame")
+	if err := fs.Parse([]string{"discover", "40.44", "-79.99"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Args(); len(got) != 3 || got[0] != "discover" {
+		t.Fatalf("positional args = %v", got)
+	}
+	if o.root != "127.0.0.1:5300" || o.timeout != 30*time.Second || o.perServer != 5*time.Second {
+		t.Fatalf("defaults changed: %+v", o)
+	}
+	if o.retries != 0 || o.hedgeAfter != 0 || o.breakerThreshold != 0 || o.retryBudget != 0 {
+		t.Fatalf("resilience should default off: %+v", o)
+	}
+	c := o.newClient()
+	if c.RetryPolicy.MaxAttempts != 0 || c.HedgeAfter != 0 || c.BreakerThreshold != 0 {
+		t.Fatalf("default client has resilience enabled: %+v", c)
+	}
+}
+
+// TestFlagsRoundTripIntoClientConfig drives every knob through the flag
+// parser and asserts it lands on the built client.
+func TestFlagsRoundTripIntoClientConfig(t *testing.T) {
+	fs, o := newFlagSet("flame")
+	err := fs.Parse([]string{
+		"-root", "10.1.2.3:53",
+		"-world", "http://world:8080",
+		"-user", "alice", "-app", "shopping",
+		"-timeout", "12s",
+		"-per-server-timeout", "750ms",
+		"-concurrency", "4",
+		"-retries", "3",
+		"-retry-backoff", "20ms",
+		"-retry-budget", "5",
+		"-hedge-after", "40ms",
+		"-breaker-threshold", "6",
+		"-breaker-cooldown", "90s",
+		"search", "40.44", "-79.99", "coffee",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := o.newClient()
+	if c.User != "alice" || c.App != "shopping" || c.WorldURL != "http://world:8080" {
+		t.Fatalf("identity/world flags lost: %+v", c)
+	}
+	if c.MaxConcurrency != 4 || c.PerServerTimeout != 750*time.Millisecond {
+		t.Fatalf("concurrency flags lost: MaxConcurrency=%d PerServerTimeout=%v",
+			c.MaxConcurrency, c.PerServerTimeout)
+	}
+	wantRetry := resilience.RetryPolicy{MaxAttempts: 3, BaseBackoff: 20 * time.Millisecond, Budget: 5}
+	if c.RetryPolicy != wantRetry {
+		t.Fatalf("RetryPolicy = %+v, want %+v", c.RetryPolicy, wantRetry)
+	}
+	if c.HedgeAfter != 40*time.Millisecond || c.BreakerThreshold != 6 || c.BreakerCooldown != 90*time.Second {
+		t.Fatalf("hedge/breaker flags lost: HedgeAfter=%v BreakerThreshold=%d BreakerCooldown=%v",
+			c.HedgeAfter, c.BreakerThreshold, c.BreakerCooldown)
+	}
+	if got := fs.Args(); len(got) != 4 || got[0] != "search" {
+		t.Fatalf("positional args = %v", got)
+	}
+	if o.timeout != 12*time.Second {
+		t.Fatalf("timeout = %v", o.timeout)
+	}
+}
+
+// TestUnknownFlagRejected: parse errors surface instead of being dropped.
+func TestUnknownFlagRejected(t *testing.T) {
+	fs, _ := newFlagSet("flame")
+	fs.SetOutput(discard{})
+	if err := fs.Parse([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

@@ -24,6 +24,7 @@ import (
 	"openflame/internal/geo"
 	"openflame/internal/geocode"
 	"openflame/internal/loc"
+	"openflame/internal/resilience"
 	"openflame/internal/s2cell"
 	"openflame/internal/search"
 	"openflame/internal/wire"
@@ -54,10 +55,30 @@ type Client struct {
 	MaxConcurrency int
 	// PerServerTimeout, when > 0, caps each individual server call so one
 	// hung federation member cannot stall the merge; the slow server is
-	// skipped like any other failure.
+	// skipped like any other failure. The cap spans the whole resilient
+	// call — retries and hedges included.
 	PerServerTimeout time.Duration
 
+	// RetryPolicy, HedgeAfter, BreakerThreshold and BreakerCooldown are
+	// the resilience knobs (see internal/resilience): transient per-server
+	// failures retried with jittered backoff within a budget, a second
+	// hedge attempt raced against a straggler after the server's tracked
+	// p95, and a circuit breaker that stops contacting a persistently
+	// failing member until a half-open probe restores it. All zero values
+	// reproduce the un-resilient client exactly. Set them before the
+	// first request; they are captured into a tracker on first use.
+	RetryPolicy      resilience.RetryPolicy
+	HedgeAfter       time.Duration
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Resilience, when non-nil, is used instead of a tracker built from
+	// the knobs above — tests inject trackers with fake clocks, and
+	// callers can share one tracker across clients.
+	Resilience *resilience.Tracker
+
 	requests   atomic.Int64
+	resOnce    sync.Once
+	res        *resilience.Tracker
 	infoMu     sync.Mutex
 	infoCache  map[string]wire.Info
 	infoFlight fanout.Group[wire.Info]
@@ -78,8 +99,64 @@ func New(disc *discovery.Client, httpClient *http.Client) *Client {
 }
 
 // RequestCount returns the number of HTTP requests issued (the fan-out
-// metric reported by the experiments).
+// metric reported by the experiments). Retries and hedges count: they are
+// real load on the federation.
 func (c *Client) RequestCount() int64 { return c.requests.Load() }
+
+// tracker returns the client's resilience tracker: the injected Resilience
+// if set, one built from the knobs if any is active, nil otherwise (the
+// nil tracker is the fast path — calls bypass the resilience layer
+// entirely, reproducing the pre-resilience client byte for byte).
+func (c *Client) tracker() *resilience.Tracker {
+	c.resOnce.Do(func() {
+		if c.Resilience != nil {
+			c.res = c.Resilience
+			return
+		}
+		p := resilience.Policy{
+			Retry:            c.RetryPolicy,
+			HedgeAfter:       c.HedgeAfter,
+			BreakerThreshold: c.BreakerThreshold,
+			BreakerCooldown:  c.BreakerCooldown,
+		}
+		if p.Enabled() {
+			c.res = resilience.NewTracker(p)
+		}
+	})
+	return c.res
+}
+
+// ServerHealth exposes the tracked health of one server (zero value when
+// no resilience layer is active or the server is unknown).
+func (c *Client) ServerHealth(baseURL string) resilience.Health {
+	if t := c.tracker(); t != nil {
+		return t.Health(baseURL)
+	}
+	return resilience.Health{}
+}
+
+// available reports whether a server should be included in a fan-out:
+// false only while its circuit breaker is open (it rejoins through
+// half-open probes once the cooldown elapses).
+func (c *Client) available(baseURL string) bool {
+	t := c.tracker()
+	return t == nil || t.Available(baseURL)
+}
+
+// availableAnns drops federation members whose breaker is open before any
+// HTTP is issued — the fan-out never waits on a member known to be down.
+func (c *Client) availableAnns(anns []discovery.Announcement) []discovery.Announcement {
+	if c.tracker() == nil {
+		return anns
+	}
+	out := make([]discovery.Announcement, 0, len(anns))
+	for _, a := range anns {
+		if c.available(a.URL) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
 
 // Discover exposes raw discovery for applications.
 func (c *Client) Discover(ll geo.LatLng) []discovery.Announcement {
@@ -91,11 +168,23 @@ func (c *Client) DiscoverCtx(ctx context.Context, ll geo.LatLng) []discovery.Ann
 	return c.disc.DiscoverCtx(ctx, ll)
 }
 
+// withRetryBudget attaches the policy's request-wide retry budget once per
+// logical request: a few bad members must not multiply the request's cost
+// by MaxAttempts. Multi-stage requests (Route's pricing then leg
+// expansion) attach at the top so all stages share one budget.
+func (c *Client) withRetryBudget(ctx context.Context) context.Context {
+	if t := c.tracker(); t != nil && t.Retry.Budget > 0 && !resilience.HasBudget(ctx) {
+		return resilience.WithBudget(ctx, t.Retry.Budget)
+	}
+	return ctx
+}
+
 // forEachServer runs fn over n servers on the client's bounded worker pool,
 // giving each call its own per-server timeout. fn records results into
 // caller-owned indexed slots; failed or cancelled servers simply leave
 // their slot empty (first-error-tolerant merge).
 func (c *Client) forEachServer(ctx context.Context, n int, fn func(ctx context.Context, i int)) {
+	ctx = c.withRetryBudget(ctx)
 	fanout.ForEach(ctx, n, c.MaxConcurrency, func(ctx context.Context, i int) {
 		if c.PerServerTimeout > 0 {
 			var cancel context.CancelFunc
@@ -106,16 +195,39 @@ func (c *Client) forEachServer(ctx context.Context, n int, fn func(ctx context.C
 	})
 }
 
-// call POSTs a JSON request and decodes the response.
+// call POSTs a JSON request and decodes the response. When a resilience
+// tracker is active the attempt runs through it — breaker admission,
+// retries, hedging, health reporting; with no tracker it is one plain
+// attempt, exactly the pre-resilience client.
 func (c *Client) call(ctx context.Context, baseURL, path string, req, resp interface{}) error {
-	c.requests.Add(1)
-	body, err := json.Marshal(req)
+	var body []byte
+	var err error
+	if t := c.tracker(); t != nil {
+		body, err = resilience.Do(ctx, t, baseURL, func(ctx context.Context) ([]byte, error) {
+			return c.post(ctx, baseURL, path, req)
+		})
+	} else {
+		body, err = c.post(ctx, baseURL, path, req)
+	}
 	if err != nil {
 		return err
 	}
+	return json.Unmarshal(body, resp)
+}
+
+// post issues one raw HTTP attempt and returns the response body. Non-200
+// responses become *resilience.HTTPError so the status code survives for
+// failure classification (5xx counts against the server's health and is
+// retryable; 4xx is a refusal — the server is fine).
+func (c *Client) post(ctx context.Context, baseURL, path string, req interface{}) ([]byte, error) {
+	c.requests.Add(1)
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
 	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+path, bytes.NewReader(body))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
 	if c.User != "" {
@@ -126,15 +238,15 @@ func (c *Client) call(ctx context.Context, baseURL, path string, req, resp inter
 	}
 	res, err := c.http.Do(httpReq)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer res.Body.Close()
 	if res.StatusCode != http.StatusOK {
 		var e wire.ErrorResponse
 		_ = json.NewDecoder(res.Body).Decode(&e)
-		return fmt.Errorf("client: %s%s: status %d: %s", baseURL, path, res.StatusCode, e.Error)
+		return nil, &resilience.HTTPError{URL: baseURL + path, StatusCode: res.StatusCode, Msg: e.Error}
 	}
-	return json.NewDecoder(res.Body).Decode(resp)
+	return io.ReadAll(res.Body)
 }
 
 // Info fetches (and caches) a server's description.
@@ -212,7 +324,7 @@ func (c *Client) SearchFanout(query string, near geo.LatLng, limit, maxServers i
 // deterministic discovery order, so concurrency does not change results.
 func (c *Client) SearchFanoutCtx(ctx context.Context, query string, near geo.LatLng, limit, maxServers int) []search.Result {
 	region := s2cell.CapRegion{Cap: geo.Cap{Center: near, RadiusMeters: c.SearchRadiusMeters}}
-	anns := c.disc.DiscoverRegionCtx(ctx, region)
+	anns := c.availableAnns(c.disc.DiscoverRegionCtx(ctx, region))
 	if maxServers > 0 && len(anns) > maxServers {
 		anns = anns[:maxServers]
 	}
@@ -248,6 +360,7 @@ func (c *Client) Geocode(address string) (wire.GeocodeResult, error) {
 // servers runs concurrently; the coarse suffix walk stays sequential (each
 // step depends on the previous miss).
 func (c *Client) GeocodeCtx(ctx context.Context, address string) (wire.GeocodeResult, error) {
+	ctx = c.withRetryBudget(ctx) // one budget for the coarse walk + fine fan-out
 	parts := geocode.ParseAddress(address)
 	if len(parts) == 0 {
 		return wire.GeocodeResult{}, fmt.Errorf("client: empty address")
@@ -279,7 +392,7 @@ func (c *Client) GeocodeCtx(ctx context.Context, address string) (wire.GeocodeRe
 	// world provider among them) for the FULL address and keep the best
 	// full-address score; fall back to the coarse hit.
 	urls := []string{c.WorldURL}
-	for _, a := range c.disc.DiscoverCtx(ctx, coarse.Position) {
+	for _, a := range c.availableAnns(c.disc.DiscoverCtx(ctx, coarse.Position)) {
 		if a.URL != c.WorldURL {
 			urls = append(urls, a.URL)
 		}
@@ -330,7 +443,7 @@ func (c *Client) ReverseGeocode(ll geo.LatLng, maxMeters float64) (wire.GeocodeR
 // ReverseGeocodeCtx is ReverseGeocode under a context, fanning out to the
 // discovered servers concurrently.
 func (c *Client) ReverseGeocodeCtx(ctx context.Context, ll geo.LatLng, maxMeters float64) (wire.GeocodeResult, bool) {
-	anns := c.disc.DiscoverCtx(ctx, ll)
+	anns := c.availableAnns(c.disc.DiscoverCtx(ctx, ll))
 	slots := make([]*wire.GeocodeResult, len(anns))
 	c.forEachServer(ctx, len(anns), func(ctx context.Context, i int) {
 		var resp wire.RGeocodeResponse
@@ -374,7 +487,7 @@ func (c *Client) LocalizeCtx(ctx context.Context, coarse geo.LatLng, cues []loc.
 	if radius < 60 {
 		radius = 60
 	}
-	anns := c.disc.DiscoverRegionCtx(ctx, s2cell.CapRegion{Cap: geo.Cap{Center: coarse, RadiusMeters: radius}})
+	anns := c.availableAnns(c.disc.DiscoverRegionCtx(ctx, s2cell.CapRegion{Cap: geo.Cap{Center: coarse, RadiusMeters: radius}}))
 	// Flatten to (server, cue) calls first so the pool sees them all.
 	type callSpec struct {
 		url string

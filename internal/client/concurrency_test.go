@@ -15,9 +15,11 @@ import (
 
 	"openflame/internal/core"
 	"openflame/internal/geo"
+	"openflame/internal/resilience"
 	"openflame/internal/s2cell"
 	"openflame/internal/search"
 	"openflame/internal/wire"
+	"openflame/internal/worldgen"
 )
 
 // delayedServer is a map-server test double: a live HTTP endpoint whose
@@ -142,6 +144,65 @@ func TestMaxConcurrencyOneIsSequential(t *testing.T) {
 			t.Fatalf("result %d differs: sequential %+v vs concurrent %+v",
 				i, seqResults[i], concResults[i])
 		}
+	}
+}
+
+// TestNeutralResilienceIsByteIdentical is the determinism regression for
+// the resilience layer: with MaxConcurrency=1, retries disabled, hedging
+// disabled, and breakers disabled, a client running through the resilience
+// layer (health tracking only) must produce byte-identical Search and
+// Route results to the plain pre-resilience client.
+func TestNeutralResilienceIsByteIdentical(t *testing.T) {
+	w := worldgen.GenWorld(worldgen.DefaultWorldParams())
+	f, err := core.DeployWorld(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	store := w.Stores[0]
+	entrance := trueEntrance(store)
+
+	base := f.NewClient()
+	base.MaxConcurrency = 1
+	withRes := f.NewClient()
+	withRes.MaxConcurrency = 1
+	// The zero policy: health is tracked, but no retries, no hedging, no
+	// breakers — every call is a single plain attempt.
+	withRes.Resilience = resilience.NewTracker(resilience.Policy{})
+
+	marshal := func(v interface{}) []byte {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	a := marshal(base.Search(store.Products[0], entrance, 10))
+	b := marshal(withRes.Search(store.Products[0], entrance, 10))
+	if string(a) != string(b) {
+		t.Fatalf("Search diverged under neutral resilience:\nplain: %s\nres:   %s", a, b)
+	}
+
+	from := geo.LatLng{Lat: 40.4400, Lng: -79.9990}
+	to := geo.Offset(geo.Offset(from, 300, 0), 300, 90)
+	ra, err := base.Route(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := withRes.Route(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(marshal(ra)) != string(marshal(rb)) {
+		t.Fatalf("Route diverged under neutral resilience:\nplain: %s\nres:   %s", marshal(ra), marshal(rb))
+	}
+
+	// The neutral tracker issued exactly as many HTTP requests as the
+	// plain client — nothing was retried or hedged.
+	if base.RequestCount() != withRes.RequestCount() {
+		t.Fatalf("request counts diverged: plain %d vs resilience %d",
+			base.RequestCount(), withRes.RequestCount())
 	}
 }
 

@@ -81,6 +81,9 @@ func (c *Client) Route(from, to geo.LatLng) (StitchedRoute, error) {
 // pool; pricing failures skip the server, leg-expansion failures fail the
 // route (a chosen leg is not optional).
 func (c *Client) RouteCtx(ctx context.Context, from, to geo.LatLng) (StitchedRoute, error) {
+	// One retry budget for the whole route: pricing, leg expansion, and
+	// anchor lookups share it rather than each getting a fresh one.
+	ctx = c.withRetryBudget(ctx)
 	// 1. Discover the servers involved (§5.2: endpoints plus the way).
 	// Endpoints anchor to the MOST SPECIFIC (finest-level) servers
 	// covering them: a shelf inside a store belongs to the store's map,
@@ -131,9 +134,14 @@ func (c *Client) RouteCtx(ctx context.Context, from, to geo.LatLng) (StitchedRou
 	// per-server edge lists land in indexed slots and merge in sorted-URL
 	// order so the adjacency (and therefore tie-breaks in the meta-graph
 	// search) is deterministic regardless of completion order.
+	// Members whose circuit breaker is open are excluded before pricing —
+	// they would only waste a matrix call. Legs are never priced on (and
+	// so never chosen from) a known-down server.
 	urls := make([]string, 0, len(servers))
 	for url := range servers {
-		urls = append(urls, url)
+		if c.available(url) {
+			urls = append(urls, url)
+		}
 	}
 	sort.Strings(urls)
 	type pricedServer struct {

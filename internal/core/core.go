@@ -16,6 +16,7 @@ import (
 	"openflame/internal/discovery"
 	"openflame/internal/dns"
 	"openflame/internal/mapserver"
+	"openflame/internal/netsim"
 	"openflame/internal/worldgen"
 )
 
@@ -37,6 +38,9 @@ type ServerHandle struct {
 	Server *mapserver.Server
 	HTTP   *httptest.Server
 	URL    string
+	// Faults, when non-nil, is the netsim fault injector scripted between
+	// the endpoint and the server (see AddFaultyServer).
+	Faults *netsim.FaultSchedule
 }
 
 // NewFederation builds the DNS tree: a root zone for "flame.arpa."
@@ -73,8 +77,20 @@ func (f *Federation) NewResolver() *dns.Resolver {
 // AddServer starts the map server over HTTP and registers its coverage in
 // the discovery DNS.
 func (f *Federation) AddServer(srv *mapserver.Server) (*ServerHandle, error) {
-	ts := httptest.NewServer(srv.Handler())
-	h := &ServerHandle{Server: srv, HTTP: ts, URL: ts.URL}
+	return f.AddFaultyServer(srv, nil)
+}
+
+// AddFaultyServer starts the map server behind a netsim fault injector, so
+// tests and experiments can script the member's failure behaviour
+// (error bursts, blackholes, flapping) while the server itself stays
+// untouched. A nil schedule serves requests directly.
+func (f *Federation) AddFaultyServer(srv *mapserver.Server, faults *netsim.FaultSchedule) (*ServerHandle, error) {
+	var handler http.Handler = srv.Handler()
+	if faults != nil {
+		handler = faults.Wrap(handler)
+	}
+	ts := httptest.NewServer(handler)
+	h := &ServerHandle{Server: srv, HTTP: ts, URL: ts.URL, Faults: faults}
 	if err := f.Registry.Register(srv.Info(), ts.URL); err != nil {
 		ts.Close()
 		return nil, fmt.Errorf("core: register %s: %w", srv.Name(), err)

@@ -3,8 +3,12 @@ package core
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"openflame/internal/geo"
+	"openflame/internal/mapserver"
+	"openflame/internal/netsim"
+	"openflame/internal/resilience"
 	"openflame/internal/worldgen"
 )
 
@@ -69,6 +73,44 @@ func TestDeployWorld(t *testing.T) {
 func s0Entrance(w *worldgen.World) geo.LatLng {
 	c := w.Stores[0].Correspondences
 	return c[len(c)-1].World
+}
+
+// TestAddFaultyServer wires a netsim fault schedule between the client and
+// a real map server: the first search attempt is 503'd by the injector,
+// the retry policy recovers it, and the schedule's counters prove the
+// fault actually fired.
+func TestAddFaultyServer(t *testing.T) {
+	w := worldgen.GenWorld(worldgen.DefaultWorldParams())
+	f, err := NewFederation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	srv, err := mapserver.New(mapserver.Config{Name: "world-map", Map: w.Outdoor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := netsim.FailFirst(1, 503)
+	h, err := f.AddFaultyServer(srv, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Faults != sched {
+		t.Fatal("handle does not carry its fault schedule")
+	}
+
+	c := f.NewClient()
+	c.RetryPolicy = resilience.RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond}
+	pos := geo.LatLng{Lat: 40.4400, Lng: -79.9990}
+	if got := c.Search("Street", pos, 5); len(got) == 0 {
+		t.Fatal("search through the fault injector found nothing after retry")
+	}
+	if sched.Faulted() == 0 {
+		t.Fatal("fault schedule never fired")
+	}
+	if sched.Requests() < 2 {
+		t.Fatalf("server saw %d requests, want the original and the retry", sched.Requests())
+	}
 }
 
 func TestClientHasWorldURL(t *testing.T) {

@@ -1,0 +1,96 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Class is a failure classification: it decides both whether an error is a
+// health signal against the server and whether retrying can help.
+type Class int
+
+const (
+	// ClassOK: the call succeeded.
+	ClassOK Class = iota
+	// ClassCancelled: the caller gave up (context cancellation). Says
+	// nothing about the server — not counted against health, not retried.
+	ClassCancelled
+	// ClassTransient: the server or the path to it failed (5xx, timeout,
+	// transport error). Counted against health; retryable.
+	ClassTransient
+	// ClassPermanent: the server answered with a definitive refusal
+	// (4xx: bad request, policy denial). The server is healthy; not
+	// counted against it, and retrying the same request cannot help.
+	ClassPermanent
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassOK:
+		return "ok"
+	case ClassCancelled:
+		return "cancelled"
+	case ClassTransient:
+		return "transient"
+	case ClassPermanent:
+		return "permanent"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// HTTPError is a non-200 response, preserved with its status code so the
+// classification can distinguish server faults (5xx) from refusals (4xx).
+type HTTPError struct {
+	URL        string
+	StatusCode int
+	Msg        string
+}
+
+func (e *HTTPError) Error() string {
+	return fmt.Sprintf("%s: status %d: %s", e.URL, e.StatusCode, e.Msg)
+}
+
+// OpenError is a call rejected locally because the server's breaker is
+// open; no HTTP was issued.
+type OpenError struct{ Server string }
+
+func (e *OpenError) Error() string {
+	return fmt.Sprintf("resilience: breaker open for %s", e.Server)
+}
+
+// Classify maps a call error to its Class. ctx is the context the call ran
+// under: when it carries a cancellation the failure is charged to the
+// caller, not the server. Deadline expiry (a per-server timeout firing) IS
+// charged to the server — a member that cannot answer within its deadline
+// is indistinguishable from a failed one (§1's isolation argument), while
+// a user pressing Ctrl-C says nothing about server health.
+func Classify(ctx context.Context, err error) Class {
+	if err == nil {
+		return ClassOK
+	}
+	if ctx != nil && ctx.Err() == context.Canceled {
+		return ClassCancelled
+	}
+	if errors.Is(err, context.Canceled) {
+		return ClassCancelled
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ClassTransient
+	}
+	var he *HTTPError
+	if errors.As(err, &he) {
+		if he.StatusCode >= 500 {
+			return ClassTransient
+		}
+		return ClassPermanent
+	}
+	var oe *OpenError
+	if errors.As(err, &oe) {
+		// Local rejection: already accounted for when the breaker tripped.
+		return ClassPermanent
+	}
+	// Anything else is transport-level (connection refused/reset, DNS):
+	// the member is unreachable, which is what the breaker exists for.
+	return ClassTransient
+}

@@ -1,0 +1,161 @@
+package resilience
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// budgetKey carries a request-wide retry budget through the fan-out
+// context (see RetryPolicy.Budget).
+type budgetKey struct{}
+
+type budget struct{ n atomic.Int64 }
+
+// WithBudget attaches a retry budget to ctx: calls run under the returned
+// context (across all servers of one logical request) may spend at most
+// retries re-attempts between them.
+func WithBudget(ctx context.Context, retries int) context.Context {
+	b := &budget{}
+	b.n.Store(int64(retries))
+	return context.WithValue(ctx, budgetKey{}, b)
+}
+
+// HasBudget reports whether ctx already carries a retry budget, so callers
+// can attach one per logical request without overriding an outer stage's.
+func HasBudget(ctx context.Context) bool {
+	_, ok := ctx.Value(budgetKey{}).(*budget)
+	return ok
+}
+
+// takeBudget consumes one retry from the context's budget (always allowed
+// when no budget is attached).
+func takeBudget(ctx context.Context) bool {
+	b, _ := ctx.Value(budgetKey{}).(*budget)
+	if b == nil {
+		return true
+	}
+	return b.n.Add(-1) >= 0
+}
+
+// Do runs one logical call to a server through the tracker's resilience
+// policy: the breaker may reject it locally, each attempt may be hedged,
+// transient failures are retried with jittered backoff within the
+// per-request budget, and every outcome is reported to the server's
+// health. A nil tracker runs the attempt directly.
+func Do[T any](ctx context.Context, t *Tracker, server string, attempt func(context.Context) (T, error)) (T, error) {
+	var zero T
+	if t == nil {
+		return attempt(ctx)
+	}
+	maxAttempts := t.Retry.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	var lastErr error
+	for n := 0; n < maxAttempts; n++ {
+		if n > 0 {
+			if ctx.Err() != nil {
+				break
+			}
+			if !takeBudget(ctx) {
+				break
+			}
+			t.recordRetry()
+			if err := t.backoff(ctx, n); err != nil {
+				break
+			}
+		}
+		ok, probe := t.admit(server)
+		if !ok {
+			if lastErr == nil {
+				lastErr = &OpenError{Server: server}
+			}
+			break // an open breaker will reject every further attempt too
+		}
+		start := t.now()
+		var v T
+		var err error
+		if probe {
+			// The half-open probe is the single admitted call; hedging it
+			// would send a second concurrent request to a recovering server.
+			v, err = attempt(ctx)
+		} else {
+			v, err = hedged(ctx, t, server, attempt)
+		}
+		latency := t.now().Sub(start)
+		switch Classify(ctx, err) {
+		case ClassOK:
+			t.reportSuccess(server, latency, probe)
+			return v, nil
+		case ClassCancelled:
+			t.reportCancelled(server, probe)
+			return zero, err
+		case ClassPermanent:
+			// The server answered decisively; that is a liveness signal
+			// even though the call failed. Retrying cannot help.
+			t.reportRefusal(server, probe)
+			return zero, err
+		default: // ClassTransient
+			t.reportFailure(server, probe)
+			lastErr = err
+		}
+	}
+	return zero, lastErr
+}
+
+// hedged runs one attempt, spawning a racing second attempt if the first
+// has not answered within the server's hedge delay. The first success
+// wins and the straggler is cancelled through its context; if every
+// launched attempt fails, the first error is returned. An attempt that
+// fails *before* the hedge delay returns immediately without spawning a
+// hedge (the retry layer, not the hedger, handles fast failures).
+func hedged[T any](ctx context.Context, t *Tracker, server string, attempt func(context.Context) (T, error)) (T, error) {
+	delay := t.hedgeDelay(server)
+	if delay <= 0 {
+		return attempt(ctx)
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel() // aborts the straggler once a winner returns
+
+	type outcome struct {
+		v   T
+		err error
+	}
+	// Buffered so the losing attempt's send never blocks: its goroutine
+	// exits even though nobody reads the second result.
+	results := make(chan outcome, 2)
+	run := func() {
+		v, err := attempt(hctx)
+		results <- outcome{v: v, err: err}
+	}
+	go run()
+	inFlight := 1
+	hedgeFired := false
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	var firstErr error
+	for {
+		select {
+		case <-timer.C:
+			if !hedgeFired {
+				hedgeFired = true
+				t.recordHedge()
+				inFlight++
+				go run()
+			}
+		case o := <-results:
+			if o.err == nil {
+				return o.v, nil
+			}
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			inFlight--
+			if inFlight == 0 {
+				var zero T
+				return zero, firstErr
+			}
+		}
+	}
+}

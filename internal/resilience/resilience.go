@@ -1,0 +1,458 @@
+// Package resilience is the client-side reliability layer for federation
+// fan-out: per-server health tracking (EWMA latency, a p95 window,
+// consecutive-failure counts), a circuit breaker (closed → open → half-open
+// with probe requests), a retry policy with per-request budgets and
+// jittered exponential backoff, and hedged requests (a second attempt
+// spawned once a call outlives the server's tracked p95, first response
+// wins, loser cancelled through its context).
+//
+// The paper's isolation claim — "a slow or failed federation member is
+// skipped, not waited on" (§1) — needs more than dropping a failed server
+// for one request: a member that is *persistently* down must stop being
+// contacted at all (breaker), a member that failed *transiently* should be
+// retried within a budget, and a member that is merely *slow this once*
+// should be raced against a hedge instead of dragging the whole merge to
+// its tail. All decisions are local to the client; servers are untouched.
+//
+// Time is injectable (Now, Sleep, Jitter) so breaker and backoff state
+// transitions can be driven deterministically by tests — no sleeps as
+// synchronization. The one real-time element is the hedge-spawn timer;
+// hedging tests therefore assert on outcomes (winner, request counts,
+// cancellation) rather than timings.
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// State is a circuit breaker state.
+type State int
+
+const (
+	// StateClosed admits every call (the healthy default).
+	StateClosed State = iota
+	// StateHalfOpen admits a single probe call after the cooldown; its
+	// outcome decides between StateClosed and StateOpen.
+	StateHalfOpen
+	// StateOpen rejects calls locally until the cooldown elapses.
+	StateOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateHalfOpen:
+		return "half-open"
+	case StateOpen:
+		return "open"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// RetryPolicy bounds re-attempts of transient per-server failures.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per server call;
+	// values <= 1 disable retries.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry (default 10ms);
+	// it doubles per attempt and is jittered to avoid synchronized
+	// retry storms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 1s).
+	MaxBackoff time.Duration
+	// Budget, when > 0, caps the total number of retries one logical
+	// client request may spend across all its servers (attached to the
+	// fan-out context with WithBudget); a few bad members must not
+	// multiply the request's cost by MaxAttempts.
+	Budget int
+}
+
+// Policy collects the resilience knobs. The zero value disables every
+// mechanism (calls pass through untouched, health is still tracked).
+type Policy struct {
+	Retry RetryPolicy
+	// HedgeAfter, when > 0, enables hedged requests: if an attempt has
+	// not answered after this long, a second attempt races it and the
+	// first response wins. Once a server has enough latency samples the
+	// delay adapts downward to its tracked p95; HedgeAfter stays the
+	// upper bound.
+	HedgeAfter time.Duration
+	// BreakerThreshold, when > 0, opens a server's circuit after that
+	// many consecutive transient failures.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before admitting
+	// a half-open probe (default 5s).
+	BreakerCooldown time.Duration
+}
+
+// Enabled reports whether any mechanism beyond health tracking is active.
+func (p Policy) Enabled() bool {
+	return p.Retry.MaxAttempts > 1 || p.HedgeAfter > 0 || p.BreakerThreshold > 0
+}
+
+// Health is a point-in-time snapshot of one server's tracked state.
+type Health struct {
+	// EWMALatency is the exponentially-weighted moving average of
+	// successful call latencies (alpha 0.2).
+	EWMALatency time.Duration
+	// P95Latency is the 95th percentile over the recent sample window
+	// (zero until the window has samples).
+	P95Latency time.Duration
+	// ConsecutiveFailures counts transient failures since the last
+	// success (caller cancellations do not count).
+	ConsecutiveFailures int
+	// Successes and Failures are lifetime counters.
+	Successes, Failures int64
+	// State is the breaker state.
+	State State
+}
+
+// Stats aggregates tracker-wide counters for experiments.
+type Stats struct {
+	Retries int64 // backoff-delayed re-attempts issued
+	Hedges  int64 // hedge attempts spawned
+	Trips   int64 // breaker closed/half-open → open transitions
+	Rejects int64 // calls rejected locally by an open breaker
+}
+
+const (
+	ewmaAlpha       = 0.2
+	sampleWindow    = 64 // recent latencies kept per server for p95
+	hedgeMinSamples = 16 // samples before the hedge delay adapts to p95
+	defaultBackoff  = 10 * time.Millisecond
+	defaultMaxBack  = time.Second
+	defaultCooldown = 5 * time.Second
+)
+
+// Tracker owns per-server health state and applies a Policy to calls run
+// through Do. Safe for concurrent use. Create with NewTracker.
+type Tracker struct {
+	Policy
+
+	// Now, Sleep and Jitter are injectable for deterministic tests.
+	// Now defaults to time.Now. Sleep defaults to a context-aware
+	// timer sleep. Jitter defaults to uniform [d/2, d).
+	Now    func() time.Time
+	Sleep  func(ctx context.Context, d time.Duration) error
+	Jitter func(d time.Duration) time.Duration
+
+	mu      sync.Mutex
+	servers map[string]*serverState
+	rng     *rand.Rand
+	stats   Stats
+}
+
+// serverState is one server's tracked health; guarded by Tracker.mu.
+type serverState struct {
+	ewma        time.Duration
+	samples     [sampleWindow]time.Duration
+	sampleIdx   int
+	sampleCount int
+	p95Cache    time.Duration // memoized p95; valid while !p95Dirty
+	p95Dirty    bool
+	consecFails int
+	successes   int64
+	failures    int64
+	state       State
+	openedAt    time.Time
+	probing     bool // a half-open probe is in flight
+}
+
+// NewTracker creates a tracker for the policy.
+func NewTracker(p Policy) *Tracker {
+	return &Tracker{
+		Policy:  p,
+		servers: make(map[string]*serverState),
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+func (t *Tracker) now() time.Time {
+	if t.Now != nil {
+		return t.Now()
+	}
+	return time.Now()
+}
+
+func (t *Tracker) state(server string) *serverState {
+	s, ok := t.servers[server]
+	if !ok {
+		s = &serverState{}
+		t.servers[server] = s
+	}
+	return s
+}
+
+// Available reports whether the server should be included in a fan-out:
+// false only while its breaker is open and the cooldown has not elapsed.
+// Half-open servers stay in the fan-out — Do admits exactly one probe and
+// rejects the rest, so one fan-out cannot stampede a recovering member.
+func (t *Tracker) Available(server string) bool {
+	if t.BreakerThreshold <= 0 {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.servers[server]
+	if !ok || s.state != StateOpen {
+		return true
+	}
+	return t.now().Sub(s.openedAt) >= t.cooldown()
+}
+
+// Health returns a snapshot of the server's tracked health.
+func (t *Tracker) Health(server string) Health {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.servers[server]
+	if !ok {
+		return Health{}
+	}
+	return Health{
+		EWMALatency:         s.ewma,
+		P95Latency:          s.p95Locked(),
+		ConsecutiveFailures: s.consecFails,
+		Successes:           s.successes,
+		Failures:            s.failures,
+		State:               s.state,
+	}
+}
+
+// Stats returns tracker-wide counters.
+func (t *Tracker) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+func (t *Tracker) cooldown() time.Duration {
+	if t.BreakerCooldown > 0 {
+		return t.BreakerCooldown
+	}
+	return defaultCooldown
+}
+
+// admit decides whether a call to the server may proceed, transitioning an
+// open breaker whose cooldown elapsed to half-open. probe reports that the
+// admitted call is the half-open probe whose outcome settles the breaker.
+func (t *Tracker) admit(server string) (ok, probe bool) {
+	if t.BreakerThreshold <= 0 {
+		return true, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.state(server)
+	switch s.state {
+	case StateClosed:
+		return true, false
+	case StateOpen:
+		if t.now().Sub(s.openedAt) < t.cooldown() {
+			t.stats.Rejects++
+			return false, false
+		}
+		s.state = StateHalfOpen
+		s.probing = true
+		return true, true
+	case StateHalfOpen:
+		if s.probing {
+			t.stats.Rejects++
+			return false, false
+		}
+		s.probing = true
+		return true, true
+	}
+	return true, false
+}
+
+// reportSuccess records a successful call's latency and closes the breaker.
+func (t *Tracker) reportSuccess(server string, latency time.Duration, probe bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.state(server)
+	s.successes++
+	s.consecFails = 0
+	if s.ewma == 0 {
+		s.ewma = latency
+	} else {
+		s.ewma += time.Duration(ewmaAlpha * float64(latency-s.ewma))
+	}
+	s.samples[s.sampleIdx] = latency
+	s.sampleIdx = (s.sampleIdx + 1) % sampleWindow
+	if s.sampleCount < sampleWindow {
+		s.sampleCount++
+	}
+	s.p95Dirty = true
+	if probe {
+		s.probing = false
+	}
+	s.closeLocked(probe)
+}
+
+// closeLocked closes the breaker on a positive signal — but only from
+// CLOSED (no-op) or via the half-open probe's verdict. A stale in-flight
+// call admitted before the breaker tripped may complete successfully
+// later; it must not silently reopen a circuit that threshold-many fresh
+// failures just proved broken. The caller holds t.mu.
+func (s *serverState) closeLocked(probe bool) {
+	switch s.state {
+	case StateHalfOpen:
+		if probe {
+			s.state = StateClosed
+		}
+	case StateOpen:
+		// Ignore: only the half-open probe may close an open circuit.
+	}
+}
+
+// reportFailure records a transient failure, tripping the breaker at the
+// threshold and re-opening it when a half-open probe fails.
+func (t *Tracker) reportFailure(server string, probe bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.state(server)
+	s.failures++
+	s.consecFails++
+	if probe {
+		s.probing = false
+	}
+	if t.BreakerThreshold <= 0 {
+		return
+	}
+	if s.state == StateHalfOpen || s.consecFails >= t.BreakerThreshold {
+		if s.state != StateOpen {
+			t.stats.Trips++
+		}
+		s.state = StateOpen
+		s.openedAt = t.now()
+	}
+}
+
+// reportRefusal records a definitive 4xx answer: proof of liveness (it
+// resets the failure streak and closes a probing breaker) but not a
+// success — refusal latencies must not feed the hedge window, and
+// Successes counts only calls that produced data.
+func (t *Tracker) reportRefusal(server string, probe bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.state(server)
+	s.consecFails = 0
+	if probe {
+		s.probing = false
+	}
+	s.closeLocked(probe)
+}
+
+// reportCancelled releases a probe slot without a health verdict: the
+// caller went away, which says nothing about the server.
+func (t *Tracker) reportCancelled(server string, probe bool) {
+	if !probe {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.state(server)
+	if s.probing {
+		s.probing = false
+	}
+}
+
+// p95Locked returns the 95th percentile of the sample window, memoized so
+// repeated reads (hedge delay per attempt, Health snapshots) between
+// inserts cost O(1); the caller holds t.mu.
+func (s *serverState) p95Locked() time.Duration {
+	if s.sampleCount == 0 {
+		return 0
+	}
+	if !s.p95Dirty {
+		return s.p95Cache
+	}
+	buf := make([]time.Duration, s.sampleCount)
+	copy(buf, s.samples[:s.sampleCount])
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	idx := s.sampleCount * 95 / 100
+	if idx >= s.sampleCount {
+		idx = s.sampleCount - 1
+	}
+	s.p95Cache = buf[idx]
+	s.p95Dirty = false
+	return s.p95Cache
+}
+
+// hedgeDelay returns how long to wait before spawning a hedge attempt for
+// the server (0 = hedging off): the tracked p95 once the window is warm,
+// capped at the HedgeAfter knob. The cap matters beyond being a cold-start
+// default — hedged wins feed their own (delay + service time) latency back
+// into the window, so an uncapped p95 would ratchet the delay upward after
+// every rescue; HedgeAfter bounds the loop, and the p95 can only make
+// hedging fire sooner.
+func (t *Tracker) hedgeDelay(server string) time.Duration {
+	if t.HedgeAfter <= 0 {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.servers[server]
+	if !ok || s.sampleCount < hedgeMinSamples {
+		return t.HedgeAfter
+	}
+	if p95 := s.p95Locked(); p95 > 0 && p95 < t.HedgeAfter {
+		return p95
+	}
+	return t.HedgeAfter
+}
+
+// recordHedge counts a spawned hedge attempt.
+func (t *Tracker) recordHedge() {
+	t.mu.Lock()
+	t.stats.Hedges++
+	t.mu.Unlock()
+}
+
+// recordRetry counts a backoff-delayed re-attempt.
+func (t *Tracker) recordRetry() {
+	t.mu.Lock()
+	t.stats.Retries++
+	t.mu.Unlock()
+}
+
+// backoff sleeps the jittered exponential delay before retry attempt n
+// (1-based), honoring ctx.
+func (t *Tracker) backoff(ctx context.Context, n int) error {
+	base := t.Retry.BaseBackoff
+	if base <= 0 {
+		base = defaultBackoff
+	}
+	max := t.Retry.MaxBackoff
+	if max <= 0 {
+		max = defaultMaxBack
+	}
+	d := base << (n - 1)
+	if d <= 0 || d > max {
+		d = max
+	}
+	if t.Jitter != nil {
+		d = t.Jitter(d)
+	} else {
+		t.mu.Lock()
+		f := 0.5 + 0.5*t.rng.Float64()
+		t.mu.Unlock()
+		d = time.Duration(float64(d) * f)
+	}
+	if t.Sleep != nil {
+		return t.Sleep(ctx, d)
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

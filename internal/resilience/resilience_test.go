@@ -1,0 +1,512 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/url"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced clock so breaker cooldowns are tested
+// without sleeping.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// testTracker builds a tracker with a fake clock and a recording,
+// non-sleeping backoff.
+func testTracker(p Policy) (*Tracker, *fakeClock, *[]time.Duration) {
+	t := NewTracker(p)
+	clk := newFakeClock()
+	t.Now = clk.Now
+	var slept []time.Duration
+	t.Sleep = func(ctx context.Context, d time.Duration) error {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		slept = append(slept, d)
+		return nil
+	}
+	t.Jitter = func(d time.Duration) time.Duration { return d } // identity: deterministic
+	return t, clk, &slept
+}
+
+func httpErr(status int) error {
+	return &HTTPError{URL: "http://srv/search", StatusCode: status, Msg: "injected"}
+}
+
+func TestClassify(t *testing.T) {
+	bg := context.Background()
+	cancelled, cancel := context.WithCancel(bg)
+	cancel()
+	cases := []struct {
+		name string
+		ctx  context.Context
+		err  error
+		want Class
+	}{
+		{"nil error", bg, nil, ClassOK},
+		{"caller cancelled ctx", cancelled, errors.New("request aborted"), ClassCancelled},
+		{"bare context.Canceled", bg, context.Canceled, ClassCancelled},
+		{"wrapped context.Canceled", bg, &url.Error{Op: "Post", URL: "http://x", Err: context.Canceled}, ClassCancelled},
+		{"deadline exceeded counts", bg, context.DeadlineExceeded, ClassTransient},
+		{"wrapped deadline", bg, fmt.Errorf("call: %w", context.DeadlineExceeded), ClassTransient},
+		{"http 500", bg, httpErr(500), ClassTransient},
+		{"http 503", bg, httpErr(503), ClassTransient},
+		{"http 403 refusal", bg, httpErr(403), ClassPermanent},
+		{"http 404 refusal", bg, httpErr(404), ClassPermanent},
+		{"breaker open", bg, &OpenError{Server: "http://x"}, ClassPermanent},
+		{"transport error", bg, errors.New("connection refused"), ClassTransient},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Classify(c.ctx, c.err); got != c.want {
+				t.Fatalf("Classify(%v) = %v, want %v", c.err, got, c.want)
+			}
+		})
+	}
+}
+
+func TestRetryRecoversTransientFailure(t *testing.T) {
+	tr, _, slept := testTracker(Policy{Retry: RetryPolicy{MaxAttempts: 3, BaseBackoff: 10 * time.Millisecond}})
+	attempts := 0
+	v, err := Do(context.Background(), tr, "srv", func(ctx context.Context) (string, error) {
+		attempts++
+		if attempts == 1 {
+			return "", httpErr(503)
+		}
+		return "ok", nil
+	})
+	if err != nil || v != "ok" {
+		t.Fatalf("Do = %q, %v", v, err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+	if len(*slept) != 1 || (*slept)[0] != 10*time.Millisecond {
+		t.Fatalf("backoffs = %v, want [10ms]", *slept)
+	}
+	h := tr.Health("srv")
+	if h.ConsecutiveFailures != 0 || h.Successes != 1 || h.Failures != 1 {
+		t.Fatalf("health after recovery = %+v", h)
+	}
+	if tr.Stats().Retries != 1 {
+		t.Fatalf("retries = %d, want 1", tr.Stats().Retries)
+	}
+}
+
+func TestBackoffDoublesAndCaps(t *testing.T) {
+	tr, _, slept := testTracker(Policy{Retry: RetryPolicy{
+		MaxAttempts: 5, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 30 * time.Millisecond}})
+	_, err := Do(context.Background(), tr, "srv", func(ctx context.Context) (int, error) {
+		return 0, httpErr(500)
+	})
+	if err == nil {
+		t.Fatal("want error after exhausting attempts")
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond, 30 * time.Millisecond}
+	if len(*slept) != len(want) {
+		t.Fatalf("backoffs = %v, want %v", *slept, want)
+	}
+	for i := range want {
+		if (*slept)[i] != want[i] {
+			t.Fatalf("backoffs = %v, want %v", *slept, want)
+		}
+	}
+}
+
+func TestRetryBudgetSharedAcrossServers(t *testing.T) {
+	tr, _, _ := testTracker(Policy{Retry: RetryPolicy{MaxAttempts: 3, Budget: 1}})
+	ctx := WithBudget(context.Background(), tr.Retry.Budget)
+	attempts := map[string]int{}
+	for _, srv := range []string{"a", "b"} {
+		_, _ = Do(ctx, tr, srv, func(ctx context.Context) (int, error) {
+			attempts[srv]++
+			return 0, httpErr(503)
+		})
+	}
+	// MaxAttempts would allow 3 per server; the shared budget of 1 retry
+	// means one server retried once and the other not at all.
+	if got := attempts["a"] + attempts["b"]; got != 3 {
+		t.Fatalf("total attempts = %d (%v), want 3 (2 firsts + 1 budgeted retry)", got, attempts)
+	}
+}
+
+func TestPermanentFailureNotRetriedNotCounted(t *testing.T) {
+	tr, _, _ := testTracker(Policy{Retry: RetryPolicy{MaxAttempts: 3}, BreakerThreshold: 1})
+	attempts := 0
+	_, err := Do(context.Background(), tr, "srv", func(ctx context.Context) (int, error) {
+		attempts++
+		return 0, httpErr(403)
+	})
+	var he *HTTPError
+	if !errors.As(err, &he) || he.StatusCode != 403 {
+		t.Fatalf("err = %v, want the 403 back", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (no retry of a refusal)", attempts)
+	}
+	h := tr.Health("srv")
+	if h.ConsecutiveFailures != 0 || h.State != StateClosed {
+		t.Fatalf("a 4xx refusal was charged against health: %+v", h)
+	}
+	// Nor is it a success: Successes counts calls that produced data, and
+	// refusal latencies must not feed the hedge window.
+	if h.Successes != 0 || h.P95Latency != 0 {
+		t.Fatalf("a 4xx refusal was recorded as a success sample: %+v", h)
+	}
+}
+
+// TestStaleSuccessDoesNotReopenTrippedBreaker: a call admitted before the
+// breaker tripped may complete successfully after it; that stale verdict
+// must not close a circuit that fresh failures just proved broken.
+func TestStaleSuccessDoesNotReopenTrippedBreaker(t *testing.T) {
+	tr, _, _ := testTracker(Policy{BreakerThreshold: 1, BreakerCooldown: time.Minute})
+	if _, err := Do(context.Background(), tr, "srv", func(ctx context.Context) (int, error) {
+		return 0, httpErr(503)
+	}); err == nil {
+		t.Fatal("want failure")
+	}
+	if st := tr.Health("srv").State; st != StateOpen {
+		t.Fatalf("state = %v, want open", st)
+	}
+	// The stale pre-trip call (not a probe) reports in now.
+	tr.reportSuccess("srv", time.Millisecond, false)
+	if st := tr.Health("srv").State; st != StateOpen {
+		t.Fatalf("stale success reopened the circuit: state = %v, want open", st)
+	}
+	if tr.Available("srv") {
+		t.Fatal("tripped server available again after a stale success")
+	}
+	// Same for a stale refusal.
+	tr.reportRefusal("srv", false)
+	if st := tr.Health("srv").State; st != StateOpen {
+		t.Fatalf("stale refusal reopened the circuit: state = %v, want open", st)
+	}
+}
+
+// TestHalfOpenProbeIsNotHedged: the single admitted probe must stay a
+// single request — hedging it would stampede a recovering server.
+func TestHalfOpenProbeIsNotHedged(t *testing.T) {
+	tr, clk, _ := testTracker(Policy{BreakerThreshold: 1, BreakerCooldown: time.Second, HedgeAfter: time.Millisecond})
+	if _, err := Do(context.Background(), tr, "srv", func(ctx context.Context) (int, error) {
+		return 0, httpErr(503)
+	}); err == nil {
+		t.Fatal("want failure")
+	}
+	clk.Advance(time.Second)
+	var mu sync.Mutex
+	attempts := 0
+	v, err := Do(context.Background(), tr, "srv", func(ctx context.Context) (int, error) {
+		mu.Lock()
+		attempts++
+		mu.Unlock()
+		// Outlive the hedge delay: an (incorrect) hedge would fire now.
+		time.Sleep(30 * time.Millisecond)
+		return 9, nil
+	})
+	if err != nil || v != 9 {
+		t.Fatalf("probe = %v, %v", v, err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if attempts != 1 {
+		t.Fatalf("half-open probe ran %d attempts, want exactly 1 (no hedge)", attempts)
+	}
+	if tr.Stats().Hedges != 0 {
+		t.Fatalf("hedges = %d, want 0", tr.Stats().Hedges)
+	}
+}
+
+func TestCancellationNotCountedAgainstHealth(t *testing.T) {
+	tr, _, _ := testTracker(Policy{Retry: RetryPolicy{MaxAttempts: 3}, BreakerThreshold: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	attempts := 0
+	_, err := Do(ctx, tr, "srv", func(ctx context.Context) (int, error) {
+		attempts++
+		cancel() // the caller goes away mid-call
+		return 0, ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (no retry after caller cancel)", attempts)
+	}
+	h := tr.Health("srv")
+	if h.ConsecutiveFailures != 0 || h.Failures != 0 || h.State != StateClosed {
+		t.Fatalf("caller cancellation was charged against health: %+v", h)
+	}
+}
+
+func TestDeadlineExceededCountsAgainstHealth(t *testing.T) {
+	tr, _, _ := testTracker(Policy{BreakerThreshold: 1})
+	_, _ = Do(context.Background(), tr, "srv", func(ctx context.Context) (int, error) {
+		return 0, fmt.Errorf("post: %w", context.DeadlineExceeded)
+	})
+	h := tr.Health("srv")
+	if h.ConsecutiveFailures != 1 || h.State != StateOpen {
+		t.Fatalf("timeout not charged against health: %+v", h)
+	}
+}
+
+func TestBreakerTripsOpensAndProbes(t *testing.T) {
+	tr, clk, _ := testTracker(Policy{BreakerThreshold: 2, BreakerCooldown: time.Second})
+	fail := func(ctx context.Context) (int, error) { return 0, httpErr(503) }
+	succeed := func(ctx context.Context) (int, error) { return 42, nil }
+
+	// Two consecutive failures trip the breaker.
+	for i := 0; i < 2; i++ {
+		if _, err := Do(context.Background(), tr, "srv", fail); err == nil {
+			t.Fatal("want failure")
+		}
+	}
+	if st := tr.Health("srv").State; st != StateOpen {
+		t.Fatalf("state = %v, want open", st)
+	}
+	if tr.Available("srv") {
+		t.Fatal("open server still listed as available")
+	}
+
+	// While open: rejected locally, the attempt function never runs.
+	attempts := 0
+	_, err := Do(context.Background(), tr, "srv", func(ctx context.Context) (int, error) {
+		attempts++
+		return 0, nil
+	})
+	var oe *OpenError
+	if !errors.As(err, &oe) {
+		t.Fatalf("err = %v, want OpenError", err)
+	}
+	if attempts != 0 {
+		t.Fatal("open breaker still admitted a call")
+	}
+	if tr.Stats().Rejects == 0 {
+		t.Fatal("reject not counted")
+	}
+
+	// After the cooldown the server is available again (for the probe)...
+	clk.Advance(time.Second)
+	if !tr.Available("srv") {
+		t.Fatal("cooled-down server not available for probe")
+	}
+	// ...a failed probe re-opens immediately (no threshold accumulation)...
+	if _, err := Do(context.Background(), tr, "srv", fail); err == nil {
+		t.Fatal("want probe failure")
+	}
+	if st := tr.Health("srv").State; st != StateOpen {
+		t.Fatalf("state after failed probe = %v, want open", st)
+	}
+	// ...and a successful probe closes the breaker.
+	clk.Advance(time.Second)
+	if v, err := Do(context.Background(), tr, "srv", succeed); err != nil || v != 42 {
+		t.Fatalf("probe = %v, %v", v, err)
+	}
+	if st := tr.Health("srv").State; st != StateClosed {
+		t.Fatalf("state after successful probe = %v, want closed", st)
+	}
+	if tr.Stats().Trips != 2 {
+		t.Fatalf("trips = %d, want 2", tr.Stats().Trips)
+	}
+}
+
+func TestHalfOpenAdmitsSingleProbe(t *testing.T) {
+	tr, clk, _ := testTracker(Policy{BreakerThreshold: 1, BreakerCooldown: time.Second})
+	if _, err := Do(context.Background(), tr, "srv", func(ctx context.Context) (int, error) {
+		return 0, httpErr(503)
+	}); err == nil {
+		t.Fatal("want failure")
+	}
+	clk.Advance(time.Second)
+
+	// The probe blocks; a second concurrent call must be rejected while it
+	// is in flight. Channel-synchronized: no sleeps.
+	probeStarted := make(chan struct{})
+	release := make(chan struct{})
+	probeDone := make(chan error, 1)
+	go func() {
+		_, err := Do(context.Background(), tr, "srv", func(ctx context.Context) (int, error) {
+			close(probeStarted)
+			<-release
+			return 1, nil
+		})
+		probeDone <- err
+	}()
+	<-probeStarted
+	attempts := 0
+	_, err := Do(context.Background(), tr, "srv", func(ctx context.Context) (int, error) {
+		attempts++
+		return 0, nil
+	})
+	var oe *OpenError
+	if !errors.As(err, &oe) || attempts != 0 {
+		t.Fatalf("concurrent call during probe: err=%v attempts=%d, want local rejection", err, attempts)
+	}
+	close(release)
+	if err := <-probeDone; err != nil {
+		t.Fatalf("probe failed: %v", err)
+	}
+	if st := tr.Health("srv").State; st != StateClosed {
+		t.Fatalf("state = %v, want closed", st)
+	}
+}
+
+func TestHedgeSpawnsAndWinnerCancelsStraggler(t *testing.T) {
+	tr := NewTracker(Policy{HedgeAfter: time.Millisecond})
+	var mu sync.Mutex
+	attempts := 0
+	stragglerCancelled := make(chan struct{})
+	v, err := Do(context.Background(), tr, "srv", func(ctx context.Context) (string, error) {
+		mu.Lock()
+		n := attempts
+		attempts++
+		mu.Unlock()
+		if n == 0 {
+			// Primary: a straggler that only returns when cancelled.
+			<-ctx.Done()
+			close(stragglerCancelled)
+			return "", ctx.Err()
+		}
+		return "hedge", nil
+	})
+	if err != nil || v != "hedge" {
+		t.Fatalf("Do = %q, %v, want the hedge's answer", v, err)
+	}
+	select {
+	case <-stragglerCancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("straggler never saw cancellation")
+	}
+	if got := tr.Stats().Hedges; got != 1 {
+		t.Fatalf("hedges = %d, want 1", got)
+	}
+	if h := tr.Health("srv"); h.Successes != 1 || h.ConsecutiveFailures != 0 {
+		t.Fatalf("health = %+v", h)
+	}
+}
+
+func TestFastFailureDoesNotSpawnHedge(t *testing.T) {
+	tr := NewTracker(Policy{HedgeAfter: time.Hour})
+	attempts := 0
+	_, err := Do(context.Background(), tr, "srv", func(ctx context.Context) (int, error) {
+		attempts++
+		return 0, httpErr(500)
+	})
+	if err == nil {
+		t.Fatal("want failure")
+	}
+	if attempts != 1 || tr.Stats().Hedges != 0 {
+		t.Fatalf("attempts=%d hedges=%d, want a single un-hedged attempt", attempts, tr.Stats().Hedges)
+	}
+}
+
+func TestBothHedgeAttemptsFailReturnsFirstError(t *testing.T) {
+	tr := NewTracker(Policy{HedgeAfter: time.Millisecond})
+	var mu sync.Mutex
+	attempts := 0
+	first := errors.New("primary boom")
+	second := errors.New("hedge boom")
+	primaryMayFail := make(chan struct{})
+	_, err := Do(context.Background(), tr, "srv", func(ctx context.Context) (int, error) {
+		mu.Lock()
+		n := attempts
+		attempts++
+		mu.Unlock()
+		if n == 0 {
+			<-primaryMayFail // hold the primary until the hedge has failed
+			return 0, first
+		}
+		close(primaryMayFail)
+		return 0, second
+	})
+	if !errors.Is(err, second) {
+		t.Fatalf("err = %v, want the first-completing failure (%v)", err, second)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+}
+
+func TestHedgeDelayAdaptsToP95(t *testing.T) {
+	tr, clk, _ := testTracker(Policy{HedgeAfter: 500 * time.Millisecond})
+	// Before any samples, the knob is used.
+	if d := tr.hedgeDelay("srv"); d != 500*time.Millisecond {
+		t.Fatalf("cold hedge delay = %v, want the HedgeAfter knob", d)
+	}
+	// Warm the window: 20 successful calls at 10ms each (fake clock).
+	for i := 0; i < 20; i++ {
+		_, err := Do(context.Background(), tr, "srv", func(ctx context.Context) (int, error) {
+			clk.Advance(10 * time.Millisecond)
+			return 1, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := tr.Health("srv")
+	if h.EWMALatency == 0 || h.P95Latency != 10*time.Millisecond {
+		t.Fatalf("health after warmup = %+v, want p95 = 10ms", h)
+	}
+	if d := tr.hedgeDelay("srv"); d != 10*time.Millisecond {
+		t.Fatalf("warm hedge delay = %v, want tracked p95 (10ms)", d)
+	}
+}
+
+func TestNeutralPolicySingleAttemptPassthrough(t *testing.T) {
+	// A tracker with the zero policy tracks health but changes nothing
+	// about call behaviour — the determinism-regression guarantee.
+	tr, _, slept := testTracker(Policy{})
+	if tr.Enabled() {
+		t.Fatal("zero policy reports Enabled")
+	}
+	attempts := 0
+	v, err := Do(context.Background(), tr, "srv", func(ctx context.Context) (string, error) {
+		attempts++
+		return "v", nil
+	})
+	if v != "v" || err != nil || attempts != 1 || len(*slept) != 0 {
+		t.Fatalf("passthrough broken: v=%q err=%v attempts=%d sleeps=%v", v, err, attempts, *slept)
+	}
+	if h := tr.Health("srv"); h.Successes != 1 {
+		t.Fatalf("health not tracked under neutral policy: %+v", h)
+	}
+	// Failures pass through un-retried and the breaker never opens.
+	attempts = 0
+	_, err = Do(context.Background(), tr, "srv", func(ctx context.Context) (string, error) {
+		attempts++
+		return "", httpErr(503)
+	})
+	if err == nil || attempts != 1 {
+		t.Fatalf("neutral policy retried: attempts=%d err=%v", attempts, err)
+	}
+	if st := tr.Health("srv").State; st != StateClosed {
+		t.Fatalf("neutral policy tripped a breaker: %v", st)
+	}
+}
+
+func TestNilTrackerRunsAttemptDirectly(t *testing.T) {
+	v, err := Do[int](context.Background(), nil, "srv", func(ctx context.Context) (int, error) {
+		return 7, nil
+	})
+	if v != 7 || err != nil {
+		t.Fatalf("Do(nil tracker) = %v, %v", v, err)
+	}
+}
