@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt vet build test race cover bench-fanout bench-resilience
+.PHONY: verify fmt vet build test race cover bench-fanout bench-resilience bench-smoke
 
 ## verify: the full CI gate — formatting, vet, build, tests under -race
 ## (twice, so flaky tests surface).
@@ -34,3 +34,9 @@ bench-fanout:
 ## bench-resilience: the E14 faulty-federation comparison (hedged vs not).
 bench-resilience:
 	$(GO) test -run xxx -bench E14 -benchtime 200x .
+
+## bench-smoke: compile and run EVERY benchmark for one iteration, so the
+## growing suite (E1–E15 plus per-package micro-benchmarks) can never rot
+## uncompiled. Numbers are meaningless at 1x; only pass/fail matters.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...

@@ -27,14 +27,20 @@ import (
 // options is the CLI surface, separated from main so tests can verify the
 // flags round-trip into the server configuration.
 type options struct {
-	mapPath   string
-	addr      string
-	name      string
-	publicURL string
-	useCH     bool
-	minLevel  int
-	maxLevel  int
+	mapPath           string
+	addr              string
+	name              string
+	publicURL         string
+	useCH             bool
+	minLevel          int
+	maxLevel          int
+	queryCache        bool
+	queryCacheEntries int
 }
+
+// defaultQueryCacheEntries sizes the query result cache when -query-cache
+// is on and the operator gives no explicit size.
+const defaultQueryCacheEntries = 4096
 
 func newFlagSet(name string) (*flag.FlagSet, *options) {
 	o := &options{}
@@ -46,7 +52,20 @@ func newFlagSet(name string) (*flag.FlagSet, *options) {
 	fs.BoolVar(&o.useCH, "ch", false, "preprocess routing with contraction hierarchies")
 	fs.IntVar(&o.minLevel, "min-level", discovery.DefaultMinLevel, "coarsest registration cell level")
 	fs.IntVar(&o.maxLevel, "max-level", discovery.DefaultMaxLevel, "finest registration cell level")
+	fs.BoolVar(&o.queryCache, "query-cache", true, "memoize query results per map generation")
+	fs.IntVar(&o.queryCacheEntries, "query-cache-entries", defaultQueryCacheEntries,
+		"query cache capacity (entries, LRU-evicted)")
 	return fs, o
+}
+
+// cacheEntries resolves the two query-cache flags into the mapserver
+// config knob: the entry count when caching is on, zero (disabled) when
+// -query-cache=false.
+func (o *options) cacheEntries() int {
+	if !o.queryCache || o.queryCacheEntries <= 0 {
+		return 0
+	}
+	return o.queryCacheEntries
 }
 
 // buildServer loads the map and constructs the configured map server.
@@ -61,11 +80,12 @@ func (o *options) buildServer() (*mapserver.Server, *osm.Map, error) {
 		return nil, nil, fmt.Errorf("parse map: %w", err)
 	}
 	srv, err := mapserver.New(mapserver.Config{
-		Name:     o.name,
-		Map:      m,
-		UseCH:    o.useCH,
-		MinLevel: o.minLevel,
-		MaxLevel: o.maxLevel,
+		Name:              o.name,
+		Map:               m,
+		UseCH:             o.useCH,
+		MinLevel:          o.minLevel,
+		MaxLevel:          o.maxLevel,
+		QueryCacheEntries: o.cacheEntries(),
 	})
 	if err != nil {
 		return nil, nil, err

@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"openflame/internal/discovery"
+	"openflame/internal/mapserver"
+	"openflame/internal/wire"
 	"openflame/internal/worldgen"
 )
 
@@ -85,5 +87,88 @@ func TestBuildServerMissingMapFails(t *testing.T) {
 	o := &options{mapPath: filepath.Join(t.TempDir(), "absent.xml")}
 	if _, _, err := o.buildServer(); err == nil {
 		t.Fatal("missing map accepted")
+	}
+}
+
+func TestQueryCacheFlags(t *testing.T) {
+	fs, o := newFlagSet("flame-server")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if !o.queryCache || o.queryCacheEntries != defaultQueryCacheEntries {
+		t.Fatalf("cache flag defaults changed: %+v", o)
+	}
+	if got := o.cacheEntries(); got != defaultQueryCacheEntries {
+		t.Fatalf("default cacheEntries = %d", got)
+	}
+
+	fs, o = newFlagSet("flame-server")
+	if err := fs.Parse([]string{"-query-cache-entries", "128"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.cacheEntries(); got != 128 {
+		t.Fatalf("cacheEntries = %d, want 128", got)
+	}
+
+	// -query-cache=false disables regardless of the size knob.
+	fs, o = newFlagSet("flame-server")
+	if err := fs.Parse([]string{"-query-cache=false", "-query-cache-entries", "128"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.cacheEntries(); got != 0 {
+		t.Fatalf("disabled cacheEntries = %d, want 0", got)
+	}
+
+	// A non-positive size also disables.
+	fs, o = newFlagSet("flame-server")
+	if err := fs.Parse([]string{"-query-cache-entries", "0"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.cacheEntries(); got != 0 {
+		t.Fatalf("zero-entry cacheEntries = %d, want 0", got)
+	}
+}
+
+// TestBuildServerWiresQueryCache smoke-tests that the flags reach the
+// running server: with the cache on, a repeated query hits.
+func TestBuildServerWiresQueryCache(t *testing.T) {
+	w := worldgen.GenWorld(worldgen.DefaultWorldParams())
+	path := filepath.Join(t.TempDir(), "city.osm.xml")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Outdoor.WriteXML(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	fs, o := newFlagSet("flame-server")
+	if err := fs.Parse([]string{"-map", path, "-name", "cached", "-query-cache-entries", "16"}); err != nil {
+		t.Fatal(err)
+	}
+	srv, _, err := o.buildServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := wire.GeocodeRequest{Query: "1st Street", Limit: 1}
+	srv.Geocode(req)
+	srv.Geocode(req)
+	if stats := srv.QueryCacheStats(); stats.Hits == 0 {
+		t.Fatalf("repeated query missed: %+v", stats)
+	}
+
+	fs, o = newFlagSet("flame-server")
+	if err := fs.Parse([]string{"-map", path, "-query-cache=false"}); err != nil {
+		t.Fatal(err)
+	}
+	srv, _, err = o.buildServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Geocode(req)
+	srv.Geocode(req)
+	if stats := srv.QueryCacheStats(); stats != (mapserver.QueryCacheStats{}) {
+		t.Fatalf("disabled cache reports activity: %+v", stats)
 	}
 }

@@ -1,0 +1,192 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"time"
+
+	"openflame/internal/resilience"
+	"openflame/internal/wire"
+)
+
+// batchReprobeInterval bounds how long a 404/405 keeps a server marked
+// batch-incapable: a proxy hiccup or rolling deploy must not degrade a
+// long-lived client to per-call HTTP forever.
+const batchReprobeInterval = 5 * time.Minute
+
+// batchCall posts the sub-requests to the server's /v1/batch endpoint in
+// one round trip. It returns ok=false whenever the caller should fall back
+// to per-call HTTP: batching disabled, the batch too large, the call
+// failing, or the server predating the endpoint — a 404/405 additionally
+// remembers the server as batch-incapable (re-probed after
+// batchReprobeInterval) so later requests skip the probe. Results are
+// index-aligned with items.
+func (c *Client) batchCall(ctx context.Context, baseURL string, items []wire.BatchItem) ([]wire.BatchItemResult, bool) {
+	if !c.UseBatch || len(items) == 0 || len(items) > wire.MaxBatchItems {
+		return nil, false
+	}
+	c.batchMu.Lock()
+	seen, unsupported := c.batchUnsup[baseURL]
+	c.batchMu.Unlock()
+	if unsupported && time.Since(seen) < batchReprobeInterval {
+		return nil, false
+	}
+	var resp wire.BatchResponse
+	if err := c.call(ctx, baseURL, "/v1/batch", wire.BatchRequest{Items: items}, &resp); err != nil {
+		var he *resilience.HTTPError
+		if errors.As(err, &he) && (he.StatusCode == http.StatusNotFound || he.StatusCode == http.StatusMethodNotAllowed) {
+			c.batchMu.Lock()
+			if c.batchUnsup == nil {
+				c.batchUnsup = make(map[string]time.Time)
+			}
+			c.batchUnsup[baseURL] = time.Now()
+			c.batchMu.Unlock()
+		}
+		return nil, false
+	}
+	if len(resp.Results) != len(items) {
+		return nil, false
+	}
+	return resp.Results, true
+}
+
+// decodeBatchResult unmarshals one sub-request's payload, surfacing its
+// per-item status as the same HTTPError a dedicated endpoint would return.
+func decodeBatchResult(res wire.BatchItemResult, out interface{}) error {
+	if res.Status != http.StatusOK {
+		return &resilience.HTTPError{StatusCode: res.Status, Msg: res.Error}
+	}
+	return json.Unmarshal(res.Body, out)
+}
+
+// geocodeCoarseBatch answers Geocode's world-provider conversation — the
+// coarse suffix walk plus the fine full-address query — in at most two
+// /v1/batch round trips instead of up to len(parts)+1 sequential calls.
+// The first batch carries only the shortest tail and the fine query: in
+// the common case (city-level tail resolves immediately) that is ONE round
+// trip costing the server the same two geocodes the sequential walk did —
+// no compute inflation. Only a first-tail miss pays a second batch probing
+// the remaining suffixes, shortest first, preserving the walk's
+// first-match semantics exactly. ok=false falls back to the sequential
+// walk.
+func (c *Client) geocodeCoarseBatch(ctx context.Context, parts []string, address string) (coarse wire.GeocodeResult, coarseFound bool, fine *wire.GeocodeResult, ok bool) {
+	item := func(q string) (wire.BatchItem, error) {
+		b, err := json.Marshal(wire.GeocodeRequest{Query: q, Limit: 1})
+		return wire.BatchItem{Service: wire.SvcGeocode, Body: b}, err
+	}
+	first, err1 := item(join(parts[len(parts)-1:]))
+	full, err2 := item(address)
+	if err1 != nil || err2 != nil {
+		return coarse, false, nil, false
+	}
+	results, bok := c.batchCall(ctx, c.WorldURL, []wire.BatchItem{first, full})
+	if !bok {
+		return coarse, false, nil, false
+	}
+	var tresp, fresp wire.GeocodeResponse
+	if err := decodeBatchResult(results[0], &tresp); err != nil {
+		return coarse, false, nil, false
+	}
+	if err := decodeBatchResult(results[1], &fresp); err != nil {
+		return coarse, false, nil, false
+	}
+	if len(fresp.Results) > 0 {
+		r := fresp.Results[0]
+		fine = &r
+	}
+	if len(tresp.Results) > 0 {
+		return tresp.Results[0], true, fine, true
+	}
+	if len(parts) == 1 {
+		return coarse, false, fine, true // nothing to walk further
+	}
+	// Shortest tail missed: probe the remaining suffixes in one more trip.
+	items := make([]wire.BatchItem, 0, len(parts)-1)
+	for cut := 2; cut <= len(parts); cut++ {
+		it, err := item(join(parts[len(parts)-cut:]))
+		if err != nil {
+			return coarse, false, nil, false
+		}
+		items = append(items, it)
+	}
+	results2, bok := c.batchCall(ctx, c.WorldURL, items)
+	if !bok {
+		return coarse, false, nil, false
+	}
+	for i := range results2 {
+		var resp wire.GeocodeResponse
+		if err := decodeBatchResult(results2[i], &resp); err != nil {
+			return coarse, false, nil, false
+		}
+		if len(resp.Results) > 0 {
+			return resp.Results[0], true, fine, true
+		}
+	}
+	return coarse, false, fine, true
+}
+
+// expandLegsBatch expands every chosen route leg on one server in a single
+// /v1/batch round trip, recording results into the caller's indexed slots.
+// Returns false (recording nothing) when the caller should fall back to
+// per-leg calls.
+func (c *Client) expandLegsBatch(ctx context.Context, chain []metaEdge, idxs []int,
+	legs []Leg, lengths []float64, legErrs []error, expanded []bool) bool {
+	url := chain[idxs[0]].server
+	items := make([]wire.BatchItem, len(idxs))
+	for k, i := range idxs {
+		e := chain[i]
+		b, err := json.Marshal(wire.RouteRequest{
+			FromNode: e.fromNode, ToNode: e.toNode,
+			From: e.fromPos, To: e.toPos,
+		})
+		if err != nil {
+			return false
+		}
+		items[k] = wire.BatchItem{Service: wire.SvcRoute, Body: b}
+	}
+	results, ok := c.batchCall(ctx, url, items)
+	if !ok {
+		return false
+	}
+	name := url
+	if info, err := c.InfoCtx(ctx, url); err == nil {
+		name = info.Name
+	}
+	for k, i := range idxs {
+		var resp wire.RouteResponse
+		if err := decodeBatchResult(results[k], &resp); err != nil {
+			legErrs[i] = fmt.Errorf("client: leg expansion on %s failed: %v", url, err)
+			continue
+		}
+		if !resp.Found {
+			legErrs[i] = fmt.Errorf("client: leg expansion on %s failed: no route found", url)
+			continue
+		}
+		legs[i] = Leg{Server: name, URL: url, Points: resp.Points, CostSeconds: resp.CostSeconds}
+		lengths[i] = resp.LengthMeters
+		expanded[i] = true
+	}
+	return true
+}
+
+// groupLegsByServer buckets chain indices by serving URL, in first-
+// appearance order, so each server's legs can share one batch round trip.
+func groupLegsByServer(chain []metaEdge) [][]int {
+	var order []string
+	byURL := make(map[string][]int)
+	for i, e := range chain {
+		if _, seen := byURL[e.server]; !seen {
+			order = append(order, e.server)
+		}
+		byURL[e.server] = append(byURL[e.server], i)
+	}
+	out := make([][]int, len(order))
+	for gi, url := range order {
+		out[gi] = byURL[url]
+	}
+	return out
+}

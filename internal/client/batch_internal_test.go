@@ -1,0 +1,72 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"openflame/internal/mapserver"
+	"openflame/internal/wire"
+	"openflame/internal/worldgen"
+)
+
+func TestGroupLegsByServer(t *testing.T) {
+	chain := []metaEdge{{server: "A"}, {server: "B"}, {server: "A"}, {server: "C"}}
+	got := groupLegsByServer(chain)
+	want := [][]int{{0, 2}, {1}, {3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("groups = %v, want %v", got, want)
+	}
+}
+
+// TestExpandLegsBatchOneRoundTrip drives the multi-leg-per-server path the
+// generated world rarely produces: two chosen legs on the same server must
+// expand in a single /v1/batch POST and match the per-call expansions.
+func TestExpandLegsBatchOneRoundTrip(t *testing.T) {
+	city := worldgen.GenCity(worldgen.DefaultCityParams())
+	srv, err := mapserver.New(mapserver.Config{Name: "city", Map: city})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	p1 := srv.Geocode(wire.GeocodeRequest{Query: "1st Street", Limit: 1}).Results[0].Position
+	p2 := srv.Geocode(wire.GeocodeRequest{Query: "2nd Street", Limit: 1}).Results[0].Position
+	p3 := srv.Geocode(wire.GeocodeRequest{Query: "3rd Street", Limit: 1}).Results[0].Position
+	chain := []metaEdge{
+		{server: ts.URL, fromPos: p1, toPos: p2},
+		{server: ts.URL, fromPos: p2, toPos: p3},
+	}
+
+	c := New(nil, http.DefaultClient)
+	c.UseBatch = true
+	legs := make([]Leg, len(chain))
+	lengths := make([]float64, len(chain))
+	legErrs := make([]error, len(chain))
+	expanded := make([]bool, len(chain))
+	before := c.RequestCount()
+	if !c.expandLegsBatch(context.Background(), chain, []int{0, 1}, legs, lengths, legErrs, expanded) {
+		t.Fatal("batch expansion fell back")
+	}
+	// One /v1/batch POST plus one /info fetch for the leg label.
+	if d := c.RequestCount() - before; d != 2 {
+		t.Fatalf("batch expansion of 2 legs cost %d requests, want 2", d)
+	}
+	for i := range chain {
+		if legErrs[i] != nil || !expanded[i] {
+			t.Fatalf("leg %d not expanded: %v", i, legErrs[i])
+		}
+		if legs[i].Server != "city" || len(legs[i].Points) == 0 {
+			t.Fatalf("leg %d = %+v", i, legs[i])
+		}
+		// Identical to the per-call expansion.
+		want := srv.Route(wire.RouteRequest{From: chain[i].fromPos, To: chain[i].toPos})
+		if legs[i].CostSeconds != want.CostSeconds || lengths[i] != want.LengthMeters {
+			t.Fatalf("leg %d cost/length %v/%v, want %v/%v",
+				i, legs[i].CostSeconds, lengths[i], want.CostSeconds, want.LengthMeters)
+		}
+	}
+}

@@ -58,6 +58,13 @@ type Client struct {
 	// skipped like any other failure. The cap spans the whole resilient
 	// call — retries and hedges included.
 	PerServerTimeout time.Duration
+	// UseBatch, when true, coalesces a request's sub-queries to the same
+	// server — Geocode's coarse suffix walk + fine world query, Route's
+	// per-server leg expansions — into single POST /v1/batch round trips.
+	// Servers without the endpoint (404/405) transparently fall back to
+	// per-call HTTP and are remembered as batch-incapable. False
+	// reproduces the per-call client exactly.
+	UseBatch bool
 
 	// RetryPolicy, HedgeAfter, BreakerThreshold and BreakerCooldown are
 	// the resilience knobs (see internal/resilience): transient per-server
@@ -82,6 +89,8 @@ type Client struct {
 	infoMu     sync.Mutex
 	infoCache  map[string]wire.Info
 	infoFlight fanout.Group[wire.Info]
+	batchMu    sync.Mutex
+	batchUnsup map[string]time.Time // server → when /v1/batch was last observed missing
 }
 
 // New creates a client over a discovery client and an HTTP client
@@ -179,6 +188,15 @@ func (c *Client) withRetryBudget(ctx context.Context) context.Context {
 	return ctx
 }
 
+// perServerCtx applies the client's per-server timeout to one server
+// call. The returned cancel must be called when the call finishes.
+func (c *Client) perServerCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.PerServerTimeout > 0 {
+		return context.WithTimeout(ctx, c.PerServerTimeout)
+	}
+	return ctx, func() {}
+}
+
 // forEachServer runs fn over n servers on the client's bounded worker pool,
 // giving each call its own per-server timeout. fn records results into
 // caller-owned indexed slots; failed or cancelled servers simply leave
@@ -186,11 +204,8 @@ func (c *Client) withRetryBudget(ctx context.Context) context.Context {
 func (c *Client) forEachServer(ctx context.Context, n int, fn func(ctx context.Context, i int)) {
 	ctx = c.withRetryBudget(ctx)
 	fanout.ForEach(ctx, n, c.MaxConcurrency, func(ctx context.Context, i int) {
-		if c.PerServerTimeout > 0 {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, c.PerServerTimeout)
-			defer cancel()
-		}
+		ctx, cancel := c.perServerCtx(ctx)
+		defer cancel()
 		fn(ctx, i)
 	})
 }
@@ -371,18 +386,30 @@ func (c *Client) GeocodeCtx(ctx context.Context, address string) (wire.GeocodeRe
 	// Coarse: try progressively larger suffixes of the address against the
 	// world provider until something matches. The coarse score is NOT
 	// comparable to full-address scores (it saw fewer tokens), so it only
-	// pins the location.
+	// pins the location. With batching on, the whole walk — and the fine
+	// full-address query the world provider would be asked next — collapses
+	// into one /v1/batch round trip; otherwise (or when the provider lacks
+	// the endpoint) each suffix is its own call, exactly the per-call walk.
 	var coarse wire.GeocodeResult
+	var worldFine *wire.GeocodeResult
 	found := false
-	for cut := 1; cut < len(parts)+1 && !found; cut++ {
-		tail := join(parts[len(parts)-cut:])
-		var resp wire.GeocodeResponse
-		if err := c.call(ctx, c.WorldURL, "/geocode", wire.GeocodeRequest{Query: tail, Limit: 1}, &resp); err != nil {
-			return wire.GeocodeResult{}, err
+	batched := false
+	if c.UseBatch {
+		if co, cf, fine, ok := c.geocodeCoarseBatch(ctx, parts, address); ok {
+			coarse, found, worldFine, batched = co, cf, fine, true
 		}
-		if len(resp.Results) > 0 {
-			coarse = resp.Results[0]
-			found = true
+	}
+	if !batched {
+		for cut := 1; cut < len(parts)+1 && !found; cut++ {
+			tail := join(parts[len(parts)-cut:])
+			var resp wire.GeocodeResponse
+			if err := c.call(ctx, c.WorldURL, "/geocode", wire.GeocodeRequest{Query: tail, Limit: 1}, &resp); err != nil {
+				return wire.GeocodeResult{}, err
+			}
+			if len(resp.Results) > 0 {
+				coarse = resp.Results[0]
+				found = true
+			}
 		}
 	}
 	if !found {
@@ -398,7 +425,13 @@ func (c *Client) GeocodeCtx(ctx context.Context, address string) (wire.GeocodeRe
 		}
 	}
 	slots := make([]*wire.GeocodeResult, len(urls))
+	if batched {
+		slots[0] = worldFine // the coarse batch already answered the world's fine query
+	}
 	c.forEachServer(ctx, len(urls), func(ctx context.Context, i int) {
+		if batched && i == 0 {
+			return
+		}
 		var resp wire.GeocodeResponse
 		if err := c.call(ctx, urls[i], "/geocode", wire.GeocodeRequest{Query: address, Limit: 1}, &resp); err != nil {
 			return

@@ -226,20 +226,28 @@ func (c *Client) RouteCtx(ctx context.Context, from, to geo.LatLng) (StitchedRou
 	}
 
 	// 4. Expand every chosen leg with a full /route call on its server,
-	// all legs in parallel, reassembled in chain order.
+	// reassembled in chain order. With batching on, the legs are grouped
+	// by server and each group answered in one /v1/batch round trip (a
+	// route crossing a server several times pays one round trip, not one
+	// per leg); without it — or on servers lacking the endpoint — every
+	// leg is its own call, all in parallel.
 	legs := make([]Leg, len(chain))
 	lengths := make([]float64, len(chain))
 	legErrs := make([]error, len(chain))
 	expanded := make([]bool, len(chain))
-	c.forEachServer(ctx, len(chain), func(ctx context.Context, i int) {
+	expandOne := func(ctx context.Context, i int) {
 		e := chain[i]
 		var resp wire.RouteResponse
 		req := wire.RouteRequest{
 			FromNode: e.fromNode, ToNode: e.toNode,
 			From: e.fromPos, To: e.toPos,
 		}
-		if err := c.call(ctx, e.server, "/route", req, &resp); err != nil || !resp.Found {
+		if err := c.call(ctx, e.server, "/route", req, &resp); err != nil {
 			legErrs[i] = fmt.Errorf("client: leg expansion on %s failed: %v", e.server, err)
+			return
+		}
+		if !resp.Found {
+			legErrs[i] = fmt.Errorf("client: leg expansion on %s failed: no route found", e.server)
 			return
 		}
 		name := e.server
@@ -251,7 +259,59 @@ func (c *Client) RouteCtx(ctx context.Context, from, to geo.LatLng) (StitchedRou
 		}
 		lengths[i] = resp.LengthMeters
 		expanded[i] = true
-	})
+	}
+	if c.UseBatch {
+		// Groups run on the plain pool (not forEachServer) so the batch
+		// attempt and each fallback leg get their OWN per-server timeout:
+		// a batch that burned its window must not leave the per-leg
+		// fallback with an expired context. A single shared semaphore
+		// bounds every HTTP call — batch or individual leg — at the
+		// client's concurrency limit, so nested fan-out cannot multiply
+		// the documented worker bound.
+		groups := groupLegsByServer(chain)
+		limit := c.MaxConcurrency
+		if limit <= 0 {
+			limit = fanout.DefaultLimit
+		}
+		sem := make(chan struct{}, limit)
+		acquire := func(ctx context.Context) bool {
+			select {
+			case sem <- struct{}{}:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
+		fanout.ForEach(ctx, len(groups), limit, func(ctx context.Context, gi int) {
+			idxs := groups[gi]
+			if len(idxs) > 1 {
+				if !acquire(ctx) {
+					return
+				}
+				bctx, cancel := c.perServerCtx(ctx)
+				ok := c.expandLegsBatch(bctx, chain, idxs, legs, lengths, legErrs, expanded)
+				cancel()
+				<-sem
+				if ok {
+					return
+				}
+			}
+			// Batch declined (single leg, or the server lacks the
+			// endpoint): expand the group's legs in parallel, exactly the
+			// per-call fan-out — never serialize them.
+			fanout.ForEach(ctx, len(idxs), limit, func(ctx context.Context, k int) {
+				if !acquire(ctx) {
+					return
+				}
+				defer func() { <-sem }()
+				lctx, cancel := c.perServerCtx(ctx)
+				defer cancel()
+				expandOne(lctx, idxs[k])
+			})
+		})
+	} else {
+		c.forEachServer(ctx, len(chain), expandOne)
+	}
 	route := StitchedRoute{CostSeconds: total}
 	used := map[string]bool{}
 	for i, e := range chain {

@@ -126,20 +126,34 @@ func (f *Federation) Close() {
 	}
 }
 
+// DeployOptions tunes the servers DeployWorld stands up.
+type DeployOptions struct {
+	// QueryCacheEntries enables each server's generation-keyed query
+	// result cache with that many entries (0 disables, the neutral
+	// configuration).
+	QueryCacheEntries int
+}
+
 // DeployWorld stands up the full paper scenario over a generated world: a
 // "world-map" server for the outdoor city (the Google-Maps analogue,
 // preprocessed with contraction hierarchies per Figure 1) and one
 // independently-operated server per store (local frame, precise alignment
 // fitted from survey correspondences, beacons and fiducials enabled).
 func DeployWorld(w *worldgen.World) (*Federation, error) {
+	return DeployWorldOpts(w, DeployOptions{})
+}
+
+// DeployWorldOpts is DeployWorld with server tuning.
+func DeployWorldOpts(w *worldgen.World, opts DeployOptions) (*Federation, error) {
 	f, err := NewFederation()
 	if err != nil {
 		return nil, err
 	}
 	citySrv, err := mapserver.New(mapserver.Config{
-		Name:  "world-map",
-		Map:   w.Outdoor,
-		UseCH: true,
+		Name:              "world-map",
+		Map:               w.Outdoor,
+		UseCH:             true,
+		QueryCacheEntries: opts.QueryCacheEntries,
 	})
 	if err != nil {
 		f.Close()
@@ -156,12 +170,13 @@ func DeployWorld(w *worldgen.World) (*Federation, error) {
 			return nil, fmt.Errorf("core: align %s: %w", store.Map.Name, err)
 		}
 		srv, err := mapserver.New(mapserver.Config{
-			Name:      worldgenServerName(store),
-			Map:       store.Map,
-			Alignment: ga,
-			Beacons:   store.Beacons,
-			Fiducials: store.Fiducials,
-			Landmarks: store.Landmarks,
+			Name:              worldgenServerName(store),
+			Map:               store.Map,
+			Alignment:         ga,
+			Beacons:           store.Beacons,
+			Fiducials:         store.Fiducials,
+			Landmarks:         store.Landmarks,
+			QueryCacheEntries: opts.QueryCacheEntries,
 		})
 		if err != nil {
 			f.Close()

@@ -9,6 +9,7 @@ import (
 	"openflame/internal/mapserver"
 	"openflame/internal/netsim"
 	"openflame/internal/resilience"
+	"openflame/internal/wire"
 	"openflame/internal/worldgen"
 )
 
@@ -123,5 +124,22 @@ func TestClientHasWorldURL(t *testing.T) {
 	c := f.NewClient()
 	if _, err := c.Geocode("1st Street"); err != nil {
 		t.Fatalf("world geocode through client failed: %v", err)
+	}
+}
+
+func TestDeployWorldOptsEnablesQueryCache(t *testing.T) {
+	w := worldgen.GenWorld(worldgen.DefaultWorldParams())
+	f, err := DeployWorldOpts(w, DeployOptions{QueryCacheEntries: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for _, h := range f.Servers {
+		req := wire.SearchRequest{Query: "street", Limit: 1}
+		h.Server.Search(req)
+		h.Server.Search(req)
+		if stats := h.Server.QueryCacheStats(); stats.Hits == 0 {
+			t.Fatalf("server %q: repeated query missed: %+v", h.Server.Name(), stats)
+		}
 	}
 }

@@ -37,21 +37,35 @@ func NewServer(zone *Zone, addr string) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	udp, err := net.ListenUDP("udp", udpAddr)
-	if err != nil {
-		return nil, err
+	// DNS serves the same port over UDP and TCP. For an ephemeral-port
+	// request (":0") the UDP bind picks the port and the TCP bind follows
+	// it — but that TCP port can already belong to an unrelated socket, so
+	// retry the pair with a fresh ephemeral port instead of failing the
+	// whole server on the collision.
+	tries := 1
+	if udpAddr.Port == 0 {
+		tries = 16
 	}
-	// Bind TCP to the same port the UDP socket got.
-	tcp, err := net.Listen("tcp", udp.LocalAddr().String())
-	if err != nil {
-		udp.Close()
-		return nil, err
+	var lastErr error
+	for i := 0; i < tries; i++ {
+		udp, err := net.ListenUDP("udp", udpAddr)
+		if err != nil {
+			return nil, err
+		}
+		// Bind TCP to the same port the UDP socket got.
+		tcp, err := net.Listen("tcp", udp.LocalAddr().String())
+		if err != nil {
+			udp.Close()
+			lastErr = err
+			continue
+		}
+		s := &Server{zone: zone, udp: udp, tcp: tcp, addr: udp.LocalAddr().String()}
+		s.wg.Add(2)
+		go s.serveUDP()
+		go s.serveTCP()
+		return s, nil
 	}
-	s := &Server{zone: zone, udp: udp, tcp: tcp, addr: udp.LocalAddr().String()}
-	s.wg.Add(2)
-	go s.serveUDP()
-	go s.serveTCP()
-	return s, nil
+	return nil, lastErr
 }
 
 // Addr returns the address the server is listening on.

@@ -2,11 +2,14 @@ package mapserver
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"openflame/internal/geo"
 	"openflame/internal/osm"
+	"openflame/internal/tiles"
 	"openflame/internal/wire"
+	"openflame/internal/worldgen"
 )
 
 // TestConcurrentMixedWorkload hammers one server with parallel searches,
@@ -55,5 +58,94 @@ func TestConcurrentMixedWorkload(t *testing.T) {
 	// Server still sane afterwards.
 	if got := srv.Search(wire.SearchRequest{Query: "contended"}); len(got.Results) == 0 {
 		t.Fatal("post-contention search failed")
+	}
+}
+
+// TestConcurrentMixedWorkloadCached is the same hammer against a server
+// with the query cache on: hot repeated queries coalesce and memoize while
+// inventory updates race them. It additionally pins generation
+// monotonicity — no reader may ever observe the generation move backwards
+// — and that the cache never serves a result from before the last write.
+// Run under -race in CI.
+func TestConcurrentMixedWorkloadCached(t *testing.T) {
+	entrance := geo.LatLng{Lat: 40.4415, Lng: -79.9955}
+	bundle := worldgen.GenStore(worldgen.DefaultStoreParams("Hammered Grocery", entrance))
+	srv, err := New(Config{Name: "hammered-grocery", Map: bundle.Map, QueryCacheEntries: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shelf := bundle.Map.FindNodes(func(n *osm.Node) bool {
+		return n.Tags.Has(osm.TagProduct)
+	})[0]
+
+	var maxGen atomic.Uint64
+	observe := func() {
+		g := srv.Generation()
+		for {
+			cur := maxGen.Load()
+			if g <= cur {
+				// A reader that previously saw cur must never see less
+				// on a fresh read; srv.Generation() reads the live
+				// counter, so g < cur here is fine (another goroutine
+				// advanced cur) — the invariant is on the counter itself,
+				// checked below by CAS keeping the running max.
+				return
+			}
+			if maxGen.CompareAndSwap(cur, g) {
+				return
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	const workers = 8
+	const iters = 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				before := srv.Generation()
+				switch (w + i) % 4 {
+				case 0:
+					srv.Search(wire.SearchRequest{Query: bundle.Products[i%len(bundle.Products)]})
+				case 1:
+					srv.RGeocode(wire.RGeocodeRequest{Position: entrance, MaxMeters: 100})
+				case 2:
+					if _, err := srv.Tile(tiles.FromLatLng(entrance, 19)); err != nil {
+						t.Errorf("tile: %v", err)
+						return
+					}
+				case 3:
+					tags := shelf.Tags.Clone()
+					tags[osm.TagName] = "hammered shelf"
+					srv.ApplyInventoryUpdate(shelf.ID, tags)
+				}
+				if after := srv.Generation(); after < before {
+					t.Errorf("generation went backwards: %d -> %d", before, after)
+					return
+				}
+				observe()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// A final write, then a read: the cache must reflect it immediately.
+	tags := shelf.Tags.Clone()
+	tags[osm.TagName] = "final sentinel shelf"
+	if !srv.ApplyInventoryUpdate(shelf.ID, tags) {
+		t.Fatal("final update failed")
+	}
+	if got := srv.Search(wire.SearchRequest{Query: "sentinel"}); len(got.Results) == 0 {
+		t.Fatal("cache served stale results after the final write")
+	}
+	if g := srv.Generation(); g < maxGen.Load() {
+		t.Fatalf("final generation %d below observed max %d", g, maxGen.Load())
+	}
+	if stats := srv.QueryCacheStats(); stats.Hits == 0 {
+		t.Logf("note: hammer produced no cache hits (%+v)", stats)
 	}
 }

@@ -1,12 +1,17 @@
 package mapserver
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
 
+	"openflame/internal/fanout"
 	"openflame/internal/tiles"
 	"openflame/internal/wire"
 )
@@ -17,6 +22,11 @@ import (
 const (
 	HeaderUser = "X-Flame-User" // e.g. "alice@cmu.edu"
 	HeaderApp  = "X-Flame-App"  // e.g. "campus-nav"
+	// HeaderGeneration carries the map generation observed when the read
+	// was admitted. A response that raced a concurrent write may include
+	// data from a newer generation; the ETag mechanism (not this header)
+	// is the correctness carrier for revalidation.
+	HeaderGeneration = "X-Flame-Generation"
 )
 
 // Rule decides access for one service.
@@ -99,55 +109,243 @@ func (p *Policy) Allow(svc wire.Service, user, app string) bool {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/info", func(w http.ResponseWriter, r *http.Request) {
-		respond(w, r, func() interface{} { return s.Info() })
+		w.Header().Set(HeaderGeneration, strconv.FormatUint(s.Generation(), 10))
+		respond(w, r, func() (interface{}, int, string) { return s.Info(), http.StatusOK, "" })
 	})
-	mux.HandleFunc("/geocode", s.guard(wire.SvcGeocode, func(w http.ResponseWriter, r *http.Request) {
-		var req wire.GeocodeRequest
-		if !readJSON(w, r, &req) {
-			return
-		}
-		respond(w, r, func() interface{} { return s.Geocode(req) })
-	}))
-	mux.HandleFunc("/rgeocode", s.guard(wire.SvcRGeocode, func(w http.ResponseWriter, r *http.Request) {
-		var req wire.RGeocodeRequest
-		if !readJSON(w, r, &req) {
-			return
-		}
-		respond(w, r, func() interface{} { return s.RGeocode(req) })
-	}))
-	mux.HandleFunc("/search", s.guard(wire.SvcSearch, func(w http.ResponseWriter, r *http.Request) {
-		var req wire.SearchRequest
-		if !readJSON(w, r, &req) {
-			return
-		}
-		respond(w, r, func() interface{} { return s.Search(req) })
-	}))
-	mux.HandleFunc("/route", s.guard(wire.SvcRoute, func(w http.ResponseWriter, r *http.Request) {
-		var req wire.RouteRequest
-		if !readJSON(w, r, &req) {
-			return
-		}
-		respond(w, r, func() interface{} { return s.Route(req) })
-	}))
-	mux.HandleFunc("/routematrix", s.guard(wire.SvcRoute, func(w http.ResponseWriter, r *http.Request) {
-		var req wire.RouteMatrixRequest
-		if !readJSON(w, r, &req) {
-			return
-		}
-		respond(w, r, func() interface{} { return s.RouteMatrix(req) })
-	}))
-	mux.HandleFunc("/localize", s.guard(wire.SvcLocalize, func(w http.ResponseWriter, r *http.Request) {
-		var req wire.LocalizeRequest
-		if !readJSON(w, r, &req) {
-			return
-		}
-		respond(w, r, func() interface{} { return s.Localize(req) })
-	}))
+	mux.HandleFunc("/geocode", s.jsonEndpoint(wire.SvcGeocode))
+	mux.HandleFunc("/rgeocode", s.jsonEndpoint(wire.SvcRGeocode))
+	mux.HandleFunc("/search", s.jsonEndpoint(wire.SvcSearch))
+	mux.HandleFunc("/route", s.jsonEndpoint(wire.SvcRoute))
+	mux.HandleFunc("/routematrix", s.jsonEndpoint(wire.SvcRouteMatrix))
+	mux.HandleFunc("/localize", s.jsonEndpoint(wire.SvcLocalize))
+	mux.HandleFunc("/v1/batch", s.handleBatch)
 	mux.HandleFunc("/tiles/", s.guard(wire.SvcTiles, s.handleTile))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
+}
+
+// policyService maps an endpoint's service name to the policy service
+// guarding it: routematrix falls under the route policy, exactly as its
+// dedicated endpoint always has.
+func policyService(svc wire.Service) wire.Service {
+	if svc == wire.SvcRouteMatrix {
+		return wire.SvcRoute
+	}
+	return svc
+}
+
+// decodeRequest validates one service request body into its typed request.
+// The returned status is the HTTP status the request earns on its own
+// endpoint when decoding fails (400/404); 200 means req is ready for
+// compute.
+func decodeRequest(svc wire.Service, body []byte) (interface{}, int, string) {
+	var req interface{}
+	switch svc {
+	case wire.SvcGeocode:
+		req = new(wire.GeocodeRequest)
+	case wire.SvcRGeocode:
+		req = new(wire.RGeocodeRequest)
+	case wire.SvcSearch:
+		req = new(wire.SearchRequest)
+	case wire.SvcRoute:
+		req = new(wire.RouteRequest)
+	case wire.SvcRouteMatrix:
+		req = new(wire.RouteMatrixRequest)
+	case wire.SvcLocalize:
+		req = new(wire.LocalizeRequest)
+	default:
+		return nil, http.StatusNotFound, fmt.Sprintf("unknown service %q", svc)
+	}
+	if err := decodeJSON(body, req); err != nil {
+		return nil, http.StatusBadRequest, "bad request body: " + err.Error()
+	}
+	return req, http.StatusOK, ""
+}
+
+// decodeJSON decodes the first JSON value in body, tolerating trailing
+// data exactly as the pre-batch endpoints (json.Decoder on the request
+// body) always did.
+func decodeJSON(body []byte, v interface{}) error {
+	return json.NewDecoder(bytes.NewReader(body)).Decode(v)
+}
+
+// knownService reports whether the service has a dedicated endpoint —
+// checked before policy so an unknown service earns the same 404 it gets
+// from the mux, not a policy 403.
+func knownService(svc wire.Service) bool {
+	switch svc {
+	case wire.SvcGeocode, wire.SvcRGeocode, wire.SvcSearch,
+		wire.SvcRoute, wire.SvcRouteMatrix, wire.SvcLocalize:
+		return true
+	}
+	return false
+}
+
+// compute answers one decoded service request — the single compute path
+// shared by the dedicated endpoints and /v1/batch, so both faces hit the
+// same query cache.
+func (s *Server) compute(req interface{}) interface{} {
+	switch r := req.(type) {
+	case *wire.GeocodeRequest:
+		return s.Geocode(*r)
+	case *wire.RGeocodeRequest:
+		return s.RGeocode(*r)
+	case *wire.SearchRequest:
+		return s.Search(*r)
+	case *wire.RouteRequest:
+		return s.Route(*r)
+	case *wire.RouteMatrixRequest:
+		return s.RouteMatrix(*r)
+	case *wire.LocalizeRequest:
+		return s.Localize(*r)
+	}
+	return nil
+}
+
+// dispatch decodes and answers one service request body.
+func (s *Server) dispatch(svc wire.Service, body []byte) (interface{}, int, string) {
+	req, status, msg := decodeRequest(svc, body)
+	if status != http.StatusOK {
+		return nil, status, msg
+	}
+	return s.compute(req), http.StatusOK, ""
+}
+
+// jsonEndpoint serves one POST JSON service with the §5.3 policy guard,
+// generation/ETag headers, and If-None-Match revalidation: a request whose
+// ETag (map generation + request hash) still matches is answered 304
+// without recomputing anything. Only requests that decode successfully are
+// ETagged — a malformed body always earns its 400, never a 304.
+func (s *Server) jsonEndpoint(svc wire.Service) http.HandlerFunc {
+	return s.guard(policyService(svc), func(w http.ResponseWriter, r *http.Request) {
+		body, ok := readBody(w, r)
+		if !ok {
+			return
+		}
+		req, status, msg := decodeRequest(svc, body)
+		if status != http.StatusOK {
+			httpError(w, status, msg)
+			return
+		}
+		gen := s.Generation()
+		etag := etagFor(gen, string(svc), r.Header.Get(HeaderUser), r.Header.Get(HeaderApp), body)
+		w.Header().Set(HeaderGeneration, strconv.FormatUint(gen, 10))
+		w.Header().Set("ETag", etag)
+		if notModified(r, etag) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		respond(w, r, func() (interface{}, int, string) { return s.compute(req), http.StatusOK, "" })
+	})
+}
+
+// handleBatch serves POST /v1/batch: up to wire.MaxBatchItems heterogeneous
+// sub-requests answered in one round trip with per-sub-request status, so
+// one denied or malformed item never voids the others' answers.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Context().Err() != nil {
+		httpError(w, http.StatusServiceUnavailable, "request cancelled")
+		return
+	}
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var breq wire.BatchRequest
+	if err := decodeJSON(body, &breq); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(breq.Items) > wire.MaxBatchItems {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d items exceeds the limit of %d", len(breq.Items), wire.MaxBatchItems))
+		return
+	}
+	user, app := r.Header.Get(HeaderUser), r.Header.Get(HeaderApp)
+	gen := s.Generation()
+	etag := etagFor(gen, "batch", user, app, body)
+	w.Header().Set(HeaderGeneration, strconv.FormatUint(gen, 10))
+	w.Header().Set("ETag", etag)
+	if notModified(r, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	respond(w, r, func() (interface{}, int, string) {
+		resp := wire.BatchResponse{
+			Results: make([]wire.BatchItemResult, len(breq.Items)),
+		}
+		// Items compute on a bounded pool: a batch of N route expansions
+		// costs max, not sum — the per-call path it replaces also ran
+		// them concurrently. Slots are index-aligned, so parallel
+		// completion cannot reorder results.
+		fanout.ForEach(r.Context(), len(breq.Items), 0, func(_ context.Context, i int) {
+			resp.Results[i] = s.batchItem(breq.Items[i], user, app)
+		})
+		// Stamped after the last item so no item saw a newer map; when a
+		// write raced the batch, earlier items may reflect older
+		// generations (see wire.BatchResponse).
+		resp.Generation = s.Generation()
+		return resp, http.StatusOK, ""
+	})
+}
+
+// batchItem answers one batch sub-request with its individual status,
+// mirroring the dedicated endpoint's order: unknown service 404, then
+// policy 403, then decode 400, then compute.
+func (s *Server) batchItem(it wire.BatchItem, user, app string) wire.BatchItemResult {
+	if !knownService(it.Service) {
+		return wire.BatchItemResult{
+			Status: http.StatusNotFound,
+			Error:  fmt.Sprintf("unknown service %q", it.Service),
+		}
+	}
+	if !s.auth.Allow(policyService(it.Service), user, app) {
+		return wire.BatchItemResult{
+			Status: http.StatusForbidden,
+			Error:  fmt.Sprintf("access to %s denied by policy", it.Service),
+		}
+	}
+	v, status, msg := s.dispatch(it.Service, it.Body)
+	if status != http.StatusOK {
+		return wire.BatchItemResult{Status: status, Error: msg}
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return wire.BatchItemResult{Status: http.StatusInternalServerError, Error: err.Error()}
+	}
+	return wire.BatchItemResult{Status: http.StatusOK, Body: b}
+}
+
+// etagFor derives the entity tag of a read: the map generation plus a hash
+// of the request (and the identity, since the §5.3 policy can make the
+// response identity-dependent). Any write bumps the generation and with it
+// every ETag, so a matching tag proves the cached response is current.
+func etagFor(gen uint64, kind, user, app string, body []byte) string {
+	h := fnv.New64a()
+	for _, part := range []string{kind, user, app} {
+		_, _ = io.WriteString(h, part)
+		_, _ = h.Write([]byte{0})
+	}
+	_, _ = h.Write(body)
+	return fmt.Sprintf("%q", fmt.Sprintf("g%d-%016x", gen, h.Sum64()))
+}
+
+// notModified reports whether the request's If-None-Match matches the tag.
+func notModified(r *http.Request, etag string) bool {
+	inm := r.Header.Get("If-None-Match")
+	if inm == "" {
+		return false
+	}
+	for _, cand := range strings.Split(inm, ",") {
+		c := strings.TrimSpace(cand)
+		c = strings.TrimPrefix(c, "W/")
+		if c == etag || c == "*" {
+			return true
+		}
+	}
+	return false
 }
 
 // maxOrphanedComputes bounds computations abandoned by cancelled requests
@@ -159,23 +357,36 @@ const maxOrphanedComputes = 64
 
 var orphanBudget = make(chan struct{}, maxOrphanedComputes)
 
-// respond computes the response body and writes it as JSON, honoring the
+// respond computes the response and writes it as JSON, honoring the
 // request context: a request already cancelled is never computed, and one
 // cancelled mid-compute is answered with 503 while the computation finishes
 // (and is discarded) in the background — the handler goroutine, and with it
 // the client's connection slot, is released immediately (up to the orphan
-// bound above).
-func respond(w http.ResponseWriter, r *http.Request, compute func() interface{}) {
+// bound above). compute returns the value plus the HTTP status to answer
+// with; a non-200 status writes an ErrorResponse carrying the message.
+func respond(w http.ResponseWriter, r *http.Request, compute func() (interface{}, int, string)) {
 	ctx := r.Context()
 	if ctx.Err() != nil {
 		httpError(w, http.StatusServiceUnavailable, "request cancelled")
 		return
 	}
-	done := make(chan interface{}, 1)
-	go func() { done <- compute() }()
+	type result struct {
+		v      interface{}
+		status int
+		errMsg string
+	}
+	done := make(chan result, 1)
+	go func() {
+		v, status, msg := compute()
+		done <- result{v, status, msg}
+	}()
 	select {
-	case v := <-done:
-		writeJSON(w, v)
+	case res := <-done:
+		if res.status != http.StatusOK {
+			httpError(w, res.status, res.errMsg)
+			return
+		}
+		writeJSON(w, res.v)
 	case <-ctx.Done():
 		select {
 		case orphanBudget <- struct{}{}:
@@ -225,6 +436,19 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// Tiles revalidate on content: the serve path is a cache lookup, so
+	// hashing the bytes is cheap, and a matching ETag skips the transfer.
+	// Content (not generation) tags mean a write that invalidated OTHER
+	// tiles leaves this tile's ETag — and its 304s — intact.
+	h := fnv.New64a()
+	_, _ = h.Write(png)
+	etag := fmt.Sprintf("%q", fmt.Sprintf("t-%016x", h.Sum64()))
+	w.Header().Set(HeaderGeneration, strconv.FormatUint(s.Generation(), 10))
+	w.Header().Set("ETag", etag)
+	if notModified(r, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	w.Header().Set("Content-Type", "image/png")
 	_, _ = w.Write(png)
 }
@@ -234,16 +458,19 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func readJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+// readBody enforces POST and returns the raw request body (needed intact
+// for ETag hashing before any decode).
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
-		return false
+		return nil, false
 	}
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
-		return false
+		return nil, false
 	}
-	return true
+	return body, true
 }
 
 func httpError(w http.ResponseWriter, code int, msg string) {

@@ -57,6 +57,11 @@ type Config struct {
 	Auth *Policy
 	// Style configures tile rendering.
 	Style *tiles.Style
+	// QueryCacheEntries, when > 0, enables the generation-keyed query
+	// result cache (search, geocode, rgeocode, route, route-matrix) with
+	// that many entries, LRU-evicted. Zero disables the cache, reproducing
+	// the uncached server exactly.
+	QueryCacheEntries int
 }
 
 // Server is a running map server (pre-HTTP; see Handler for the HTTP face).
@@ -73,6 +78,7 @@ type Server struct {
 	fiducial *loc.FiducialIndex
 	visual   *loc.VisualIndex
 	tileC    *tiles.Cache
+	qcache   *queryCache
 	style    tiles.Style
 	coverage []s2cell.CellID
 	portals  []wire.Portal
@@ -145,6 +151,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.style = style
 	s.tileC = tiles.NewCache(tiles.NewRenderer(cfg.Map, style))
+	if cfg.QueryCacheEntries > 0 {
+		s.qcache = newQueryCache(cfg.QueryCacheEntries)
+	}
 
 	// Portals: nodes tagged flame:portal, advertised with world positions.
 	for id, n := range cfg.Map.PortalNodes() {
@@ -228,8 +237,14 @@ func (s *Server) Info() wire.Info {
 	return info
 }
 
-// Geocode answers a forward-geocode request.
+// Geocode answers a forward-geocode request (through the query cache when
+// one is configured; like all cached services, the response must be
+// treated as immutable by callers).
 func (s *Server) Geocode(req wire.GeocodeRequest) wire.GeocodeResponse {
+	return cachedQuery(s, wire.SvcGeocode, req, s.geocodeUncached)
+}
+
+func (s *Server) geocodeUncached(req wire.GeocodeRequest) wire.GeocodeResponse {
 	var resp wire.GeocodeResponse
 	for _, r := range s.geocoder.Forward(req.Query, req.Limit) {
 		resp.Results = append(resp.Results, s.toWireGeocode(r))
@@ -251,6 +266,10 @@ func (s *Server) toWireGeocode(r geocode.Result) wire.GeocodeResult {
 
 // RGeocode answers a reverse-geocode request.
 func (s *Server) RGeocode(req wire.RGeocodeRequest) wire.RGeocodeResponse {
+	return cachedQuery(s, wire.SvcRGeocode, req, s.rgeocodeUncached)
+}
+
+func (s *Server) rgeocodeUncached(req wire.RGeocodeRequest) wire.RGeocodeResponse {
 	max := req.MaxMeters
 	if max <= 0 {
 		max = 250
@@ -265,6 +284,10 @@ func (s *Server) RGeocode(req wire.RGeocodeRequest) wire.RGeocodeResponse {
 // Search answers a location-based search, tagging results with the server
 // name so the client can attribute merged results (§5.2).
 func (s *Server) Search(req wire.SearchRequest) wire.SearchResponse {
+	return cachedQuery(s, wire.SvcSearch, req, s.searchUncached)
+}
+
+func (s *Server) searchUncached(req wire.SearchRequest) wire.SearchResponse {
 	opt := search.Options{
 		Near:              req.Near,
 		MaxDistanceMeters: req.MaxDistanceMeters,
@@ -297,6 +320,10 @@ func (s *Server) snapNode(ll geo.LatLng) (int64, bool) {
 // Route answers an in-map routing request (§5.2: each server calculates the
 // route relevant to the region it covers).
 func (s *Server) Route(req wire.RouteRequest) wire.RouteResponse {
+	return cachedQuery(s, wire.SvcRoute, req, s.routeUncached)
+}
+
+func (s *Server) routeUncached(req wire.RouteRequest) wire.RouteResponse {
 	from := req.FromNode
 	to := req.ToNode
 	if from == 0 {
@@ -352,6 +379,10 @@ func (s *Server) query(from, to int64) (graph.Path, error) {
 // RouteMatrix prices all from×to pairs; unreachable pairs are -1. Where a
 // node ID is zero, the corresponding position (if provided) is snapped.
 func (s *Server) RouteMatrix(req wire.RouteMatrixRequest) wire.RouteMatrixResponse {
+	return cachedQuery(s, wire.SvcRouteMatrix, req, s.routeMatrixUncached)
+}
+
+func (s *Server) routeMatrixUncached(req wire.RouteMatrixRequest) wire.RouteMatrixResponse {
 	resolve := func(ids []int64, positions []geo.LatLng) []int64 {
 		out := make([]int64, len(ids))
 		for i, id := range ids {
@@ -449,9 +480,31 @@ func (s *Server) Tile(c tiles.Coord) ([]byte, error) {
 // Portals returns the server's advertised portals.
 func (s *Server) Portals() []wire.Portal { return s.portals }
 
+// Generation returns the served map's mutation counter — the version every
+// cached read is keyed on and the value of the X-Flame-Generation response
+// header.
+func (s *Server) Generation() uint64 { return s.store.Generation() }
+
 // ApplyInventoryUpdate changes a node's tags (e.g. restocking a shelf) —
 // the independent map management the paper motivates (§1): no coordination
-// with any central authority.
+// with any central authority. The write invalidates every cached read
+// derived from the old map: query results from prior generations are
+// purged, and rendered tiles the node could have painted are dropped so
+// the next fetch re-renders instead of serving stale pixels.
 func (s *Server) ApplyInventoryUpdate(id osm.NodeID, tags osm.Tags) bool {
-	return s.store.UpdateNodeTags(id, tags)
+	n := s.cfg.Map.Node(id)
+	if n == nil {
+		return false
+	}
+	// The renderer draws the node at its frame position (not the precise
+	// alignment), so that is the point whose tiles go stale.
+	pos := s.cfg.Map.NodePosition(n)
+	if !s.store.UpdateNodeTags(id, tags) {
+		return false
+	}
+	if s.qcache != nil {
+		s.qcache.purgeBefore(s.store.Generation())
+	}
+	s.tileC.InvalidateRect(geo.Rect{MinLat: pos.Lat, MinLng: pos.Lng, MaxLat: pos.Lat, MaxLng: pos.Lng})
+	return true
 }

@@ -1,0 +1,182 @@
+package mapserver
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"openflame/internal/fanout"
+	"openflame/internal/wire"
+)
+
+// queryCache memoizes service results keyed by (service, request,
+// generation). Because the map generation is part of the key, a mutation
+// never serves a stale hit: the bumped generation simply misses, and dead
+// entries from prior generations age out of the LRU (or are purged eagerly
+// by writes). A singleflight group collapses concurrent identical queries
+// so a hot query computes once per generation, not once per caller.
+//
+// Cached values are shared between callers; results obtained through the
+// cache must be treated as immutable.
+type queryCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[qcKey]*list.Element
+	lru     *list.List // front = most recently used; values are *qcEntry
+	flight  fanout.Group[interface{}]
+
+	hits, misses, evicted, purged int64
+}
+
+type qcKey struct {
+	gen uint64
+	key string
+}
+
+type qcEntry struct {
+	k qcKey
+	v interface{}
+}
+
+func newQueryCache(max int) *queryCache {
+	return &queryCache{
+		max:     max,
+		entries: make(map[qcKey]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+func (c *queryCache) get(k qcKey) (interface{}, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		return el.Value.(*qcEntry).v, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// peek is get without touching the hit/miss counters — used for the
+// in-flight double-check so one logical miss is not counted twice.
+func (c *queryCache) peek(k qcKey) (interface{}, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		c.lru.MoveToFront(el)
+		return el.Value.(*qcEntry).v, true
+	}
+	return nil, false
+}
+
+func (c *queryCache) put(k qcKey, v interface{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		el.Value.(*qcEntry).v = v
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[k] = c.lru.PushFront(&qcEntry{k: k, v: v})
+	for c.lru.Len() > c.max {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.entries, back.Value.(*qcEntry).k)
+		c.evicted++
+	}
+}
+
+// purgeBefore drops every entry from a generation older than gen — the
+// eager half of invalidation (the generation key already guarantees such
+// entries can never hit; purging returns their LRU slots immediately).
+func (c *queryCache) purgeBefore(gen uint64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*qcEntry); e.k.gen < gen {
+			c.lru.Remove(el)
+			delete(c.entries, e.k)
+			n++
+		}
+		el = next
+	}
+	c.purged += int64(n)
+	return n
+}
+
+// QueryCacheStats reports cache effectiveness for metrics and tests.
+type QueryCacheStats struct {
+	Entries int
+	Hits    int64
+	Misses  int64
+	Evicted int64
+	Purged  int64
+}
+
+// QueryCacheStats returns the current cache counters (zero value when the
+// cache is disabled).
+func (s *Server) QueryCacheStats() QueryCacheStats {
+	if s.qcache == nil {
+		return QueryCacheStats{}
+	}
+	c := s.qcache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return QueryCacheStats{
+		Entries: len(c.entries),
+		Hits:    c.hits,
+		Misses:  c.misses,
+		Evicted: c.evicted,
+		Purged:  c.purged,
+	}
+}
+
+// cachedQuery answers one service request through the server's query
+// cache: a hit returns the memoized response for the current generation; a
+// miss computes it (once across concurrent identical requests, via
+// singleflight) and caches it — but only when the generation is unchanged
+// after the computation, so every cached value is a consistent snapshot
+// read of exactly one map generation. A nil cache (the neutral
+// configuration) computes directly, reproducing the uncached server
+// exactly.
+func cachedQuery[Req, Resp any](s *Server, svc wire.Service, req Req, compute func(Req) Resp) Resp {
+	c := s.qcache
+	if c == nil {
+		return compute(req)
+	}
+	kb, err := json.Marshal(req)
+	if err != nil {
+		return compute(req)
+	}
+	key := string(svc) + "\x00" + string(kb)
+	gen := s.store.Generation()
+	k := qcKey{gen: gen, key: key}
+	if v, ok := c.get(k); ok {
+		return v.(Resp)
+	}
+	v, err := c.flight.Do(fmt.Sprintf("%d\x00%s", gen, key), func() (interface{}, error) {
+		// A previous flight for this key may have finished between our
+		// miss and winning the flight; its cached value is current.
+		if v, ok := c.peek(k); ok {
+			return v, nil
+		}
+		resp := compute(req)
+		// Cache only if no write landed mid-compute: a torn computation
+		// may mix two generations and must not be memoized under either.
+		if s.store.Generation() == gen {
+			c.put(k, resp)
+		}
+		return resp, nil
+	})
+	if err != nil {
+		// The leader's compute panicked; Group contained the panic and
+		// handed followers this error. Compute independently rather than
+		// crash on the nil shared value.
+		return compute(req)
+	}
+	return v.(Resp)
+}

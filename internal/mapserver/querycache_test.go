@@ -1,0 +1,262 @@
+package mapserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"openflame/internal/geo"
+	"openflame/internal/osm"
+	"openflame/internal/tiles"
+	"openflame/internal/wire"
+	"openflame/internal/worldgen"
+)
+
+// cachedCityServer builds a city server with the query cache enabled.
+func cachedCityServer(t testing.TB, entries int) *Server {
+	t.Helper()
+	city := worldgen.GenCity(worldgen.DefaultCityParams())
+	srv, err := New(Config{Name: "city", Map: city, QueryCacheEntries: entries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func TestQueryCacheHitsAndStaysByteIdentical(t *testing.T) {
+	cached := cachedCityServer(t, 128)
+	uncached := cityServer(t) // independent, identical deterministic world
+	for _, svc := range []string{"geocode", "search", "rgeocode", "route", "routematrix"} {
+		var got, want interface{}
+		switch svc {
+		case "geocode":
+			req := wire.GeocodeRequest{Query: "3rd Street", Limit: 5}
+			cached.Geocode(req)
+			got, want = cached.Geocode(req), uncached.Geocode(req)
+		case "search":
+			req := wire.SearchRequest{Query: "3rd Street", Limit: 5}
+			cached.Search(req)
+			got, want = cached.Search(req), uncached.Search(req)
+		case "rgeocode":
+			pos := cached.Geocode(wire.GeocodeRequest{Query: "3rd Street", Limit: 1}).Results[0].Position
+			req := wire.RGeocodeRequest{Position: pos, MaxMeters: 200}
+			cached.RGeocode(req)
+			got, want = cached.RGeocode(req), uncached.RGeocode(req)
+		case "route":
+			a := cached.Geocode(wire.GeocodeRequest{Query: "1st Street", Limit: 1}).Results[0].Position
+			b := cached.Geocode(wire.GeocodeRequest{Query: "3rd Street", Limit: 1}).Results[0].Position
+			req := wire.RouteRequest{From: a, To: b}
+			cached.Route(req)
+			got, want = cached.Route(req), uncached.Route(req)
+		case "routematrix":
+			a := cached.Geocode(wire.GeocodeRequest{Query: "1st Street", Limit: 1}).Results[0].Position
+			b := cached.Geocode(wire.GeocodeRequest{Query: "3rd Street", Limit: 1}).Results[0].Position
+			req := wire.RouteMatrixRequest{FromPositions: []geo.LatLng{a}, ToPositions: []geo.LatLng{b}}
+			cached.RouteMatrix(req)
+			got, want = cached.RouteMatrix(req), uncached.RouteMatrix(req)
+		}
+		gb, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wb, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gb, wb) {
+			t.Fatalf("%s: cached response differs from uncached:\n%s\n%s", svc, gb, wb)
+		}
+	}
+	stats := cached.QueryCacheStats()
+	if stats.Hits == 0 || stats.Entries == 0 {
+		t.Fatalf("cache never hit: %+v", stats)
+	}
+	if uncached.QueryCacheStats() != (QueryCacheStats{}) {
+		t.Fatal("uncached server reports cache activity")
+	}
+}
+
+func TestQueryCacheInvalidatedByWrite(t *testing.T) {
+	entrance := geo.LatLng{Lat: 40.4415, Lng: -79.9955}
+	bundle := worldgen.GenStore(worldgen.DefaultStoreParams("Cache Grocery", entrance))
+	srv, err := New(Config{Name: "cache-grocery", Map: bundle.Map, QueryCacheEntries: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shelf := bundle.Map.FindNodes(func(n *osm.Node) bool {
+		return n.Tags.Has(osm.TagProduct)
+	})[0]
+	product := shelf.Tags.Get(osm.TagProduct)
+
+	req := wire.SearchRequest{Query: product}
+	if len(srv.Search(req).Results) == 0 {
+		t.Fatalf("product %q not found", product)
+	}
+	srv.Search(req) // warm: second identical query is a hit
+	if stats := srv.QueryCacheStats(); stats.Hits == 0 {
+		t.Fatalf("no hit on repeated query: %+v", stats)
+	}
+
+	gen := srv.Generation()
+	tags := shelf.Tags.Clone()
+	tags[osm.TagName] = "renamed shelf"
+	tags[osm.TagProduct] = "renamed"
+	if !srv.ApplyInventoryUpdate(shelf.ID, tags) {
+		t.Fatal("update failed")
+	}
+	if g := srv.Generation(); g != gen+1 {
+		t.Fatalf("generation %d -> %d, want one bump", gen, g)
+	}
+	// The write purged prior-generation entries eagerly.
+	if stats := srv.QueryCacheStats(); stats.Purged == 0 {
+		t.Fatalf("write purged nothing: %+v", stats)
+	}
+	// And the same query now sees the new map, not a stale memo.
+	if got := srv.Search(wire.SearchRequest{Query: "renamed"}); len(got.Results) == 0 {
+		t.Fatal("post-update search missed the renamed shelf")
+	}
+	for _, r := range srv.Search(req).Results {
+		if r.NodeID == shelf.ID {
+			t.Fatalf("stale cached result still lists the old product: %+v", r)
+		}
+	}
+}
+
+func TestQueryCacheSingleflight(t *testing.T) {
+	srv := cachedCityServer(t, 16)
+	var computes atomic.Int32
+	compute := func(req wire.GeocodeRequest) wire.GeocodeResponse {
+		computes.Add(1)
+		time.Sleep(20 * time.Millisecond)
+		return wire.GeocodeResponse{Results: []wire.GeocodeResult{{Name: req.Query}}}
+	}
+	const callers = 8
+	results := make([]wire.GeocodeResponse, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = cachedQuery(srv, "flight-test", wire.GeocodeRequest{Query: "hot"}, compute)
+		}(i)
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("hot query computed %d times, want 1", n)
+	}
+	for i := 1; i < callers; i++ {
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Fatalf("caller %d saw a different result", i)
+		}
+	}
+	// A different request computes independently.
+	cachedQuery(srv, "flight-test", wire.GeocodeRequest{Query: "cold"}, compute)
+	if n := computes.Load(); n != 2 {
+		t.Fatalf("distinct query coalesced: computes = %d", n)
+	}
+}
+
+func TestQueryCacheEvictsAtCapacity(t *testing.T) {
+	srv := cachedCityServer(t, 2)
+	for _, q := range []string{"1st Street", "2nd Street", "3rd Street"} {
+		srv.Geocode(wire.GeocodeRequest{Query: q, Limit: 1})
+	}
+	stats := srv.QueryCacheStats()
+	if stats.Entries > 2 {
+		t.Fatalf("cache holds %d entries, cap 2", stats.Entries)
+	}
+	if stats.Evicted == 0 {
+		t.Fatalf("no eviction recorded: %+v", stats)
+	}
+}
+
+// TestQueryCacheSkipsTornCompute pins the snapshot-read rule: a result
+// whose computation straddled a write (generation changed mid-compute)
+// must not be memoized under either generation.
+func TestQueryCacheSkipsTornCompute(t *testing.T) {
+	srv := cachedCityServer(t, 16)
+	var computes atomic.Int32
+	compute := func(req wire.GeocodeRequest) wire.GeocodeResponse {
+		computes.Add(1)
+		if computes.Load() == 1 {
+			// A write lands mid-compute.
+			srv.store.AddNode(&osm.Node{Pos: geo.LatLng{Lat: 40.44, Lng: -79.99}})
+		}
+		return wire.GeocodeResponse{}
+	}
+	req := wire.GeocodeRequest{Query: "torn"}
+	cachedQuery(srv, "torn-test", req, compute)
+	cachedQuery(srv, "torn-test", req, compute)
+	if n := computes.Load(); n != 2 {
+		t.Fatalf("torn result was cached: computes = %d", n)
+	}
+	// The second compute saw a stable generation and is cached.
+	cachedQuery(srv, "torn-test", req, compute)
+	if n := computes.Load(); n != 2 {
+		t.Fatalf("stable result not cached: computes = %d", n)
+	}
+}
+
+// TestTileRerenderAfterInventoryUpdate is the serve-after-update
+// regression: a tile rendered before an inventory update must not be
+// served stale afterwards.
+func TestTileRerenderAfterInventoryUpdate(t *testing.T) {
+	srv, bundle := storeServer(t, nil)
+	shelf := bundle.Map.FindNodes(func(n *osm.Node) bool {
+		return n.Tags.Has(osm.TagProduct)
+	})[0]
+	coord := tiles.FromLatLng(bundle.Map.NodePosition(shelf), 20)
+	before, err := srv.Tile(coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strip the shelf of everything that makes it a POI: its dot must
+	// vanish from the re-rendered tile.
+	if !srv.ApplyInventoryUpdate(shelf.ID, osm.Tags{osm.TagIndoor: "yes"}) {
+		t.Fatal("update failed")
+	}
+	after, err := srv.Tile(coord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(before, after) {
+		t.Fatal("stale tile served after inventory update")
+	}
+}
+
+// TestQueryCachePanicDoesNotPoisonFollowers pins singleflight panic
+// containment: followers coalesced behind a leader whose compute panics
+// must compute independently, not crash on the nil shared value.
+func TestQueryCachePanicDoesNotPoisonFollowers(t *testing.T) {
+	srv := cachedCityServer(t, 16)
+	var calls atomic.Int32
+	leaderIn := make(chan struct{})
+	compute := func(req wire.GeocodeRequest) wire.GeocodeResponse {
+		if calls.Add(1) == 1 {
+			close(leaderIn)
+			time.Sleep(30 * time.Millisecond)
+			panic("kaboom")
+		}
+		return wire.GeocodeResponse{Results: []wire.GeocodeResult{{Name: "ok"}}}
+	}
+	leaderDone := make(chan struct{})
+	go func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("leader panic did not propagate")
+			}
+			close(leaderDone)
+		}()
+		cachedQuery(srv, "panic-test", wire.GeocodeRequest{Query: "x"}, compute)
+	}()
+	<-leaderIn
+	got := cachedQuery(srv, "panic-test", wire.GeocodeRequest{Query: "x"}, compute)
+	<-leaderDone
+	if len(got.Results) != 1 || got.Results[0].Name != "ok" {
+		t.Fatalf("follower result = %+v", got)
+	}
+}

@@ -154,6 +154,21 @@ type Map struct {
 	nextNode  NodeID
 	nextWay   WayID
 	nextRel   RelationID
+	// gen counts successful mutations. Every write method bumps it under
+	// mu, so readers observing the same generation before and after a
+	// computation know they saw one consistent snapshot of the map — the
+	// versioning the server-side query and tile caches key on.
+	gen uint64
+}
+
+// Generation returns the map's mutation counter: zero for a fresh map,
+// monotonically increasing by one per successful mutation (adds, removes,
+// replacements). Failed mutations (rejected ways, refused removals) do not
+// bump it.
+func (m *Map) Generation() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.gen
 }
 
 // NewMap creates an empty map.
@@ -179,6 +194,7 @@ func (m *Map) AddNode(n *Node) NodeID {
 		m.nextNode = n.ID
 	}
 	m.nodes[n.ID] = n
+	m.gen++
 	return n.ID
 }
 
@@ -199,6 +215,7 @@ func (m *Map) AddWay(w *Way) (WayID, error) {
 		m.nextWay = w.ID
 	}
 	m.ways[w.ID] = w
+	m.gen++
 	return w.ID, nil
 }
 
@@ -213,6 +230,7 @@ func (m *Map) AddRelation(r *Relation) RelationID {
 		m.nextRel = r.ID
 	}
 	m.relations[r.ID] = r
+	m.gen++
 	return r.ID
 }
 
@@ -248,7 +266,10 @@ func (m *Map) RemoveNode(id NodeID) error {
 			}
 		}
 	}
-	delete(m.nodes, id)
+	if _, ok := m.nodes[id]; ok {
+		delete(m.nodes, id)
+		m.gen++
+	}
 	return nil
 }
 
@@ -256,7 +277,10 @@ func (m *Map) RemoveNode(id NodeID) error {
 func (m *Map) RemoveWay(id WayID) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	delete(m.ways, id)
+	if _, ok := m.ways[id]; ok {
+		delete(m.ways, id)
+		m.gen++
+	}
 }
 
 // NodeCount returns the number of nodes.

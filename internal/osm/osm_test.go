@@ -265,3 +265,54 @@ func TestReadXMLRejectsBadDocs(t *testing.T) {
 		t.Fatal("alien member accepted")
 	}
 }
+
+func TestGenerationMonotonic(t *testing.T) {
+	m := NewMap("gen", Frame{Kind: FrameGeodetic})
+	if g := m.Generation(); g != 0 {
+		t.Fatalf("fresh map generation = %d", g)
+	}
+	a := m.AddNode(&Node{Pos: geo.LatLng{Lat: 1, Lng: 1}})
+	b := m.AddNode(&Node{Pos: geo.LatLng{Lat: 2, Lng: 2}})
+	if g := m.Generation(); g != 2 {
+		t.Fatalf("after 2 adds generation = %d", g)
+	}
+	w, err := m.AddWay(&Way{NodeIDs: []NodeID{a, b}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := m.Generation(); g != 3 {
+		t.Fatalf("after way add generation = %d", g)
+	}
+	// Failed mutations must not bump.
+	if _, err := m.AddWay(&Way{NodeIDs: []NodeID{999}}); err == nil {
+		t.Fatal("dangling way accepted")
+	}
+	if err := m.RemoveNode(a); err == nil {
+		t.Fatal("referenced node removed")
+	}
+	if g := m.Generation(); g != 3 {
+		t.Fatalf("failed mutations bumped generation to %d", g)
+	}
+	m.AddRelation(&Relation{Members: []Member{{Type: MemberWay, Ref: int64(w)}}})
+	if g := m.Generation(); g != 4 {
+		t.Fatalf("after relation generation = %d", g)
+	}
+	m.RemoveWay(w)
+	if g := m.Generation(); g != 5 {
+		t.Fatalf("after way removal generation = %d", g)
+	}
+	// No-op removals must not bump either.
+	m.RemoveWay(w)
+	if err := m.RemoveNode(12345); err != nil {
+		t.Fatal(err)
+	}
+	if g := m.Generation(); g != 5 {
+		t.Fatalf("no-op removals bumped generation to %d", g)
+	}
+	if err := m.RemoveNode(a); err != nil {
+		t.Fatal(err)
+	}
+	if g := m.Generation(); g != 6 {
+		t.Fatalf("after node removal generation = %d", g)
+	}
+}

@@ -54,8 +54,24 @@ func New(m *osm.Map) *Store {
 	return s
 }
 
-// Map returns the underlying map (read-only use).
+// Map returns the underlying map.
+//
+// Aliasing contract: the returned *osm.Map is the live map the Store
+// indexes, handed out for READ-ONLY use (position lookups, iteration,
+// FindNodes). Callers must not invoke its write methods — AddNode, AddWay,
+// AddRelation, RemoveNode, RemoveWay — or mutate returned elements in
+// place: a direct write would bypass the R-tree and inverted index AND the
+// generation tracking the server-side query/tile caches key on, silently
+// serving stale or inconsistent results. All mutations go through Store
+// methods (AddNode, AddWay, UpdateNodeTags, RemoveNode), which maintain
+// the indexes and bump the map generation atomically under the Store lock.
 func (s *Store) Map() *osm.Map { return s.m }
+
+// Generation returns the underlying map's mutation counter. Every Store
+// mutation bumps it exactly once, so a reader observing an unchanged
+// generation across a computation saw one consistent snapshot. It is the
+// version the mapserver query cache keys results on.
+func (s *Store) Generation() uint64 { return s.m.Generation() }
 
 // Bounds returns the geodetic bounding rectangle of the indexed content.
 func (s *Store) Bounds() geo.Rect {

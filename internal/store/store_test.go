@@ -256,3 +256,40 @@ func TestLocalFrameStore(t *testing.T) {
 		t.Fatalf("distance = %v", hits[0].DistanceMeters)
 	}
 }
+
+func TestStoreGeneration(t *testing.T) {
+	m := townMap(t)
+	s := New(m)
+	g0 := s.Generation()
+	if g0 == 0 {
+		t.Fatal("built map reports generation 0")
+	}
+	id := s.AddNode(&osm.Node{Pos: geo.LatLng{Lat: 40.4430, Lng: -79.9945},
+		Tags: osm.Tags{osm.TagName: "Pop-Up Stand"}})
+	if g := s.Generation(); g != g0+1 {
+		t.Fatalf("AddNode: generation %d -> %d", g0, g)
+	}
+	// A tag replacement is exactly one mutation, even though it reindexes.
+	if !s.UpdateNodeTags(id, osm.Tags{osm.TagName: "Pop-Down Stand"}) {
+		t.Fatal("update failed")
+	}
+	if g := s.Generation(); g != g0+2 {
+		t.Fatalf("UpdateNodeTags: generation = %d, want %d", g, g0+2)
+	}
+	// Failed mutations leave the generation alone.
+	if s.UpdateNodeTags(99999, osm.Tags{}) {
+		t.Fatal("update of absent node succeeded")
+	}
+	if s.RemoveNode(99999) {
+		t.Fatal("removal of absent node succeeded")
+	}
+	if g := s.Generation(); g != g0+2 {
+		t.Fatalf("failed mutations moved generation to %d", g)
+	}
+	if !s.RemoveNode(id) {
+		t.Fatal("removal failed")
+	}
+	if g := s.Generation(); g != g0+3 {
+		t.Fatalf("RemoveNode: generation = %d, want %d", g, g0+3)
+	}
+}

@@ -229,7 +229,13 @@ func NewCache(r *Renderer) *Cache {
 	return &Cache{r: r, m: make(map[Coord][]byte)}
 }
 
-// Get returns the PNG bytes for the tile, rendering on first use.
+// Get returns the PNG bytes for the tile, rendering on first use. A
+// render that raced a map write is served but not memoized: the write's
+// InvalidateRect cannot drop a tile that is not cached yet, so inserting
+// it would permanently re-cache pre-write pixels. The generation re-check
+// under the cache lock closes that window — if the generation still reads
+// as it did before the render, the invalidation for any newer write has
+// not run yet and will see our entry.
 func (c *Cache) Get(coord Coord) ([]byte, error) {
 	c.mu.Lock()
 	if b, ok := c.m[coord]; ok {
@@ -239,12 +245,15 @@ func (c *Cache) Get(coord Coord) ([]byte, error) {
 	}
 	c.Misses++
 	c.mu.Unlock()
+	gen := c.r.m.Generation()
 	b, err := c.r.RenderPNG(coord)
 	if err != nil {
 		return nil, err
 	}
 	c.mu.Lock()
-	c.m[coord] = b
+	if c.r.m.Generation() == gen {
+		c.m[coord] = b
+	}
 	c.mu.Unlock()
 	return b, nil
 }
@@ -269,6 +278,39 @@ func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.m)
+}
+
+// InvalidateRect drops cached tiles whose coverage intersects r, returning
+// how many were dropped. Each tile's bounds are padded by 5% of its span
+// before the test: strokes and POI dots bleed a few pixels across tile
+// edges, so content changing just outside a tile can still change its
+// pixels. Dropped tiles re-render on next Get.
+func (c *Cache) InvalidateRect(r geo.Rect) int {
+	if r.IsEmpty() {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for coord := range c.m {
+		b := coord.Bounds()
+		pad := 0.05
+		b = b.Expanded((b.MaxLat-b.MinLat)*pad, (b.MaxLng-b.MinLng)*pad)
+		if b.Intersects(r) {
+			delete(c.m, coord)
+			n++
+		}
+	}
+	return n
+}
+
+// InvalidateAll drops every cached tile, returning how many were dropped.
+func (c *Cache) InvalidateAll() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.m)
+	c.m = make(map[Coord][]byte)
+	return n
 }
 
 // Stitch composites tiles for the same coordinate rendered by multiple map

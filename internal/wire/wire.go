@@ -4,6 +4,8 @@
 package wire
 
 import (
+	"encoding/json"
+
 	"openflame/internal/geo"
 	"openflame/internal/loc"
 	"openflame/internal/search"
@@ -20,6 +22,10 @@ const (
 	SvcRoute    Service = "route"
 	SvcLocalize Service = "localize"
 	SvcTiles    Service = "tiles"
+	// SvcRouteMatrix names the pairwise pricing endpoint. It is not a
+	// separately advertised capability: policy-wise it falls under
+	// SvcRoute, and servers advertising "route" serve it.
+	SvcRouteMatrix Service = "routematrix"
 )
 
 // AllServices lists every base service.
@@ -162,4 +168,43 @@ type LocalizeResponse struct {
 // ErrorResponse is returned with non-2xx statuses.
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// MaxBatchItems bounds one batch request; servers reject larger batches
+// outright so a single POST cannot queue unbounded compute.
+const MaxBatchItems = 64
+
+// BatchItem is one sub-request of a batched call: the service to invoke
+// and its request body, encoded exactly as it would be POSTed to the
+// service's own endpoint.
+type BatchItem struct {
+	Service Service         `json:"service"`
+	Body    json.RawMessage `json:"body,omitempty"`
+}
+
+// BatchRequest carries up to MaxBatchItems heterogeneous sub-requests that
+// the server executes in one round trip (POST /v1/batch). Items are
+// independent: one failing does not affect the others.
+type BatchRequest struct {
+	Items []BatchItem `json:"items"`
+}
+
+// BatchItemResult is one sub-request's outcome. Status carries the HTTP
+// status the sub-request would have received on its own endpoint (200 with
+// Body set, or 400/403/404 with Error set) — per-sub-request status, so a
+// partially failing batch still returns every successful answer.
+type BatchItemResult struct {
+	Status int             `json:"status"`
+	Error  string          `json:"error,omitempty"`
+	Body   json.RawMessage `json:"body,omitempty"`
+}
+
+// BatchResponse answers a batch: one result per item, index-aligned with
+// the request. Generation is the map generation observed after the last
+// item was answered — no item saw a newer map; when no write raced the
+// batch (the common case) every item is a consistent snapshot at exactly
+// this generation.
+type BatchResponse struct {
+	Generation uint64            `json:"generation"`
+	Results    []BatchItemResult `json:"results"`
 }
