@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: verify fmt vet build test race cover bench-fanout bench-resilience bench-smoke
+.PHONY: verify fmt vet staticcheck build test race cover bench-fanout bench-resilience bench-replication bench-smoke
 
 ## verify: the full CI gate — formatting, vet, build, tests under -race
-## (twice, so flaky tests surface).
+## (twice, so flaky tests surface). CI additionally runs staticcheck.
 verify: fmt vet build race
 
 fmt:
@@ -12,6 +12,12 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+## staticcheck: runs if the binary is installed (CI installs it; locally
+## `go install honnef.co/go/tools/cmd/staticcheck@2024.1.1`).
+staticcheck:
+	@if command -v staticcheck >/dev/null; then staticcheck ./...; \
+		else echo "staticcheck not installed; skipping"; fi
 
 build:
 	$(GO) build ./...
@@ -34,6 +40,11 @@ bench-fanout:
 ## bench-resilience: the E14 faulty-federation comparison (hedged vs not).
 bench-resilience:
 	$(GO) test -run xxx -bench E14 -benchtime 200x .
+
+## bench-replication: the E16 replica-aware fan-out comparison (one
+## request per replica set vs query-everyone).
+bench-replication:
+	$(GO) test -run xxx -bench E16 -benchtime 200x .
 
 ## bench-smoke: compile and run EVERY benchmark for one iteration, so the
 ## growing suite (E1–E15 plus per-package micro-benchmarks) can never rot

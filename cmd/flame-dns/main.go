@@ -16,12 +16,16 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 
+	"openflame/internal/discovery"
 	"openflame/internal/dns"
 )
 
@@ -31,6 +35,7 @@ type options struct {
 	apex    string
 	addr    string
 	records string
+	admin   string
 }
 
 func newFlagSet(name string) (*flag.FlagSet, *options) {
@@ -39,6 +44,7 @@ func newFlagSet(name string) (*flag.FlagSet, *options) {
 	fs.StringVar(&o.apex, "apex", "loc.flame.arpa", "zone apex")
 	fs.StringVar(&o.addr, "addr", "127.0.0.1:5300", "listen address (UDP+TCP)")
 	fs.StringVar(&o.records, "records", "", "record file (optional)")
+	fs.StringVar(&o.admin, "admin", "", "registry admin HTTP address for runtime register/unregister, e.g. 127.0.0.1:5301 (empty = off; bind to localhost or front with your gateway)")
 	return fs, o
 }
 
@@ -80,7 +86,22 @@ func main() {
 	defer srv.Close()
 	fmt.Printf("authoritative for %s on %s (%d records)\n", zone.Apex(), srv.Addr(), zone.RecordCount())
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// The admin endpoint turns the static zone into a LIVE membership
+	// registry: map servers join with POST /v1/register and leave with
+	// POST /v1/unregister, each change re-stamping the zone at a new epoch.
+	if o.admin != "" {
+		registry := discovery.NewRegistry(zone, zone.Apex())
+		adminSrv := &http.Server{Addr: o.admin, Handler: discovery.RegistryHandler(registry)}
+		go func() {
+			if err := adminSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Fatalf("admin: %v", err)
+			}
+		}()
+		defer adminSrv.Close()
+		log.Printf("registry admin on http://%s (register/unregister/members)", o.admin)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	<-ctx.Done()
 	log.Printf("served %d queries", srv.QueryCount())

@@ -63,3 +63,21 @@ func TestBuildZoneMissingFileFails(t *testing.T) {
 		t.Fatal("missing record file accepted")
 	}
 }
+
+// TestAdminFlag: the registry admin endpoint defaults off and round-trips.
+func TestAdminFlag(t *testing.T) {
+	fs, o := newFlagSet("flame-dns")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if o.admin != "" {
+		t.Fatalf("admin default changed: %q", o.admin)
+	}
+	fs, o = newFlagSet("flame-dns")
+	if err := fs.Parse([]string{"-admin", "127.0.0.1:5301"}); err != nil {
+		t.Fatal(err)
+	}
+	if o.admin != "127.0.0.1:5301" {
+		t.Fatalf("admin flag lost: %q", o.admin)
+	}
+}

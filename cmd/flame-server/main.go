@@ -1,10 +1,16 @@
 // Command flame-server runs one OpenFLAME map server over an OSM XML map.
-// On startup it prints the DNS TXT records the operator should install in
-// their spatial zone so clients can discover the server (§5.1).
+// With -register it joins the federation through a flame-dns registry
+// admin endpoint on startup and deregisters on SIGTERM before draining
+// in-flight requests; without it, it prints the DNS TXT records the
+// operator should install in their spatial zone (§5.1). -replica-set and
+// -sync-peers run the server as one member of a replica set, pulling
+// anti-entropy from its siblings.
 //
 // Usage:
 //
 //	flame-server -map city.osm.xml -addr :8080 -name my-map [-public-url http://host:8080]
+//	flame-server -map city.osm.xml -register http://127.0.0.1:5301 \
+//	    -replica-set city -sync-peers http://peer1:8080,http://peer2:8080
 package main
 
 import (
@@ -13,9 +19,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"openflame/internal/discovery"
@@ -36,6 +45,10 @@ type options struct {
 	maxLevel          int
 	queryCache        bool
 	queryCacheEntries int
+	registerURL       string
+	replicaSet        string
+	syncPeers         string
+	syncInterval      time.Duration
 }
 
 // defaultQueryCacheEntries sizes the query result cache when -query-cache
@@ -55,7 +68,31 @@ func newFlagSet(name string) (*flag.FlagSet, *options) {
 	fs.BoolVar(&o.queryCache, "query-cache", true, "memoize query results per map generation")
 	fs.IntVar(&o.queryCacheEntries, "query-cache-entries", defaultQueryCacheEntries,
 		"query cache capacity (entries, LRU-evicted)")
+	fs.StringVar(&o.registerURL, "register", "", "flame-dns registry admin URL (e.g. http://127.0.0.1:5301): announce on startup, deregister on SIGTERM")
+	fs.StringVar(&o.replicaSet, "replica-set", "", "replica-set id to register under (requires -register); siblings share load and fail over for each other")
+	fs.StringVar(&o.syncPeers, "sync-peers", "", "comma-separated sibling replica URLs to pull anti-entropy from")
+	fs.DurationVar(&o.syncInterval, "sync-interval", 5*time.Second, "anti-entropy pull interval (with -sync-peers)")
 	return fs, o
+}
+
+// validate rejects flag combinations that would silently misbehave.
+func (o *options) validate() error {
+	if o.replicaSet != "" && o.registerURL == "" {
+		return fmt.Errorf("-replica-set requires -register: without a registry the printed records " +
+			"would carry no rs= tag and clients would treat the siblings as independent servers")
+	}
+	return nil
+}
+
+// peerList splits -sync-peers into URLs, dropping empties.
+func (o *options) peerList() []string {
+	var out []string
+	for _, p := range strings.Split(o.syncPeers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // cacheEntries resolves the two query-cache flags into the mapserver
@@ -110,6 +147,9 @@ func main() {
 		fs.Usage()
 		os.Exit(2)
 	}
+	if err := o.validate(); err != nil {
+		log.Fatal(err)
+	}
 	srv, m, err := o.buildServer()
 	if err != nil {
 		log.Fatalf("build server: %v", err)
@@ -118,26 +158,83 @@ func main() {
 	url := o.advertiseURL()
 	info := srv.Info()
 	fmt.Printf("map server %q: %d nodes, %d coverage cells\n", srv.Name(), m.NodeCount(), len(info.Coverage))
-	fmt.Println("install these records in your spatial DNS zone:")
-	ann := discovery.Announcement{Name: info.Name, URL: url, Services: info.Services, Technologies: info.Technologies}
-	for _, tok := range info.Coverage {
-		cell := s2cell.FromToken(tok)
-		fmt.Printf("  %s 60 IN TXT %q\n", discovery.CellDomain(cell, discovery.DefaultSuffix), discovery.FormatTXT(ann))
+	if o.registerURL == "" {
+		fmt.Println("install these records in your spatial DNS zone:")
+		ann := discovery.Announcement{Name: info.Name, URL: url, Services: info.Services, Technologies: info.Technologies}
+		for _, tok := range info.Coverage {
+			cell := s2cell.FromToken(tok)
+			fmt.Printf("  %s 60 IN TXT %q\n", discovery.CellDomain(cell, discovery.DefaultSuffix), discovery.FormatTXT(ann))
+		}
 	}
-	// Serve until interrupted, then drain in-flight requests gracefully;
+	// Serve until interrupted or SIGTERM'd, then leave the federation
+	// cleanly: deregister from discovery FIRST (so new fan-outs stop
+	// routing here within one TTL) and only then drain in-flight requests;
 	// per-request contexts (honored by the handler) are cancelled by the
 	// shutdown deadline if a request outlives the drain window.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	httpSrv := &http.Server{Addr: o.addr, Handler: srv.Handler()}
+	// Bind BEFORE announcing: a server that cannot serve must never enter
+	// the zone (authoritative records do not age out on their own — a
+	// crashed-before-listening process would stay advertised forever).
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	withdraw := func() {
+		if o.registerURL == "" {
+			return
+		}
+		wctx, wcancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer wcancel()
+		if err := discovery.WithdrawHTTP(wctx, o.registerURL, info.Name); err != nil {
+			log.Printf("deregister: %v (remove the records with the registry admin API)", err)
+		} else {
+			log.Printf("deregistered from %s", o.registerURL)
+		}
+	}
+	// Catch up BEFORE serving or announcing: node versions live in memory,
+	// so a restarted replica must adopt its siblings' state (and versions)
+	// first — otherwise its early local writes would carry low versions
+	// and lose to stale sibling history. Best effort: a sibling being down
+	// must not block startup.
+	var syncer *mapserver.Syncer
+	if peers := o.peerList(); len(peers) > 0 {
+		syncer = mapserver.NewSyncer(srv, nil)
+		syncer.SetPeers(peers)
+		syncer.Logf = log.Printf
+		if applied, err := syncer.SyncOnce(ctx); err != nil {
+			log.Printf("initial catch-up incomplete (continuing): %v", err)
+		} else if applied > 0 {
+			log.Printf("initial catch-up applied %d change(s)", applied)
+		}
+	}
+	// Serve BEFORE announcing: once the registration lands, clients route
+	// here immediately — a bound-but-not-serving window would burn their
+	// per-server timeouts and trip breakers on the newborn member.
+	httpSrv := &http.Server{Handler: srv.Handler()}
 	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
+	go func() { errCh <- httpSrv.Serve(ln) }()
 	log.Printf("listening on %s", o.addr)
+	if o.registerURL != "" {
+		actx, acancel := context.WithTimeout(ctx, 10*time.Second)
+		err := discovery.AnnounceHTTP(actx, o.registerURL, info, url, o.replicaSet)
+		acancel()
+		if err != nil {
+			log.Fatalf("register: %v", err)
+		}
+		log.Printf("registered with %s (replica set %q)", o.registerURL, o.replicaSet)
+	}
+	if syncer != nil {
+		go syncer.Run(ctx, o.syncInterval)
+		log.Printf("anti-entropy from %d sibling(s) every %v", len(o.peerList()), o.syncInterval)
+	}
 	select {
 	case err := <-errCh:
+		withdraw()
 		log.Fatalf("serve: %v", err)
 	case <-ctx.Done():
 	}
+	withdraw()
 	log.Printf("shutting down, draining in-flight requests")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"openflame/internal/discovery"
 	"openflame/internal/mapserver"
@@ -170,5 +171,56 @@ func TestBuildServerWiresQueryCache(t *testing.T) {
 	srv.Geocode(req)
 	if stats := srv.QueryCacheStats(); stats != (mapserver.QueryCacheStats{}) {
 		t.Fatalf("disabled cache reports activity: %+v", stats)
+	}
+}
+
+// TestMembershipFlags: the live-federation flags round-trip and the peer
+// list parses.
+func TestMembershipFlags(t *testing.T) {
+	fs, o := newFlagSet("flame-server")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if o.registerURL != "" || o.replicaSet != "" || o.syncPeers != "" {
+		t.Fatalf("membership defaults changed: %+v", o)
+	}
+	if got := o.peerList(); len(got) != 0 {
+		t.Fatalf("empty -sync-peers parsed as %v", got)
+	}
+
+	fs, o = newFlagSet("flame-server")
+	err := fs.Parse([]string{
+		"-register", "http://127.0.0.1:5301",
+		"-replica-set", "city",
+		"-sync-peers", "http://p1:8080, http://p2:8080,,",
+		"-sync-interval", "2s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.registerURL != "http://127.0.0.1:5301" || o.replicaSet != "city" {
+		t.Fatalf("membership flags lost: %+v", o)
+	}
+	if got := o.peerList(); len(got) != 2 || got[0] != "http://p1:8080" || got[1] != "http://p2:8080" {
+		t.Fatalf("peerList = %v", got)
+	}
+	if o.syncInterval != 2*time.Second {
+		t.Fatalf("syncInterval = %v", o.syncInterval)
+	}
+}
+
+// TestValidateRejectsReplicaSetWithoutRegister: the flag combination
+// would silently print rs-less records; it must fail loudly instead.
+func TestValidateRejectsReplicaSetWithoutRegister(t *testing.T) {
+	o := &options{replicaSet: "city"}
+	if err := o.validate(); err == nil {
+		t.Fatal("-replica-set without -register accepted")
+	}
+	o = &options{replicaSet: "city", registerURL: "http://127.0.0.1:5301"}
+	if err := o.validate(); err != nil {
+		t.Fatalf("valid combination rejected: %v", err)
+	}
+	if err := (&options{}).validate(); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
 	}
 }

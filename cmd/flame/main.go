@@ -12,7 +12,8 @@
 //
 // Resilience flags (-retries, -retry-budget, -hedge-after,
 // -breaker-threshold) tune how the client treats an unreliable
-// federation; all default off, reproducing the plain client.
+// federation; all default off, reproducing the plain client. -batch
+// coalesces same-server sub-queries into /v1/batch round trips.
 package main
 
 import (
@@ -45,6 +46,7 @@ type options struct {
 	timeout     time.Duration
 	perServer   time.Duration
 	concurrency int
+	batch       bool
 
 	retries          int
 	retryBackoff     time.Duration
@@ -66,6 +68,7 @@ func newFlagSet(name string) (*flag.FlagSet, *options) {
 	fs.DurationVar(&o.timeout, "timeout", 30*time.Second, "overall deadline for the command (0 = none)")
 	fs.DurationVar(&o.perServer, "per-server-timeout", 5*time.Second, "deadline per federation member, spanning its retries and hedges (0 = none)")
 	fs.IntVar(&o.concurrency, "concurrency", 0, "max concurrent server calls (0 = default, 1 = sequential)")
+	fs.BoolVar(&o.batch, "batch", false, "coalesce a request's sub-queries to the same server into POST /v1/batch round trips (servers without the endpoint fall back transparently)")
 	fs.IntVar(&o.retries, "retries", 0, "max attempts per server call; 5xx/timeouts/transport errors are retried with jittered backoff (0 or 1 = no retries)")
 	fs.DurationVar(&o.retryBackoff, "retry-backoff", 10*time.Millisecond, "base backoff before the first retry (doubles per attempt)")
 	fs.IntVar(&o.retryBudget, "retry-budget", 0, "max total retries per command across all federation members (0 = unlimited)")
@@ -84,6 +87,7 @@ func (o *options) newClient() *client.Client {
 	c.User, c.App, c.WorldURL = o.user, o.app, o.world
 	c.MaxConcurrency = o.concurrency
 	c.PerServerTimeout = o.perServer
+	c.UseBatch = o.batch
 	c.RetryPolicy = resilience.RetryPolicy{
 		MaxAttempts: o.retries,
 		BaseBackoff: o.retryBackoff,

@@ -87,3 +87,22 @@ func TestUnknownFlagRejected(t *testing.T) {
 type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestBatchFlagRoundTrip: -batch reaches Client.UseBatch and defaults off
+// (byte-identical per-call behaviour).
+func TestBatchFlagRoundTrip(t *testing.T) {
+	fs, o := newFlagSet("flame")
+	if err := fs.Parse([]string{"discover", "40.44", "-79.99"}); err != nil {
+		t.Fatal(err)
+	}
+	if o.batch || o.newClient().UseBatch {
+		t.Fatal("batching should default off")
+	}
+	fs, o = newFlagSet("flame")
+	if err := fs.Parse([]string{"-batch", "discover", "40.44", "-79.99"}); err != nil {
+		t.Fatal(err)
+	}
+	if !o.newClient().UseBatch {
+		t.Fatal("-batch did not reach Client.UseBatch")
+	}
+}

@@ -1,0 +1,121 @@
+// Churn: a living federation under membership change. Three replicas of
+// the city map join one replica set; a client's searches cost ONE request
+// against the set (not three); an inventory update landing on a single
+// replica converges to its siblings by anti-entropy; a replica drains and
+// leaves under live traffic, and the client follows the membership without
+// restarting — the OpenFLAME ecosystem as the paper pitches it: servers
+// "managed independently", joining and leaving with no central authority.
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"openflame/internal/core"
+	"openflame/internal/geo"
+	"openflame/internal/mapserver"
+	"openflame/internal/osm"
+	"openflame/internal/worldgen"
+)
+
+func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// 1. One city map, cloned three times: three independently-run servers
+	//    with identical content, registered as replica set "city".
+	world := worldgen.GenWorld(worldgen.DefaultWorldParams())
+	fed, err := core.NewFederation()
+	if err != nil {
+		log.Fatalf("federation: %v", err)
+	}
+	defer fed.Close()
+	fed.Registry.TTLSeconds = 0 // demo-speed DNS: records roll over immediately
+
+	for i := 0; i < 3; i++ {
+		srv, err := mapserver.New(mapserver.Config{
+			Name:              fmt.Sprintf("city-%d", i),
+			Map:               clone(world.Outdoor),
+			QueryCacheEntries: 256,
+		})
+		if err != nil {
+			log.Fatalf("server %d: %v", i, err)
+		}
+		if _, err := fed.AddReplica(srv, "city"); err != nil {
+			log.Fatalf("add replica %d: %v", i, err)
+		}
+	}
+	fmt.Printf("replica set \"city\": %d members, membership epoch %d\n",
+		len(fed.Servers), fed.Registry.Epoch())
+
+	// 2. A client plans one request per replica set: three replicas, ONE
+	//    HTTP request per search. (Its default 1s announcement TTL is the
+	//    churn window the sleep below waits out.)
+	c := fed.NewClient()
+	pos := geo.LatLng{Lat: 40.4400, Lng: -79.9990}
+	results := c.SearchCtx(ctx, "Street", pos, 3)
+	fmt.Printf("\nsearch across the set: %d results from %q, %d HTTP request(s)\n",
+		len(results), results[0].Source, c.RequestCount())
+
+	// 3. Independent map management: a shop restocks, the update lands on
+	//    ONE replica, anti-entropy converges the set.
+	node := firstNamed(fed.Servers[1].Server.Store().Map())
+	tags := node.Tags.Clone()
+	tags[osm.TagName] = "Churnproof Espresso Bar"
+	fed.Servers[1].Server.ApplyInventoryUpdate(node.ID, tags)
+	applied, err := fed.SyncReplicas(ctx)
+	if err != nil {
+		log.Fatalf("sync: %v", err)
+	}
+	fmt.Printf("\ninventory update on city-1, anti-entropy applied %d change(s):\n", applied)
+	for _, h := range fed.Servers {
+		fmt.Printf("  %-8s change-log position %d\n", h.Server.Name(), h.Server.ChangeSeq())
+	}
+	hits := c.SearchCtx(ctx, "churnproof espresso", pos, 3)
+	fmt.Printf("  client finds %q via %s — whichever replica answered, it converged\n",
+		hits[0].Name, hits[0].Source)
+
+	// 4. Churn under live traffic: drain one member (it leaves discovery,
+	//    keeps serving stragglers), then remove it. The client's next
+	//    searches keep succeeding without restart.
+	if _, err := fed.Drain("city-0"); err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	if err := fed.RemoveServer("city-0"); err != nil {
+		log.Fatalf("remove: %v", err)
+	}
+	time.Sleep(1200 * time.Millisecond) // one announcement TTL
+	results = c.SearchCtx(ctx, "Street", pos, 3)
+	fmt.Printf("\nafter city-0 left (epoch %d): search still answers via %q; discovery sees:\n",
+		fed.Registry.Epoch(), results[0].Source)
+	for _, a := range c.DiscoverCtx(ctx, pos) {
+		fmt.Printf("  %-8s rs=%s epoch=%d\n", a.Name, a.ReplicaSet, a.Epoch)
+	}
+}
+
+func clone(m *osm.Map) *osm.Map {
+	var buf bytes.Buffer
+	if err := m.WriteSnapshot(&buf); err != nil {
+		log.Fatalf("clone: %v", err)
+	}
+	c, err := osm.ReadSnapshot(&buf)
+	if err != nil {
+		log.Fatalf("clone: %v", err)
+	}
+	return c
+}
+
+func firstNamed(m *osm.Map) *osm.Node {
+	var found *osm.Node
+	m.Nodes(func(n *osm.Node) bool {
+		if n.Tags.Get(osm.TagName) != "" {
+			found = n
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -334,23 +334,29 @@ func (c *Client) SearchFanout(query string, near geo.LatLng, limit, maxServers i
 	return c.SearchFanoutCtx(context.Background(), query, near, limit, maxServers)
 }
 
-// SearchFanoutCtx is SearchFanout under a context. The per-server searches
-// run concurrently on the client's bounded pool; the merge preserves the
-// deterministic discovery order, so concurrency does not change results.
+// SearchFanoutCtx is SearchFanout under a context. The discovered servers
+// are planned into replica groups (one request per group, sibling failover
+// on error); the groups run concurrently on the client's bounded pool and
+// the merge preserves the deterministic plan order, so concurrency does not
+// change results.
 func (c *Client) SearchFanoutCtx(ctx context.Context, query string, near geo.LatLng, limit, maxServers int) []search.Result {
 	region := s2cell.CapRegion{Cap: geo.Cap{Center: near, RadiusMeters: c.SearchRadiusMeters}}
 	anns := c.availableAnns(c.disc.DiscoverRegionCtx(ctx, region))
-	if maxServers > 0 && len(anns) > maxServers {
-		anns = anns[:maxServers]
+	groups := planAnnouncements(anns)
+	// The E6 knob bounds how many federation members ANSWER: that is now
+	// the group count — a replica set collapses to one request, so it must
+	// consume one slot of the budget, not crowd out distinct regions.
+	if maxServers > 0 && len(groups) > maxServers {
+		groups = groups[:maxServers]
 	}
-	slots := make([][]search.Result, len(anns))
-	c.forEachServer(ctx, len(anns), func(ctx context.Context, i int) {
+	slots := make([][]search.Result, len(groups))
+	c.forEachGroup(ctx, len(groups), func(ctx context.Context, i int) {
 		var resp wire.SearchResponse
 		req := wire.SearchRequest{
 			Query: query, Near: &near,
 			MaxDistanceMeters: c.SearchRadiusMeters, Limit: limit,
 		}
-		if err := c.call(ctx, anns[i].URL, "/search", req, &resp); err != nil {
+		if _, err := c.callGroup(ctx, groups[i], "/search", req, &resp); err != nil {
 			return
 		}
 		slots[i] = resp.Results
@@ -415,32 +421,38 @@ func (c *Client) GeocodeCtx(ctx context.Context, address string) (wire.GeocodeRe
 	if !found {
 		return wire.GeocodeResult{}, fmt.Errorf("client: world geocoder found nothing for %q", address)
 	}
-	// Fine: ask every server discovered around the coarse position (the
-	// world provider among them) for the FULL address and keep the best
-	// full-address score; fall back to the coarse hit.
-	urls := []string{c.WorldURL}
+	// Fine: ask every replica group discovered around the coarse position
+	// (the world provider pinned first as its own group) for the FULL
+	// address and keep the best full-address score; fall back to the coarse
+	// hit.
+	groups := []planGroup{{
+		Key:      singletonKey("world", c.WorldURL),
+		Replicas: []discovery.Announcement{{Name: "world", URL: c.WorldURL}},
+	}}
+	var fine []discovery.Announcement
 	for _, a := range c.availableAnns(c.disc.DiscoverCtx(ctx, coarse.Position)) {
 		if a.URL != c.WorldURL {
-			urls = append(urls, a.URL)
+			fine = append(fine, a)
 		}
 	}
-	slots := make([]*wire.GeocodeResult, len(urls))
+	groups = append(groups, planAnnouncements(fine)...)
+	slots := make([]*wire.GeocodeResult, len(groups))
 	if batched {
 		slots[0] = worldFine // the coarse batch already answered the world's fine query
 	}
-	c.forEachServer(ctx, len(urls), func(ctx context.Context, i int) {
+	c.forEachGroup(ctx, len(groups), func(ctx context.Context, i int) {
 		if batched && i == 0 {
 			return
 		}
 		var resp wire.GeocodeResponse
-		if err := c.call(ctx, urls[i], "/geocode", wire.GeocodeRequest{Query: address, Limit: 1}, &resp); err != nil {
+		if _, err := c.callGroup(ctx, groups[i], "/geocode", wire.GeocodeRequest{Query: address, Limit: 1}, &resp); err != nil {
 			return
 		}
 		if len(resp.Results) > 0 {
 			slots[i] = &resp.Results[0]
 		}
 	})
-	// Deterministic merge in URL order: strictly-better score wins, exactly
+	// Deterministic merge in plan order: strictly-better score wins, exactly
 	// as the sequential loop did.
 	var best wire.GeocodeResult
 	bestScore := -1.0
@@ -474,13 +486,14 @@ func (c *Client) ReverseGeocode(ll geo.LatLng, maxMeters float64) (wire.GeocodeR
 }
 
 // ReverseGeocodeCtx is ReverseGeocode under a context, fanning out to the
-// discovered servers concurrently.
+// discovered replica groups concurrently (one member per group, sibling
+// failover on error).
 func (c *Client) ReverseGeocodeCtx(ctx context.Context, ll geo.LatLng, maxMeters float64) (wire.GeocodeResult, bool) {
-	anns := c.availableAnns(c.disc.DiscoverCtx(ctx, ll))
-	slots := make([]*wire.GeocodeResult, len(anns))
-	c.forEachServer(ctx, len(anns), func(ctx context.Context, i int) {
+	groups := planAnnouncements(c.availableAnns(c.disc.DiscoverCtx(ctx, ll)))
+	slots := make([]*wire.GeocodeResult, len(groups))
+	c.forEachGroup(ctx, len(groups), func(ctx context.Context, i int) {
 		var resp wire.RGeocodeResponse
-		if err := c.call(ctx, anns[i].URL, "/rgeocode", wire.RGeocodeRequest{Position: ll, MaxMeters: maxMeters}, &resp); err != nil {
+		if _, err := c.callGroup(ctx, groups[i], "/rgeocode", wire.RGeocodeRequest{Position: ll, MaxMeters: maxMeters}, &resp); err != nil {
 			return
 		}
 		if resp.Found {
@@ -509,8 +522,9 @@ func (c *Client) Localize(coarse geo.LatLng, cues []loc.Cue, prior geo.LatLng, p
 	return c.LocalizeCtx(context.Background(), coarse, cues, prior, priorSigmaMeters)
 }
 
-// LocalizeCtx is Localize under a context: every (server, cue) pair whose
-// technology matches becomes one concurrent call on the bounded pool.
+// LocalizeCtx is Localize under a context: every (replica group, cue) pair
+// whose technology matches becomes one concurrent call on the bounded pool
+// — one replica answers per group, siblings covering for it on error.
 func (c *Client) LocalizeCtx(ctx context.Context, coarse geo.LatLng, cues []loc.Cue, prior geo.LatLng, priorSigmaMeters float64) (loc.Fix, bool) {
 	// The coarse position may be off by its own sigma (indoor GPS);
 	// discover over a cap so the right map is found anyway — at the cost
@@ -521,28 +535,33 @@ func (c *Client) LocalizeCtx(ctx context.Context, coarse geo.LatLng, cues []loc.
 		radius = 60
 	}
 	anns := c.availableAnns(c.disc.DiscoverRegionCtx(ctx, s2cell.CapRegion{Cap: geo.Cap{Center: coarse, RadiusMeters: radius}}))
-	// Flatten to (server, cue) calls first so the pool sees them all.
+	// Flatten to (group, cue) calls first so the pool sees them all. A
+	// replica advertising no technology for the cue is skipped within its
+	// group; a group with no matching member contributes no call.
 	type callSpec struct {
-		url string
-		cue loc.Cue
+		group planGroup
+		cue   loc.Cue
 	}
 	var specs []callSpec
-	for _, a := range anns {
-		techs := make(map[loc.Technology]bool, len(a.Technologies))
-		for _, t := range a.Technologies {
-			techs[t] = true
-		}
+	for _, g := range planAnnouncements(anns) {
 		for _, cue := range cues {
-			if len(a.Technologies) > 0 && !techs[cue.Technology] {
+			sub := planGroup{Key: g.Key}
+			for _, a := range g.Replicas {
+				if len(a.Technologies) > 0 && !hasTechnology(a.Technologies, cue.Technology) {
+					continue
+				}
+				sub.Replicas = append(sub.Replicas, a)
+			}
+			if len(sub.Replicas) == 0 {
 				continue
 			}
-			specs = append(specs, callSpec{url: a.URL, cue: cue})
+			specs = append(specs, callSpec{group: sub, cue: cue})
 		}
 	}
 	slots := make([]*loc.Fix, len(specs))
-	c.forEachServer(ctx, len(specs), func(ctx context.Context, i int) {
+	c.forEachGroup(ctx, len(specs), func(ctx context.Context, i int) {
 		var resp wire.LocalizeResponse
-		if err := c.call(ctx, specs[i].url, "/localize", wire.LocalizeRequest{Cue: specs[i].cue}, &resp); err != nil {
+		if _, err := c.callGroup(ctx, specs[i].group, "/localize", wire.LocalizeRequest{Cue: specs[i].cue}, &resp); err != nil {
 			return
 		}
 		if resp.Found {
@@ -557,6 +576,15 @@ func (c *Client) LocalizeCtx(ctx context.Context, coarse geo.LatLng, cues []loc.
 		}
 	}
 	return SelectBestWorld(fixes, prior, priorSigmaMeters)
+}
+
+func hasTechnology(ts []loc.Technology, t loc.Technology) bool {
+	for _, have := range ts {
+		if have == t {
+			return true
+		}
+	}
+	return false
 }
 
 // SelectBestWorld picks the most plausible fix by confidence weighted with

@@ -59,7 +59,11 @@ const (
 type metaEdge struct {
 	to     metaNode
 	cost   float64
-	server string // server URL providing this leg
+	server string // URL of the replica that priced this leg
+	// group indexes the replica group the pricing server belongs to; leg
+	// expansion fails over to the group's siblings if the pricer has gone
+	// away between pricing and expansion.
+	group int
 	// endpoint descriptors for expanding the leg later
 	fromNode int64 // 0 = use fromPos
 	toNode   int64 // 0 = use toPos
@@ -100,117 +104,146 @@ func (c *Client) RouteCtx(ctx context.Context, from, to geo.LatLng) (StitchedRou
 	}
 	fanout.ForEach(ctx, len(discoveries), c.MaxConcurrency, func(ctx context.Context, i int) { discoveries[i](ctx) })
 
-	servers := map[string]*srvEntry{}
-	getOrAdd := func(url, name string) *srvEntry {
-		if s, ok := servers[url]; ok {
-			return s
+	// Plan the discovered servers into replica groups (anchors first, then
+	// the remaining endpoint and on-the-way discoveries, deduplicated) and
+	// attach the endpoint roles: a group anchors SRC/DST when any of its
+	// members was selected as an anchor for that endpoint.
+	anchorSrc := urlSet(c.anchorServers(ctx, srcAnns))
+	anchorDst := urlSet(c.anchorServers(ctx, dstAnns))
+	var all []discovery.Announcement
+	all = append(all, srcAnns...)
+	all = append(all, dstAnns...)
+	all = append(all, wayAnns...)
+	groups := planAnnouncements(all)
+	// Deterministic pricing order regardless of which discovery sweep
+	// surfaced a group first: sort by the group's first member URL (the
+	// pre-plan code sorted the URL list the same way), breaking URL ties
+	// (one URL transiently announced under two names) on the group key —
+	// sort.Slice is unstable, so the tie-break must be total.
+	sort.Slice(groups, func(i, j int) bool {
+		if groups[i].Replicas[0].URL != groups[j].Replicas[0].URL {
+			return groups[i].Replicas[0].URL < groups[j].Replicas[0].URL
 		}
-		s := &srvEntry{url: url, name: name}
-		servers[url] = s
-		return s
+		return groups[i].Key < groups[j].Key
+	})
+	// Dedup by URL across groups, restoring the pre-plan invariant of one
+	// pricing call per URL: during a live re-registration under a new
+	// name, the old and new records coexist for up to one TTL and would
+	// otherwise form two groups around the same server.
+	seenURL := map[string]bool{}
+	kept := groups[:0]
+	for _, g := range groups {
+		fresh := false
+		for _, a := range g.Replicas {
+			if !seenURL[a.URL] {
+				fresh = true
+			}
+		}
+		for _, a := range g.Replicas {
+			seenURL[a.URL] = true
+		}
+		if fresh {
+			kept = append(kept, g)
+		}
 	}
-	for _, a := range c.anchorServers(ctx, srcAnns) {
-		getOrAdd(a.URL, a.Name).src = true
-	}
-	for _, a := range c.anchorServers(ctx, dstAnns) {
-		getOrAdd(a.URL, a.Name).dst = true
-	}
-	for _, a := range srcAnns {
-		getOrAdd(a.URL, a.Name)
-	}
-	for _, a := range dstAnns {
-		getOrAdd(a.URL, a.Name)
-	}
-	for _, a := range wayAnns {
-		getOrAdd(a.URL, a.Name)
-	}
-	if len(servers) == 0 {
+	groups = kept
+	if len(groups) == 0 {
 		return StitchedRoute{}, fmt.Errorf("client: no map servers discovered for route")
+	}
+	roleOf := func(g planGroup, anchors map[string]bool) bool {
+		for _, a := range g.Replicas {
+			if anchors[a.URL] {
+				return true
+			}
+		}
+		return false
 	}
 
 	// 2. Build the meta-graph: price legs via one route-matrix call per
-	// server, all servers in parallel. Endpoints per server: SRC (if
-	// covering from), DST (if covering to), and the server's portals. The
-	// per-server edge lists land in indexed slots and merge in sorted-URL
-	// order so the adjacency (and therefore tie-breaks in the meta-graph
-	// search) is deterministic regardless of completion order.
-	// Members whose circuit breaker is open are excluded before pricing —
-	// they would only waste a matrix call. Legs are never priced on (and
-	// so never chosen from) a known-down server.
-	urls := make([]string, 0, len(servers))
-	for url := range servers {
-		if c.available(url) {
-			urls = append(urls, url)
-		}
-	}
-	sort.Strings(urls)
-	type pricedServer struct {
+	// replica GROUP — replicas advertise identical portals, so pricing one
+	// member covers the region, and a failed member's sibling answers
+	// instead. All groups price in parallel; the per-group edge lists land
+	// in indexed slots and merge in sorted order so the adjacency (and
+	// therefore tie-breaks in the meta-graph search) is deterministic
+	// regardless of completion order. Members whose circuit breaker is open
+	// are excluded inside the group ordering — legs are never priced on
+	// (and so never chosen from) a known-down server.
+	type pricedGroup struct {
 		edges map[metaNode][]metaEdge
 	}
-	priced := make([]pricedServer, len(urls))
-	c.forEachServer(ctx, len(urls), func(ctx context.Context, idx int) {
-		url := urls[idx]
-		s := servers[url]
-		info, err := c.InfoCtx(ctx, url)
-		if err != nil {
-			return
-		}
+	priced := make([]pricedGroup, len(groups))
+	c.forEachGroup(ctx, len(groups), func(ctx context.Context, idx int) {
+		g := groups[idx]
+		isSrc := roleOf(g, anchorSrc)
+		isDst := roleOf(g, anchorDst)
 		type endpoint struct {
 			node metaNode
 			id   int64
 			pos  geo.LatLng
 		}
-		var eps []endpoint
-		if s.src {
-			eps = append(eps, endpoint{node: metaSrc, pos: from})
-		}
-		if s.dst {
-			eps = append(eps, endpoint{node: metaDst, pos: to})
-		}
-		for _, p := range info.Portals {
-			eps = append(eps, endpoint{node: metaNode(p.ID), id: p.NodeID, pos: p.World})
-		}
-		if len(eps) < 2 {
-			return
-		}
-		req := wire.RouteMatrixRequest{
-			FromNodes:     make([]int64, len(eps)),
-			ToNodes:       make([]int64, len(eps)),
-			FromPositions: make([]geo.LatLng, len(eps)),
-			ToPositions:   make([]geo.LatLng, len(eps)),
-		}
-		for i, ep := range eps {
-			req.FromNodes[i] = ep.id
-			req.ToNodes[i] = ep.id
-			req.FromPositions[i] = ep.pos
-			req.ToPositions[i] = ep.pos
-		}
-		var resp wire.RouteMatrixResponse
-		if err := c.call(ctx, url, "/routematrix", req, &resp); err != nil {
-			return
-		}
-		edges := map[metaNode][]metaEdge{}
-		for i := range eps {
-			for j := range eps {
-				if i == j || eps[i].node == eps[j].node {
-					continue
-				}
-				// Never route *into* SRC or *out of* DST.
-				if eps[j].node == metaSrc || eps[i].node == metaDst {
-					continue
-				}
-				cost := matrixAt(resp, i, j)
-				if cost < 0 {
-					continue
-				}
-				edges[eps[i].node] = append(edges[eps[i].node], metaEdge{
-					to: eps[j].node, cost: cost, server: url,
-					fromNode: eps[i].id, toNode: eps[j].id,
-					fromPos: eps[i].pos, toPos: eps[j].pos,
-				})
+		for _, a := range c.orderedReplicas(g) {
+			actx, cancel := c.perServerCtx(ctx)
+			info, err := c.InfoCtx(actx, a.URL)
+			if err != nil {
+				cancel()
+				continue
 			}
+			var eps []endpoint
+			if isSrc {
+				eps = append(eps, endpoint{node: metaSrc, pos: from})
+			}
+			if isDst {
+				eps = append(eps, endpoint{node: metaDst, pos: to})
+			}
+			for _, p := range info.Portals {
+				eps = append(eps, endpoint{node: metaNode(p.ID), id: p.NodeID, pos: p.World})
+			}
+			if len(eps) < 2 {
+				cancel()
+				return // same for every replica: nothing to price here
+			}
+			req := wire.RouteMatrixRequest{
+				FromNodes:     make([]int64, len(eps)),
+				ToNodes:       make([]int64, len(eps)),
+				FromPositions: make([]geo.LatLng, len(eps)),
+				ToPositions:   make([]geo.LatLng, len(eps)),
+			}
+			for i, ep := range eps {
+				req.FromNodes[i] = ep.id
+				req.ToNodes[i] = ep.id
+				req.FromPositions[i] = ep.pos
+				req.ToPositions[i] = ep.pos
+			}
+			var resp wire.RouteMatrixResponse
+			err = c.call(actx, a.URL, "/routematrix", req, &resp)
+			cancel()
+			if err != nil {
+				continue // fail over to the next sibling
+			}
+			edges := map[metaNode][]metaEdge{}
+			for i := range eps {
+				for j := range eps {
+					if i == j || eps[i].node == eps[j].node {
+						continue
+					}
+					// Never route *into* SRC or *out of* DST.
+					if eps[j].node == metaSrc || eps[i].node == metaDst {
+						continue
+					}
+					cost := matrixAt(resp, i, j)
+					if cost < 0 {
+						continue
+					}
+					edges[eps[i].node] = append(edges[eps[i].node], metaEdge{
+						to: eps[j].node, cost: cost, server: a.URL, group: idx,
+						fromNode: eps[i].id, toNode: eps[j].id,
+						fromPos: eps[i].pos, toPos: eps[j].pos,
+					})
+				}
+			}
+			priced[idx] = pricedGroup{edges: edges}
+			return
 		}
-		priced[idx] = pricedServer{edges: edges}
 	})
 	adj := map[metaNode][]metaEdge{}
 	for _, p := range priced {
@@ -235,30 +268,51 @@ func (c *Client) RouteCtx(ctx context.Context, from, to geo.LatLng) (StitchedRou
 	lengths := make([]float64, len(chain))
 	legErrs := make([]error, len(chain))
 	expanded := make([]bool, len(chain))
+	// expandOne expands leg i, trying the replica that priced it first and
+	// failing over to its group siblings — a replica lost between pricing
+	// and expansion must not fail the whole route while an identical
+	// sibling is healthy. Each attempt gets its own per-server timeout.
 	expandOne := func(ctx context.Context, i int) {
 		e := chain[i]
-		var resp wire.RouteResponse
 		req := wire.RouteRequest{
 			FromNode: e.fromNode, ToNode: e.toNode,
 			From: e.fromPos, To: e.toPos,
 		}
-		if err := c.call(ctx, e.server, "/route", req, &resp); err != nil {
-			legErrs[i] = fmt.Errorf("client: leg expansion on %s failed: %v", e.server, err)
+		candidates := []string{e.server}
+		if e.group >= 0 && e.group < len(groups) {
+			for _, a := range c.orderedReplicas(groups[e.group]) {
+				if a.URL != e.server {
+					candidates = append(candidates, a.URL)
+				}
+			}
+		}
+		for _, url := range candidates {
+			actx, cancel := c.perServerCtx(ctx)
+			var resp wire.RouteResponse
+			err := c.call(actx, url, "/route", req, &resp)
+			if err != nil {
+				cancel()
+				legErrs[i] = fmt.Errorf("client: leg expansion on %s failed: %v", url, err)
+				continue
+			}
+			if !resp.Found {
+				cancel()
+				legErrs[i] = fmt.Errorf("client: leg expansion on %s failed: no route found", url)
+				continue
+			}
+			name := url
+			if info, err := c.InfoCtx(actx, url); err == nil {
+				name = info.Name
+			}
+			cancel()
+			legs[i] = Leg{
+				Server: name, URL: url, Points: resp.Points, CostSeconds: resp.CostSeconds,
+			}
+			lengths[i] = resp.LengthMeters
+			legErrs[i] = nil
+			expanded[i] = true
 			return
 		}
-		if !resp.Found {
-			legErrs[i] = fmt.Errorf("client: leg expansion on %s failed: no route found", e.server)
-			return
-		}
-		name := e.server
-		if info, err := c.InfoCtx(ctx, e.server); err == nil {
-			name = info.Name
-		}
-		legs[i] = Leg{
-			Server: name, URL: e.server, Points: resp.Points, CostSeconds: resp.CostSeconds,
-		}
-		lengths[i] = resp.LengthMeters
-		expanded[i] = true
 	}
 	if c.UseBatch {
 		// Groups run on the plain pool (not forEachServer) so the batch
@@ -268,7 +322,7 @@ func (c *Client) RouteCtx(ctx context.Context, from, to geo.LatLng) (StitchedRou
 		// bounds every HTTP call — batch or individual leg — at the
 		// client's concurrency limit, so nested fan-out cannot multiply
 		// the documented worker bound.
-		groups := groupLegsByServer(chain)
+		legGroups := groupLegsByServer(chain)
 		limit := c.MaxConcurrency
 		if limit <= 0 {
 			limit = fanout.DefaultLimit
@@ -282,35 +336,39 @@ func (c *Client) RouteCtx(ctx context.Context, from, to geo.LatLng) (StitchedRou
 				return false
 			}
 		}
-		fanout.ForEach(ctx, len(groups), limit, func(ctx context.Context, gi int) {
-			idxs := groups[gi]
+		fanout.ForEach(ctx, len(legGroups), limit, func(ctx context.Context, gi int) {
+			idxs := legGroups[gi]
 			if len(idxs) > 1 {
 				if !acquire(ctx) {
 					return
 				}
 				bctx, cancel := c.perServerCtx(ctx)
-				ok := c.expandLegsBatch(bctx, chain, idxs, legs, lengths, legErrs, expanded)
+				c.expandLegsBatch(bctx, chain, idxs, legs, lengths, legErrs, expanded)
 				cancel()
 				<-sem
-				if ok {
-					return
+			}
+			// Whatever the batch left unexpanded — it was declined (single
+			// leg, server lacks the endpoint), or individual sub-items
+			// failed on the batched replica — goes through the per-leg
+			// path, which fails over to the group's sibling replicas; the
+			// legs run in parallel, exactly the per-call fan-out, never
+			// serialized. expandOne budgets its own per-attempt timeouts.
+			var remaining []int
+			for _, i := range idxs {
+				if !expanded[i] {
+					remaining = append(remaining, i)
 				}
 			}
-			// Batch declined (single leg, or the server lacks the
-			// endpoint): expand the group's legs in parallel, exactly the
-			// per-call fan-out — never serialize them.
-			fanout.ForEach(ctx, len(idxs), limit, func(ctx context.Context, k int) {
+			fanout.ForEach(ctx, len(remaining), limit, func(ctx context.Context, k int) {
 				if !acquire(ctx) {
 					return
 				}
 				defer func() { <-sem }()
-				lctx, cancel := c.perServerCtx(ctx)
-				defer cancel()
-				expandOne(lctx, idxs[k])
+				expandOne(ctx, remaining[k])
 			})
 		})
 	} else {
-		c.forEachServer(ctx, len(chain), expandOne)
+		c.forEachGroup(ctx, len(chain), expandOne)
 	}
 	route := StitchedRoute{CostSeconds: total}
 	used := map[string]bool{}
@@ -324,18 +382,22 @@ func (c *Client) RouteCtx(ctx context.Context, from, to geo.LatLng) (StitchedRou
 		}
 		route.Legs = append(route.Legs, legs[i])
 		route.LengthMeters += lengths[i]
-		used[e.server] = true
+		// Count the replica that actually served the leg (failover may
+		// have moved it off the replica that priced it).
+		used[legs[i].URL] = true
 	}
 	route.ServersUsed = len(used)
 	return route, nil
 }
 
-// srvEntry tracks one discovered server's role for the current route.
-type srvEntry struct {
-	url  string
-	name string
-	src  bool
-	dst  bool
+// urlSet collects the announcements' URLs into a set (anchor membership
+// lookups for replica groups).
+func urlSet(anns []discovery.Announcement) map[string]bool {
+	out := make(map[string]bool, len(anns))
+	for _, a := range anns {
+		out[a.URL] = true
+	}
+	return out
 }
 
 // anchorServers picks the most specific maps covering a point to anchor a

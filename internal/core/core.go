@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -41,6 +42,13 @@ type ServerHandle struct {
 	// Faults, when non-nil, is the netsim fault injector scripted between
 	// the endpoint and the server (see AddFaultyServer).
 	Faults *netsim.FaultSchedule
+	// ReplicaSet is the replica-set id the server registered under ("" for
+	// solo members); Syncer pulls anti-entropy from the set's siblings.
+	ReplicaSet string
+	Syncer     *mapserver.Syncer
+	// Draining marks a member withdrawn from discovery but still serving
+	// (see Drain).
+	Draining bool
 }
 
 // NewFederation builds the DNS tree: a root zone for "flame.arpa."
@@ -77,7 +85,7 @@ func (f *Federation) NewResolver() *dns.Resolver {
 // AddServer starts the map server over HTTP and registers its coverage in
 // the discovery DNS.
 func (f *Federation) AddServer(srv *mapserver.Server) (*ServerHandle, error) {
-	return f.AddFaultyServer(srv, nil)
+	return f.addServer(srv, nil, "")
 }
 
 // AddFaultyServer starts the map server behind a netsim fault injector, so
@@ -85,15 +93,61 @@ func (f *Federation) AddServer(srv *mapserver.Server) (*ServerHandle, error) {
 // (error bursts, blackholes, flapping) while the server itself stays
 // untouched. A nil schedule serves requests directly.
 func (f *Federation) AddFaultyServer(srv *mapserver.Server, faults *netsim.FaultSchedule) (*ServerHandle, error) {
+	return f.addServer(srv, faults, "")
+}
+
+// AddReplica starts the map server as a member of the named replica set:
+// it registers under the set's id (clients then contact ONE member of the
+// set per request, failing over between them) and is wired for anti-entropy
+// with every current sibling — in both directions, so an inventory update
+// landing on any member reaches the others on the next sync round. Usable
+// under live traffic: clients pick the new member up within one
+// announcement TTL.
+func (f *Federation) AddReplica(srv *mapserver.Server, replicaSet string) (*ServerHandle, error) {
+	if replicaSet == "" {
+		return nil, fmt.Errorf("core: AddReplica needs a replica-set id")
+	}
+	return f.addServer(srv, nil, replicaSet)
+}
+
+// AddFaultyReplica is AddReplica behind a netsim fault injector.
+func (f *Federation) AddFaultyReplica(srv *mapserver.Server, replicaSet string, faults *netsim.FaultSchedule) (*ServerHandle, error) {
+	if replicaSet == "" {
+		return nil, fmt.Errorf("core: AddFaultyReplica needs a replica-set id")
+	}
+	return f.addServer(srv, faults, replicaSet)
+}
+
+func (f *Federation) addServer(srv *mapserver.Server, faults *netsim.FaultSchedule, replicaSet string) (*ServerHandle, error) {
 	var handler http.Handler = srv.Handler()
 	if faults != nil {
 		handler = faults.Wrap(handler)
 	}
 	ts := httptest.NewServer(handler)
-	h := &ServerHandle{Server: srv, HTTP: ts, URL: ts.URL, Faults: faults}
-	if err := f.Registry.Register(srv.Info(), ts.URL); err != nil {
+	h := &ServerHandle{
+		Server: srv, HTTP: ts, URL: ts.URL, Faults: faults,
+		ReplicaSet: replicaSet,
+		Syncer:     mapserver.NewSyncer(srv, ts.Client()),
+	}
+	var err error
+	if replicaSet != "" {
+		err = f.Registry.RegisterReplica(srv.Info(), ts.URL, replicaSet)
+	} else {
+		err = f.Registry.Register(srv.Info(), ts.URL)
+	}
+	if err != nil {
 		ts.Close()
 		return nil, fmt.Errorf("core: register %s: %w", srv.Name(), err)
+	}
+	// Wire anti-entropy both ways with the existing siblings.
+	if replicaSet != "" {
+		for _, sib := range f.Servers {
+			if sib.ReplicaSet != replicaSet {
+				continue
+			}
+			h.Syncer.AddPeer(sib.URL)
+			sib.Syncer.AddPeer(h.URL)
+		}
 	}
 	f.Servers = append(f.Servers, h)
 	return h, nil
@@ -107,6 +161,68 @@ func (f *Federation) FindServer(name string) *ServerHandle {
 		}
 	}
 	return nil
+}
+
+// Drain withdraws the named member from discovery while it keeps serving:
+// the membership epoch advances and its records leave the zone, so new
+// fan-outs stop including it within one announcement TTL, while requests
+// already holding its URL complete normally. A drained member can be
+// removed for good with RemoveServer once traffic has moved off.
+func (f *Federation) Drain(name string) (*ServerHandle, error) {
+	h := f.FindServer(name)
+	if h == nil {
+		return nil, fmt.Errorf("core: drain: no server %q", name)
+	}
+	if !h.Draining {
+		f.Registry.UnregisterServer(name)
+		h.Draining = true
+	}
+	return h, nil
+}
+
+// RemoveServer deregisters the named member (if not already drained),
+// detaches it from its siblings' anti-entropy, closes its HTTP endpoint
+// (waiting for in-flight requests), and drops it from the federation.
+// Usable under live traffic: after one announcement TTL no client request
+// should touch the departed member.
+func (f *Federation) RemoveServer(name string) error {
+	h := f.FindServer(name)
+	if h == nil {
+		return fmt.Errorf("core: remove: no server %q", name)
+	}
+	if !h.Draining {
+		f.Registry.UnregisterServer(name)
+	}
+	out := f.Servers[:0]
+	for _, s := range f.Servers {
+		if s != h {
+			out = append(out, s)
+		}
+	}
+	f.Servers = out
+	for _, sib := range f.Servers {
+		if h.ReplicaSet != "" && sib.ReplicaSet == h.ReplicaSet {
+			sib.Syncer.RemovePeer(h.URL)
+		}
+	}
+	h.HTTP.Close()
+	return nil
+}
+
+// SyncReplicas runs one anti-entropy round on every member: each pulls its
+// siblings' change logs to their heads. One round fully converges updates
+// that originated anywhere in a set (every sibling pulls from the origin
+// directly); the returned count is the number of changes applied and err
+// the first pull failure.
+func (f *Federation) SyncReplicas(ctx context.Context) (applied int, err error) {
+	for _, h := range f.Servers {
+		n, herr := h.Syncer.SyncOnce(ctx)
+		applied += n
+		if herr != nil && err == nil {
+			err = herr
+		}
+	}
+	return applied, err
 }
 
 // NewClient creates an OpenFLAME client with its own resolver cache.

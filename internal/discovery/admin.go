@@ -1,0 +1,142 @@
+package discovery
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"openflame/internal/wire"
+)
+
+// The registry admin API: a tiny HTTP face over Registry so map servers
+// can join and leave the spatial zone at runtime (live federation
+// membership) instead of an operator hand-installing TXT records.
+// cmd/flame-dns serves it behind -admin; cmd/flame-server calls it behind
+// -register. Authentication is the operator's concern (bind it to
+// localhost or front it with their gateway), exactly like the paper leaves
+// DNS zone management to each organization.
+
+// RegisterRequest asks the registry to announce a server.
+type RegisterRequest struct {
+	Info wire.Info `json:"info"`
+	URL  string    `json:"url"`
+	// ReplicaSet, when non-empty, registers the server as a member of the
+	// set (one client request per set; siblings fail over for each other).
+	ReplicaSet string `json:"replicaSet,omitempty"`
+}
+
+// UnregisterRequest asks the registry to withdraw a server.
+type UnregisterRequest struct {
+	Name string `json:"name"`
+}
+
+// MembershipResponse reports the membership after a change.
+type MembershipResponse struct {
+	Epoch   uint64   `json:"epoch"`
+	Members []string `json:"members"`
+	// Removed is the number of records withdrawn (unregister only).
+	Removed int `json:"removed,omitempty"`
+}
+
+// RegistryHandler exposes the registry's runtime membership operations:
+//
+//	POST /v1/register   {"info": <wire.Info>, "url": "...", "replicaSet": "..."}
+//	POST /v1/unregister {"name": "..."}
+//	GET  /v1/members
+func RegistryHandler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	respond := func(w http.ResponseWriter, removed int) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(MembershipResponse{
+			Epoch: r.Epoch(), Members: r.Members(), Removed: removed,
+		})
+	}
+	fail := func(w http.ResponseWriter, code int, msg string) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		_ = json.NewEncoder(w).Encode(wire.ErrorResponse{Error: msg})
+	}
+	mux.HandleFunc("/v1/register", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			fail(w, http.StatusMethodNotAllowed, "POST required")
+			return
+		}
+		var rr RegisterRequest
+		if err := json.NewDecoder(req.Body).Decode(&rr); err != nil {
+			fail(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		if rr.Info.Name == "" || rr.URL == "" {
+			fail(w, http.StatusBadRequest, "info.name and url are required")
+			return
+		}
+		if err := r.RegisterReplica(rr.Info, rr.URL, rr.ReplicaSet); err != nil {
+			fail(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		respond(w, 0)
+	})
+	mux.HandleFunc("/v1/unregister", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			fail(w, http.StatusMethodNotAllowed, "POST required")
+			return
+		}
+		var ur UnregisterRequest
+		if err := json.NewDecoder(req.Body).Decode(&ur); err != nil {
+			fail(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		if ur.Name == "" {
+			fail(w, http.StatusBadRequest, "name is required")
+			return
+		}
+		respond(w, r.UnregisterServer(ur.Name))
+	})
+	mux.HandleFunc("/v1/members", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			fail(w, http.StatusMethodNotAllowed, "GET required")
+			return
+		}
+		respond(w, 0)
+	})
+	return mux
+}
+
+// AnnounceHTTP registers a server with a remote registry admin endpoint —
+// what cmd/flame-server does on startup when -register is set.
+func AnnounceHTTP(ctx context.Context, adminURL string, info wire.Info, serverURL, replicaSet string) error {
+	return adminPost(ctx, adminURL+"/v1/register",
+		RegisterRequest{Info: info, URL: serverURL, ReplicaSet: replicaSet})
+}
+
+// WithdrawHTTP deregisters a server from a remote registry admin endpoint —
+// what cmd/flame-server does on SIGTERM before draining.
+func WithdrawHTTP(ctx context.Context, adminURL, name string) error {
+	return adminPost(ctx, adminURL+"/v1/unregister", UnregisterRequest{Name: name})
+}
+
+func adminPost(ctx context.Context, url string, body interface{}) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		var e wire.ErrorResponse
+		_ = json.NewDecoder(io.LimitReader(res.Body, 1<<20)).Decode(&e)
+		return fmt.Errorf("discovery: %s: status %d %s", url, res.StatusCode, e.Error)
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package discovery
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"openflame/internal/geo"
+	"openflame/internal/wire"
+)
+
+// TestRegistryHandlerLifecycle drives a server's whole membership life —
+// join, list, leave — through the HTTP admin API, ending with discovery
+// reflecting each step.
+func TestRegistryHandlerLifecycle(t *testing.T) {
+	f := newFixture(t)
+	f.registry.TTLSeconds = 0 // keep the resolver cache out of the picture
+	ts := httptest.NewServer(RegistryHandler(f.registry))
+	defer ts.Close()
+
+	at := geo.LatLng{Lat: 40.4415, Lng: -79.9955}
+	info := wire.Info{Name: "live-store", Coverage: coverageFor(at, 40),
+		Services: []wire.Service{wire.SvcSearch}}
+	if err := AnnounceHTTP(context.Background(), ts.URL, info, "http://10.9.0.1:8080", "stores"); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.registry.ReplicaSetOf("live-store"); got != "stores" {
+		t.Fatalf("replica set = %q", got)
+	}
+	f.client.AnnouncementTTL = 0
+	got := f.client.Discover(at)
+	if len(got) != 1 || got[0].Name != "live-store" || got[0].ReplicaSet != "stores" {
+		t.Fatalf("discovery after HTTP register = %+v", got)
+	}
+
+	res, err := http.Get(ts.URL + "/v1/members")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var members MembershipResponse
+	if err := json.NewDecoder(res.Body).Decode(&members); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if members.Epoch != 1 || len(members.Members) != 1 || members.Members[0] != "live-store" {
+		t.Fatalf("members = %+v", members)
+	}
+
+	if err := WithdrawHTTP(context.Background(), ts.URL, "live-store"); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.client.Discover(at); len(got) != 0 {
+		t.Fatalf("discovery after HTTP unregister = %+v", got)
+	}
+	if got := f.registry.Epoch(); got != 2 {
+		t.Fatalf("epoch = %d, want 2", got)
+	}
+}
+
+// TestRegistryHandlerRejectsBadRequests pins the admin API's error
+// surface: wrong methods, malformed bodies, missing fields.
+func TestRegistryHandlerRejectsBadRequests(t *testing.T) {
+	f := newFixture(t)
+	ts := httptest.NewServer(RegistryHandler(f.registry))
+	defer ts.Close()
+
+	check := func(method, path, body string, want int) {
+		t.Helper()
+		req, _ := http.NewRequest(method, ts.URL+path, strings.NewReader(body))
+		res, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != want {
+			t.Fatalf("%s %s -> %d, want %d", method, path, res.StatusCode, want)
+		}
+	}
+	check(http.MethodGet, "/v1/register", "", http.StatusMethodNotAllowed)
+	check(http.MethodPost, "/v1/register", "{not json", http.StatusBadRequest)
+	check(http.MethodPost, "/v1/register", `{"url":"http://x"}`, http.StatusBadRequest)             // no name
+	check(http.MethodPost, "/v1/register", `{"info":{"name":"x"},"url":""}`, http.StatusBadRequest) // no url
+	check(http.MethodPost, "/v1/register",
+		`{"info":{"name":"x","coverage":["zzzz"]},"url":"http://x"}`, http.StatusBadRequest) // bad cell
+	check(http.MethodPost, "/v1/unregister", `{}`, http.StatusBadRequest)
+	check(http.MethodGet, "/v1/unregister", "", http.StatusMethodNotAllowed)
+	check(http.MethodPost, "/v1/members", "", http.StatusMethodNotAllowed)
+	// Unregistering an unknown name is not an error — it is already gone.
+	check(http.MethodPost, "/v1/unregister", `{"name":"ghost"}`, http.StatusOK)
+}

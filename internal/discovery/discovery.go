@@ -19,9 +19,11 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
+	"unicode"
 
 	"openflame/internal/dns"
 	"openflame/internal/fanout"
@@ -59,6 +61,24 @@ type Announcement struct {
 	URL          string           `json:"url"`
 	Services     []wire.Service   `json:"services,omitempty"`
 	Technologies []loc.Technology `json:"technologies,omitempty"`
+	// Registry identifies the registry that wrote the record (its zone
+	// suffix) — the scope of Epoch. Epochs from different registries are
+	// independent counters; a client must never compare them (a young
+	// operator's epoch 2 is not "older" than a long-lived operator's 100).
+	Registry string `json:"registry,omitempty"`
+	// Epoch is the registry's membership epoch at the time the record was
+	// (re)written. Every membership change — a server joining, leaving, or
+	// moving — advances the epoch and re-stamps the records it touches, so
+	// a client observing a higher epoch for the same Registry knows its
+	// cached view of that registry's cells is stale (see Client's
+	// announcement cache).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// ReplicaSet groups servers that serve identical content for the same
+	// region: the client plans one request per replica set, failing over
+	// between members, instead of querying every member and merging
+	// duplicates. Empty means the server is the sole member of its own
+	// implicit set.
+	ReplicaSet string `json:"replicaSet,omitempty"`
 	// Level is the cell level the announcement was found at.
 	Level int `json:"level"`
 	// CellToken identifies the cell the announcement was found on.
@@ -68,6 +88,15 @@ type Announcement struct {
 // FormatTXT renders the announcement as a TXT record payload.
 func FormatTXT(a Announcement) string {
 	parts := []string{"v=flame1", "name=" + a.Name, "url=" + a.URL}
+	if a.Registry != "" {
+		parts = append(parts, "reg="+a.Registry)
+	}
+	if a.Epoch > 0 {
+		parts = append(parts, fmt.Sprintf("epoch=%d", a.Epoch))
+	}
+	if a.ReplicaSet != "" {
+		parts = append(parts, "rs="+a.ReplicaSet)
+	}
 	if len(a.Services) > 0 {
 		svc := make([]string, len(a.Services))
 		for i, s := range a.Services {
@@ -103,6 +132,14 @@ func ParseTXT(s string) (Announcement, bool) {
 			a.Name = v
 		case "url":
 			a.URL = v
+		case "reg":
+			a.Registry = v
+		case "epoch":
+			if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+				a.Epoch = n
+			}
+		case "rs":
+			a.ReplicaSet = v
 		case "srv":
 			for _, s := range strings.Split(v, ",") {
 				if s != "" {
@@ -123,12 +160,30 @@ func ParseTXT(s string) (Announcement, bool) {
 	return a, true
 }
 
-// Registry writes map-server registrations into an authoritative zone.
+// Registry writes map-server registrations into an authoritative zone and
+// tracks live membership: servers can Register and Unregister at runtime,
+// each change advancing a registry-wide membership epoch and rewriting the
+// zone records it touches with the new epoch — so clients holding cached
+// announcements for those cells learn, from any fresh record they see, that
+// their view predates the change. Safe for concurrent use.
 type Registry struct {
 	zone   *dns.Zone
 	suffix string
 	// TTLSeconds for announcement records; default 60.
 	TTLSeconds uint32
+
+	mu      sync.Mutex
+	epoch   uint64
+	members map[string]*regMember // name → live registration
+}
+
+// regMember is one live registration.
+type regMember struct {
+	url        string
+	coverage   []string
+	services   []wire.Service
+	techs      []loc.Technology
+	replicaSet string
 }
 
 // NewRegistry creates a registry over the zone; suffix defaults to the
@@ -137,37 +192,176 @@ func NewRegistry(zone *dns.Zone, suffix string) *Registry {
 	if suffix == "" {
 		suffix = zone.Apex()
 	}
-	return &Registry{zone: zone, suffix: dns.CanonicalName(suffix), TTLSeconds: 60}
+	return &Registry{
+		zone:       zone,
+		suffix:     dns.CanonicalName(suffix),
+		TTLSeconds: 60,
+		members:    make(map[string]*regMember),
+	}
+}
+
+// Epoch returns the current membership epoch (0 before any registration).
+func (r *Registry) Epoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epoch
+}
+
+// Members returns the names of the live registrations, sorted.
+func (r *Registry) Members() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.members))
+	for name := range r.members {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ReplicaSetOf returns the replica-set id the named server registered
+// under ("" for solo servers or unknown names).
+func (r *Registry) ReplicaSetOf(name string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.members[name]; ok {
+		return m.replicaSet
+	}
+	return ""
 }
 
 // Register announces a server on every coverage cell. Cell tokens outside
-// the registry's zone are rejected.
+// the registry's zone are rejected. Registering an already-registered name
+// re-registers it (the old records are removed first), so a server that
+// restarts with new coverage or a new URL converges to one registration.
 func (r *Registry) Register(info wire.Info, url string) error {
+	return r.RegisterReplica(info, url, "")
+}
+
+// RegisterReplica is Register with a replica-set id: servers registered
+// under the same non-empty id advertise identical content for the same
+// region, and clients contact one of them per request instead of all.
+func (r *Registry) RegisterReplica(info wire.Info, url, replicaSet string) error {
 	if len(info.Coverage) == 0 {
 		return fmt.Errorf("discovery: empty coverage for %s", info.Name)
 	}
-	a := Announcement{Name: info.Name, URL: url, Services: info.Services, Technologies: info.Technologies}
-	payload := FormatTXT(a)
+	// The TXT payload is space-delimited (lists comma-joined) and the
+	// rewrite logic identifies managed records by their parsed name:
+	// whitespace — or a comma inside a list element — would corrupt
+	// round-tripping (a record whose name re-parses differently reads as
+	// foreign and gets duplicated on every rewrite; a service "a b" would
+	// silently re-parse as "a").
+	tokens := []struct {
+		what, v string
+		isList  bool // comma-joined on the wire: commas are also forbidden
+	}{
+		{"name", info.Name, false}, {"url", url, false}, {"replica set", replicaSet, false},
+	}
+	for _, s := range info.Services {
+		tokens = append(tokens, struct {
+			what, v string
+			isList  bool
+		}{"service", string(s), true})
+	}
+	for _, tech := range info.Technologies {
+		tokens = append(tokens, struct {
+			what, v string
+			isList  bool
+		}{"technology", string(tech), true})
+	}
+	for _, tok := range tokens {
+		if strings.IndexFunc(tok.v, unicode.IsSpace) >= 0 || (tok.isList && strings.Contains(tok.v, ",")) {
+			return fmt.Errorf("discovery: %s %q would corrupt the TXT encoding", tok.what, tok.v)
+		}
+	}
+	// Validate the whole coverage BEFORE touching membership: a rejected
+	// registration must leave no phantom member behind whose bad cells
+	// would poison every later zone rewrite.
 	for _, tok := range info.Coverage {
 		cell := s2cell.FromToken(tok)
 		if !cell.IsValid() {
 			return fmt.Errorf("discovery: bad cell token %q", tok)
 		}
-		rr := dns.RR{
-			Name: CellDomain(cell, r.suffix), Type: dns.TypeTXT,
-			TTL: r.TTLSeconds, TXT: []string{payload},
-		}
-		if err := r.zone.Add(rr); err != nil {
-			return err
+		if domain := CellDomain(cell, r.suffix); !dns.IsSubdomain(r.zone.Apex(), domain) {
+			return fmt.Errorf("discovery: cell %s (%s) outside zone %s", tok, domain, r.zone.Apex())
 		}
 	}
-	return nil
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Replica-set members claim to serve identical content for the same
+	// region; enforce the checkable half of that claim — identical
+	// coverage. (Set ids share the server-name contract: operator-scoped,
+	// e.g. "acme-city", since the client groups purely by id.)
+	if replicaSet != "" {
+		for name, m := range r.members {
+			if name == info.Name || m.replicaSet != replicaSet {
+				continue
+			}
+			if !sameTokenSet(m.coverage, info.Coverage) {
+				return fmt.Errorf("discovery: %s cannot join replica set %q: coverage differs from member %s",
+					info.Name, replicaSet, name)
+			}
+		}
+	}
+	var touched []string
+	if old, ok := r.members[info.Name]; ok {
+		touched = old.coverage
+	}
+	r.members[info.Name] = &regMember{
+		url:        url,
+		coverage:   append([]string(nil), info.Coverage...),
+		services:   info.Services,
+		techs:      info.Technologies,
+		replicaSet: replicaSet,
+	}
+	r.epoch++
+	return r.rewriteCellsLocked(r.allTokensLocked(touched))
+}
+
+// sameTokenSet reports whether two coverages hold the same cell tokens,
+// order-independent.
+func sameTokenSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[string]struct{}, len(a))
+	for _, t := range a {
+		set[t] = struct{}{}
+	}
+	for _, t := range b {
+		if _, ok := set[t]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// allTokensLocked returns every cell token any live member announces on,
+// plus the extras — the rewrite set that keeps the whole zone stamped at
+// one uniform epoch (a client can then treat ANY higher epoch it sees as
+// proof that everything it cached earlier predates the change). The caller
+// holds r.mu.
+func (r *Registry) allTokensLocked(extra []string) []string {
+	out := append([]string(nil), extra...)
+	for _, m := range r.members {
+		out = append(out, m.coverage...)
+	}
+	return out
 }
 
 // Unregister removes all announcements for the named server across the
-// coverage cells, returning how many records were removed.
+// coverage cells, returning how many records were removed. The membership
+// epoch advances and surviving records on the departed server's cells are
+// re-stamped with it, so clients caching those cells drop their stale view
+// instead of waiting out the TTL.
 func (r *Registry) Unregister(name string, coverage []string) int {
-	needle := "name=" + name
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.members[name]; ok {
+		coverage = append(append([]string(nil), coverage...), m.coverage...)
+		delete(r.members, name)
+	}
+	needle := "name=" + name + " "
 	removed := 0
 	for _, tok := range coverage {
 		cell := s2cell.FromToken(tok)
@@ -175,10 +369,78 @@ func (r *Registry) Unregister(name string, coverage []string) int {
 			continue
 		}
 		removed += r.zone.RemoveWhere(CellDomain(cell, r.suffix), dns.TypeTXT, func(rr dns.RR) bool {
-			return !strings.Contains(strings.Join(rr.TXT, ""), needle)
+			return !strings.Contains(strings.Join(rr.TXT, "")+" ", needle)
 		})
 	}
+	if removed > 0 {
+		r.epoch++
+		_ = r.rewriteCellsLocked(r.allTokensLocked(coverage))
+	}
 	return removed
+}
+
+// UnregisterServer removes the named live registration using the coverage
+// the registry tracked for it.
+func (r *Registry) UnregisterServer(name string) int {
+	return r.Unregister(name, nil)
+}
+
+// rewriteCellsLocked rebuilds the TXT records of the given cells from the
+// tracked membership, stamping them with the current epoch. Records the
+// registry does not manage (other names on the same cells added directly to
+// the zone) are preserved. The caller holds r.mu.
+func (r *Registry) rewriteCellsLocked(tokens []string) error {
+	managed := make(map[string]bool, len(r.members))
+	names := make([]string, 0, len(r.members))
+	covers := make(map[string]map[string]bool, len(r.members))
+	for name, m := range r.members {
+		managed[name] = true
+		names = append(names, name)
+		set := make(map[string]bool, len(m.coverage))
+		for _, tok := range m.coverage {
+			set[tok] = true
+		}
+		covers[name] = set
+	}
+	sort.Strings(names)
+	seen := make(map[string]bool, len(tokens))
+	for _, tok := range tokens {
+		if seen[tok] {
+			continue
+		}
+		seen[tok] = true
+		cell := s2cell.FromToken(tok)
+		if !cell.IsValid() {
+			continue
+		}
+		domain := CellDomain(cell, r.suffix)
+		// Drop every managed record on the cell, keep foreign ones.
+		r.zone.RemoveWhere(domain, dns.TypeTXT, func(rr dns.RR) bool {
+			a, ok := ParseTXT(strings.Join(rr.TXT, ""))
+			return !ok || !managed[a.Name]
+		})
+		// Re-add the members announcing on this cell at the current epoch,
+		// in sorted name order so the zone content is deterministic.
+		for _, name := range names {
+			if !covers[name][tok] {
+				continue
+			}
+			m := r.members[name]
+			payload := FormatTXT(Announcement{
+				Name: name, URL: m.url,
+				Services: m.services, Technologies: m.techs,
+				Registry: r.suffix, Epoch: r.epoch, ReplicaSet: m.replicaSet,
+			})
+			rr := dns.RR{
+				Name: domain, Type: dns.TypeTXT,
+				TTL: r.TTLSeconds, TXT: []string{payload},
+			}
+			if err := r.zone.Add(rr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // DefaultAnnouncementTTL is how long a cell's parsed announcements (and
@@ -210,11 +472,35 @@ type Client struct {
 	flight  fanout.Group[[]Announcement]
 	cacheMu sync.Mutex
 	cache   map[string]annCacheEntry
+	// maxEpoch holds the highest membership epoch observed PER REGISTRY
+	// (announcements carry their registry's identity): epochs from
+	// independent operators are independent counters and must never be
+	// compared with each other. epochLowSince tracks when a registry
+	// FIRST answered with a lower epoch than maxEpoch remembers — briefly
+	// that is a stale cache layer, but persisting past the grace window it
+	// means the registry restarted and its counter reset (see
+	// observeEpochs); without the reset path, a long-lived client would
+	// refuse to cache that registry's answers forever.
+	maxEpoch      map[string]uint64
+	epochLowSince map[string]time.Time
 }
+
+// epochRegressionGrace is how long a registry must keep answering with
+// epochs below the remembered maximum before the client accepts that its
+// counter reset (a registry restart) rather than suspecting stale caches.
+// It comfortably exceeds the default record TTL, so every stale layer has
+// aged out before the reset is believed.
+const epochRegressionGrace = 2 * time.Minute
 
 type annCacheEntry struct {
 	anns   []Announcement
 	expiry time.Time
+	// regEpochs records, per registry present in the entry, the epoch its
+	// announcements carried; an advance of that registry invalidates the
+	// entry eagerly (the membership changed under it). Entries with no
+	// epoch-bearing announcements (negatives, legacy records) rely on the
+	// TTL alone.
+	regEpochs map[string]uint64
 }
 
 // NewClient creates a discovery client.
@@ -230,6 +516,8 @@ func NewClient(res *dns.Resolver, suffix string) *Client {
 		AnnouncementTTL: DefaultAnnouncementTTL,
 		Now:             time.Now,
 		cache:           make(map[string]annCacheEntry),
+		maxEpoch:        make(map[string]uint64),
+		epochLowSince:   make(map[string]time.Time),
 	}
 }
 
@@ -288,6 +576,11 @@ func (c *Client) lookupCell(ctx context.Context, domain string) []Announcement {
 	if isCtxErr(err) && ctx.Err() == nil {
 		anns, err = resolve(ctx)
 	}
+	// A fresh answer carrying a newer membership epoch for its registry
+	// proves every entry cached under that registry's older epochs is from
+	// a stale federation view: drop them so a departed or moved server
+	// leaves the fan-out now, not at TTL expiry.
+	c.observeEpochs(anns)
 	// Cache positive answers and definitive negatives; transient failures
 	// (server failure, cancellation mid-lookup) are not cached.
 	definitive := err == nil || errors.Is(err, dns.ErrNXDomain) || errors.Is(err, dns.ErrNoData)
@@ -295,6 +588,101 @@ func (c *Client) lookupCell(ctx context.Context, domain string) []Announcement {
 		c.cacheStore(domain, anns)
 	}
 	return anns
+}
+
+// regEpochsOf collects the highest epoch per registry among epoch-bearing
+// announcements (nil when none carry one).
+func regEpochsOf(anns []Announcement) map[string]uint64 {
+	var out map[string]uint64
+	for _, a := range anns {
+		if a.Registry == "" || a.Epoch == 0 {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]uint64, 1)
+		}
+		if a.Epoch > out[a.Registry] {
+			out[a.Registry] = a.Epoch
+		}
+	}
+	return out
+}
+
+// observeEpochs records freshly-resolved membership epochs, invalidating —
+// per advancing registry — every cache entry holding that registry's
+// announcements from an older epoch. The first observation of a registry
+// does not flush: a cold sweep stores and observes concurrently, and the
+// registry stamps its whole zone uniformly, so nothing cached before it
+// can be told apart from the current view (the TTL covers the cold-start
+// race of a change landing mid-sweep).
+func (c *Client) observeEpochs(anns []Announcement) {
+	fresh := regEpochsOf(anns)
+	if fresh == nil {
+		return
+	}
+	c.cacheMu.Lock()
+	defer c.cacheMu.Unlock()
+	for reg, epoch := range fresh {
+		prev := c.maxEpoch[reg]
+		if epoch < prev {
+			// Lower than remembered: a stale cache layer — or a restarted
+			// registry whose counter reset. Believe the reset only once
+			// the regression has persisted past every cache layer's TTL.
+			first, pending := c.epochLowSince[reg]
+			now := c.Now()
+			if !pending {
+				c.epochLowSince[reg] = now
+				continue
+			}
+			if now.Sub(first) < epochRegressionGrace {
+				continue
+			}
+			delete(c.epochLowSince, reg)
+			c.maxEpoch[reg] = epoch
+			// Drop EVERY entry of this registry: stamps from the old
+			// counter are incomparable with the new one.
+			for k, e := range c.cache {
+				if _, ok := e.regEpochs[reg]; ok {
+					delete(c.cache, k)
+				}
+			}
+			continue
+		}
+		delete(c.epochLowSince, reg) // current-or-newer answer: no regression
+		if epoch == prev {
+			continue
+		}
+		c.maxEpoch[reg] = epoch
+		if prev == 0 {
+			continue // first observation of this registry
+		}
+		c.flushRegLocked(reg, epoch)
+	}
+}
+
+// flushRegLocked drops cache entries holding reg's announcements stamped
+// below epoch. Caller holds cacheMu.
+func (c *Client) flushRegLocked(reg string, epoch uint64) {
+	for k, e := range c.cache {
+		if got, ok := e.regEpochs[reg]; ok && got < epoch {
+			delete(c.cache, k)
+		}
+	}
+}
+
+// ObservedEpoch returns the highest membership epoch seen from any single
+// registry (the per-registry counters are independent; this accessor
+// serves single-registry deployments, tests, and diagnostics).
+func (c *Client) ObservedEpoch() uint64 {
+	c.cacheMu.Lock()
+	defer c.cacheMu.Unlock()
+	var max uint64
+	for _, e := range c.maxEpoch {
+		if e > max {
+			max = e
+		}
+	}
+	return max
 }
 
 func isCtxErr(err error) bool {
@@ -305,12 +693,23 @@ func isCtxErr(err error) bool {
 // its own LRU; this cap only guards the parsed layer).
 const maxAnnCacheEntries = 4096
 
-// cacheStore inserts an entry, evicting expired entries — and, if the
-// cache is still over the cap, arbitrary ones — so a long-lived client
-// sweeping many regions cannot grow memory without bound.
+// cacheStore inserts an entry stamped with the per-registry epochs its
+// announcements carry, evicting expired entries — and, if the cache is
+// still over the cap, arbitrary ones — so a long-lived client sweeping
+// many regions cannot grow memory without bound. An answer carrying an
+// epoch BEHIND its registry's observed one is NOT cached: it came through
+// a stale lower cache layer and admitting it would re-introduce exactly
+// the staleness the epoch flush removed. Epoch-less answers (negatives,
+// legacy records) rely on the TTL alone.
 func (c *Client) cacheStore(domain string, anns []Announcement) {
+	regEpochs := regEpochsOf(anns)
 	c.cacheMu.Lock()
 	defer c.cacheMu.Unlock()
+	for reg, epoch := range regEpochs {
+		if epoch < c.maxEpoch[reg] {
+			return
+		}
+	}
 	if _, exists := c.cache[domain]; !exists && len(c.cache) >= maxAnnCacheEntries {
 		now := c.Now()
 		for k, e := range c.cache {
@@ -325,7 +724,7 @@ func (c *Client) cacheStore(domain string, anns []Announcement) {
 			delete(c.cache, k)
 		}
 	}
-	c.cache[domain] = annCacheEntry{anns: anns, expiry: c.Now().Add(c.AnnouncementTTL)}
+	c.cache[domain] = annCacheEntry{anns: anns, expiry: c.Now().Add(c.AnnouncementTTL), regEpochs: regEpochs}
 }
 
 // lookupCells resolves a batch of cells with bounded concurrency and

@@ -1,0 +1,445 @@
+package discovery
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"openflame/internal/dns"
+	"openflame/internal/geo"
+	"openflame/internal/loc"
+	"openflame/internal/wire"
+)
+
+// TestTXTRoundTripEpochReplicaSet: the new membership fields survive the
+// TXT encoding, and their absence parses as the zero values (records
+// written by pre-epoch registries stay readable).
+func TestTXTRoundTripEpochReplicaSet(t *testing.T) {
+	a := Announcement{
+		Name:       "hot-region-2",
+		URL:        "http://10.1.2.3:8080",
+		Epoch:      42,
+		ReplicaSet: "hot-region",
+		Services:   []wire.Service{wire.SvcSearch},
+	}
+	got, ok := ParseTXT(FormatTXT(a))
+	if !ok {
+		t.Fatal("round trip parse failed")
+	}
+	if got.Epoch != 42 || got.ReplicaSet != "hot-region" {
+		t.Fatalf("got %+v want epoch=42 rs=hot-region", got)
+	}
+	legacy, ok := ParseTXT("v=flame1 name=x url=http://y")
+	if !ok || legacy.Epoch != 0 || legacy.ReplicaSet != "" {
+		t.Fatalf("legacy record parsed as %+v", legacy)
+	}
+}
+
+// TestRegistryEpochAdvancesAndRestamps: every membership change bumps the
+// epoch and re-stamps ALL live records with it, so the zone never carries
+// mixed epochs a client could misread.
+func TestRegistryEpochAdvancesAndRestamps(t *testing.T) {
+	f := newFixture(t)
+	at := geo.LatLng{Lat: 40.4415, Lng: -79.9955}
+	covA := coverageFor(at, 40)
+	covB := coverageFor(geo.Offset(at, 30, 90), 40)
+
+	if err := f.registry.Register(wire.Info{Name: "a", Coverage: covA}, "http://a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.registry.Epoch(); got != 1 {
+		t.Fatalf("epoch after first register = %d", got)
+	}
+	if err := f.registry.RegisterReplica(wire.Info{Name: "b", Coverage: covB}, "http://b", "setB"); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.registry.Epoch(); got != 2 {
+		t.Fatalf("epoch after second register = %d", got)
+	}
+	if got := f.registry.ReplicaSetOf("b"); got != "setB" {
+		t.Fatalf("ReplicaSetOf(b) = %q", got)
+	}
+	if got := f.registry.Members(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("members = %v", got)
+	}
+	// Every record in the zone — including a's, written at epoch 1 — now
+	// carries epoch 2.
+	for _, rr := range f.locZone.AllRecords() {
+		if rr.Type != dns.TypeTXT {
+			continue
+		}
+		a, ok := ParseTXT(strings.Join(rr.TXT, ""))
+		if !ok {
+			continue
+		}
+		if a.Epoch != 2 {
+			t.Fatalf("record for %s carries epoch %d, want 2", a.Name, a.Epoch)
+		}
+	}
+	// Unregister advances again and removes b everywhere.
+	if removed := f.registry.UnregisterServer("b"); removed == 0 {
+		t.Fatal("unregister removed nothing")
+	}
+	if got := f.registry.Epoch(); got != 3 {
+		t.Fatalf("epoch after unregister = %d", got)
+	}
+	for _, rr := range f.locZone.AllRecords() {
+		if rr.Type != dns.TypeTXT {
+			continue
+		}
+		a, ok := ParseTXT(strings.Join(rr.TXT, ""))
+		if !ok {
+			continue
+		}
+		if a.Name == "b" {
+			t.Fatalf("departed server still announced: %v", rr)
+		}
+		if a.Epoch != 3 {
+			t.Fatalf("surviving record carries epoch %d, want 3", a.Epoch)
+		}
+	}
+}
+
+// TestRegisterReplicaRejectsMismatchedCoverage: replica-set members claim
+// identical content for the same region; a joiner with different coverage
+// is refused — loudly, not silently merged — and leaves no phantom
+// membership behind.
+func TestRegisterReplicaRejectsMismatchedCoverage(t *testing.T) {
+	f := newFixture(t)
+	at := geo.LatLng{Lat: 40.4415, Lng: -79.9955}
+	if err := f.registry.RegisterReplica(wire.Info{Name: "r1", Coverage: coverageFor(at, 40)}, "http://r1", "city"); err != nil {
+		t.Fatal(err)
+	}
+	epoch := f.registry.Epoch()
+	elsewhere := geo.Offset(at, 3000, 0)
+	err := f.registry.RegisterReplica(wire.Info{Name: "r2", Coverage: coverageFor(elsewhere, 40)}, "http://r2", "city")
+	if err == nil {
+		t.Fatal("mismatched-coverage replica accepted")
+	}
+	if got := f.registry.Members(); len(got) != 1 || got[0] != "r1" {
+		t.Fatalf("rejected joiner left membership residue: %v", got)
+	}
+	if got := f.registry.Epoch(); got != epoch {
+		t.Fatalf("rejected joiner advanced the epoch: %d -> %d", epoch, got)
+	}
+	// Identical coverage joins fine.
+	if err := f.registry.RegisterReplica(wire.Info{Name: "r3", Coverage: coverageFor(at, 40)}, "http://r3", "city"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegisterRejectsWhitespaceTokens: the TXT payload is space-delimited
+// and rewrites identify records by re-parsing — a name/url/rs containing
+// whitespace would round-trip differently and duplicate on every rewrite,
+// so it is refused at the door.
+func TestRegisterRejectsWhitespaceTokens(t *testing.T) {
+	f := newFixture(t)
+	cov := coverageFor(geo.LatLng{Lat: 40.4415, Lng: -79.9955}, 40)
+	cases := []struct {
+		name, url, rs string
+	}{
+		{"my server", "http://x", ""},
+		{"srv", "http://x/a b", ""},
+		{"srv", "http://x", "hot region"},
+		{"srv\tbad", "http://x", ""},
+	}
+	for _, c := range cases {
+		if err := f.registry.RegisterReplica(wire.Info{Name: c.name, Coverage: cov}, c.url, c.rs); err == nil {
+			t.Errorf("RegisterReplica(%q, %q, %q) accepted", c.name, c.url, c.rs)
+		}
+	}
+	// Comma-joined list elements: a space or comma inside would silently
+	// re-parse as a different list.
+	if err := f.registry.Register(wire.Info{Name: "srv", Coverage: cov,
+		Technologies: []loc.Technology{"wifi rtt"}}, "http://x"); err == nil {
+		t.Error("technology with a space accepted")
+	}
+	if err := f.registry.Register(wire.Info{Name: "srv", Coverage: cov,
+		Services: []wire.Service{"a,b"}}, "http://x"); err == nil {
+		t.Error("service with a comma accepted")
+	}
+	if got := f.registry.Members(); len(got) != 0 {
+		t.Fatalf("rejected registrations left members: %v", got)
+	}
+}
+
+// TestRegisterRejectsOutOfZoneCoverage: a misconfigured registry whose
+// suffix is not under its zone's apex rejects registrations up front,
+// before any membership or zone state changes — a failed registration
+// must not leave a phantom member poisoning later rewrites.
+func TestRegisterRejectsOutOfZoneCoverage(t *testing.T) {
+	f := newFixture(t)
+	at := geo.LatLng{Lat: 40.4415, Lng: -79.9955}
+	misconfigured := NewRegistry(f.locZone, "other.arpa.")
+	err := misconfigured.Register(wire.Info{Name: "oops", Coverage: coverageFor(at, 40)}, "http://oops")
+	if err == nil {
+		t.Fatal("out-of-zone coverage accepted")
+	}
+	if got := misconfigured.Members(); len(got) != 0 {
+		t.Fatalf("failed registration left members: %v", got)
+	}
+	if got := misconfigured.Epoch(); got != 0 {
+		t.Fatalf("failed registration advanced epoch to %d", got)
+	}
+}
+
+// TestRegistryReRegisterMovesServer: registering an existing name again
+// (new URL, new coverage) leaves exactly one registration.
+func TestRegistryReRegisterMovesServer(t *testing.T) {
+	f := newFixture(t)
+	at := geo.LatLng{Lat: 40.4415, Lng: -79.9955}
+	if err := f.registry.Register(wire.Info{Name: "mover", Coverage: coverageFor(at, 40)}, "http://old"); err != nil {
+		t.Fatal(err)
+	}
+	moved := geo.Offset(at, 500, 0)
+	if err := f.registry.Register(wire.Info{Name: "mover", Coverage: coverageFor(moved, 40)}, "http://new"); err != nil {
+		t.Fatal(err)
+	}
+	f.client.AnnouncementTTL = 0
+	if got := f.client.Discover(at); len(got) != 0 {
+		t.Fatalf("old location still discovers: %v", got)
+	}
+	got := f.client.Discover(moved)
+	if len(got) != 1 || got[0].URL != "http://new" {
+		t.Fatalf("new location discovers %v", got)
+	}
+}
+
+// TestEpochRegressionAcceptedAfterGrace: a registry restart resets its
+// epoch counter; the client must first treat lower-epoch answers as
+// possibly-stale caches (not cacheable), then — once the regression has
+// outlived every cache layer's TTL — adopt the new counter so caching
+// recovers instead of staying disabled for the client's lifetime.
+func TestEpochRegressionAcceptedAfterGrace(t *testing.T) {
+	f := newFixture(t)
+	f.registry.TTLSeconds = 0
+	now := time.Unix(1000, 0)
+	f.resolver.Now = func() time.Time { return now }
+	f.client.Now = f.resolver.Now
+	f.client.AnnouncementTTL = time.Minute
+
+	center := geo.LatLng{Lat: 40.4415, Lng: -79.9955}
+	cov := coverageFor(center, 60)
+	// Age the registry to a high epoch, then discover.
+	for i := 0; i < 10; i++ {
+		if err := f.registry.Register(wire.Info{Name: "stay", Coverage: cov}, "http://stay"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.client.Discover(center); len(got) != 1 {
+		t.Fatalf("warmup = %v", got)
+	}
+	high := f.client.ObservedEpoch()
+	if high < 10 {
+		t.Fatalf("observed epoch = %d", high)
+	}
+
+	// "Restart" the registry: a fresh counter over the same zone. Its
+	// re-registration rewrites the managed records at epoch 1.
+	reborn := NewRegistry(f.locZone, DefaultSuffix)
+	reborn.TTLSeconds = 0
+	if err := reborn.Register(wire.Info{Name: "stay", Coverage: cov}, "http://stay"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Within the grace window: the low-epoch answers are served but not
+	// cached — repeated discovery keeps hitting the resolver.
+	now = now.Add(2 * time.Minute) // expire the old parsed entries
+	f.client.Discover(center)
+	q1 := f.resolver.Stats().Queries
+	f.client.Discover(center)
+	if q2 := f.resolver.Stats().Queries; q2 == q1 {
+		t.Fatal("regressed-epoch answers were cached inside the grace window")
+	}
+
+	// Once the regression persists past the grace, the client adopts the
+	// new counter and caching resumes.
+	now = now.Add(epochRegressionGrace + time.Second)
+	f.client.Discover(center) // observes the persistent regression → reset
+	f.client.Discover(center) // fresh resolve, cached under the new counter
+	q3 := f.resolver.Stats().Queries
+	if got := f.client.Discover(center); len(got) != 1 {
+		t.Fatalf("post-reset discovery = %v", got)
+	}
+	if q4 := f.resolver.Stats().Queries; q4 != q3 {
+		t.Fatalf("caching did not recover after the epoch reset: %d -> %d queries", q3, q4)
+	}
+	if got := f.client.ObservedEpoch(); got >= high {
+		t.Fatalf("observed epoch %d did not adopt the reset counter", got)
+	}
+}
+
+// TestEpochsAreScopedPerRegistry: two independently-operated registries
+// (delegated subzones) have independent epoch counters — a young
+// operator's low epoch must neither be rejected from the cache nor
+// flushed by an old operator's high epoch.
+func TestEpochsAreScopedPerRegistry(t *testing.T) {
+	f := newFixture(t)
+	// A second operator's registry on a delegated subtree of the same
+	// zone, with an artificially aged epoch.
+	orgSuffix := "org." + DefaultSuffix
+	orgRegistry := NewRegistry(f.locZone, orgSuffix)
+	centerA := geo.LatLng{Lat: 40.4415, Lng: -79.9955}
+	// Age the main registry's epoch far past the org's by churning a
+	// throwaway registration.
+	for i := 0; i < 50; i++ {
+		if err := f.registry.Register(wire.Info{Name: "churner", Coverage: coverageFor(centerA, 30)}, "http://churner"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.registry.UnregisterServer("churner")
+	if err := f.registry.Register(wire.Info{Name: "old-op", Coverage: coverageFor(centerA, 40)}, "http://old-op"); err != nil {
+		t.Fatal(err)
+	}
+	// The org registry writes under its own suffix: its cells are disjoint
+	// domains even over the same geography.
+	if err := orgRegistry.Register(wire.Info{Name: "young-op", Coverage: coverageFor(centerA, 40)}, "http://young-op"); err != nil {
+		t.Fatal(err)
+	}
+	if f.registry.Epoch() <= orgRegistry.Epoch() {
+		t.Fatalf("fixture broken: main epoch %d should dwarf org epoch %d", f.registry.Epoch(), orgRegistry.Epoch())
+	}
+
+	f.registry.TTLSeconds = 0
+	now := time.Unix(1000, 0)
+	f.resolver.Now = func() time.Time { return now }
+	f.client.Now = f.resolver.Now
+	f.client.AnnouncementTTL = time.Minute
+
+	// Discover the main zone first (client observes the high epoch), then
+	// the org's servers through a client scoped to the org suffix.
+	if got := f.client.Discover(centerA); len(got) == 0 {
+		t.Fatal("main zone discovery empty")
+	}
+	// The hazard needs ONE client that has seen both registries: an org
+	// client (suffix-scoped to the delegated subtree) seeded with the main
+	// zone's high epoch, then discovering the young operator's cells.
+	orgClient := NewClient(f.resolver, orgSuffix)
+	orgClient.Now = f.resolver.Now
+	orgClient.AnnouncementTTL = time.Minute
+	orgClient.observeEpochs([]Announcement{{Registry: DefaultSuffix, Epoch: f.registry.Epoch()}})
+	first := orgClient.Discover(centerA)
+	if len(first) == 0 || first[0].Name != "young-op" {
+		t.Fatalf("org discovery = %v", first)
+	}
+	// The young operator's LOW-epoch entries must be CACHED despite the
+	// other registry's high observed epoch: a repeat discovery with a
+	// frozen clock issues no further resolver queries for those cells.
+	q1 := f.resolver.Stats().Queries
+	if got := orgClient.Discover(centerA); len(got) == 0 {
+		t.Fatal("repeat org discovery empty")
+	}
+	if q2 := f.resolver.Stats().Queries; q2 != q1 {
+		t.Fatalf("young operator's announcements were not cached: %d -> %d resolver queries", q1, q2)
+	}
+}
+
+// TestUnregisteredServerLeavesDiscoveryAfterTTL is the churn guarantee: a
+// server unregistered at runtime stops appearing in DiscoverRegionCtx
+// results after one AnnouncementTTL, with NO client restart — both the
+// resolver's record cache and the client's parsed-announcement cache roll
+// over on their own clocks.
+func TestUnregisteredServerLeavesDiscoveryAfterTTL(t *testing.T) {
+	f := newFixture(t)
+	f.registry.TTLSeconds = 1
+	now := time.Unix(1000, 0)
+	f.resolver.Now = func() time.Time { return now }
+	f.client.Now = f.resolver.Now
+	f.client.AnnouncementTTL = time.Second
+
+	center := geo.LatLng{Lat: 40.4415, Lng: -79.9955}
+	cov := coverageFor(center, 60)
+	if err := f.registry.Register(wire.Info{Name: "stay", Coverage: cov}, "http://stay"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.registry.Register(wire.Info{Name: "leave", Coverage: cov}, "http://leave"); err != nil {
+		t.Fatal(err)
+	}
+	region := capAround(center, 50)
+	names := func() map[string]bool {
+		out := map[string]bool{}
+		for _, a := range f.client.DiscoverRegion(region) {
+			out[a.Name] = true
+		}
+		return out
+	}
+	if got := names(); !got["stay"] || !got["leave"] {
+		t.Fatalf("warmup discovery = %v", got)
+	}
+	if removed := f.registry.UnregisterServer("leave"); removed == 0 {
+		t.Fatal("unregister removed nothing")
+	}
+	// Within the TTL the cached view may still include the departed server;
+	// one AnnouncementTTL (and record TTL) later it must be gone.
+	now = now.Add(2 * time.Second)
+	got := names()
+	if got["leave"] {
+		t.Fatalf("departed server still discovered after TTL: %v", got)
+	}
+	if !got["stay"] {
+		t.Fatalf("surviving server lost: %v", got)
+	}
+}
+
+// TestEpochAdvanceInvalidatesAnnouncementCache: with a deliberately long
+// announcement TTL, a membership change still propagates to cached cells
+// ahead of their expiry — the first FRESH resolution anywhere (here: a
+// discovery over a neighbouring region) carries the advanced epoch, which
+// flushes every parsed entry cached under the old membership view.
+func TestEpochAdvanceInvalidatesAnnouncementCache(t *testing.T) {
+	f := newFixture(t)
+	f.registry.TTLSeconds = 1
+	now := time.Unix(1000, 0)
+	f.resolver.Now = func() time.Time { return now }
+	f.client.Now = f.resolver.Now
+	f.client.AnnouncementTTL = time.Hour // epoch, not expiry, must do the work
+
+	center := geo.LatLng{Lat: 40.4415, Lng: -79.9955}
+	cov := coverageFor(center, 250)
+	if err := f.registry.Register(wire.Info{Name: "stay", Coverage: cov}, "http://stay"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.registry.Register(wire.Info{Name: "leave", Coverage: cov}, "http://leave"); err != nil {
+		t.Fatal(err)
+	}
+	west := capAround(geo.Offset(center, 120, 270), 40)
+	has := func(anns []Announcement, name string) bool {
+		for _, a := range anns {
+			if a.Name == name {
+				return true
+			}
+		}
+		return false
+	}
+	if got := f.client.DiscoverRegion(west); !has(got, "stay") || !has(got, "leave") {
+		t.Fatalf("warmup discovery = %v", got)
+	}
+	if got := f.client.ObservedEpoch(); got != 2 {
+		t.Fatalf("observed epoch = %d, want 2", got)
+	}
+	f.registry.UnregisterServer("leave")
+	// Advance past the record TTL but nowhere near the hour-long parsed
+	// TTL: the west region's parsed entries are still "valid", and a repeat
+	// discovery there serves the stale membership view.
+	now = now.Add(2 * time.Second)
+	if got := f.client.DiscoverRegion(west); !has(got, "leave") {
+		t.Fatalf("expected the stale cached view to persist under the long TTL, got %v", got)
+	}
+	// Any discovery that resolves FRESH cells sees records stamped with the
+	// advanced epoch. Here: a later member joins kilometres away, and
+	// discovering its (never-cached) region carries the signal.
+	far := geo.Offset(center, 5000, 45)
+	if err := f.registry.Register(wire.Info{Name: "probe", Coverage: coverageFor(far, 40)}, "http://probe"); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.client.DiscoverRegion(capAround(far, 30)); !has(got, "probe") {
+		t.Fatalf("probe not discovered: %v", got)
+	}
+	if got := f.client.ObservedEpoch(); got != 4 {
+		t.Fatalf("observed epoch after churn = %d, want 4", got)
+	}
+	// ...which flushes the west region's stale entries despite their TTL.
+	if got := f.client.DiscoverRegion(west); has(got, "leave") {
+		t.Fatalf("epoch advance did not invalidate the stale cache: %v", got)
+	}
+}

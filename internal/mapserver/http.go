@@ -119,6 +119,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/routematrix", s.jsonEndpoint(wire.SvcRouteMatrix))
 	mux.HandleFunc("/localize", s.jsonEndpoint(wire.SvcLocalize))
 	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/v1/changes", s.guard(wire.SvcChanges, s.handleChanges))
 	mux.HandleFunc("/tiles/", s.guard(wire.SvcTiles, s.handleTile))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -316,6 +317,28 @@ func (s *Server) batchItem(it wire.BatchItem, user, app string) wire.BatchItemRe
 		return wire.BatchItemResult{Status: http.StatusInternalServerError, Error: err.Error()}
 	}
 	return wire.BatchItemResult{Status: http.StatusOK, Body: b}
+}
+
+// handleChanges serves GET /v1/changes?since=N — the anti-entropy pull
+// endpoint sibling replicas converge through. It is guarded as its own
+// policy service ("changes"), so an operator can restrict replication to
+// the replica set's identities while the read services stay public.
+func (s *Server) handleChanges(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	var since uint64
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		n, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad since parameter: "+err.Error())
+			return
+		}
+		since = n
+	}
+	w.Header().Set(HeaderGeneration, strconv.FormatUint(s.Generation(), 10))
+	writeJSON(w, s.ChangesSince(since))
 }
 
 // etagFor derives the entity tag of a read: the map generation plus a hash

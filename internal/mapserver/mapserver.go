@@ -490,7 +490,9 @@ func (s *Server) Generation() uint64 { return s.store.Generation() }
 // with any central authority. The write invalidates every cached read
 // derived from the old map: query results from prior generations are
 // purged, and rendered tiles the node could have painted are dropped so
-// the next fetch re-renders instead of serving stale pixels.
+// the next fetch re-renders instead of serving stale pixels. The update is
+// appended to the store's change log, from which sibling replicas pull
+// anti-entropy (GET /v1/changes).
 func (s *Server) ApplyInventoryUpdate(id osm.NodeID, tags osm.Tags) bool {
 	n := s.cfg.Map.Node(id)
 	if n == nil {
@@ -506,5 +508,73 @@ func (s *Server) ApplyInventoryUpdate(id osm.NodeID, tags osm.Tags) bool {
 		s.qcache.purgeBefore(s.store.Generation())
 	}
 	s.tileC.InvalidateRect(geo.Rect{MinLat: pos.Lat, MinLng: pos.Lng, MaxLat: pos.Lat, MaxLng: pos.Lng})
+	return true
+}
+
+// ChangeSeq returns the server's inventory-update log head — the
+// "Generation-equivalent" position replicas compare after anti-entropy
+// (Generation itself also counts structural mutations and differs between
+// independently-built replicas).
+func (s *Server) ChangeSeq() uint64 { return s.store.ChangeSeq() }
+
+// ChangesSince answers a replication pull: the logged changes after the
+// caller's cursor, bounded at wire.MaxChangesPerPull.
+func (s *Server) ChangesSince(since uint64) wire.ChangesResponse {
+	resp := wire.ChangesResponse{
+		Seq:      s.store.ChangeSeq(),
+		FirstSeq: s.store.FirstChangeSeq(),
+	}
+	for _, ch := range s.store.ChangesSince(since, wire.MaxChangesPerPull) {
+		resp.Changes = append(resp.Changes, wire.Change{
+			Seq: ch.Seq, NodeID: int64(ch.NodeID), Tags: ch.Tags, Ver: ch.Ver,
+		})
+	}
+	return resp
+}
+
+// ApplySyncChange applies one change pulled from a sibling replica,
+// honoring the change's node version: stale echoes (a sibling replaying
+// an old value after a newer local write) and replays are no-ops — no
+// generation bump, no re-log — which is what stops anti-entropy ping-pong
+// AND protects newer writes from being rolled back by late-arriving
+// history. Changes from pre-version peers (Ver 0) fall back to
+// tags-difference idempotence. Returns whether the map changed; a change
+// that applies invalidates the query cache and covering tiles exactly
+// like a local write.
+func (s *Server) ApplySyncChange(ch wire.Change) bool {
+	id := osm.NodeID(ch.NodeID)
+	n := s.cfg.Map.Node(id)
+	if n == nil {
+		return false // node unknown here: replicas index the same map content
+	}
+	// The renderer draws the node at its frame position; that is the point
+	// whose tiles go stale if the change applies.
+	pos := s.cfg.Map.NodePosition(n)
+	tags := osm.Tags(ch.Tags).Clone()
+	var changed bool
+	if ch.Ver == 0 {
+		changed = !tagsEqual(n.Tags, ch.Tags) && s.store.UpdateNodeTags(id, tags)
+	} else {
+		changed = s.store.ApplyReplicatedTags(id, tags, ch.Ver)
+	}
+	if !changed {
+		return false
+	}
+	if s.qcache != nil {
+		s.qcache.purgeBefore(s.store.Generation())
+	}
+	s.tileC.InvalidateRect(geo.Rect{MinLat: pos.Lat, MinLng: pos.Lng, MaxLat: pos.Lat, MaxLng: pos.Lng})
+	return true
+}
+
+func tagsEqual(a osm.Tags, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
 	return true
 }

@@ -1,0 +1,246 @@
+package mapserver
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"openflame/internal/wire"
+)
+
+// Syncer pulls anti-entropy for one server from its sibling replicas: each
+// round it asks every peer for the changes after its per-peer cursor
+// (GET /v1/changes?since=) and applies them through the server's idempotent
+// ApplySyncChange — so an inventory update landing on ANY member of the
+// replica set converges across all of them, query caches and tiles
+// invalidated on the way. Peers can be added and removed at runtime (live
+// membership); cursors for removed peers are kept so a peer that rejoins
+// does not replay history. Safe for concurrent use.
+type Syncer struct {
+	srv  *Server
+	http *http.Client
+
+	// User and App are the identity assertions sent with pulls, for peers
+	// whose "changes" policy service is restricted (§5.3).
+	User, App string
+	// Logf, when non-nil, receives sync-failure diagnostics from Run —
+	// replication that silently never converges (typo'd peer URL, policy
+	// rejection) is an operational trap. Each distinct consecutive error
+	// is reported once, so a long outage does not flood the log.
+	Logf func(format string, args ...interface{})
+
+	mu      sync.Mutex
+	peers   []string
+	cursors map[string]uint64
+	lastErr string
+}
+
+// NewSyncer creates a syncer for the server; httpClient nil means
+// http.DefaultClient.
+func NewSyncer(srv *Server, httpClient *http.Client) *Syncer {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Syncer{srv: srv, http: httpClient, cursors: make(map[string]uint64)}
+}
+
+// Server returns the server this syncer feeds.
+func (s *Syncer) Server() *Server { return s.srv }
+
+// SetPeers replaces the sibling URL set.
+func (s *Syncer) SetPeers(urls []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.peers = append([]string(nil), urls...)
+}
+
+// AddPeer adds one sibling URL (no-op if present).
+func (s *Syncer) AddPeer(url string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range s.peers {
+		if p == url {
+			return
+		}
+	}
+	s.peers = append(s.peers, url)
+}
+
+// RemovePeer drops one sibling URL, keeping its cursor for a rejoin.
+func (s *Syncer) RemovePeer(url string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.peers[:0]
+	for _, p := range s.peers {
+		if p != url {
+			out = append(out, p)
+		}
+	}
+	s.peers = out
+}
+
+// Peers returns the current sibling URL set, sorted.
+func (s *Syncer) Peers() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]string(nil), s.peers...)
+	sort.Strings(out)
+	return out
+}
+
+// SyncOnce runs one anti-entropy round: every peer is drained to its head
+// position. It returns how many changes were applied (no-op replays of
+// changes the server already holds do not count) and the first pull error
+// encountered; other peers are still synced — one unreachable sibling must
+// not stall convergence with the rest.
+func (s *Syncer) SyncOnce(ctx context.Context) (applied int, err error) {
+	for _, peer := range s.Peers() {
+		n, perr := s.syncPeer(ctx, peer)
+		applied += n
+		if perr != nil && err == nil {
+			err = perr
+		}
+	}
+	return applied, err
+}
+
+// syncPeer drains one peer: pulls pages of changes until the cursor
+// reaches the peer's head, then applies each node's NEWEST state only.
+// The coalescing is load-bearing, not an optimization: a sibling's log
+// replays history, and applying an intermediate value over a node that
+// already holds a newer one would regress it AND re-log the regression —
+// two replicas pulling each other's logs would echo the same changes back
+// and forth forever. Applying one final state per node keeps application
+// idempotent against whole-history replays, so the set converges and
+// stays converged. The cursor is persisted only after a successful drain;
+// a failed pull retries the same window next round (safe to replay).
+func (s *Syncer) syncPeer(ctx context.Context, peer string) (applied int, err error) {
+	s.mu.Lock()
+	cursor := s.cursors[peer]
+	s.mu.Unlock()
+	latest := make(map[int64]wire.Change)
+	var order []int64 // first-appearance order: deterministic application
+	for {
+		resp, perr := s.pull(ctx, peer, cursor)
+		if perr != nil {
+			return 0, perr
+		}
+		if resp.Seq < cursor {
+			// The peer's head regressed below our cursor: it restarted
+			// with a fresh log. Start over from zero — idempotent,
+			// coalesced application makes the replay safe — so changes
+			// logged since the restart are not skipped.
+			cursor = 0
+			continue
+		}
+		for _, ch := range resp.Changes {
+			if _, seen := latest[ch.NodeID]; !seen {
+				order = append(order, ch.NodeID)
+			}
+			latest[ch.NodeID] = ch
+			cursor = ch.Seq
+		}
+		if len(resp.Changes) == 0 {
+			// Fully drained — or the cursor predates the peer's retained
+			// window (compaction): jump to the head rather than loop.
+			cursor = resp.Seq
+		}
+		if cursor >= resp.Seq {
+			break
+		}
+	}
+	for _, id := range order {
+		if s.srv.ApplySyncChange(latest[id]) {
+			applied++
+		}
+	}
+	s.mu.Lock()
+	s.cursors[peer] = cursor
+	s.mu.Unlock()
+	return applied, nil
+}
+
+// syncPullTimeout caps one /v1/changes round trip: a blackholed sibling
+// must stall neither the other peers in this round nor the Run loop.
+const syncPullTimeout = 10 * time.Second
+
+// pull issues one GET /v1/changes?since= to a peer.
+func (s *Syncer) pull(ctx context.Context, peer string, since uint64) (wire.ChangesResponse, error) {
+	ctx, cancel := context.WithTimeout(ctx, syncPullTimeout)
+	defer cancel()
+	u := peer + "/v1/changes?since=" + url.QueryEscape(strconv.FormatUint(since, 10))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return wire.ChangesResponse{}, err
+	}
+	if s.User != "" {
+		req.Header.Set(HeaderUser, s.User)
+	}
+	if s.App != "" {
+		req.Header.Set(HeaderApp, s.App)
+	}
+	res, err := s.http.Do(req)
+	if err != nil {
+		return wire.ChangesResponse{}, err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		var e wire.ErrorResponse
+		_ = json.NewDecoder(res.Body).Decode(&e)
+		return wire.ChangesResponse{}, fmt.Errorf("mapserver: sync pull %s: status %d %s", u, res.StatusCode, e.Error)
+	}
+	var out wire.ChangesResponse
+	if err := json.NewDecoder(io.LimitReader(res.Body, 16<<20)).Decode(&out); err != nil {
+		return wire.ChangesResponse{}, fmt.Errorf("mapserver: sync pull %s: %w", u, err)
+	}
+	return out, nil
+}
+
+// Run pulls anti-entropy every interval until the context is cancelled —
+// the background mode cmd/flame-server wires behind -sync-peers. Pull
+// errors are transient (a sibling restarting); the next round retries.
+func (s *Syncer) Run(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			_, err := s.SyncOnce(ctx)
+			s.reportRunError(err)
+		}
+	}
+}
+
+// reportRunError surfaces a round's failure through Logf, deduplicating
+// consecutive identical errors and noting recovery.
+func (s *Syncer) reportRunError(err error) {
+	if s.Logf == nil {
+		return
+	}
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	s.mu.Lock()
+	prev := s.lastErr
+	s.lastErr = msg
+	s.mu.Unlock()
+	if msg != "" && msg != prev {
+		s.Logf("sync: %s", msg)
+	}
+	if msg == "" && prev != "" {
+		s.Logf("sync: recovered")
+	}
+}

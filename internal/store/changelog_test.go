@@ -1,0 +1,122 @@
+package store
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"openflame/internal/geo"
+	"openflame/internal/osm"
+)
+
+func changelogFixture(t *testing.T) (*Store, osm.NodeID) {
+	t.Helper()
+	m := osm.NewMap("log-test", osm.Frame{Kind: osm.FrameGeodetic})
+	id := m.AddNode(&osm.Node{Pos: geo.LatLng{Lat: 40.44, Lng: -79.99},
+		Tags: osm.Tags{"name": "Shelf A"}})
+	s := New(m)
+	return s, id
+}
+
+// TestChangeLogRecordsTagUpdates: UpdateNodeTags appends monotonically
+// sequence-numbered records; structural mutations do not log.
+func TestChangeLogRecordsTagUpdates(t *testing.T) {
+	s, id := changelogFixture(t)
+	if got := s.ChangeSeq(); got != 0 {
+		t.Fatalf("fresh store ChangeSeq = %d", got)
+	}
+	for i := 1; i <= 3; i++ {
+		if !s.UpdateNodeTags(id, osm.Tags{"name": fmt.Sprintf("Shelf v%d", i)}) {
+			t.Fatalf("update %d refused", i)
+		}
+		if got := s.ChangeSeq(); got != uint64(i) {
+			t.Fatalf("ChangeSeq after %d updates = %d", i, got)
+		}
+	}
+	// AddNode is structural: generation moves, the change log does not.
+	s.AddNode(&osm.Node{Pos: geo.LatLng{Lat: 40.45, Lng: -79.98}})
+	if got := s.ChangeSeq(); got != 3 {
+		t.Fatalf("structural mutation logged: ChangeSeq = %d", got)
+	}
+
+	all := s.ChangesSince(0, 0)
+	if len(all) != 3 {
+		t.Fatalf("ChangesSince(0) = %d records", len(all))
+	}
+	for i, ch := range all {
+		if ch.Seq != uint64(i+1) || ch.NodeID != id {
+			t.Fatalf("record %d = %+v", i, ch)
+		}
+	}
+	if all[2].Tags.Get("name") != "Shelf v3" {
+		t.Fatalf("latest record tags = %v", all[2].Tags)
+	}
+	// Windowing: since=2 returns only the third record; a limit truncates.
+	if got := s.ChangesSince(2, 0); len(got) != 1 || got[0].Seq != 3 {
+		t.Fatalf("ChangesSince(2) = %+v", got)
+	}
+	if got := s.ChangesSince(0, 2); len(got) != 2 || got[1].Seq != 2 {
+		t.Fatalf("ChangesSince(0, limit 2) = %+v", got)
+	}
+	if got := s.ChangesSince(3, 0); len(got) != 0 {
+		t.Fatalf("ChangesSince(head) = %+v", got)
+	}
+}
+
+// TestChangeLogSnapshotIsolation: the logged tag set is a copy — mutating
+// the caller's map afterwards must not corrupt history.
+func TestChangeLogSnapshotIsolation(t *testing.T) {
+	s, id := changelogFixture(t)
+	tags := osm.Tags{"name": "Original"}
+	s.UpdateNodeTags(id, tags)
+	tags["name"] = "Mutated after the fact"
+	if got := s.ChangesSince(0, 0)[0].Tags.Get("name"); got != "Original" {
+		t.Fatalf("logged tags aliased the caller's map: %q", got)
+	}
+}
+
+// TestChangeLogCompaction: the log is bounded (amortized compaction at 2x
+// the cap, retaining at least changeLogCap entries); FirstChangeSeq
+// advances and ChangesSince degrades to the retained suffix.
+func TestChangeLogCompaction(t *testing.T) {
+	s, id := changelogFixture(t)
+	total := 2*changeLogCap + 10
+	for i := 0; i < total; i++ {
+		s.UpdateNodeTags(id, osm.Tags{"name": fmt.Sprintf("v%d", i)})
+	}
+	if got := s.ChangeSeq(); got != uint64(total) {
+		t.Fatalf("ChangeSeq = %d, want %d", got, total)
+	}
+	// Compaction fired once, at append 2*cap+1, keeping the last cap
+	// entries (seq cap+2 .. 2*cap+1); the 9 appends after it grew the
+	// retained window again.
+	if got := s.FirstChangeSeq(); got != uint64(changeLogCap+2) {
+		t.Fatalf("FirstChangeSeq = %d, want %d", got, changeLogCap+2)
+	}
+	// A cursor inside the compacted prefix gets the whole retained suffix.
+	got := s.ChangesSince(1, 0)
+	if len(got) != changeLogCap+9 || got[0].Seq != s.FirstChangeSeq() {
+		t.Fatalf("compacted pull: %d records starting at %d", len(got), got[0].Seq)
+	}
+	// A cursor in the retained window resumes exactly after itself.
+	mid := s.FirstChangeSeq() + 5
+	got = s.ChangesSince(mid, 0)
+	if got[0].Seq != mid+1 {
+		t.Fatalf("mid-window pull starts at %d, want %d", got[0].Seq, mid+1)
+	}
+}
+
+// TestChangesSinceAbsurdCursor: `since` is wire input; a cursor past the
+// head — up to and including MaxUint64 — must answer empty, not panic on
+// an overflowed slice index.
+func TestChangesSinceAbsurdCursor(t *testing.T) {
+	s, id := changelogFixture(t)
+	for i := 0; i < 3; i++ {
+		s.UpdateNodeTags(id, osm.Tags{"name": fmt.Sprintf("v%d", i)})
+	}
+	for _, since := range []uint64{3, 4, 1 << 62, math.MaxUint64} {
+		if got := s.ChangesSince(since, 0); len(got) != 0 {
+			t.Fatalf("ChangesSince(%d) = %+v, want empty", since, got)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 package store
 
 import (
+	"sort"
 	"strings"
 	"sync"
 	"unicode"
@@ -31,17 +32,50 @@ type Store struct {
 	inv   map[string]map[osm.NodeID]struct{}
 	// bounds caches the map's geodetic bounds, maintained incrementally.
 	bounds geo.Rect
+	// changes is the sequence-numbered inventory-update log (tag
+	// replacements), bounded at changeLogCap entries; changeSeq is the head
+	// position. Replicas pull this log from each other for anti-entropy.
+	changes   []Change
+	changeSeq uint64
+	// nodeVer tracks each node's update version (see Change.Ver); absent
+	// means 0 (never tag-updated).
+	nodeVer map[osm.NodeID]uint64
 }
+
+// Change is one sequence-numbered inventory update: the node's tags were
+// replaced wholesale with Tags. The log records tag replacements (the
+// paper's independent map-management writes); structural mutations rebuild
+// replicas out of band.
+type Change struct {
+	Seq    uint64
+	NodeID osm.NodeID
+	Tags   osm.Tags
+	// Ver is the node's update version: every local write increments it,
+	// and a replicated application adopts the origin's version. It is what
+	// lets a replica tell a sibling's ECHO of an old value apart from a
+	// genuinely newer write — without it, an echo arriving after a local
+	// update would roll the node back and the newer write would be lost
+	// federation-wide.
+	Ver uint64
+}
+
+// changeLogCap is the guaranteed retention of the change log (compaction
+// is amortized, so up to 2x may be held). A replica further behind than
+// the retained window cannot replay the compacted prefix; because
+// applications of the log are idempotent tag replacements, it still
+// converges on every retained (and future) change.
+const changeLogCap = 4096
 
 // New builds the indexes for m. The map must not be mutated externally
 // afterwards.
 func New(m *osm.Map) *Store {
 	s := &Store{
-		m:      m,
-		nodes:  rtree.New(),
-		segs:   rtree.New(),
-		inv:    make(map[string]map[osm.NodeID]struct{}),
-		bounds: geo.EmptyRect(),
+		m:       m,
+		nodes:   rtree.New(),
+		segs:    rtree.New(),
+		inv:     make(map[string]map[osm.NodeID]struct{}),
+		bounds:  geo.EmptyRect(),
+		nodeVer: make(map[osm.NodeID]uint64),
 	}
 	m.Nodes(func(n *osm.Node) bool {
 		s.indexNode(n)
@@ -153,11 +187,125 @@ func (s *Store) UpdateNodeTags(id osm.NodeID, tags osm.Tags) bool {
 	if n == nil {
 		return false
 	}
+	s.replaceTagsLocked(n, tags, s.nodeVer[id]+1)
+	return true
+}
+
+// ApplyReplicatedTags applies a tag state replicated from a sibling,
+// carrying the origin's node version. Returns whether the map changed:
+// a version at or below the local one is a stale echo or a replay and is
+// skipped — the guard that stops an old value arriving late from rolling
+// back a newer local write. An EQUAL-version conflict (two replicas wrote
+// the same node concurrently) settles on the canonically larger tag
+// serialization, so every member of the set picks the same winner.
+func (s *Store) ApplyReplicatedTags(id osm.NodeID, tags osm.Tags, ver uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.m.Node(id)
+	if n == nil {
+		return false
+	}
+	cur := s.nodeVer[id]
+	if ver < cur {
+		return false
+	}
+	if ver == cur && canonicalTags(tags) <= canonicalTags(n.Tags) {
+		return false
+	}
+	s.replaceTagsLocked(n, tags, ver)
+	return true
+}
+
+// NodeVersion returns a node's update version (0 = never tag-updated).
+func (s *Store) NodeVersion(id osm.NodeID) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.nodeVer[id]
+}
+
+// replaceTagsLocked swaps a node's tags copy-on-write, maintains the
+// indexes and version, and appends to the change log. Caller holds s.mu.
+func (s *Store) replaceTagsLocked(n *osm.Node, tags osm.Tags, ver uint64) {
 	s.unindexNode(n)
 	nn := &osm.Node{ID: n.ID, Pos: n.Pos, Local: n.Local, Tags: tags}
 	s.m.AddNode(nn) // replaces the entry under the map's own lock
 	s.indexNode(nn)
-	return true
+	s.nodeVer[n.ID] = ver
+	s.changeSeq++
+	s.changes = append(s.changes, Change{Seq: s.changeSeq, NodeID: n.ID, Tags: tags.Clone(), Ver: ver})
+	// Compact lazily at 2x the cap so a hot write path past the cap pays
+	// an O(cap) copy once per cap writes, not on every write; between
+	// compactions the log retains AT LEAST the last changeLogCap changes.
+	if len(s.changes) > 2*changeLogCap {
+		s.changes = append([]Change(nil), s.changes[len(s.changes)-changeLogCap:]...)
+	}
+}
+
+// canonicalTags renders a tag set in a canonical order for deterministic
+// equal-version conflict resolution.
+func canonicalTags(t osm.Tags) string {
+	keys := make([]string, 0, len(t))
+	for k := range t {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte(0)
+		b.WriteString(t[k])
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+// ChangeSeq returns the head position of the inventory-update log: the
+// sequence number of the most recent logged change (0 = none yet). Two
+// replicas reporting the same ChangeSeq after anti-entropy hold the same
+// logged content.
+func (s *Store) ChangeSeq() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.changeSeq
+}
+
+// FirstChangeSeq returns the oldest sequence number still retained in the
+// log (0 when the log is empty).
+func (s *Store) FirstChangeSeq() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.changes) == 0 {
+		return 0
+	}
+	return s.changes[0].Seq
+}
+
+// ChangesSince returns up to limit logged changes with Seq > since, oldest
+// first (limit <= 0 means all retained). The returned slice is a copy; the
+// Tags maps are shared and must be treated as immutable.
+func (s *Store) ChangesSince(since uint64, limit int) []Change {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.changes) == 0 {
+		return nil
+	}
+	// The log is contiguous: changes[i].Seq == changes[0].Seq + i. The
+	// delta stays in uint64 until range-checked — `since` is wire input
+	// (an absurd cursor must yield an empty answer, not an overflowed
+	// negative slice index).
+	var from int
+	if since >= s.changes[0].Seq {
+		delta := since - s.changes[0].Seq + 1
+		if delta >= uint64(len(s.changes)) {
+			return nil
+		}
+		from = int(delta)
+	}
+	out := s.changes[from:]
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return append([]Change(nil), out...)
 }
 
 // RemoveNode removes an unreferenced node from map and indexes.

@@ -170,6 +170,40 @@ type ErrorResponse struct {
 	Error string `json:"error"`
 }
 
+// SvcChanges names the replication endpoint (GET /v1/changes). It is not a
+// base service of §4 and is not advertised in discovery: replicas of the
+// same operator use it to pull anti-entropy from their siblings.
+const SvcChanges Service = "changes"
+
+// Change is one sequence-numbered inventory update in a server's change
+// log: the node's tags were replaced wholesale with Tags. Ver is the
+// node's update version at the origin — receivers apply a change only if
+// it is newer than what they hold, so a replica's echo of an old value
+// can never roll back a newer write (0 = sent by a pre-version peer; the
+// receiver falls back to tags-difference idempotence).
+type Change struct {
+	Seq    uint64            `json:"seq"`
+	NodeID int64             `json:"nodeId"`
+	Tags   map[string]string `json:"tags"`
+	Ver    uint64            `json:"ver,omitempty"`
+}
+
+// MaxChangesPerPull bounds one /v1/changes response; a replica further
+// behind keeps pulling until its cursor reaches the head Seq.
+const MaxChangesPerPull = 256
+
+// ChangesResponse answers GET /v1/changes?since=N: every logged change
+// with Seq > N (at most MaxChangesPerPull, oldest first), the server's
+// current head position, and the oldest sequence number still retained.
+// A puller whose cursor predates FirstSeq missed compacted history; the
+// sync layer's idempotent tag application converges it on the changes that
+// remain.
+type ChangesResponse struct {
+	Seq      uint64   `json:"seq"`
+	FirstSeq uint64   `json:"firstSeq"`
+	Changes  []Change `json:"changes,omitempty"`
+}
+
 // MaxBatchItems bounds one batch request; servers reject larger batches
 // outright so a single POST cannot queue unbounded compute.
 const MaxBatchItems = 64
