@@ -1,10 +1,39 @@
 GO ?= go
 
-.PHONY: verify fmt vet staticcheck build test race cover bench-fanout bench-resilience bench-replication bench-smoke
+.PHONY: verify fmt vet staticcheck deprecation-guard build test race cover bench-fanout bench-resilience bench-replication bench-session bench-smoke
 
-## verify: the full CI gate — formatting, vet, build, tests under -race
-## (twice, so flaky tests surface). CI additionally runs staticcheck.
-verify: fmt vet build race
+## verify: the full CI gate — formatting, vet, the v2-API deprecation
+## guard, build, tests under -race (twice, so flaky tests surface). CI
+## additionally runs staticcheck.
+verify: fmt vet deprecation-guard build race
+
+## deprecation-guard: the v2 client API (SearchV2/GeocodeV2/... with
+## CallOptions) is the only surface this repository may use. The v1
+## wrappers exist solely for external source compatibility: they are
+## defined in internal/client/legacy.go and pinned byte-identical to v2 by
+## tests (which therefore keep calling them — tests are exempt). Any other
+## call site in internal/, cmd/, or examples/ fails the build here.
+## Three passes, because some v1 names are ambiguous with other types:
+##  1. names unique to the client wrappers, greppable repo-wide;
+##  2. DiscoverCtx, excluding discovery.Client's own method (used via the
+##     `disc` field);
+##  3. the bare v1 names (Search/Geocode/Route/Localize/Discover/Info) on
+##     a `c.` receiver in the packages where `c` is conventionally the
+##     client — a heuristic: a bare-name call on an unconventionally-named
+##     receiver can slip past this pass (staticcheck's SA1019 would catch
+##     it but is disabled, see staticcheck.conf).
+LEGACY_CLIENT_METHODS := SearchCtx|SearchFanout|SearchFanoutCtx|GeocodeCtx|ReverseGeocode|ReverseGeocodeCtx|LocalizeCtx|RouteCtx|GetTilePNG|GetTilePNGCtx|InfoCtx
+deprecation-guard:
+	@out=$$(grep -rnE '\.($(LEGACY_CLIENT_METHODS))\(' internal cmd examples \
+		--include='*.go' --exclude='*_test.go' --exclude=legacy.go || true); \
+	out2=$$(grep -rnE '\.DiscoverCtx\(' cmd examples internal/core internal/client \
+		--include='*.go' --exclude='*_test.go' --exclude=legacy.go | grep -v 'disc\.DiscoverCtx' || true); \
+	out3=$$(grep -rnE '\bc\.(Search|Geocode|Route|Localize|Discover|Info)\(' \
+		cmd examples internal/core internal/client \
+		--include='*.go' --exclude='*_test.go' --exclude=legacy.go || true); \
+	if [ -n "$$out$$out2$$out3" ]; then \
+		echo "deprecated v1 client API called outside internal/client/legacy.go:"; \
+		echo "$$out"; echo "$$out2"; echo "$$out3"; exit 1; fi
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -45,6 +74,12 @@ bench-resilience:
 ## request per replica set vs query-everyone).
 bench-replication:
 	$(GO) test -run xxx -bench E16 -benchtime 200x .
+
+## bench-session: the E17 staleness comparison — reads under injected
+## replica lag with forced failover, with session-consistency marks vs
+## without (stalereads/op must be 0 with sessions, 1 without).
+bench-session:
+	$(GO) test -run xxx -bench E17 -benchtime 20x .
 
 ## bench-smoke: compile and run EVERY benchmark for one iteration, so the
 ## growing suite (E1–E15 plus per-package micro-benchmarks) can never rot

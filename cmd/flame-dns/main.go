@@ -24,6 +24,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"openflame/internal/discovery"
 	"openflame/internal/dns"
@@ -36,6 +37,7 @@ type options struct {
 	addr    string
 	records string
 	admin   string
+	lease   time.Duration
 }
 
 func newFlagSet(name string) (*flag.FlagSet, *options) {
@@ -45,7 +47,28 @@ func newFlagSet(name string) (*flag.FlagSet, *options) {
 	fs.StringVar(&o.addr, "addr", "127.0.0.1:5300", "listen address (UDP+TCP)")
 	fs.StringVar(&o.records, "records", "", "record file (optional)")
 	fs.StringVar(&o.admin, "admin", "", "registry admin HTTP address for runtime register/unregister, e.g. 127.0.0.1:5301 (empty = off; bind to localhost or front with your gateway)")
+	fs.DurationVar(&o.lease, "lease", 0, "registration lease TTL (with -admin): members that do not re-announce within it are evicted at a bumped epoch, closing the SIGKILL/power-loss gap (0 = registrations never expire)")
 	return fs, o
+}
+
+// validate rejects flag combinations that would silently misbehave.
+func (o *options) validate() error {
+	if o.lease > 0 && o.admin == "" {
+		return fmt.Errorf("-lease requires -admin: leases are enforced by the registry, " +
+			"and without the admin endpoint there is no registry (or any way for members to renew)")
+	}
+	return nil
+}
+
+// sweepInterval is how often lapsed leases are collected: a fraction of
+// the TTL so an eviction lands promptly after the lease ends, floored so a
+// tiny TTL cannot spin the sweeper.
+func (o *options) sweepInterval() time.Duration {
+	iv := o.lease / 4
+	if iv < 250*time.Millisecond {
+		iv = 250 * time.Millisecond
+	}
+	return iv
 }
 
 // buildZone creates the authoritative zone and loads the record file when
@@ -72,6 +95,9 @@ func main() {
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
+	if err := o.validate(); err != nil {
+		log.Fatal(err)
+	}
 	zone, n, err := o.buildZone()
 	if err != nil {
 		log.Fatal(err)
@@ -89,8 +115,12 @@ func main() {
 	// The admin endpoint turns the static zone into a LIVE membership
 	// registry: map servers join with POST /v1/register and leave with
 	// POST /v1/unregister, each change re-stamping the zone at a new epoch.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if o.admin != "" {
 		registry := discovery.NewRegistry(zone, zone.Apex())
+		registry.LeaseTTL = o.lease
 		adminSrv := &http.Server{Addr: o.admin, Handler: discovery.RegistryHandler(registry)}
 		go func() {
 			if err := adminSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
@@ -99,10 +129,11 @@ func main() {
 		}()
 		defer adminSrv.Close()
 		log.Printf("registry admin on http://%s (register/unregister/members)", o.admin)
+		if o.lease > 0 {
+			go registry.SweepLeases(ctx, o.sweepInterval(), log.Printf)
+			log.Printf("registration leases: %v (silent members evicted)", o.lease)
+		}
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	<-ctx.Done()
 	log.Printf("served %d queries", srv.QueryCount())
 }

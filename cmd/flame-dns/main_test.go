@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 func TestFlagDefaultsAndRoundTrip(t *testing.T) {
@@ -79,5 +80,27 @@ func TestAdminFlag(t *testing.T) {
 	}
 	if o.admin != "127.0.0.1:5301" {
 		t.Fatalf("admin flag lost: %q", o.admin)
+	}
+}
+
+// TestValidateLeaseRequiresAdmin: leases are enforced by the registry
+// behind -admin; -lease alone would silently never evict anyone.
+func TestValidateLeaseRequiresAdmin(t *testing.T) {
+	o := &options{lease: 8 * time.Second}
+	if err := o.validate(); err == nil {
+		t.Fatal("-lease without -admin accepted")
+	}
+	o = &options{lease: 8 * time.Second, admin: "127.0.0.1:5322"}
+	if err := o.validate(); err != nil {
+		t.Fatalf("valid combination rejected: %v", err)
+	}
+	if err := (&options{}).validate(); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	if got := o.sweepInterval(); got != 2*time.Second {
+		t.Fatalf("sweep interval = %v, want lease/4", got)
+	}
+	if got := (&options{lease: 100 * time.Millisecond}).sweepInterval(); got != 250*time.Millisecond {
+		t.Fatalf("tiny-lease sweep interval = %v, want the 250ms floor", got)
 	}
 }

@@ -37,6 +37,7 @@ import (
 // flags round-trip into the server configuration.
 type options struct {
 	mapPath           string
+	snapshotPath      string
 	addr              string
 	name              string
 	publicURL         string
@@ -47,8 +48,10 @@ type options struct {
 	queryCacheEntries int
 	registerURL       string
 	replicaSet        string
+	reannounce        time.Duration
 	syncPeers         string
 	syncInterval      time.Duration
+	consistencyWait   time.Duration
 }
 
 // defaultQueryCacheEntries sizes the query result cache when -query-cache
@@ -58,7 +61,8 @@ const defaultQueryCacheEntries = 4096
 func newFlagSet(name string) (*flag.FlagSet, *options) {
 	o := &options{}
 	fs := flag.NewFlagSet(name, flag.ContinueOnError)
-	fs.StringVar(&o.mapPath, "map", "", "OSM XML map file (required)")
+	fs.StringVar(&o.mapPath, "map", "", "OSM XML map file (required unless -snapshot exists)")
+	fs.StringVar(&o.snapshotPath, "snapshot", "", "binary snapshot path: loaded instead of -map when it exists (restoring per-node change versions), rewritten on shutdown — so a restarted replica resumes versioning above its persisted history")
 	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
 	fs.StringVar(&o.name, "name", "", "server name (default: map name)")
 	fs.StringVar(&o.publicURL, "public-url", "", "URL to advertise in DNS (default http://<addr>)")
@@ -70,8 +74,10 @@ func newFlagSet(name string) (*flag.FlagSet, *options) {
 		"query cache capacity (entries, LRU-evicted)")
 	fs.StringVar(&o.registerURL, "register", "", "flame-dns registry admin URL (e.g. http://127.0.0.1:5301): announce on startup, deregister on SIGTERM")
 	fs.StringVar(&o.replicaSet, "replica-set", "", "replica-set id to register under (requires -register); siblings share load and fail over for each other")
+	fs.DurationVar(&o.reannounce, "reannounce", 0, "re-announce to the registry on this interval (requires -register): renews the registration lease when the registry enforces one, so a member that dies silently is evicted instead of advertised forever (0 = announce once)")
 	fs.StringVar(&o.syncPeers, "sync-peers", "", "comma-separated sibling replica URLs to pull anti-entropy from")
 	fs.DurationVar(&o.syncInterval, "sync-interval", 5*time.Second, "anti-entropy pull interval (with -sync-peers)")
+	fs.DurationVar(&o.consistencyWait, "consistency-wait", 0, "how long a read carrying a session mark this replica has not caught up to may wait for anti-entropy before answering 412 stale-replica (0 = refuse immediately)")
 	return fs, o
 }
 
@@ -80,6 +86,9 @@ func (o *options) validate() error {
 	if o.replicaSet != "" && o.registerURL == "" {
 		return fmt.Errorf("-replica-set requires -register: without a registry the printed records " +
 			"would carry no rs= tag and clients would treat the siblings as independent servers")
+	}
+	if o.reannounce > 0 && o.registerURL == "" {
+		return fmt.Errorf("-reannounce requires -register: there is no registry to renew a lease with")
 	}
 	return nil
 }
@@ -105,16 +114,45 @@ func (o *options) cacheEntries() int {
 	return o.queryCacheEntries
 }
 
-// buildServer loads the map and constructs the configured map server.
-func (o *options) buildServer() (*mapserver.Server, *osm.Map, error) {
+// loadMap reads the served map: the binary snapshot when -snapshot names
+// an existing file (recovering persisted node versions), else the OSM XML.
+func (o *options) loadMap() (*osm.Map, map[osm.NodeID]uint64, error) {
+	if o.snapshotPath != "" {
+		f, err := os.Open(o.snapshotPath)
+		if err == nil {
+			defer f.Close()
+			m, vers, err := osm.ReadSnapshotVersions(f)
+			if err != nil {
+				return nil, nil, fmt.Errorf("parse snapshot: %w", err)
+			}
+			return m, vers, nil
+		}
+		if !errors.Is(err, os.ErrNotExist) {
+			return nil, nil, fmt.Errorf("open snapshot: %w", err)
+		}
+		// First boot: fall through to the XML source; the snapshot is
+		// written on shutdown.
+		if o.mapPath == "" {
+			return nil, nil, fmt.Errorf("snapshot %s does not exist yet and no -map was given to bootstrap from", o.snapshotPath)
+		}
+	}
 	f, err := os.Open(o.mapPath)
 	if err != nil {
 		return nil, nil, fmt.Errorf("open map: %w", err)
 	}
+	defer f.Close()
 	m, err := osm.ReadXML(f)
-	f.Close()
 	if err != nil {
 		return nil, nil, fmt.Errorf("parse map: %w", err)
+	}
+	return m, nil, nil
+}
+
+// buildServer loads the map and constructs the configured map server.
+func (o *options) buildServer() (*mapserver.Server, *osm.Map, error) {
+	m, vers, err := o.loadMap()
+	if err != nil {
+		return nil, nil, err
 	}
 	srv, err := mapserver.New(mapserver.Config{
 		Name:              o.name,
@@ -123,11 +161,37 @@ func (o *options) buildServer() (*mapserver.Server, *osm.Map, error) {
 		MinLevel:          o.minLevel,
 		MaxLevel:          o.maxLevel,
 		QueryCacheEntries: o.cacheEntries(),
+		ConsistencyWait:   o.consistencyWait,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
+	if len(vers) > 0 {
+		srv.Store().RestoreNodeVersions(vers)
+	}
 	return srv, m, nil
+}
+
+// saveSnapshot persists the map and its node versions for the next boot.
+func (o *options) saveSnapshot(srv *mapserver.Server, m *osm.Map) error {
+	if o.snapshotPath == "" {
+		return nil
+	}
+	tmp := o.snapshotPath + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteSnapshotVersions(f, srv.Store().NodeVersions()); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, o.snapshotPath)
 }
 
 // advertiseURL is the URL published in the discovery DNS records.
@@ -143,7 +207,7 @@ func main() {
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
-	if o.mapPath == "" {
+	if o.mapPath == "" && o.snapshotPath == "" {
 		fs.Usage()
 		os.Exit(2)
 	}
@@ -223,9 +287,36 @@ func main() {
 			log.Fatalf("register: %v", err)
 		}
 		log.Printf("registered with %s (replica set %q)", o.registerURL, o.replicaSet)
+		if o.reannounce > 0 {
+			// Lease renewal: an identical re-announce is free on the
+			// registry (no epoch bump); a failed renewal is transient — the
+			// next tick retries well inside any sane lease TTL.
+			go func() {
+				t := time.NewTicker(o.reannounce)
+				defer t.Stop()
+				for {
+					select {
+					case <-ctx.Done():
+						return
+					case <-t.C:
+						actx, acancel := context.WithTimeout(ctx, 10*time.Second)
+						if err := discovery.AnnounceHTTP(actx, o.registerURL, info, url, o.replicaSet); err != nil {
+							log.Printf("re-announce: %v (retrying in %v)", err, o.reannounce)
+						}
+						acancel()
+					}
+				}
+			}()
+			log.Printf("re-announcing every %v", o.reannounce)
+		}
 	}
+	var syncDone chan struct{}
 	if syncer != nil {
-		go syncer.Run(ctx, o.syncInterval)
+		syncDone = make(chan struct{})
+		go func() {
+			defer close(syncDone)
+			syncer.Run(ctx, o.syncInterval)
+		}()
 		log.Printf("anti-entropy from %d sibling(s) every %v", len(o.peerList()), o.syncInterval)
 	}
 	select {
@@ -240,5 +331,17 @@ func main() {
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Fatalf("shutdown: %v", err)
+	}
+	// Persist AFTER the drain AND after the background syncer has stopped:
+	// the snapshot then includes every applied write, nothing mutates the
+	// map while it serializes, and the next boot resumes node versioning
+	// above it.
+	if syncDone != nil {
+		<-syncDone
+	}
+	if err := o.saveSnapshot(srv, m); err != nil {
+		log.Fatalf("snapshot: %v", err)
+	} else if o.snapshotPath != "" {
+		log.Printf("snapshot written to %s", o.snapshotPath)
 	}
 }

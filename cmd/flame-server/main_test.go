@@ -8,6 +8,7 @@ import (
 
 	"openflame/internal/discovery"
 	"openflame/internal/mapserver"
+	"openflame/internal/osm"
 	"openflame/internal/wire"
 	"openflame/internal/worldgen"
 )
@@ -222,5 +223,72 @@ func TestValidateRejectsReplicaSetWithoutRegister(t *testing.T) {
 	}
 	if err := (&options{}).validate(); err != nil {
 		t.Fatalf("defaults rejected: %v", err)
+	}
+}
+
+// TestSnapshotPersistenceRoundTrip: -snapshot restores the map AND the
+// per-node change versions a previous run persisted, so a restarted
+// replica mints versions above its history instead of from 1.
+func TestSnapshotPersistenceRoundTrip(t *testing.T) {
+	w := worldgen.GenWorld(worldgen.DefaultWorldParams())
+	dir := t.TempDir()
+	xmlPath := filepath.Join(dir, "city.osm.xml")
+	f, err := os.Create(xmlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Outdoor.WriteXML(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	snapPath := filepath.Join(dir, "city.snap")
+
+	// Run 1: boots from XML (snapshot absent), takes two writes, persists.
+	fs, o := newFlagSet("flame-server")
+	if err := fs.Parse([]string{"-map", xmlPath, "-snapshot", snapPath, "-name", "city"}); err != nil {
+		t.Fatal(err)
+	}
+	srv, m, err := o.buildServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodeID osm.NodeID
+	m.Nodes(func(n *osm.Node) bool { nodeID = n.ID; return false })
+	for i := 0; i < 2; i++ {
+		if !srv.ApplyInventoryUpdate(nodeID, osm.Tags{"name": "persisted"}) {
+			t.Fatal("update refused")
+		}
+	}
+	if err := o.saveSnapshot(srv, m); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run 2: boots from the snapshot; the node resumes at version 2.
+	fs2, o2 := newFlagSet("flame-server")
+	if err := fs2.Parse([]string{"-snapshot", snapPath, "-name", "city"}); err != nil {
+		t.Fatal(err)
+	}
+	srv2, _, err := o2.buildServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv2.Store().NodeVersion(nodeID); got != 2 {
+		t.Fatalf("restored node version = %d, want 2", got)
+	}
+	if got := srv2.Store().Map().Node(nodeID).Tags.Get("name"); got != "persisted" {
+		t.Fatalf("restored tags lost the write: %q", got)
+	}
+}
+
+// TestValidateReannounceRequiresRegister: a renewal loop with no registry
+// to renew against is a misconfiguration, not a silent no-op.
+func TestValidateReannounceRequiresRegister(t *testing.T) {
+	o := &options{reannounce: 30 * time.Second}
+	if err := o.validate(); err == nil {
+		t.Fatal("-reannounce without -register accepted")
+	}
+	o = &options{reannounce: 30 * time.Second, registerURL: "http://127.0.0.1:5301"}
+	if err := o.validate(); err != nil {
+		t.Fatalf("valid combination rejected: %v", err)
 	}
 }

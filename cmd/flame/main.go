@@ -13,7 +13,10 @@
 // Resilience flags (-retries, -retry-budget, -hedge-after,
 // -breaker-threshold) tune how the client treats an unreliable
 // federation; all default off, reproducing the plain client. -batch
-// coalesces same-server sub-queries into /v1/batch round trips.
+// coalesces same-server sub-queries into /v1/batch round trips. -session
+// runs the command's reads under session consistency: replicas that lag
+// behind what the command has already observed refuse and the client fails
+// over to a caught-up sibling.
 package main
 
 import (
@@ -47,6 +50,7 @@ type options struct {
 	perServer   time.Duration
 	concurrency int
 	batch       bool
+	session     bool
 
 	retries          int
 	retryBackoff     time.Duration
@@ -69,6 +73,7 @@ func newFlagSet(name string) (*flag.FlagSet, *options) {
 	fs.DurationVar(&o.perServer, "per-server-timeout", 5*time.Second, "deadline per federation member, spanning its retries and hedges (0 = none)")
 	fs.IntVar(&o.concurrency, "concurrency", 0, "max concurrent server calls (0 = default, 1 = sequential)")
 	fs.BoolVar(&o.batch, "batch", false, "coalesce a request's sub-queries to the same server into POST /v1/batch round trips (servers without the endpoint fall back transparently)")
+	fs.BoolVar(&o.session, "session", false, "session consistency: carry high-water marks across this command's reads so a lagging replica is failed over instead of serving stale state")
 	fs.IntVar(&o.retries, "retries", 0, "max attempts per server call; 5xx/timeouts/transport errors are retried with jittered backoff (0 or 1 = no retries)")
 	fs.DurationVar(&o.retryBackoff, "retry-backoff", 10*time.Millisecond, "base backoff before the first retry (doubles per attempt)")
 	fs.IntVar(&o.retryBudget, "retry-budget", 0, "max total retries per command across all federation members (0 = unlimited)")
@@ -99,6 +104,15 @@ func (o *options) newClient() *client.Client {
 	return c
 }
 
+// callOpts translates the flags into per-call v2 options.
+func (o *options) callOpts() []client.CallOption {
+	var opts []client.CallOption
+	if o.session {
+		opts = append(opts, client.WithConsistency(client.ConsistencySession))
+	}
+	return opts
+}
+
 func main() {
 	fs, o := newFlagSet("flame")
 	fs.Usage = func() { usage(fs) }
@@ -124,7 +138,7 @@ func main() {
 	switch args[0] {
 	case "discover":
 		ll := parseLatLng(fs, args, 1)
-		anns := c.DiscoverCtx(ctx, ll)
+		anns := c.DiscoverV2(ctx, ll)
 		if len(anns) == 0 {
 			fmt.Println("no map servers found")
 			return
@@ -135,13 +149,13 @@ func main() {
 	case "search":
 		ll := parseLatLng(fs, args, 1)
 		query := strings.Join(args[3:], " ")
-		for i, r := range c.SearchCtx(ctx, query, ll, 10) {
+		for i, r := range c.SearchV2(ctx, query, ll, 10, o.callOpts()...) {
 			fmt.Printf("%2d. %-32s %6.0fm score=%.2f via %s\n",
 				i+1, r.Name, r.DistanceMeters, r.Score, r.Source)
 		}
 	case "geocode":
 		address := strings.Join(args[1:], " ")
-		r, err := c.GeocodeCtx(ctx, address)
+		r, err := c.GeocodeV2(ctx, address, o.callOpts()...)
 		if err != nil {
 			log.Fatalf("geocode: %v", err)
 		}
@@ -149,7 +163,7 @@ func main() {
 	case "route":
 		from := parseLatLng(fs, args, 1)
 		to := parseLatLng(fs, args, 3)
-		route, err := c.RouteCtx(ctx, from, to)
+		route, err := c.RouteV2(ctx, from, to, o.callOpts()...)
 		if err != nil {
 			log.Fatalf("route: %v", err)
 		}
@@ -162,12 +176,12 @@ func main() {
 		ll := parseLatLng(fs, args, 1)
 		z := mustInt(fs, args, 3)
 		out := mustArg(fs, args, 4)
-		anns := c.DiscoverCtx(ctx, ll)
+		anns := c.DiscoverV2(ctx, ll)
 		if len(anns) == 0 {
 			log.Fatal("no map servers found")
 		}
 		coord := tiles.FromLatLng(ll, z)
-		png, err := c.GetTilePNGCtx(ctx, anns[0].URL, coord.Z, coord.X, coord.Y)
+		png, err := c.TilePNGV2(ctx, anns[0].URL, coord.Z, coord.X, coord.Y)
 		if err != nil {
 			log.Fatalf("tile: %v", err)
 		}

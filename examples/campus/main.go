@@ -83,7 +83,7 @@ func main() {
 		c := fed.NewClient()
 		c.User, c.App = p.user, p.app
 
-		anns := c.DiscoverCtx(ctx, entrance)
+		anns := c.DiscoverV2(ctx, entrance)
 		if len(anns) == 0 {
 			log.Fatal("campus not discovered")
 		}
@@ -91,14 +91,14 @@ func main() {
 		fmt.Printf("  discovered %q (discovery itself is public DNS — §5.1)\n", anns[0].Name)
 
 		// Tiles — public.
-		if _, err := c.GetTilePNGCtx(ctx, url, 18, 0, 0); err != nil {
+		if _, err := c.TilePNGV2(ctx, url, 18, 0, 0); err != nil {
 			fmt.Println("  tiles:    DENIED  —", err)
 		} else {
 			fmt.Println("  tiles:    allowed (public map view)")
 		}
 
 		// Search — user-level. ("Wean" matches the entrance node.)
-		if rs := c.SearchCtx(ctx, "Wean", entrance, 3); len(rs) > 0 {
+		if rs := c.SearchV2(ctx, "Wean", entrance, 3); len(rs) > 0 {
 			fmt.Printf("  search:   allowed (%d hits)\n", len(rs))
 		} else {
 			fmt.Println("  search:   DENIED  (requires a cmu.edu account)")
@@ -106,14 +106,14 @@ func main() {
 
 		// Localize — user + application level.
 		cue := loc.Cue{Technology: loc.TechFiducial, TagID: campus.Fiducials[0].ID}
-		if fix, ok := c.LocalizeCtx(ctx, entrance, []loc.Cue{cue}, entrance, 0); ok {
+		if fix, ok := c.LocalizeV2(ctx, entrance, []loc.Cue{cue}, entrance, 0); ok {
 			fmt.Printf("  localize: allowed (fix at local %v)\n", fix.Local)
 		} else {
 			fmt.Println("  localize: DENIED  (requires cmu.edu account AND the campus-nav app)")
 		}
 
 		// Route — default-deny.
-		if _, err := c.RouteCtx(ctx, entrance, geo.Offset(entrance, 20, 0)); err != nil {
+		if _, err := c.RouteV2(ctx, entrance, geo.Offset(entrance, 20, 0)); err != nil {
 			fmt.Println("  route:    DENIED  (service not offered to anyone)")
 		} else {
 			fmt.Println("  route:    allowed?! (policy bug)")

@@ -56,7 +56,7 @@ func main() {
 	//    churn window the sleep below waits out.)
 	c := fed.NewClient()
 	pos := geo.LatLng{Lat: 40.4400, Lng: -79.9990}
-	results := c.SearchCtx(ctx, "Street", pos, 3)
+	results := c.SearchV2(ctx, "Street", pos, 3)
 	fmt.Printf("\nsearch across the set: %d results from %q, %d HTTP request(s)\n",
 		len(results), results[0].Source, c.RequestCount())
 
@@ -74,7 +74,7 @@ func main() {
 	for _, h := range fed.Servers {
 		fmt.Printf("  %-8s change-log position %d\n", h.Server.Name(), h.Server.ChangeSeq())
 	}
-	hits := c.SearchCtx(ctx, "churnproof espresso", pos, 3)
+	hits := c.SearchV2(ctx, "churnproof espresso", pos, 3)
 	fmt.Printf("  client finds %q via %s — whichever replica answered, it converged\n",
 		hits[0].Name, hits[0].Source)
 
@@ -88,10 +88,10 @@ func main() {
 		log.Fatalf("remove: %v", err)
 	}
 	time.Sleep(1200 * time.Millisecond) // one announcement TTL
-	results = c.SearchCtx(ctx, "Street", pos, 3)
+	results = c.SearchV2(ctx, "Street", pos, 3)
 	fmt.Printf("\nafter city-0 left (epoch %d): search still answers via %q; discovery sees:\n",
 		fed.Registry.Epoch(), results[0].Source)
-	for _, a := range c.DiscoverCtx(ctx, pos) {
+	for _, a := range c.DiscoverV2(ctx, pos) {
 		fmt.Printf("  %-8s rs=%s epoch=%d\n", a.Name, a.ReplicaSet, a.Epoch)
 	}
 }

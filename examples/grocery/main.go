@@ -48,7 +48,7 @@ func main() {
 
 	// --- 1. Product search -------------------------------------------------
 	fmt.Printf("user at %s searches for %q\n", userPos, product)
-	results := c.SearchCtx(ctx, product, userPos, 5)
+	results := c.SearchV2(ctx, product, userPos, 5)
 	if len(results) == 0 {
 		log.Fatal("product not found anywhere nearby")
 	}
@@ -57,7 +57,7 @@ func main() {
 		shelfHit.Name, shelfHit.DistanceMeters, shelfHit.Source)
 
 	// --- 2. Stitched route -------------------------------------------------
-	route, err := c.RouteCtx(ctx, userPos, shelfHit.Position)
+	route, err := c.RouteV2(ctx, userPos, shelfHit.Position)
 	if err != nil {
 		log.Fatalf("route: %v", err)
 	}
@@ -110,7 +110,7 @@ func main() {
 		cue := loc.SynthesizeRSSICue(truthLocal, store.Beacons, loc.DefaultRadioModel(), rng)
 		prior, priorSigma := dr.Estimate()
 		_ = prior
-		fix, ok := c.LocalizeCtx(ctx, truth, []loc.Cue{cue}, ga.ToWorld(prior), priorSigma+5)
+		fix, ok := c.LocalizeV2(ctx, truth, []loc.Cue{cue}, ga.ToWorld(prior), priorSigma+5)
 		if !ok {
 			fmt.Printf("  [%2d] no indoor fix!\n", i)
 			continue

@@ -45,7 +45,7 @@ func main() {
 	store := world.Stores[0]
 	entrance := store.Correspondences[len(store.Correspondences)-1].World
 	fmt.Printf("\ndiscovery at %s:\n", entrance)
-	for _, a := range c.DiscoverCtx(ctx, entrance) {
+	for _, a := range c.DiscoverV2(ctx, entrance) {
 		fmt.Printf("  %-20s level=%d %s\n", a.Name, a.Level, a.URL)
 	}
 
@@ -54,18 +54,18 @@ func main() {
 	//    per-server requests fan out concurrently (c.MaxConcurrency).
 	product := store.Products[0]
 	fmt.Printf("\nsearch %q near the store:\n", product)
-	for i, r := range c.SearchCtx(ctx, product, geo.Offset(entrance, 50, 180), 5) {
+	for i, r := range c.SearchV2(ctx, product, geo.Offset(entrance, 50, 180), 5) {
 		fmt.Printf("  %d. %-32s %5.0fm via %s\n", i+1, r.Name, r.DistanceMeters, r.Source)
 	}
 
 	// 5. A stitched route: the world map routes along streets to the
 	//    storefront; the store's map takes over to the shelf.
-	shelf, err := c.GeocodeCtx(ctx, product+" shelf, "+store.Map.Name)
+	shelf, err := c.GeocodeV2(ctx, product+" shelf, "+store.Map.Name)
 	if err != nil {
 		log.Fatalf("geocode: %v", err)
 	}
 	from := geo.LatLng{Lat: 40.4400, Lng: -79.9990}
-	route, err := c.RouteCtx(ctx, from, shelf.Position)
+	route, err := c.RouteV2(ctx, from, shelf.Position)
 	if err != nil {
 		log.Fatalf("route: %v", err)
 	}

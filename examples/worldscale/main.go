@@ -49,10 +49,10 @@ func main() {
 	entrance := store.Correspondences[len(store.Correspondences)-1].World
 
 	cold := time.Now()
-	anns := c.DiscoverCtx(ctx, entrance)
+	anns := c.DiscoverV2(ctx, entrance)
 	coldDur := time.Since(cold)
 	warm := time.Now()
-	c.DiscoverCtx(ctx, entrance)
+	c.DiscoverV2(ctx, entrance)
 	warmDur := time.Since(warm)
 	fmt.Printf("\ndiscovery at a store entrance: %d servers\n", len(anns))
 	fmt.Printf("  cold (full DNS walk): %v\n", coldDur)
@@ -87,7 +87,7 @@ func main() {
 	coord := tiles.FromLatLng(entrance, 18)
 	layerSlots := make([]*raster.Canvas, len(anns))
 	fanout.ForEach(ctx, len(anns), 0, func(ctx context.Context, i int) {
-		png, err := c.GetTilePNGCtx(ctx, anns[i].URL, coord.Z, coord.X, coord.Y)
+		png, err := c.TilePNGV2(ctx, anns[i].URL, coord.Z, coord.X, coord.Y)
 		if err != nil {
 			return
 		}

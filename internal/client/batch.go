@@ -20,38 +20,77 @@ const batchReprobeInterval = 5 * time.Minute
 
 // batchCall posts the sub-requests to the server's /v1/batch endpoint in
 // one round trip. It returns ok=false whenever the caller should fall back
-// to per-call HTTP: batching disabled, the batch too large, the call
-// failing, or the server predating the endpoint — a 404/405 additionally
-// remembers the server as batch-incapable (re-probed after
-// batchReprobeInterval) so later requests skip the probe. Results are
-// index-aligned with items.
+// to per-call HTTP: batching disabled (client-wide or per-call via
+// WithNoBatch), the batch too large, the call failing, or the server
+// predating the endpoint — a 404/405 additionally remembers the server as
+// batch-incapable (re-probed after batchReprobeInterval) so later requests
+// skip the probe. Results are index-aligned with items.
 func (c *Client) batchCall(ctx context.Context, baseURL string, items []wire.BatchItem) ([]wire.BatchItemResult, bool) {
-	if !c.UseBatch || len(items) == 0 || len(items) > wire.MaxBatchItems {
+	if !c.batchEnabled(ctx) || len(items) == 0 || len(items) > wire.MaxBatchItems {
 		return nil, false
 	}
-	c.batchMu.Lock()
-	seen, unsupported := c.batchUnsup[baseURL]
-	c.batchMu.Unlock()
-	if unsupported && time.Since(seen) < batchReprobeInterval {
+	if c.batchUnsupported(baseURL) {
 		return nil, false
 	}
 	var resp wire.BatchResponse
 	if err := c.call(ctx, baseURL, "/v1/batch", wire.BatchRequest{Items: items}, &resp); err != nil {
 		var he *resilience.HTTPError
 		if errors.As(err, &he) && (he.StatusCode == http.StatusNotFound || he.StatusCode == http.StatusMethodNotAllowed) {
-			c.batchMu.Lock()
-			if c.batchUnsup == nil {
-				c.batchUnsup = make(map[string]time.Time)
-			}
-			c.batchUnsup[baseURL] = time.Now()
-			c.batchMu.Unlock()
+			c.markBatchUnsupported(baseURL)
 		}
 		return nil, false
 	}
+	// The endpoint answered: whatever the per-item outcomes, the server
+	// speaks batch — clear any stale incapability memory so a re-probe
+	// window is not consumed on the next request.
+	c.clearBatchUnsupported(baseURL)
 	if len(resp.Results) != len(items) {
 		return nil, false
 	}
 	return resp.Results, true
+}
+
+// batchUnsupported reports whether the server is remembered as lacking
+// /v1/batch. Expired entries are deleted on observation — the memory is a
+// probe-suppression window, not a permanent verdict, and a since-upgraded
+// server must regain batching without a client restart.
+func (c *Client) batchUnsupported(baseURL string) bool {
+	c.batchMu.Lock()
+	defer c.batchMu.Unlock()
+	seen, unsupported := c.batchUnsup[baseURL]
+	if !unsupported {
+		return false
+	}
+	if time.Since(seen) >= batchReprobeInterval {
+		delete(c.batchUnsup, baseURL)
+		return false
+	}
+	return true
+}
+
+// markBatchUnsupported remembers a 404/405 from the server's /v1/batch,
+// pruning every expired entry so a long-lived client roaming a churning
+// federation does not accumulate dead server URLs.
+func (c *Client) markBatchUnsupported(baseURL string) {
+	c.batchMu.Lock()
+	defer c.batchMu.Unlock()
+	if c.batchUnsup == nil {
+		c.batchUnsup = make(map[string]time.Time)
+	}
+	now := time.Now()
+	for url, seen := range c.batchUnsup {
+		if now.Sub(seen) >= batchReprobeInterval {
+			delete(c.batchUnsup, url)
+		}
+	}
+	c.batchUnsup[baseURL] = now
+}
+
+// clearBatchUnsupported drops the server's batch-incapability memory.
+func (c *Client) clearBatchUnsupported(baseURL string) {
+	c.batchMu.Lock()
+	delete(c.batchUnsup, baseURL)
+	c.batchMu.Unlock()
 }
 
 // decodeBatchResult unmarshals one sub-request's payload, surfacing its
@@ -74,8 +113,15 @@ func decodeBatchResult(res wire.BatchItemResult, out interface{}) error {
 // first-match semantics exactly. ok=false falls back to the sequential
 // walk.
 func (c *Client) geocodeCoarseBatch(ctx context.Context, parts []string, address string) (coarse wire.GeocodeResult, coarseFound bool, fine *wire.GeocodeResult, ok bool) {
+	worldKey := singletonKey("world", c.WorldURL)
+	// Sessioned calls thread the marks through each item body — batch
+	// items are full requests, so consistency crosses the batch boundary
+	// intact.
+	envelope := consistencyFor(ctx, worldKey)
 	item := func(q string) (wire.BatchItem, error) {
-		b, err := json.Marshal(wire.GeocodeRequest{Query: q, Limit: 1})
+		req := wire.GeocodeRequest{Query: q, Limit: 1}
+		req.SetConsistency(envelope)
+		b, err := json.Marshal(req)
 		return wire.BatchItem{Service: wire.SvcGeocode, Body: b}, err
 	}
 	first, err1 := item(join(parts[len(parts)-1:]))
@@ -94,6 +140,8 @@ func (c *Client) geocodeCoarseBatch(ctx context.Context, parts []string, address
 	if err := decodeBatchResult(results[1], &fresp); err != nil {
 		return coarse, false, nil, false
 	}
+	observeSession(ctx, worldKey, &tresp)
+	observeSession(ctx, worldKey, &fresp)
 	if len(fresp.Results) > 0 {
 		r := fresp.Results[0]
 		fine = &r
@@ -122,6 +170,7 @@ func (c *Client) geocodeCoarseBatch(ctx context.Context, parts []string, address
 		if err := decodeBatchResult(results2[i], &resp); err != nil {
 			return coarse, false, nil, false
 		}
+		observeSession(ctx, worldKey, &resp)
 		if len(resp.Results) > 0 {
 			return resp.Results[0], true, fine, true
 		}
@@ -131,18 +180,28 @@ func (c *Client) geocodeCoarseBatch(ctx context.Context, parts []string, address
 
 // expandLegsBatch expands every chosen route leg on one server in a single
 // /v1/batch round trip, recording results into the caller's indexed slots.
-// Returns false (recording nothing) when the caller should fall back to
-// per-leg calls.
-func (c *Client) expandLegsBatch(ctx context.Context, chain []metaEdge, idxs []int,
+// groups is the route's plan (legs carry their group index) so sessioned
+// items are marked — and their returned marks recorded — under the right
+// replica-set key. Returns false (recording nothing) when the caller
+// should fall back to per-leg calls.
+func (c *Client) expandLegsBatch(ctx context.Context, chain []metaEdge, groups []planGroup, idxs []int,
 	legs []Leg, lengths []float64, legErrs []error, expanded []bool) bool {
 	url := chain[idxs[0]].server
+	keyOf := func(e metaEdge) string {
+		if e.group >= 0 && e.group < len(groups) {
+			return groups[e.group].Key
+		}
+		return ""
+	}
 	items := make([]wire.BatchItem, len(idxs))
 	for k, i := range idxs {
 		e := chain[i]
-		b, err := json.Marshal(wire.RouteRequest{
+		req := wire.RouteRequest{
 			FromNode: e.fromNode, ToNode: e.toNode,
 			From: e.fromPos, To: e.toPos,
-		})
+		}
+		req.SetConsistency(consistencyFor(ctx, keyOf(e)))
+		b, err := json.Marshal(req)
 		if err != nil {
 			return false
 		}
@@ -153,7 +212,7 @@ func (c *Client) expandLegsBatch(ctx context.Context, chain []metaEdge, idxs []i
 		return false
 	}
 	name := url
-	if info, err := c.InfoCtx(ctx, url); err == nil {
+	if info, err := c.infoCtx(ctx, url); err == nil {
 		name = info.Name
 	}
 	for k, i := range idxs {
@@ -166,6 +225,7 @@ func (c *Client) expandLegsBatch(ctx context.Context, chain []metaEdge, idxs []i
 			legErrs[i] = fmt.Errorf("client: leg expansion on %s failed: no route found", url)
 			continue
 		}
+		observeSession(ctx, keyOf(chain[i]), &resp)
 		legs[i] = Leg{Server: name, URL: url, Points: resp.Points, CostSeconds: resp.CostSeconds}
 		lengths[i] = resp.LengthMeters
 		expanded[i] = true

@@ -48,7 +48,7 @@ func TestExpandLegsBatchOneRoundTrip(t *testing.T) {
 	legErrs := make([]error, len(chain))
 	expanded := make([]bool, len(chain))
 	before := c.RequestCount()
-	if !c.expandLegsBatch(context.Background(), chain, []int{0, 1}, legs, lengths, legErrs, expanded) {
+	if !c.expandLegsBatch(context.Background(), chain, nil, []int{0, 1}, legs, lengths, legErrs, expanded) {
 		t.Fatal("batch expansion fell back")
 	}
 	// One /v1/batch POST plus one /info fetch for the leg label.

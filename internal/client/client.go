@@ -35,8 +35,14 @@ import (
 // Every service method fans out to the servers discovered for the request
 // concurrently (the client is the federation's aggregation point, §5.2), so
 // end-to-end latency tracks the slowest responding server, not the sum of
-// all of them. Each method has a ctx-first variant; the plain variants use
-// context.Background().
+// all of them.
+//
+// The v2 surface is one ctx-first method per service — SearchV2, GeocodeV2,
+// ReverseGeocodeV2, LocalizeV2, RouteV2, DiscoverV2, InfoV2, TilePNGV2 —
+// taking variadic CallOptions (WithMaxServers, WithTimeout, WithNoBatch,
+// WithConsistency, WithSession; see options.go). The v1 wrapper triplets
+// live in legacy.go, deprecated, each delegating to its v2 core with
+// default options.
 type Client struct {
 	disc *discovery.Client
 	http *http.Client
@@ -91,6 +97,8 @@ type Client struct {
 	infoFlight fanout.Group[wire.Info]
 	batchMu    sync.Mutex
 	batchUnsup map[string]time.Time // server → when /v1/batch was last observed missing
+	sessOnce   sync.Once
+	sess       *Session // the client's shared consistency session (lazy)
 }
 
 // New creates a client over a discovery client and an HTTP client
@@ -167,13 +175,10 @@ func (c *Client) availableAnns(anns []discovery.Announcement) []discovery.Announ
 	return out
 }
 
-// Discover exposes raw discovery for applications.
-func (c *Client) Discover(ll geo.LatLng) []discovery.Announcement {
-	return c.DiscoverCtx(context.Background(), ll)
-}
-
-// DiscoverCtx is Discover under a context.
-func (c *Client) DiscoverCtx(ctx context.Context, ll geo.LatLng) []discovery.Announcement {
+// DiscoverV2 exposes raw discovery for applications: every map server
+// announced on the location's cell ancestor chain.
+func (c *Client) DiscoverV2(ctx context.Context, ll geo.LatLng, opts ...CallOption) []discovery.Announcement {
+	ctx = c.withCallOpts(ctx, opts)
 	return c.disc.DiscoverCtx(ctx, ll)
 }
 
@@ -188,11 +193,17 @@ func (c *Client) withRetryBudget(ctx context.Context) context.Context {
 	return ctx
 }
 
-// perServerCtx applies the client's per-server timeout to one server
-// call. The returned cancel must be called when the call finishes.
+// perServerCtx applies the per-server timeout — the call-scoped
+// WithTimeout override when present, else the client's PerServerTimeout —
+// to one server call. The returned cancel must be called when the call
+// finishes.
 func (c *Client) perServerCtx(ctx context.Context) (context.Context, context.CancelFunc) {
-	if c.PerServerTimeout > 0 {
-		return context.WithTimeout(ctx, c.PerServerTimeout)
+	d := c.PerServerTimeout
+	if o := callOptsFrom(ctx); o != nil && o.timeoutSet {
+		d = o.timeout
+	}
+	if d > 0 {
+		return context.WithTimeout(ctx, d)
 	}
 	return ctx, func() {}
 }
@@ -259,19 +270,27 @@ func (c *Client) post(ctx context.Context, baseURL, path string, req interface{}
 	if res.StatusCode != http.StatusOK {
 		var e wire.ErrorResponse
 		_ = json.NewDecoder(res.Body).Decode(&e)
-		return nil, &resilience.HTTPError{URL: baseURL + path, StatusCode: res.StatusCode, Msg: e.Error}
+		return nil, &resilience.HTTPError{
+			URL: baseURL + path, StatusCode: res.StatusCode,
+			Msg: e.Error, Session: e.Session,
+		}
 	}
 	return io.ReadAll(res.Body)
 }
 
-// Info fetches (and caches) a server's description.
-func (c *Client) Info(baseURL string) (wire.Info, error) {
-	return c.InfoCtx(context.Background(), baseURL)
+// InfoV2 fetches (and caches) a server's description. Concurrent fetches
+// of the same URL are coalesced into one HTTP request.
+func (c *Client) InfoV2(ctx context.Context, baseURL string, opts ...CallOption) (wire.Info, error) {
+	if len(opts) > 0 {
+		ctx = c.withCallOpts(ctx, opts)
+	}
+	return c.infoCtx(ctx, baseURL)
 }
 
-// InfoCtx is Info under a context. Concurrent fetches of the same URL are
-// coalesced into one HTTP request.
-func (c *Client) InfoCtx(ctx context.Context, baseURL string) (wire.Info, error) {
+// infoCtx is the Info core, running under whatever call options the
+// context already carries (internal callers — route anchoring, leg
+// naming — invoke it mid-call without re-resolving options).
+func (c *Client) infoCtx(ctx context.Context, baseURL string) (wire.Info, error) {
 	c.infoMu.Lock()
 	if info, ok := c.infoCache[baseURL]; ok {
 		c.infoMu.Unlock()
@@ -313,41 +332,27 @@ func (c *Client) InfoCtx(ctx context.Context, baseURL string) (wire.Info, error)
 	return info, nil
 }
 
-// Search fans a location-based search out to every server discovered in
+// SearchV2 fans a location-based search out to every server discovered in
 // the search region (not just at the query point: "restaurants around me"
 // must reach maps the user is not standing inside) and merges the ranked
 // results (§5.2). Servers that fail or deny access are skipped.
-func (c *Client) Search(query string, near geo.LatLng, limit int) []search.Result {
-	return c.SearchFanout(query, near, limit, 0)
-}
-
-// SearchCtx is Search under a context: cancellation aborts discovery and
-// all in-flight server calls.
-func (c *Client) SearchCtx(ctx context.Context, query string, near geo.LatLng, limit int) []search.Result {
-	return c.SearchFanoutCtx(ctx, query, near, limit, 0)
-}
-
-// SearchFanout is Search restricted to the first maxServers discovered
-// servers (0 = all) — the E6 experiment's knob for measuring recall as a
-// function of how many federation members have answered.
-func (c *Client) SearchFanout(query string, near geo.LatLng, limit, maxServers int) []search.Result {
-	return c.SearchFanoutCtx(context.Background(), query, near, limit, maxServers)
-}
-
-// SearchFanoutCtx is SearchFanout under a context. The discovered servers
-// are planned into replica groups (one request per group, sibling failover
-// on error); the groups run concurrently on the client's bounded pool and
-// the merge preserves the deterministic plan order, so concurrency does not
-// change results.
-func (c *Client) SearchFanoutCtx(ctx context.Context, query string, near geo.LatLng, limit, maxServers int) []search.Result {
+//
+// The discovered servers are planned into replica groups (one request per
+// group, sibling failover on error); the groups run concurrently on the
+// client's bounded pool and the merge preserves the deterministic plan
+// order, so concurrency does not change results. WithMaxServers bounds how
+// many groups answer (the E6 recall knob); WithConsistency/WithSession
+// make the read sessioned.
+func (c *Client) SearchV2(ctx context.Context, query string, near geo.LatLng, limit int, opts ...CallOption) []search.Result {
+	ctx = c.withCallOpts(ctx, opts)
 	region := s2cell.CapRegion{Cap: geo.Cap{Center: near, RadiusMeters: c.SearchRadiusMeters}}
 	anns := c.availableAnns(c.disc.DiscoverRegionCtx(ctx, region))
 	groups := planAnnouncements(anns)
-	// The E6 knob bounds how many federation members ANSWER: that is now
-	// the group count — a replica set collapses to one request, so it must
+	// The E6 knob bounds how many federation members ANSWER: that is the
+	// group count — a replica set collapses to one request, so it must
 	// consume one slot of the budget, not crowd out distinct regions.
-	if maxServers > 0 && len(groups) > maxServers {
-		groups = groups[:maxServers]
+	if o := callOptsFrom(ctx); o.maxServers > 0 && len(groups) > o.maxServers {
+		groups = groups[:o.maxServers]
 	}
 	slots := make([][]search.Result, len(groups))
 	c.forEachGroup(ctx, len(groups), func(ctx context.Context, i int) {
@@ -356,7 +361,7 @@ func (c *Client) SearchFanoutCtx(ctx context.Context, query string, near geo.Lat
 			Query: query, Near: &near,
 			MaxDistanceMeters: c.SearchRadiusMeters, Limit: limit,
 		}
-		if _, err := c.callGroup(ctx, groups[i], "/search", req, &resp); err != nil {
+		if _, err := c.callGroup(ctx, groups[i], "/search", &req, &resp); err != nil {
 			return
 		}
 		slots[i] = resp.Results
@@ -370,17 +375,13 @@ func (c *Client) SearchFanoutCtx(ctx context.Context, query string, near geo.Lat
 	return search.Merge(lists, limit)
 }
 
-// Geocode resolves a hierarchical address (§5.2): the coarse tail goes to
-// the world provider; the specific head is asked of the fine servers
-// discovered around the coarse position. The best-scoring result wins.
-func (c *Client) Geocode(address string) (wire.GeocodeResult, error) {
-	return c.GeocodeCtx(context.Background(), address)
-}
-
-// GeocodeCtx is Geocode under a context: the fine fan-out across discovered
-// servers runs concurrently; the coarse suffix walk stays sequential (each
-// step depends on the previous miss).
-func (c *Client) GeocodeCtx(ctx context.Context, address string) (wire.GeocodeResult, error) {
+// GeocodeV2 resolves a hierarchical address (§5.2): the coarse tail goes
+// to the world provider; the specific head is asked of the fine servers
+// discovered around the coarse position. The best-scoring result wins. The
+// fine fan-out across discovered servers runs concurrently; the coarse
+// suffix walk stays sequential (each step depends on the previous miss).
+func (c *Client) GeocodeV2(ctx context.Context, address string, opts ...CallOption) (wire.GeocodeResult, error) {
+	ctx = c.withCallOpts(ctx, opts)
 	ctx = c.withRetryBudget(ctx) // one budget for the coarse walk + fine fan-out
 	parts := geocode.ParseAddress(address)
 	if len(parts) == 0 {
@@ -400,16 +401,18 @@ func (c *Client) GeocodeCtx(ctx context.Context, address string) (wire.GeocodeRe
 	var worldFine *wire.GeocodeResult
 	found := false
 	batched := false
-	if c.UseBatch {
+	if c.batchEnabled(ctx) {
 		if co, cf, fine, ok := c.geocodeCoarseBatch(ctx, parts, address); ok {
 			coarse, found, worldFine, batched = co, cf, fine, true
 		}
 	}
+	worldKey := singletonKey("world", c.WorldURL)
 	if !batched {
 		for cut := 1; cut < len(parts)+1 && !found; cut++ {
 			tail := join(parts[len(parts)-cut:])
+			req := wire.GeocodeRequest{Query: tail, Limit: 1}
 			var resp wire.GeocodeResponse
-			if err := c.call(ctx, c.WorldURL, "/geocode", wire.GeocodeRequest{Query: tail, Limit: 1}, &resp); err != nil {
+			if err := c.callKeyed(ctx, worldKey, c.WorldURL, "/geocode", &req, &resp); err != nil {
 				return wire.GeocodeResult{}, err
 			}
 			if len(resp.Results) > 0 {
@@ -426,7 +429,7 @@ func (c *Client) GeocodeCtx(ctx context.Context, address string) (wire.GeocodeRe
 	// address and keep the best full-address score; fall back to the coarse
 	// hit.
 	groups := []planGroup{{
-		Key:      singletonKey("world", c.WorldURL),
+		Key:      worldKey,
 		Replicas: []discovery.Announcement{{Name: "world", URL: c.WorldURL}},
 	}}
 	var fine []discovery.Announcement
@@ -444,8 +447,9 @@ func (c *Client) GeocodeCtx(ctx context.Context, address string) (wire.GeocodeRe
 		if batched && i == 0 {
 			return
 		}
+		req := wire.GeocodeRequest{Query: address, Limit: 1}
 		var resp wire.GeocodeResponse
-		if _, err := c.callGroup(ctx, groups[i], "/geocode", wire.GeocodeRequest{Query: address, Limit: 1}, &resp); err != nil {
+		if _, err := c.callGroup(ctx, groups[i], "/geocode", &req, &resp); err != nil {
 			return
 		}
 		if len(resp.Results) > 0 {
@@ -479,21 +483,17 @@ func join(parts []string) string {
 	return out
 }
 
-// ReverseGeocode asks every discovered server and returns the closest
-// addressable hit.
-func (c *Client) ReverseGeocode(ll geo.LatLng, maxMeters float64) (wire.GeocodeResult, bool) {
-	return c.ReverseGeocodeCtx(context.Background(), ll, maxMeters)
-}
-
-// ReverseGeocodeCtx is ReverseGeocode under a context, fanning out to the
-// discovered replica groups concurrently (one member per group, sibling
-// failover on error).
-func (c *Client) ReverseGeocodeCtx(ctx context.Context, ll geo.LatLng, maxMeters float64) (wire.GeocodeResult, bool) {
+// ReverseGeocodeV2 asks every discovered server and returns the closest
+// addressable hit, fanning out to the discovered replica groups
+// concurrently (one member per group, sibling failover on error).
+func (c *Client) ReverseGeocodeV2(ctx context.Context, ll geo.LatLng, maxMeters float64, opts ...CallOption) (wire.GeocodeResult, bool) {
+	ctx = c.withCallOpts(ctx, opts)
 	groups := planAnnouncements(c.availableAnns(c.disc.DiscoverCtx(ctx, ll)))
 	slots := make([]*wire.GeocodeResult, len(groups))
 	c.forEachGroup(ctx, len(groups), func(ctx context.Context, i int) {
+		req := wire.RGeocodeRequest{Position: ll, MaxMeters: maxMeters}
 		var resp wire.RGeocodeResponse
-		if _, err := c.callGroup(ctx, groups[i], "/rgeocode", wire.RGeocodeRequest{Position: ll, MaxMeters: maxMeters}, &resp); err != nil {
+		if _, err := c.callGroup(ctx, groups[i], "/rgeocode", &req, &resp); err != nil {
 			return
 		}
 		if resp.Found {
@@ -515,17 +515,13 @@ func (c *Client) ReverseGeocodeCtx(ctx context.Context, ll geo.LatLng, maxMeters
 	return best, found
 }
 
-// Localize sends the cues to every discovered server advertising a
+// LocalizeV2 sends the cues to every discovered server advertising a
 // matching technology and picks the most plausible fix against the prior
-// (§5.2). priorSigma <= 0 disables the prior.
-func (c *Client) Localize(coarse geo.LatLng, cues []loc.Cue, prior geo.LatLng, priorSigmaMeters float64) (loc.Fix, bool) {
-	return c.LocalizeCtx(context.Background(), coarse, cues, prior, priorSigmaMeters)
-}
-
-// LocalizeCtx is Localize under a context: every (replica group, cue) pair
-// whose technology matches becomes one concurrent call on the bounded pool
-// — one replica answers per group, siblings covering for it on error.
-func (c *Client) LocalizeCtx(ctx context.Context, coarse geo.LatLng, cues []loc.Cue, prior geo.LatLng, priorSigmaMeters float64) (loc.Fix, bool) {
+// (§5.2). priorSigma <= 0 disables the prior. Every (replica group, cue)
+// pair whose technology matches becomes one concurrent call on the bounded
+// pool — one replica answers per group, siblings covering for it on error.
+func (c *Client) LocalizeV2(ctx context.Context, coarse geo.LatLng, cues []loc.Cue, prior geo.LatLng, priorSigmaMeters float64, opts ...CallOption) (loc.Fix, bool) {
+	ctx = c.withCallOpts(ctx, opts)
 	// The coarse position may be off by its own sigma (indoor GPS);
 	// discover over a cap so the right map is found anyway — at the cost
 	// of sometimes reaching "unrelated maps" the selection step rejects
@@ -560,8 +556,9 @@ func (c *Client) LocalizeCtx(ctx context.Context, coarse geo.LatLng, cues []loc.
 	}
 	slots := make([]*loc.Fix, len(specs))
 	c.forEachGroup(ctx, len(specs), func(ctx context.Context, i int) {
+		req := wire.LocalizeRequest{Cue: specs[i].cue}
 		var resp wire.LocalizeResponse
-		if _, err := c.callGroup(ctx, specs[i].group, "/localize", wire.LocalizeRequest{Cue: specs[i].cue}, &resp); err != nil {
+		if _, err := c.callGroup(ctx, specs[i].group, "/localize", &req, &resp); err != nil {
 			return
 		}
 		if resp.Found {
@@ -614,13 +611,13 @@ func gaussian(d, sigma float64) float64 {
 	return math.Exp(-x * x / 2)
 }
 
-// GetTilePNG fetches one tile from a server.
-func (c *Client) GetTilePNG(baseURL string, z, x, y int) ([]byte, error) {
-	return c.GetTilePNGCtx(context.Background(), baseURL, z, x, y)
-}
-
-// GetTilePNGCtx is GetTilePNG under a context.
-func (c *Client) GetTilePNGCtx(ctx context.Context, baseURL string, z, x, y int) ([]byte, error) {
+// TilePNGV2 fetches one tile from a server. Tiles are content-addressed
+// (ETag revalidation) rather than session-marked; consistency options are
+// accepted for uniformity but impose nothing.
+func (c *Client) TilePNGV2(ctx context.Context, baseURL string, z, x, y int, opts ...CallOption) ([]byte, error) {
+	if len(opts) > 0 {
+		ctx = c.withCallOpts(ctx, opts)
+	}
 	c.requests.Add(1)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, fmt.Sprintf("%s/tiles/%d/%d/%d.png", baseURL, z, x, y), nil)
 	if err != nil {

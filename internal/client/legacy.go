@@ -1,0 +1,149 @@
+package client
+
+// The v1 API surface: Foo/FooCtx/FooFanout/FooFanoutCtx wrapper triplets
+// kept for source compatibility, each a thin deprecated delegate to its v2
+// core with default options. They are pinned byte-identical to the v2
+// calls by TestLegacyWrappersMatchV2; nothing inside this repository
+// (internal/, cmd/, examples/) may call them — the Makefile's
+// deprecation-guard target fails CI on any non-test call site outside this
+// file.
+
+import (
+	"context"
+
+	"openflame/internal/discovery"
+	"openflame/internal/geo"
+	"openflame/internal/loc"
+	"openflame/internal/search"
+	"openflame/internal/wire"
+)
+
+// Discover exposes raw discovery for applications.
+//
+// Deprecated: use DiscoverV2.
+func (c *Client) Discover(ll geo.LatLng) []discovery.Announcement {
+	return c.DiscoverV2(context.Background(), ll)
+}
+
+// DiscoverCtx is Discover under a context.
+//
+// Deprecated: use DiscoverV2.
+func (c *Client) DiscoverCtx(ctx context.Context, ll geo.LatLng) []discovery.Announcement {
+	return c.DiscoverV2(ctx, ll)
+}
+
+// Info fetches (and caches) a server's description.
+//
+// Deprecated: use InfoV2.
+func (c *Client) Info(baseURL string) (wire.Info, error) {
+	return c.InfoV2(context.Background(), baseURL)
+}
+
+// InfoCtx is Info under a context.
+//
+// Deprecated: use InfoV2.
+func (c *Client) InfoCtx(ctx context.Context, baseURL string) (wire.Info, error) {
+	return c.InfoV2(ctx, baseURL)
+}
+
+// Search fans a location-based search out to every server discovered in
+// the search region and merges the ranked results (§5.2).
+//
+// Deprecated: use SearchV2.
+func (c *Client) Search(query string, near geo.LatLng, limit int) []search.Result {
+	return c.SearchV2(context.Background(), query, near, limit)
+}
+
+// SearchCtx is Search under a context.
+//
+// Deprecated: use SearchV2.
+func (c *Client) SearchCtx(ctx context.Context, query string, near geo.LatLng, limit int) []search.Result {
+	return c.SearchV2(ctx, query, near, limit)
+}
+
+// SearchFanout is Search restricted to the first maxServers replica groups
+// (0 = all).
+//
+// Deprecated: use SearchV2 with WithMaxServers.
+func (c *Client) SearchFanout(query string, near geo.LatLng, limit, maxServers int) []search.Result {
+	return c.SearchV2(context.Background(), query, near, limit, WithMaxServers(maxServers))
+}
+
+// SearchFanoutCtx is SearchFanout under a context.
+//
+// Deprecated: use SearchV2 with WithMaxServers.
+func (c *Client) SearchFanoutCtx(ctx context.Context, query string, near geo.LatLng, limit, maxServers int) []search.Result {
+	return c.SearchV2(ctx, query, near, limit, WithMaxServers(maxServers))
+}
+
+// Geocode resolves a hierarchical address (§5.2).
+//
+// Deprecated: use GeocodeV2.
+func (c *Client) Geocode(address string) (wire.GeocodeResult, error) {
+	return c.GeocodeV2(context.Background(), address)
+}
+
+// GeocodeCtx is Geocode under a context.
+//
+// Deprecated: use GeocodeV2.
+func (c *Client) GeocodeCtx(ctx context.Context, address string) (wire.GeocodeResult, error) {
+	return c.GeocodeV2(ctx, address)
+}
+
+// ReverseGeocode asks every discovered server and returns the closest
+// addressable hit.
+//
+// Deprecated: use ReverseGeocodeV2.
+func (c *Client) ReverseGeocode(ll geo.LatLng, maxMeters float64) (wire.GeocodeResult, bool) {
+	return c.ReverseGeocodeV2(context.Background(), ll, maxMeters)
+}
+
+// ReverseGeocodeCtx is ReverseGeocode under a context.
+//
+// Deprecated: use ReverseGeocodeV2.
+func (c *Client) ReverseGeocodeCtx(ctx context.Context, ll geo.LatLng, maxMeters float64) (wire.GeocodeResult, bool) {
+	return c.ReverseGeocodeV2(ctx, ll, maxMeters)
+}
+
+// Localize sends the cues to every discovered server advertising a
+// matching technology and picks the most plausible fix (§5.2).
+//
+// Deprecated: use LocalizeV2.
+func (c *Client) Localize(coarse geo.LatLng, cues []loc.Cue, prior geo.LatLng, priorSigmaMeters float64) (loc.Fix, bool) {
+	return c.LocalizeV2(context.Background(), coarse, cues, prior, priorSigmaMeters)
+}
+
+// LocalizeCtx is Localize under a context.
+//
+// Deprecated: use LocalizeV2.
+func (c *Client) LocalizeCtx(ctx context.Context, coarse geo.LatLng, cues []loc.Cue, prior geo.LatLng, priorSigmaMeters float64) (loc.Fix, bool) {
+	return c.LocalizeV2(ctx, coarse, cues, prior, priorSigmaMeters)
+}
+
+// Route plans a route from one position to another across the federation.
+//
+// Deprecated: use RouteV2.
+func (c *Client) Route(from, to geo.LatLng) (StitchedRoute, error) {
+	return c.RouteV2(context.Background(), from, to)
+}
+
+// RouteCtx is Route under a context.
+//
+// Deprecated: use RouteV2.
+func (c *Client) RouteCtx(ctx context.Context, from, to geo.LatLng) (StitchedRoute, error) {
+	return c.RouteV2(ctx, from, to)
+}
+
+// GetTilePNG fetches one tile from a server.
+//
+// Deprecated: use TilePNGV2.
+func (c *Client) GetTilePNG(baseURL string, z, x, y int) ([]byte, error) {
+	return c.TilePNGV2(context.Background(), baseURL, z, x, y)
+}
+
+// GetTilePNGCtx is GetTilePNG under a context.
+//
+// Deprecated: use TilePNGV2.
+func (c *Client) GetTilePNGCtx(ctx context.Context, baseURL string, z, x, y int) ([]byte, error) {
+	return c.TilePNGV2(ctx, baseURL, z, x, y)
+}

@@ -109,8 +109,11 @@ func (e *errGroupExhausted) Unwrap() error { return e.last }
 // replica first, failing over to each sibling in order until one answers.
 // Each attempt gets its own per-server timeout (a replica that burned its
 // window must not leave the sibling with an expired context) and runs
-// through the resilience layer like any other call. On success the
-// answering replica is returned; resp holds its decoded response.
+// through the resilience layer like any other call. Sessioned calls carry
+// the group's consistency mark, so a member lagging behind what this
+// session has already observed refuses (wire.StatusStaleReplica) and the
+// failover loop moves on to a sibling that can honor the mark. On success
+// the answering replica is returned; resp holds its decoded response.
 func (c *Client) callGroup(ctx context.Context, g planGroup, path string, req, resp interface{}) (discovery.Announcement, error) {
 	var lastErr error
 	first := true
@@ -128,7 +131,7 @@ func (c *Client) callGroup(ctx context.Context, g planGroup, path string, req, r
 		}
 		first = false
 		actx, cancel := c.perServerCtx(ctx)
-		err := c.call(actx, a.URL, path, req, resp)
+		err := c.callKeyed(actx, g.Key, a.URL, path, req, resp)
 		cancel()
 		if err == nil {
 			return a, nil

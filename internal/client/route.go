@@ -71,20 +71,17 @@ type metaEdge struct {
 	toPos    geo.LatLng
 }
 
-// Route plans a route from one position to another across the federation:
-// it discovers servers at the endpoints and along the way, prices legs
-// between portals with route-matrix calls, finds the optimal composition on
-// the portal meta-graph, and expands each chosen leg into its full path.
-func (c *Client) Route(from, to geo.LatLng) (StitchedRoute, error) {
-	return c.RouteCtx(context.Background(), from, to)
-}
-
-// RouteCtx is Route under a context. The three discovery sweeps (source,
-// destination, along the way), the per-server meta-graph pricing, and the
-// final leg expansions each fan out concurrently on the client's bounded
-// pool; pricing failures skip the server, leg-expansion failures fail the
-// route (a chosen leg is not optional).
-func (c *Client) RouteCtx(ctx context.Context, from, to geo.LatLng) (StitchedRoute, error) {
+// RouteV2 plans a route from one position to another across the
+// federation: it discovers servers at the endpoints and along the way,
+// prices legs between portals with route-matrix calls, finds the optimal
+// composition on the portal meta-graph, and expands each chosen leg into
+// its full path. The three discovery sweeps (source, destination, along
+// the way), the per-server meta-graph pricing, and the final leg
+// expansions each fan out concurrently on the client's bounded pool;
+// pricing failures skip the server, leg-expansion failures fail the route
+// (a chosen leg is not optional).
+func (c *Client) RouteV2(ctx context.Context, from, to geo.LatLng, opts ...CallOption) (StitchedRoute, error) {
+	ctx = c.withCallOpts(ctx, opts)
 	// One retry budget for the whole route: pricing, leg expansion, and
 	// anchor lookups share it rather than each getting a fresh one.
 	ctx = c.withRetryBudget(ctx)
@@ -183,7 +180,7 @@ func (c *Client) RouteCtx(ctx context.Context, from, to geo.LatLng) (StitchedRou
 		}
 		for _, a := range c.orderedReplicas(g) {
 			actx, cancel := c.perServerCtx(ctx)
-			info, err := c.InfoCtx(actx, a.URL)
+			info, err := c.infoCtx(actx, a.URL)
 			if err != nil {
 				cancel()
 				continue
@@ -215,7 +212,7 @@ func (c *Client) RouteCtx(ctx context.Context, from, to geo.LatLng) (StitchedRou
 				req.ToPositions[i] = ep.pos
 			}
 			var resp wire.RouteMatrixResponse
-			err = c.call(actx, a.URL, "/routematrix", req, &resp)
+			err = c.callKeyed(actx, g.Key, a.URL, "/routematrix", &req, &resp)
 			cancel()
 			if err != nil {
 				continue // fail over to the next sibling
@@ -278,8 +275,10 @@ func (c *Client) RouteCtx(ctx context.Context, from, to geo.LatLng) (StitchedRou
 			FromNode: e.fromNode, ToNode: e.toNode,
 			From: e.fromPos, To: e.toPos,
 		}
+		groupKey := ""
 		candidates := []string{e.server}
 		if e.group >= 0 && e.group < len(groups) {
+			groupKey = groups[e.group].Key
 			for _, a := range c.orderedReplicas(groups[e.group]) {
 				if a.URL != e.server {
 					candidates = append(candidates, a.URL)
@@ -289,7 +288,7 @@ func (c *Client) RouteCtx(ctx context.Context, from, to geo.LatLng) (StitchedRou
 		for _, url := range candidates {
 			actx, cancel := c.perServerCtx(ctx)
 			var resp wire.RouteResponse
-			err := c.call(actx, url, "/route", req, &resp)
+			err := c.callKeyed(actx, groupKey, url, "/route", &req, &resp)
 			if err != nil {
 				cancel()
 				legErrs[i] = fmt.Errorf("client: leg expansion on %s failed: %v", url, err)
@@ -301,7 +300,7 @@ func (c *Client) RouteCtx(ctx context.Context, from, to geo.LatLng) (StitchedRou
 				continue
 			}
 			name := url
-			if info, err := c.InfoCtx(actx, url); err == nil {
+			if info, err := c.infoCtx(actx, url); err == nil {
 				name = info.Name
 			}
 			cancel()
@@ -314,7 +313,7 @@ func (c *Client) RouteCtx(ctx context.Context, from, to geo.LatLng) (StitchedRou
 			return
 		}
 	}
-	if c.UseBatch {
+	if c.batchEnabled(ctx) {
 		// Groups run on the plain pool (not forEachServer) so the batch
 		// attempt and each fallback leg get their OWN per-server timeout:
 		// a batch that burned its window must not leave the per-leg
@@ -343,7 +342,7 @@ func (c *Client) RouteCtx(ctx context.Context, from, to geo.LatLng) (StitchedRou
 					return
 				}
 				bctx, cancel := c.perServerCtx(ctx)
-				c.expandLegsBatch(bctx, chain, idxs, legs, lengths, legErrs, expanded)
+				c.expandLegsBatch(bctx, chain, groups, idxs, legs, lengths, legErrs, expanded)
 				cancel()
 				<-sem
 			}
@@ -425,7 +424,7 @@ func (c *Client) anchorServers(ctx context.Context, anns []discovery.Announcemen
 	areas := make([]float64, len(finest))
 	c.forEachServer(ctx, len(finest), func(ctx context.Context, i int) {
 		areas[i] = math.Inf(1)
-		if info, err := c.InfoCtx(ctx, finest[i].URL); err == nil {
+		if info, err := c.infoCtx(ctx, finest[i].URL); err == nil {
 			areas[i] = coverageArea(info.Coverage)
 		}
 	})

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"openflame/internal/client"
+	"openflame/internal/geo"
+	"openflame/internal/loc"
+	"openflame/internal/worldgen"
+)
+
+// TestLegacyWrappersMatchV2 pins the v1 wrapper surface byte-identical to
+// the v2 core with default options, across every service, over a full
+// deployed world: same results AND the same number of HTTP requests —
+// the wrappers are pure delegation, not parallel implementations.
+func TestLegacyWrappersMatchV2(t *testing.T) {
+	w := worldgen.GenWorld(worldgen.DefaultWorldParams())
+	f, err := DeployWorld(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	store := w.Stores[0]
+	entrance := store.Correspondences[0].World
+	product := store.Products[0]
+	address := product + " shelf, " + store.Map.Name
+	rng := rand.New(rand.NewSource(1))
+	cue := loc.SynthesizeRSSICue(geo.Point{X: 5, Y: 10}, store.Beacons, loc.DefaultRadioModel(), rng)
+	cityCorner := geo.LatLng{Lat: 40.4400, Lng: -79.9990}
+	ctx := context.Background()
+
+	// Two identical clients so request counters compare 1:1 (shared info
+	// caches would otherwise skew the second run).
+	v1 := f.NewClient()
+	v2 := f.NewClient()
+
+	check := func(name string, a, b interface{}, reqA, reqB int64) {
+		t.Helper()
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: v1 %+v != v2 %+v", name, a, b)
+		}
+		if reqA != reqB {
+			t.Fatalf("%s: v1 issued %d requests, v2 %d", name, reqA, reqB)
+		}
+	}
+	count := func(c *client.Client, fn func()) int64 {
+		before := c.RequestCount()
+		fn()
+		return c.RequestCount() - before
+	}
+
+	var s1, s2 interface{}
+	r1 := count(v1, func() { s1 = v1.Search(product, entrance, 5) })
+	r2 := count(v2, func() { s2 = v2.SearchV2(ctx, product, entrance, 5) })
+	check("search", s1, s2, r1, r2)
+
+	r1 = count(v1, func() { s1 = v1.SearchFanout(product, entrance, 5, 1) })
+	r2 = count(v2, func() { s2 = v2.SearchV2(ctx, product, entrance, 5, client.WithMaxServers(1)) })
+	check("search/maxServers", s1, s2, r1, r2)
+
+	var e1, e2 error
+	r1 = count(v1, func() { s1, e1 = v1.Geocode(address) })
+	r2 = count(v2, func() { s2, e2 = v2.GeocodeV2(ctx, address) })
+	if (e1 == nil) != (e2 == nil) {
+		t.Fatalf("geocode errors diverge: %v vs %v", e1, e2)
+	}
+	check("geocode", s1, s2, r1, r2)
+
+	var ok1, ok2 bool
+	r1 = count(v1, func() { s1, ok1 = v1.ReverseGeocode(entrance, 200) })
+	r2 = count(v2, func() { s2, ok2 = v2.ReverseGeocodeV2(ctx, entrance, 200) })
+	if ok1 != ok2 {
+		t.Fatalf("rgeocode found diverges: %v vs %v", ok1, ok2)
+	}
+	check("rgeocode", s1, s2, r1, r2)
+
+	r1 = count(v1, func() { s1, ok1 = v1.Localize(entrance, []loc.Cue{cue}, entrance, 35) })
+	r2 = count(v2, func() { s2, ok2 = v2.LocalizeV2(ctx, entrance, []loc.Cue{cue}, entrance, 35) })
+	if ok1 != ok2 {
+		t.Fatalf("localize found diverges: %v vs %v", ok1, ok2)
+	}
+	check("localize", s1, s2, r1, r2)
+
+	r1 = count(v1, func() { s1, e1 = v1.Route(cityCorner, entrance) })
+	r2 = count(v2, func() { s2, e2 = v2.RouteV2(ctx, cityCorner, entrance) })
+	if (e1 == nil) != (e2 == nil) {
+		t.Fatalf("route errors diverge: %v vs %v", e1, e2)
+	}
+	check("route", s1, s2, r1, r2)
+
+	d1 := v1.Discover(entrance)
+	d2 := v2.DiscoverV2(ctx, entrance)
+	if !reflect.DeepEqual(d1, d2) {
+		t.Fatalf("discover: %+v != %+v", d1, d2)
+	}
+	if len(d1) > 0 {
+		i1, err1 := v1.Info(d1[0].URL)
+		i2, err2 := v2.InfoV2(ctx, d1[0].URL)
+		if (err1 == nil) != (err2 == nil) || !reflect.DeepEqual(i1, i2) {
+			t.Fatalf("info: %+v (%v) != %+v (%v)", i1, err1, i2, err2)
+		}
+		p1, err1 := v1.GetTilePNG(d1[0].URL, 16, 0, 0)
+		p2, err2 := v2.TilePNGV2(ctx, d1[0].URL, 16, 0, 0)
+		if (err1 == nil) != (err2 == nil) || !reflect.DeepEqual(p1, p2) {
+			t.Fatalf("tile: %d bytes (%v) != %d bytes (%v)", len(p1), err1, len(p2), err2)
+		}
+	}
+}
+
+// TestLegacyWrappersMatchV2Batched re-pins the equivalence with batching
+// on: the wrappers must inherit the batch path, and WithNoBatch must
+// reproduce the un-batched request count exactly.
+func TestLegacyWrappersMatchV2Batched(t *testing.T) {
+	w := worldgen.GenWorld(worldgen.DefaultWorldParams())
+	f, err := DeployWorld(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	store := w.Stores[0]
+	address := store.Products[0] + " shelf, " + store.Map.Name
+	ctx := context.Background()
+
+	v1 := f.NewClient()
+	v2 := f.NewClient()
+	noBatch := f.NewClient()
+	v1.UseBatch, v2.UseBatch, noBatch.UseBatch = true, true, true
+
+	g1, err1 := v1.Geocode(address)
+	g2, err2 := v2.GeocodeV2(ctx, address)
+	if (err1 == nil) != (err2 == nil) || g1 != g2 {
+		t.Fatalf("batched geocode diverges: %+v (%v) vs %+v (%v)", g1, err1, g2, err2)
+	}
+
+	// WithNoBatch on a batch-enabled client == the plain client's cost.
+	plain := f.NewClient()
+	before := plain.RequestCount()
+	if _, err := plain.GeocodeV2(ctx, address); err != nil {
+		t.Fatal(err)
+	}
+	plainCost := plain.RequestCount() - before
+	before = noBatch.RequestCount()
+	if _, err := noBatch.GeocodeV2(ctx, address, client.WithNoBatch()); err != nil {
+		t.Fatal(err)
+	}
+	if got := noBatch.RequestCount() - before; got != plainCost {
+		t.Fatalf("WithNoBatch cost %d requests, plain client %d", got, plainCost)
+	}
+}

@@ -1,0 +1,366 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"openflame/internal/client"
+	"openflame/internal/geo"
+	"openflame/internal/mapserver"
+	"openflame/internal/netsim"
+	"openflame/internal/osm"
+	"openflame/internal/worldgen"
+)
+
+// sessionReplicas stands up three replicas of the outdoor map in set
+// "city": city-0 behind the given fault schedule, city-1 and city-2 plain.
+func sessionReplicas(t *testing.T, f *Federation, w *worldgen.World, faults *netsim.FaultSchedule) []*ServerHandle {
+	t.Helper()
+	handles := make([]*ServerHandle, 3)
+	for i := range handles {
+		srv, err := mapserver.New(mapserver.Config{
+			Name: fmt.Sprintf("city-%d", i),
+			Map:  cloneMap(t, w.Outdoor),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h *ServerHandle
+		if i == 0 {
+			h, err = f.AddFaultyReplica(srv, "city", faults)
+		} else {
+			h, err = f.AddReplica(srv, "city")
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+	}
+	return handles
+}
+
+// TestSessionReadYourWritesAcrossFailover is the tentpole's acceptance
+// scenario: a write lands on replica A and is observed there by a
+// sessioned read; A then dies and the plan fails over. Without a session
+// the lagging sibling B serves the client's own write out of existence;
+// with a session B refuses (stale replica) and the read lands on C, which
+// has pulled A's log — the write survives the failover.
+func TestSessionReadYourWritesAcrossFailover(t *testing.T) {
+	w := worldgen.GenWorld(worldgen.DefaultWorldParams())
+	f, err := NewFederation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// A serves exactly two requests — C's anti-entropy pull, then the
+	// session's first read — and then fails forever (the forced failover).
+	faults := netsim.NewFaultSchedule(
+		netsim.FaultPhase{Mode: netsim.FaultNone, Requests: 2},
+		netsim.FaultPhase{Mode: netsim.FaultError},
+	)
+	handles := sessionReplicas(t, f, w, faults)
+	a, b, cc := handles[0], handles[1], handles[2]
+
+	node := firstNamedNode(a.Server.Store().Map())
+	if node == nil {
+		t.Fatal("no named node")
+	}
+	pos := a.Server.Store().Map().NodePosition(node)
+	tags := node.Tags.Clone()
+	tags[osm.TagName] = "Xyzsession Croissant Depot"
+	if !a.Server.ApplyInventoryUpdate(node.ID, tags) {
+		t.Fatal("update refused")
+	}
+	// Replica lag: C pulls A's log (request #1 on A), B stays behind.
+	if _, err := cc.Syncer.SyncOnce(context.Background()); err != nil {
+		t.Fatalf("C catch-up: %v", err)
+	}
+	if _, got := cc.Server.SyncPosition("city-0"); got != 1 {
+		t.Fatalf("C's sync position for city-0 = %d, want 1", got)
+	}
+	if _, got := b.Server.SyncPosition("city-0"); got != 0 {
+		t.Fatalf("B unexpectedly synced: position %d", got)
+	}
+
+	ctx := context.Background()
+	sess := client.NewSession()
+	c := f.NewClient()
+	// Read 1 (request #2 on A): the origin serves the write; the session
+	// observes its mark.
+	got := c.SearchV2(ctx, "Xyzsession", pos, 5, client.WithSession(sess))
+	if len(got) == 0 || !strings.Contains(got[0].Name, "Xyzsession") {
+		t.Fatalf("read 1 = %+v, want the fresh write from A", got)
+	}
+	if ms := sess.Marks()["city"]; len(ms) != 1 || ms[0].Origin != "city-0" || ms[0].Seq != 1 {
+		t.Fatalf("session marks after read 1 = %+v, want [city-0@1]", ms)
+	}
+
+	// A is now dead. An eventual (v1-consistency) client fails over to B
+	// and reads the write out of existence — the gap sessions close.
+	eventual := f.NewClient()
+	if stale := eventual.SearchV2(ctx, "Xyzsession", pos, 5); len(stale) != 0 {
+		t.Fatalf("control read = %+v, expected the lagging replica to lose the write", stale)
+	}
+
+	// Read 2, sessioned: A errors, B answers 412 (it cannot vouch for
+	// city-0@1), C serves the write.
+	got = c.SearchV2(ctx, "Xyzsession", pos, 5, client.WithSession(sess))
+	if len(got) == 0 || !strings.Contains(got[0].Name, "Xyzsession") {
+		t.Fatalf("read 2 = %+v, want the write to survive failover", got)
+	}
+	// The session now holds BOTH marks: the origin's (whose writes it must
+	// never lose) and the answering sibling's.
+	haveC := false
+	for _, m := range sess.Marks()["city"] {
+		if m.Origin == "city-2" {
+			haveC = true
+		}
+	}
+	if !haveC {
+		t.Fatalf("session marks after read 2 = %+v, want city-2 present", sess.Marks()["city"])
+	}
+}
+
+// searchCounter runs one sessioned search and parses the counter out of
+// the result name ("xyzcounter <n>"); ok is false when no replica could
+// serve the read.
+func searchCounter(t *testing.T, c *client.Client, sess *client.Session, pos geo.LatLng) (int, bool) {
+	t.Helper()
+	got := c.SearchV2(context.Background(), "xyzcounter", pos, 5, client.WithSession(sess))
+	if len(got) == 0 {
+		return 0, false
+	}
+	var n int
+	if _, err := fmt.Sscanf(got[0].Name, "xyzcounter %d", &n); err != nil {
+		t.Fatalf("unparsable result name %q", got[0].Name)
+	}
+	return n, true
+}
+
+// TestSessionMonotonicReads pins the ordering contract step by step: a
+// session that has read value N through the origin never observes an
+// older value from a lagging sibling after failover — it sees N (the
+// sibling is exactly at the mark), newer (after anti-entropy), or nothing,
+// but never N-1.
+func TestSessionMonotonicReads(t *testing.T) {
+	w := worldgen.GenWorld(worldgen.DefaultWorldParams())
+	f, err := NewFederation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// A answers the five phase-1 reads, then fails forever. B's
+	// anti-entropy pulls bypass the fault injector through a second, clean
+	// endpoint onto the same server, so the schedule counts client reads
+	// only.
+	faults := netsim.NewFaultSchedule(
+		netsim.FaultPhase{Mode: netsim.FaultNone, Requests: 5},
+		netsim.FaultPhase{Mode: netsim.FaultError},
+	)
+	handles := sessionReplicas(t, f, w, faults)[:2]
+	a, b := handles[0], handles[1]
+	cleanA := httptest.NewServer(a.Server.Handler())
+	defer cleanA.Close()
+	b.Syncer.SetPeers([]string{cleanA.URL})
+
+	node := firstNamedNode(a.Server.Store().Map())
+	pos := a.Server.Store().Map().NodePosition(node)
+	write := func(v int) {
+		tags := node.Tags.Clone()
+		tags[osm.TagName] = fmt.Sprintf("xyzcounter %d", v)
+		if !a.Server.ApplyInventoryUpdate(node.ID, tags) {
+			t.Fatalf("write %d refused", v)
+		}
+	}
+
+	sess := client.NewSession()
+	c := f.NewClient()
+	// Phase 1: reads through the origin observe every write in order.
+	for v := 1; v <= 5; v++ {
+		write(v)
+		got, ok := searchCounter(t, c, sess, pos)
+		if !ok || got != v {
+			t.Fatalf("phase-1 read %d = (%d, %v)", v, got, ok)
+		}
+	}
+	// B catches up to v5, then A takes two more writes B never sees.
+	if _, err := b.Syncer.SyncOnce(context.Background()); err != nil {
+		t.Fatalf("B catch-up: %v", err)
+	}
+	write(6)
+	write(7)
+
+	// Failover read: A is dead; B stands exactly at the session's mark
+	// (city-0@5), so it may answer — with v5, never anything older.
+	// Session consistency is monotonicity, not freshness.
+	got, ok := searchCounter(t, c, sess, pos)
+	if !ok || got != 5 {
+		t.Fatalf("failover read = (%d, %v), want the mark-exact v5", got, ok)
+	}
+	// After B pulls the remaining writes the same session reads v7; the
+	// sequence observed was 1..5, 5, 7 — non-decreasing throughout.
+	if _, err := b.Syncer.SyncOnce(context.Background()); err != nil {
+		t.Fatalf("B final catch-up: %v", err)
+	}
+	got, ok = searchCounter(t, c, sess, pos)
+	if !ok || got != 7 {
+		t.Fatalf("post-sync read = (%d, %v), want v7", got, ok)
+	}
+}
+
+// TestSessionMonotonicUnderConcurrentWrites hammers a flapping origin with
+// writes while a sessioned reader races failovers to a periodically
+// syncing sibling: whatever interleaving occurs, the values a session
+// observes never decrease.
+func TestSessionMonotonicUnderConcurrentWrites(t *testing.T) {
+	w := worldgen.GenWorld(worldgen.DefaultWorldParams())
+	f, err := NewFederation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// A flaps: two answered reads, two failed, forever.
+	faults := netsim.NewFaultSchedule(
+		netsim.FaultPhase{Mode: netsim.FaultNone, Requests: 2},
+		netsim.FaultPhase{Mode: netsim.FaultError, Requests: 2},
+	).Loop()
+	handles := sessionReplicas(t, f, w, faults)[:2]
+	a, b := handles[0], handles[1]
+	cleanA := httptest.NewServer(a.Server.Handler())
+	defer cleanA.Close()
+	b.Syncer.SetPeers([]string{cleanA.URL})
+
+	node := firstNamedNode(a.Server.Store().Map())
+	pos := a.Server.Store().Map().NodePosition(node)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	// Writer: monotonically increasing values landing on the origin.
+	go func() {
+		defer wg.Done()
+		for v := 1; ; v++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tags := node.Tags.Clone()
+			tags[osm.TagName] = fmt.Sprintf("xyzcounter %d", v)
+			a.Server.ApplyInventoryUpdate(node.ID, tags)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	// Background anti-entropy: B chases the origin through the clean
+	// endpoint.
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, _ = b.Syncer.SyncOnce(context.Background())
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	sess := client.NewSession()
+	c := f.NewClient()
+	last, served := 0, 0
+	for i := 0; i < 40; i++ {
+		got, ok := searchCounter(t, c, sess, pos)
+		if !ok {
+			continue // both replicas refused: unavailable beats stale
+		}
+		served++
+		if got < last {
+			t.Fatalf("monotonicity violated: read %d after %d", got, last)
+		}
+		last = got
+	}
+	close(stop)
+	wg.Wait()
+	if served == 0 {
+		t.Fatal("no read was ever served")
+	}
+}
+
+// TestSessionHealsAfterOriginRestart: a session holding a mark from a log
+// incarnation that died with its server must not be bricked forever. The
+// restarted origin refuses the dead mark by incarnation and reports its
+// current mark in the 412 body; the client replaces the dead slot (those
+// writes are genuinely unrecoverable) and the very next read is served.
+func TestSessionHealsAfterOriginRestart(t *testing.T) {
+	w := worldgen.GenWorld(worldgen.DefaultWorldParams())
+	f, err := NewFederation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	mk := func() *mapserver.Server {
+		srv, err := mapserver.New(mapserver.Config{Name: "city-0", Map: cloneMap(t, w.Outdoor)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv
+	}
+	srv1 := mk()
+	if _, err := f.AddReplica(srv1, "city"); err != nil {
+		t.Fatal(err)
+	}
+	node := firstNamedNode(srv1.Store().Map())
+	baseName := node.Tags.Get(osm.TagName)
+	pos := srv1.Store().Map().NodePosition(node)
+	tags := node.Tags.Clone()
+	tags[osm.TagName] = "Xyzheal Kiosk"
+	if !srv1.ApplyInventoryUpdate(node.ID, tags) {
+		t.Fatal("update refused")
+	}
+
+	ctx := context.Background()
+	sess := client.NewSession()
+	c1 := f.NewClient()
+	if got := c1.SearchV2(ctx, "Xyzheal", pos, 5, client.WithSession(sess)); len(got) == 0 {
+		t.Fatalf("seed read found nothing")
+	}
+	oldLog := srv1.Store().LogID()
+	if ms := sess.Marks()["city"]; len(ms) != 1 || ms[0].Log != oldLog || ms[0].Seq != 1 {
+		t.Fatalf("seed marks = %+v", ms)
+	}
+
+	// The origin restarts: same name, fresh map clone (the unsynced write
+	// is lost with it), fresh log incarnation, new endpoint.
+	if err := f.RemoveServer("city-0"); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := mk()
+	if _, err := f.AddReplica(srv2, "city"); err != nil {
+		t.Fatal(err)
+	}
+	newLog := srv2.Store().LogID()
+	if newLog == oldLog {
+		t.Fatal("incarnations collided")
+	}
+
+	// A fresh client (fresh resolver — no DNS TTL wait) carrying the SAME
+	// session: the first read is refused (dead mark) but heals the slot...
+	c2 := f.NewClient()
+	if got := c2.SearchV2(ctx, baseName, pos, 5, client.WithSession(sess)); len(got) != 0 {
+		t.Fatalf("dead-mark read unexpectedly served: %+v", got)
+	}
+	if ms := sess.Marks()["city"]; len(ms) != 1 || ms[0].Log != newLog {
+		t.Fatalf("marks not healed: %+v (want log %d)", ms, newLog)
+	}
+	// ...and the next read is served by the restarted origin.
+	got := c2.SearchV2(ctx, baseName, pos, 5, client.WithSession(sess))
+	if len(got) == 0 {
+		t.Fatalf("read after heal still refused")
+	}
+}

@@ -39,6 +39,10 @@ type MembershipResponse struct {
 	Members []string `json:"members"`
 	// Removed is the number of records withdrawn (unregister only).
 	Removed int `json:"removed,omitempty"`
+	// LeaseTTLSeconds is the registry's registration lease (0 = permanent
+	// registrations): a registered server must re-announce within it or be
+	// evicted. Servers pick a re-announce cadence comfortably inside it.
+	LeaseTTLSeconds float64 `json:"leaseTtlSeconds,omitempty"`
 }
 
 // RegistryHandler exposes the registry's runtime membership operations:
@@ -52,6 +56,7 @@ func RegistryHandler(r *Registry) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(MembershipResponse{
 			Epoch: r.Epoch(), Members: r.Members(), Removed: removed,
+			LeaseTTLSeconds: r.LeaseTTL.Seconds(),
 		})
 	}
 	fail := func(w http.ResponseWriter, code int, msg string) {

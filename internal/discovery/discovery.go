@@ -171,6 +171,16 @@ type Registry struct {
 	suffix string
 	// TTLSeconds for announcement records; default 60.
 	TTLSeconds uint32
+	// LeaseTTL, when > 0, turns registrations into leases: a member that
+	// does not re-announce (an identical Register is a cheap renewal — no
+	// epoch bump, no zone rewrite) within the TTL is evicted by
+	// ExpireLeases, closing the gap a member that dies WITHOUT a clean
+	// Unregister (SIGKILL, power loss) would otherwise leave — advertised
+	// forever, absorbed only by client breakers. Zero keeps registrations
+	// permanent (the pre-lease behaviour).
+	LeaseTTL time.Duration
+	// Now is the lease clock; overridable in tests.
+	Now func() time.Time
 
 	mu      sync.Mutex
 	epoch   uint64
@@ -184,6 +194,39 @@ type regMember struct {
 	services   []wire.Service
 	techs      []loc.Technology
 	replicaSet string
+	// renewed is when the member last (re)announced — the lease clock.
+	renewed time.Time
+}
+
+// sameRegistration reports whether a registration request is identical to
+// the live member — the renewal fast path (coverage is order-independent;
+// list order changes read as a real re-registration, which is safe, just
+// not free).
+func (m *regMember) sameRegistration(info wire.Info, url, replicaSet string) bool {
+	if m.url != url || m.replicaSet != replicaSet ||
+		len(m.services) != len(info.Services) || len(m.techs) != len(info.Technologies) ||
+		!sameTokenSet(m.coverage, info.Coverage) {
+		return false
+	}
+	for i, s := range m.services {
+		if s != info.Services[i] {
+			return false
+		}
+	}
+	for i, tech := range m.techs {
+		if tech != info.Technologies[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// now returns the lease clock's reading.
+func (r *Registry) now() time.Time {
+	if r.Now != nil {
+		return r.Now()
+	}
+	return time.Now()
 }
 
 // NewRegistry creates a registry over the zone; suffix defaults to the
@@ -305,6 +348,13 @@ func (r *Registry) RegisterReplica(info wire.Info, url, replicaSet string) error
 	}
 	var touched []string
 	if old, ok := r.members[info.Name]; ok {
+		// An identical re-announcement is a lease renewal, not a membership
+		// change: refresh the clock and leave epoch and zone untouched, so
+		// periodic re-announces stay free of client-cache churn.
+		if old.sameRegistration(info, url, replicaSet) {
+			old.renewed = r.now()
+			return nil
+		}
 		touched = old.coverage
 	}
 	r.members[info.Name] = &regMember{
@@ -313,9 +363,84 @@ func (r *Registry) RegisterReplica(info wire.Info, url, replicaSet string) error
 		services:   info.Services,
 		techs:      info.Technologies,
 		replicaSet: replicaSet,
+		renewed:    r.now(),
 	}
 	r.epoch++
 	return r.rewriteCellsLocked(r.allTokensLocked(touched))
+}
+
+// ExpireLeases evicts every member whose lease has lapsed (no re-announce
+// within LeaseTTL), removing its records, advancing the membership epoch
+// once for the batch, and re-stamping the survivors — exactly the exit a
+// clean Unregister performs, driven by silence instead of a goodbye.
+// Returns the evicted names, sorted; no-op while LeaseTTL is zero.
+func (r *Registry) ExpireLeases() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.LeaseTTL <= 0 {
+		return nil
+	}
+	now := r.now()
+	var evicted []string
+	var touched []string
+	for name, m := range r.members {
+		if now.Sub(m.renewed) > r.LeaseTTL {
+			evicted = append(evicted, name)
+			touched = append(touched, m.coverage...)
+		}
+	}
+	if len(evicted) == 0 {
+		return nil
+	}
+	sort.Strings(evicted)
+	for _, name := range evicted {
+		m := r.members[name]
+		delete(r.members, name)
+		r.removeMemberRecordsLocked(name, m.coverage)
+	}
+	r.epoch++
+	_ = r.rewriteCellsLocked(r.allTokensLocked(touched))
+	return evicted
+}
+
+// removeMemberRecordsLocked drops the named member's TXT records from the
+// given coverage cells, returning how many were removed — the one place
+// the record-identity needle lives, shared by Unregister and lease
+// eviction. The caller holds r.mu.
+func (r *Registry) removeMemberRecordsLocked(name string, coverage []string) int {
+	needle := "name=" + name + " "
+	removed := 0
+	for _, tok := range coverage {
+		cell := s2cell.FromToken(tok)
+		if !cell.IsValid() {
+			continue
+		}
+		removed += r.zone.RemoveWhere(CellDomain(cell, r.suffix), dns.TypeTXT, func(rr dns.RR) bool {
+			return !strings.Contains(strings.Join(rr.TXT, "")+" ", needle)
+		})
+	}
+	return removed
+}
+
+// SweepLeases runs ExpireLeases every interval until the context is
+// cancelled — the background mode cmd/flame-dns wires behind -lease.
+// Evictions are reported through logf (nil discards them).
+func (r *Registry) SweepLeases(ctx context.Context, interval time.Duration, logf func(format string, args ...interface{})) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if evicted := r.ExpireLeases(); len(evicted) > 0 && logf != nil {
+				logf("lease lapsed, evicted: %s (epoch %d)", strings.Join(evicted, ", "), r.Epoch())
+			}
+		}
+	}
 }
 
 // sameTokenSet reports whether two coverages hold the same cell tokens,
@@ -361,17 +486,7 @@ func (r *Registry) Unregister(name string, coverage []string) int {
 		coverage = append(append([]string(nil), coverage...), m.coverage...)
 		delete(r.members, name)
 	}
-	needle := "name=" + name + " "
-	removed := 0
-	for _, tok := range coverage {
-		cell := s2cell.FromToken(tok)
-		if !cell.IsValid() {
-			continue
-		}
-		removed += r.zone.RemoveWhere(CellDomain(cell, r.suffix), dns.TypeTXT, func(rr dns.RR) bool {
-			return !strings.Contains(strings.Join(rr.TXT, "")+" ", needle)
-		})
-	}
+	removed := r.removeMemberRecordsLocked(name, coverage)
 	if removed > 0 {
 		r.epoch++
 		_ = r.rewriteCellsLocked(r.allTokensLocked(coverage))

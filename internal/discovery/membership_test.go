@@ -220,9 +220,15 @@ func TestEpochRegressionAcceptedAfterGrace(t *testing.T) {
 
 	center := geo.LatLng{Lat: 40.4415, Lng: -79.9955}
 	cov := coverageFor(center, 60)
-	// Age the registry to a high epoch, then discover.
+	// Age the registry to a high epoch, then discover. The URL alternates
+	// so every registration is a real change — an identical re-register is
+	// a lease renewal and (deliberately) leaves the epoch alone.
 	for i := 0; i < 10; i++ {
-		if err := f.registry.Register(wire.Info{Name: "stay", Coverage: cov}, "http://stay"); err != nil {
+		url := "http://stay"
+		if i%2 == 0 {
+			url = "http://stay-alt"
+		}
+		if err := f.registry.Register(wire.Info{Name: "stay", Coverage: cov}, url); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -205,13 +205,79 @@ func (s *Server) compute(req interface{}) interface{} {
 	return nil
 }
 
-// dispatch decodes and answers one service request body.
-func (s *Server) dispatch(svc wire.Service, body []byte) (interface{}, int, string) {
+// takeConsistency strips the session envelope off a decoded request (so
+// the compute path — and with it the query cache key — never sees it) and
+// returns it. Requests without an envelope field yield nil.
+func takeConsistency(req interface{}) *wire.ReadConsistency {
+	if cc, ok := req.(wire.ConsistencyCarrier); ok {
+		return cc.TakeConsistency()
+	}
+	return nil
+}
+
+// staleError renders the wire.StatusStaleReplica message: the first mark
+// the reader demanded that this replica cannot stand behind, and where it
+// actually stands, so a client log line is enough to diagnose a lagging
+// member.
+func (s *Server) staleError(rc *wire.ReadConsistency) string {
+	for _, m := range rc.Marks {
+		if s.vouch(m) {
+			continue
+		}
+		log, seq := s.SyncPosition(m.Origin)
+		return fmt.Sprintf("stale replica: read requires %s@%d (log %d), %s has synced it to %d (log %d, own seq %d)",
+			m.Origin, m.Seq, m.Log, s.cfg.Name, seq, log, s.ChangeSeq())
+	}
+	return "stale replica"
+}
+
+// withSession returns the response with the session mark attached. v is a
+// value copy of the (possibly cached) response, so the shared cached entry
+// is never mutated.
+func withSession(v interface{}, m *wire.SessionMark) interface{} {
+	switch r := v.(type) {
+	case wire.GeocodeResponse:
+		r.Session = m
+		return r
+	case wire.RGeocodeResponse:
+		r.Session = m
+		return r
+	case wire.SearchResponse:
+		r.Session = m
+		return r
+	case wire.RouteResponse:
+		r.Session = m
+		return r
+	case wire.RouteMatrixResponse:
+		r.Session = m
+		return r
+	case wire.LocalizeResponse:
+		r.Session = m
+		return r
+	}
+	return v
+}
+
+// dispatch decodes and answers one service request body, honoring its
+// session envelope: a read positioned behind the requested mark earns
+// wire.StatusStaleReplica (after the configured anti-entropy grace), and a
+// sessioned answer carries the server's updated mark — taken AFTER the
+// compute, so the mark covers every write the answer reflects.
+func (s *Server) dispatch(ctx context.Context, svc wire.Service, body []byte) (interface{}, int, string) {
 	req, status, msg := decodeRequest(svc, body)
 	if status != http.StatusOK {
 		return nil, status, msg
 	}
-	return s.compute(req), http.StatusOK, ""
+	rc := takeConsistency(req)
+	if !s.WaitFresh(ctx, rc) {
+		return nil, wire.StatusStaleReplica, s.staleError(rc)
+	}
+	v := s.compute(req)
+	if rc != nil {
+		m := s.SessionMark()
+		v = withSession(v, &m)
+	}
+	return v, http.StatusOK, ""
 }
 
 // jsonEndpoint serves one POST JSON service with the §5.3 policy guard,
@@ -230,6 +296,20 @@ func (s *Server) jsonEndpoint(svc wire.Service) http.HandlerFunc {
 			httpError(w, status, msg)
 			return
 		}
+		// Session consistency gates BEFORE revalidation: a lagging replica
+		// must refuse (or wait out) a read it cannot honor rather than claim
+		// the reader's cached copy is current from its own stale view. The
+		// refusal carries this server's current mark so a client holding a
+		// mark from a dead incarnation of THIS server can heal (see
+		// wire.ErrorResponse).
+		rc := takeConsistency(req)
+		if !s.WaitFresh(r.Context(), rc) {
+			m := s.SessionMark()
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(wire.StatusStaleReplica)
+			_ = json.NewEncoder(w).Encode(wire.ErrorResponse{Error: s.staleError(rc), Session: &m})
+			return
+		}
 		gen := s.Generation()
 		etag := etagFor(gen, string(svc), r.Header.Get(HeaderUser), r.Header.Get(HeaderApp), body)
 		w.Header().Set(HeaderGeneration, strconv.FormatUint(gen, 10))
@@ -238,7 +318,14 @@ func (s *Server) jsonEndpoint(svc wire.Service) http.HandlerFunc {
 			w.WriteHeader(http.StatusNotModified)
 			return
 		}
-		respond(w, r, func() (interface{}, int, string) { return s.compute(req), http.StatusOK, "" })
+		respond(w, r, func() (interface{}, int, string) {
+			v := s.compute(req)
+			if rc != nil {
+				m := s.SessionMark()
+				v = withSession(v, &m)
+			}
+			return v, http.StatusOK, ""
+		})
 	})
 }
 
@@ -269,7 +356,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	etag := etagFor(gen, "batch", user, app, body)
 	w.Header().Set(HeaderGeneration, strconv.FormatUint(gen, 10))
 	w.Header().Set("ETag", etag)
-	if notModified(r, etag) {
+	// The 304 short-circuit must not outrank session consistency: a batch
+	// whose items carry marks gets per-item freshness decisions (412s
+	// included), never a whole-batch "your copy is current" from a replica
+	// that may be lagging — mirroring the WaitFresh-before-ETag order of
+	// the dedicated endpoints. notModified first: the probe decode only
+	// runs for actual conditional requests.
+	if notModified(r, etag) && !batchCarriesConsistency(breq) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
@@ -281,8 +374,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		// costs max, not sum — the per-call path it replaces also ran
 		// them concurrently. Slots are index-aligned, so parallel
 		// completion cannot reorder results.
-		fanout.ForEach(r.Context(), len(breq.Items), 0, func(_ context.Context, i int) {
-			resp.Results[i] = s.batchItem(breq.Items[i], user, app)
+		fanout.ForEach(r.Context(), len(breq.Items), 0, func(ctx context.Context, i int) {
+			resp.Results[i] = s.batchItem(ctx, breq.Items[i], user, app)
 		})
 		// Stamped after the last item so no item saw a newer map; when a
 		// write raced the batch, earlier items may reflect older
@@ -292,10 +385,29 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// batchCarriesConsistency reports whether any item body carries a session
+// envelope (a cheap probe decode; malformed bodies read as envelope-less
+// and earn their per-item 400 downstream).
+func batchCarriesConsistency(breq wire.BatchRequest) bool {
+	for _, it := range breq.Items {
+		var probe struct {
+			Consistency *json.RawMessage `json:"consistency"`
+		}
+		if err := decodeJSON(it.Body, &probe); err == nil && probe.Consistency != nil {
+			return true
+		}
+	}
+	return false
+}
+
 // batchItem answers one batch sub-request with its individual status,
 // mirroring the dedicated endpoint's order: unknown service 404, then
-// policy 403, then decode 400, then compute.
-func (s *Server) batchItem(it wire.BatchItem, user, app string) wire.BatchItemResult {
+// policy 403, then decode 400, then stale-replica 412, then compute. Item
+// bodies are full service requests, so session envelopes ride through
+// batches unchanged: a stale item fails alone (the client re-runs it
+// per-call against a sibling) and a fresh item's response body carries the
+// updated mark.
+func (s *Server) batchItem(ctx context.Context, it wire.BatchItem, user, app string) wire.BatchItemResult {
 	if !knownService(it.Service) {
 		return wire.BatchItemResult{
 			Status: http.StatusNotFound,
@@ -308,7 +420,7 @@ func (s *Server) batchItem(it wire.BatchItem, user, app string) wire.BatchItemRe
 			Error:  fmt.Sprintf("access to %s denied by policy", it.Service),
 		}
 	}
-	v, status, msg := s.dispatch(it.Service, it.Body)
+	v, status, msg := s.dispatch(ctx, it.Service, it.Body)
 	if status != http.StatusOK {
 		return wire.BatchItemResult{Status: status, Error: msg}
 	}

@@ -6,8 +6,11 @@
 package mapserver
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync"
+	"time"
 
 	"openflame/internal/align"
 	"openflame/internal/geo"
@@ -62,6 +65,12 @@ type Config struct {
 	// that many entries, LRU-evicted. Zero disables the cache, reproducing
 	// the uncached server exactly.
 	QueryCacheEntries int
+	// ConsistencyWait bounds how long a read carrying a session mark this
+	// replica has not caught up to may wait for anti-entropy before
+	// answering wire.StatusStaleReplica. Zero answers stale immediately
+	// (the client fails over to a sibling); a value around one sync
+	// interval lets a barely-lagging replica absorb the read instead.
+	ConsistencyWait time.Duration
 }
 
 // Server is a running map server (pre-HTTP; see Handler for the HTTP face).
@@ -83,6 +92,20 @@ type Server struct {
 	coverage []s2cell.CellID
 	portals  []wire.Portal
 	auth     *Policy
+
+	// syncMu guards syncPos: how far this server has consumed each named
+	// sibling's change log (origin name → log incarnation + last applied
+	// seq), recorded by the Syncer. It is what lets this replica vouch for
+	// session marks minted elsewhere in the set.
+	syncMu  sync.RWMutex
+	syncPos map[string]syncPosition
+}
+
+// syncPosition is one origin's consumed log position: the incarnation it
+// belongs to and the last applied sequence number within it.
+type syncPosition struct {
+	log uint64
+	seq uint64
 }
 
 // New builds a server from the config.
@@ -105,7 +128,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CoveragePadMeters == 0 {
 		cfg.CoveragePadMeters = 25
 	}
-	s := &Server{cfg: cfg, auth: cfg.Auth}
+	s := &Server{cfg: cfg, auth: cfg.Auth, syncPos: make(map[string]syncPosition)}
 	s.store = store.New(cfg.Map)
 	s.geocoder = geocode.New(s.store)
 	s.searcher = search.New(s.store)
@@ -517,12 +540,127 @@ func (s *Server) ApplyInventoryUpdate(id osm.NodeID, tags osm.Tags) bool {
 // independently-built replicas).
 func (s *Server) ChangeSeq() uint64 { return s.store.ChangeSeq() }
 
+// NoteSyncPosition records that this server has applied the named
+// origin's change log (incarnation log) through seq — called by the
+// Syncer after each successful drain, and the evidence FreshAt uses to
+// vouch for session marks minted by that origin. Within one incarnation
+// positions only move forward; a NEW incarnation (the origin restarted
+// with a fresh log, detected via wire.ChangesResponse.LogID or, for
+// incarnation-less peers, via head regression — restarted=true) replaces
+// the old position outright, downward included: positions against a dead
+// incarnation vouch for nothing.
+func (s *Server) NoteSyncPosition(origin string, log, seq uint64, restarted bool) {
+	if origin == "" || origin == s.cfg.Name {
+		return
+	}
+	s.syncMu.Lock()
+	cur, ok := s.syncPos[origin]
+	if !ok || restarted || cur.log != log || seq > cur.seq {
+		s.syncPos[origin] = syncPosition{log: log, seq: seq}
+	}
+	s.syncMu.Unlock()
+}
+
+// SyncPosition returns how far this server has consumed the named
+// origin's change log: the incarnation it tracked and the position within
+// it (zeros = never synced from it).
+func (s *Server) SyncPosition(origin string) (log, seq uint64) {
+	s.syncMu.RLock()
+	defer s.syncMu.RUnlock()
+	p := s.syncPos[origin]
+	return p.log, p.seq
+}
+
+// SessionMark returns this server's current high-water mark: the envelope
+// stamped onto every sessioned read. Callers needing "no read saw older
+// state than this mark claims" must take it AFTER computing the answer.
+func (s *Server) SessionMark() wire.SessionMark {
+	return wire.SessionMark{
+		Origin: s.cfg.Name, Log: s.store.LogID(),
+		Seq: s.ChangeSeq(), Gen: s.Generation(),
+	}
+}
+
+// vouch reports whether this server can stand behind one session mark: it
+// is the mark's origin (same log incarnation) at or past the marked
+// position, or it has pulled that origin's log incarnation through it.
+// Because every application — local write or replicated — appends to a
+// member's own log, "consumed the origin's log through Seq" is exactly
+// "holds every write the reader could have observed there". A Log of 0
+// (pre-incarnation mark or position) compares optimistically on Seq.
+func (s *Server) vouch(m wire.SessionMark) bool {
+	if m.Seq == 0 {
+		return true // nothing observed yet: nothing to honor
+	}
+	if m.Origin == "" || m.Origin == s.cfg.Name {
+		if m.Log != 0 && m.Log != s.store.LogID() {
+			return false // minted by a previous incarnation of this server
+		}
+		return s.ChangeSeq() >= m.Seq
+	}
+	log, seq := s.SyncPosition(m.Origin)
+	if m.Log != 0 && log != 0 && log != m.Log {
+		return false // tracked a different incarnation of the origin
+	}
+	return seq >= m.Seq
+}
+
+// FreshAt reports whether this server may answer a read carrying the
+// session envelope: every mark the reader's session holds must be
+// vouched for.
+func (s *Server) FreshAt(rc *wire.ReadConsistency) bool {
+	if rc == nil {
+		return true
+	}
+	for _, m := range rc.Marks {
+		if !s.vouch(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// consistencyPollInterval is how often WaitFresh re-checks while waiting
+// for anti-entropy to catch this replica up to a requested mark.
+const consistencyPollInterval = 2 * time.Millisecond
+
+// WaitFresh is FreshAt with the configured grace: a read positioned behind
+// the mark waits up to Config.ConsistencyWait (bounded by the request
+// context) for the background syncer to close the gap before it is
+// declared stale. Zero wait degrades to a plain FreshAt check.
+func (s *Server) WaitFresh(ctx context.Context, rc *wire.ReadConsistency) bool {
+	if s.FreshAt(rc) {
+		return true
+	}
+	if s.cfg.ConsistencyWait <= 0 {
+		return false
+	}
+	deadline := time.NewTimer(s.cfg.ConsistencyWait)
+	defer deadline.Stop()
+	tick := time.NewTicker(consistencyPollInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return false
+		case <-deadline.C:
+			return s.FreshAt(rc)
+		case <-tick.C:
+			if s.FreshAt(rc) {
+				return true
+			}
+		}
+	}
+}
+
 // ChangesSince answers a replication pull: the logged changes after the
 // caller's cursor, bounded at wire.MaxChangesPerPull.
 func (s *Server) ChangesSince(since uint64) wire.ChangesResponse {
 	resp := wire.ChangesResponse{
 		Seq:      s.store.ChangeSeq(),
 		FirstSeq: s.store.FirstChangeSeq(),
+		Name:     s.cfg.Name,
+		LogID:    s.store.LogID(),
 	}
 	for _, ch := range s.store.ChangesSince(since, wire.MaxChangesPerPull) {
 		resp.Changes = append(resp.Changes, wire.Change{

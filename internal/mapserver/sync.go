@@ -39,7 +39,11 @@ type Syncer struct {
 	mu      sync.Mutex
 	peers   []string
 	cursors map[string]uint64
-	lastErr string
+	// peerLogs remembers each peer's change-log incarnation (by URL): a
+	// changed incarnation means the peer restarted with a fresh log, even
+	// when its new head has already overtaken our cursor.
+	peerLogs map[string]uint64
+	lastErr  string
 }
 
 // NewSyncer creates a syncer for the server; httpClient nil means
@@ -48,7 +52,8 @@ func NewSyncer(srv *Server, httpClient *http.Client) *Syncer {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Syncer{srv: srv, http: httpClient, cursors: make(map[string]uint64)}
+	return &Syncer{srv: srv, http: httpClient,
+		cursors: make(map[string]uint64), peerLogs: make(map[string]uint64)}
 }
 
 // Server returns the server this syncer feeds.
@@ -124,21 +129,48 @@ func (s *Syncer) SyncOnce(ctx context.Context) (applied int, err error) {
 func (s *Syncer) syncPeer(ctx context.Context, peer string) (applied int, err error) {
 	s.mu.Lock()
 	cursor := s.cursors[peer]
+	peerLog := s.peerLogs[peer]
 	s.mu.Unlock()
 	latest := make(map[int64]wire.Change)
 	var order []int64 // first-appearance order: deterministic application
+	var origin string // the peer's self-reported server name
+	var restarted, gapped bool
 	for {
 		resp, perr := s.pull(ctx, peer, cursor)
 		if perr != nil {
 			return 0, perr
 		}
-		if resp.Seq < cursor {
-			// The peer's head regressed below our cursor: it restarted
-			// with a fresh log. Start over from zero — idempotent,
-			// coalesced application makes the replay safe — so changes
-			// logged since the restart are not skipped.
+		origin = resp.Name
+		if resp.LogID != 0 && peerLog != 0 && resp.LogID != peerLog {
+			// The peer's log incarnation changed: it restarted, even if
+			// its new head has already overtaken our cursor. Restart the
+			// drain from zero (discarding any page pulled against the old
+			// cursor) so no new-incarnation change is skipped.
+			restarted = true
+			peerLog = resp.LogID
 			cursor = 0
+			latest = make(map[int64]wire.Change)
+			order = nil
 			continue
+		}
+		peerLog = resp.LogID
+		if resp.Seq < cursor {
+			// Head regression is the restart signal for incarnation-less
+			// (pre-LogID) peers; same recovery.
+			restarted = true
+			cursor = 0
+			latest = make(map[int64]wire.Change)
+			order = nil
+			continue
+		}
+		if resp.FirstSeq > cursor+1 && resp.Seq > 0 {
+			// Compaction gap: changes (cursor, FirstSeq) are gone from the
+			// peer's log. The retained window still converges the nodes it
+			// mentions, but a node whose ONLY change was compacted away is
+			// missed — so the drain must not be recorded as full
+			// consumption, or this replica would vouch for session marks
+			// covering writes it never applied.
+			gapped = true
 		}
 		for _, ch := range resp.Changes {
 			if _, seen := latest[ch.NodeID]; !seen {
@@ -163,7 +195,26 @@ func (s *Syncer) syncPeer(ctx context.Context, peer string) (applied int, err er
 	}
 	s.mu.Lock()
 	s.cursors[peer] = cursor
+	s.peerLogs[peer] = peerLog
 	s.mu.Unlock()
+	// The drain is applied: this server now holds the peer's log
+	// incarnation through cursor, so it can vouch for session marks the
+	// peer minted up to there. Recorded after application — a mark must
+	// never be vouched for before the state behind it is actually visible
+	// here. A restarted peer's position is overwritten (downward included):
+	// the old incarnation's high-water mark vouches for nothing anymore.
+	// A GAPPED drain (compacted prefix skipped) claims nothing new: the
+	// previous honest position stands — or, if the gap belongs to a fresh
+	// incarnation, the position resets to 0 of the new log so the dead
+	// incarnation's claim dies without minting a false one.
+	switch {
+	case gapped && restarted:
+		s.srv.NoteSyncPosition(origin, peerLog, 0, true)
+	case gapped:
+		// keep the previous position
+	default:
+		s.srv.NoteSyncPosition(origin, peerLog, cursor, restarted)
+	}
 	return applied, nil
 }
 

@@ -48,16 +48,34 @@ type snapshot struct {
 	Nodes     []snapNode
 	Ways      []snapWay
 	Relations []snapRelation
+	// NodeVers carries per-node update versions (store.Change.Ver) so a
+	// restarted replica resumes versioning above its persisted history
+	// instead of minting low versions that lose anti-entropy conflicts.
+	// Gob tolerates the field being absent (old snapshots read as empty)
+	// or unexpected (old readers skip it), so the version stays 1.
+	NodeVers map[int64]uint64
 }
 
 // WriteSnapshot serializes the map in the binary snapshot format.
 func (m *Map) WriteSnapshot(w io.Writer) error {
+	return m.WriteSnapshotVersions(w, nil)
+}
+
+// WriteSnapshotVersions is WriteSnapshot carrying per-node update versions
+// (from store.Store.NodeVersions; nil writes none).
+func (m *Map) WriteSnapshotVersions(w io.Writer, vers map[NodeID]uint64) error {
 	snap := snapshot{
 		Version:   snapshotVersion,
 		Name:      m.Name,
 		FrameKind: int(m.Frame.Kind),
 		Anchor:    m.Frame.Anchor,
 		AnchorBrg: m.Frame.AnchorBearingDeg,
+	}
+	if len(vers) > 0 {
+		snap.NodeVers = make(map[int64]uint64, len(vers))
+		for id, v := range vers {
+			snap.NodeVers[int64(id)] = v
+		}
 	}
 	m.Nodes(func(n *Node) bool {
 		snap.Nodes = append(snap.Nodes, snapNode{
@@ -86,12 +104,20 @@ func (m *Map) WriteSnapshot(w io.Writer) error {
 
 // ReadSnapshot deserializes a map written by WriteSnapshot.
 func ReadSnapshot(r io.Reader) (*Map, error) {
+	m, _, err := ReadSnapshotVersions(r)
+	return m, err
+}
+
+// ReadSnapshotVersions is ReadSnapshot additionally returning the
+// persisted per-node update versions (nil when the snapshot carries none);
+// feed them to store.Store.RestoreNodeVersions after indexing.
+func ReadSnapshotVersions(r io.Reader) (*Map, map[NodeID]uint64, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("osm: snapshot decode: %w", err)
+		return nil, nil, fmt.Errorf("osm: snapshot decode: %w", err)
 	}
 	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("osm: unsupported snapshot version %d", snap.Version)
+		return nil, nil, fmt.Errorf("osm: unsupported snapshot version %d", snap.Version)
 	}
 	m := NewMap(snap.Name, Frame{
 		Kind:             FrameKind(snap.FrameKind),
@@ -107,7 +133,7 @@ func ReadSnapshot(r io.Reader) (*Map, error) {
 			ids[i] = NodeID(id)
 		}
 		if _, err := m.AddWay(&Way{ID: WayID(sw.ID), NodeIDs: ids, Tags: sw.Tags}); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	for _, sr := range snap.Relations {
@@ -117,5 +143,12 @@ func ReadSnapshot(r io.Reader) (*Map, error) {
 		}
 		m.AddRelation(rel)
 	}
-	return m, nil
+	var vers map[NodeID]uint64
+	if len(snap.NodeVers) > 0 {
+		vers = make(map[NodeID]uint64, len(snap.NodeVers))
+		for id, v := range snap.NodeVers {
+			vers[NodeID(id)] = v
+		}
+	}
+	return m, vers, nil
 }

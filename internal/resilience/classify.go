@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+
+	"openflame/internal/wire"
 )
 
 // Class is a failure classification: it decides both whether an error is a
@@ -45,6 +47,10 @@ type HTTPError struct {
 	URL        string
 	StatusCode int
 	Msg        string
+	// Session is the refusing server's current session mark, when the
+	// error body carried one (stale-replica refusals do) — the client's
+	// session layer uses it to heal marks from dead log incarnations.
+	Session *wire.SessionMark
 }
 
 func (e *HTTPError) Error() string {

@@ -6,9 +6,12 @@
 package store
 
 import (
+	crand "crypto/rand"
+	"encoding/binary"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"unicode"
 
 	"openflame/internal/geo"
@@ -37,6 +40,11 @@ type Store struct {
 	// position. Replicas pull this log from each other for anti-entropy.
 	changes   []Change
 	changeSeq uint64
+	// logID identifies this log's incarnation (drawn at construction):
+	// a restarted store mints a new one, so consumers can tell "the log
+	// restarted" apart from "the log advanced" even when the new head has
+	// overtaken their cursor.
+	logID uint64
 	// nodeVer tracks each node's update version (see Change.Ver); absent
 	// means 0 (never tag-updated).
 	nodeVer map[osm.NodeID]uint64
@@ -76,6 +84,7 @@ func New(m *osm.Map) *Store {
 		inv:     make(map[string]map[osm.NodeID]struct{}),
 		bounds:  geo.EmptyRect(),
 		nodeVer: make(map[osm.NodeID]uint64),
+		logID:   newLogID(),
 	}
 	m.Nodes(func(n *osm.Node) bool {
 		s.indexNode(n)
@@ -223,6 +232,36 @@ func (s *Store) NodeVersion(id osm.NodeID) uint64 {
 	return s.nodeVer[id]
 }
 
+// NodeVersions returns a copy of every non-zero node update version — the
+// state persisted alongside a map snapshot (osm.WriteSnapshotVersions) so a
+// restarted replica resumes versioning where it left off.
+func (s *Store) NodeVersions() map[osm.NodeID]uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[osm.NodeID]uint64, len(s.nodeVer))
+	for id, v := range s.nodeVer {
+		out[id] = v
+	}
+	return out
+}
+
+// RestoreNodeVersions seeds node update versions from a persisted snapshot:
+// each node adopts the restored version unless it already holds a higher
+// one. No change is logged and the generation does not move — restoring
+// versions is bookkeeping, not a write. It closes the restart gap: a
+// replica that restarts and accepts writes while isolated from every
+// sibling would otherwise mint low versions that lose to the stale history
+// those siblings still hold.
+func (s *Store) RestoreNodeVersions(vers map[osm.NodeID]uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, v := range vers {
+		if v > s.nodeVer[id] {
+			s.nodeVer[id] = v
+		}
+	}
+}
+
 // replaceTagsLocked swaps a node's tags copy-on-write, maintains the
 // indexes and version, and appends to the change log. Caller holds s.mu.
 func (s *Store) replaceTagsLocked(n *osm.Node, tags osm.Tags, ver uint64) {
@@ -258,6 +297,29 @@ func canonicalTags(t osm.Tags) string {
 	}
 	return b.String()
 }
+
+// newLogID draws a fresh change-log incarnation id: random (uniqueness
+// across process restarts is the whole point), never zero (zero is the
+// pre-incarnation wire value).
+func newLogID() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// Fallback: a process-local counter still distinguishes in-process
+		// restarts, the common test scenario.
+		return logIDFallback.Add(1)
+	}
+	id := binary.LittleEndian.Uint64(b[:])
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+var logIDFallback atomic.Uint64
+
+// LogID returns the change log's incarnation id (stable for the store's
+// lifetime, fresh on every construction).
+func (s *Store) LogID() uint64 { return s.logID }
 
 // ChangeSeq returns the head position of the inventory-update log: the
 // sequence number of the most recent logged change (0 = none yet). Two

@@ -57,8 +57,91 @@ type Info struct {
 	FrameKind string `json:"frameKind"`
 }
 
+// ReadConsistency is the session-consistency request envelope of the v2
+// API: every high-water mark the reader's session holds for this replica
+// set. A member asked to honor it must not answer from an older view than
+// ANY of them: for each mark it must either BE the origin (same log
+// incarnation) at or past Seq, or have pulled that origin's log through
+// Seq via anti-entropy. A member positioned behind a mark answers
+// StatusStaleReplica (optionally waiting out one anti-entropy round first,
+// see mapserver.Config.ConsistencyWait), and the client fails over to a
+// sibling — yielding monotonic reads and read-your-writes across replica
+// failover. A zero envelope ({}) imposes nothing but still asks the
+// server to return its updated mark.
+type ReadConsistency struct {
+	Marks []SessionMark `json:"marks,omitempty"`
+}
+
+// SessionMark is one origin's high-water mark: the server's identity, its
+// change-log incarnation, and its log head taken after the answer was
+// computed (so the mark covers every write the answer reflects). Gen is
+// the map generation (advisory — generations are only comparable on the
+// same member; cross-replica comparisons go through Origin+Log+Seq).
+type SessionMark struct {
+	Origin string `json:"origin"`
+	// Log identifies the origin's change-log INCARNATION (drawn at store
+	// construction): positions from different incarnations are
+	// incomparable, so a restarted origin's fresh log can never be vouched
+	// for by positions recorded against the old one. 0 = minted by a
+	// pre-incarnation peer (positions compared optimistically).
+	Log uint64 `json:"log,omitempty"`
+	Seq uint64 `json:"seq"`
+	Gen uint64 `json:"gen,omitempty"`
+}
+
+// ConsistencyEnvelope is embedded in every read request: the optional
+// session-consistency field rides inside the request body, so it crosses
+// batch boundaries intact (each BatchItem body is a full request). Absent
+// (nil) it marshals to nothing — legacy requests are byte-identical.
+type ConsistencyEnvelope struct {
+	Consistency *ReadConsistency `json:"consistency,omitempty"`
+}
+
+// SetConsistency attaches the session envelope (nil detaches it).
+func (e *ConsistencyEnvelope) SetConsistency(rc *ReadConsistency) { e.Consistency = rc }
+
+// TakeConsistency detaches and returns the envelope — servers strip it
+// before computing so cache keys and ETags of the underlying query are
+// unaffected by who is asking at what mark.
+func (e *ConsistencyEnvelope) TakeConsistency() *ReadConsistency {
+	rc := e.Consistency
+	e.Consistency = nil
+	return rc
+}
+
+// ConsistencyCarrier is implemented (via ConsistencyEnvelope) by every
+// read request type.
+type ConsistencyCarrier interface {
+	SetConsistency(*ReadConsistency)
+	TakeConsistency() *ReadConsistency
+}
+
+// SessionEnvelope is embedded in every read response; Session is set only
+// when the request carried a ConsistencyEnvelope, so legacy responses are
+// byte-identical.
+type SessionEnvelope struct {
+	Session *SessionMark `json:"session,omitempty"`
+}
+
+// GetSession returns the response's session mark (nil on legacy reads).
+func (e *SessionEnvelope) GetSession() *SessionMark { return e.Session }
+
+// SessionCarrier is implemented (via SessionEnvelope) by every read
+// response type.
+type SessionCarrier interface {
+	GetSession() *SessionMark
+}
+
+// StatusStaleReplica is the HTTP status of the "stale replica" error: the
+// request's ReadConsistency names a state this member has not caught up to.
+// It is a 4xx — the member is healthy, merely lagging — so resilience
+// layers treat it as a refusal (no health damage, no retry against the same
+// member); the client's query plan fails over to a replica-set sibling.
+const StatusStaleReplica = 412 // http.StatusPreconditionFailed
+
 // GeocodeRequest resolves a textual address.
 type GeocodeRequest struct {
+	ConsistencyEnvelope
 	Query string `json:"query"`
 	Limit int    `json:"limit,omitempty"`
 }
@@ -74,23 +157,27 @@ type GeocodeResult struct {
 
 // GeocodeResponse carries forward-geocode hits, best first.
 type GeocodeResponse struct {
+	SessionEnvelope
 	Results []GeocodeResult `json:"results"`
 }
 
 // RGeocodeRequest resolves a position to the nearest addressable node.
 type RGeocodeRequest struct {
+	ConsistencyEnvelope
 	Position  geo.LatLng `json:"position"`
 	MaxMeters float64    `json:"maxMeters,omitempty"`
 }
 
 // RGeocodeResponse carries the reverse-geocode hit, if any.
 type RGeocodeResponse struct {
+	SessionEnvelope
 	Found  bool          `json:"found"`
 	Result GeocodeResult `json:"result,omitempty"`
 }
 
 // SearchRequest is a location-based search (§4).
 type SearchRequest struct {
+	ConsistencyEnvelope
 	Query             string      `json:"query"`
 	Near              *geo.LatLng `json:"near,omitempty"`
 	MaxDistanceMeters float64     `json:"maxDistanceMeters,omitempty"`
@@ -99,6 +186,7 @@ type SearchRequest struct {
 
 // SearchResponse carries ranked hits.
 type SearchResponse struct {
+	SessionEnvelope
 	Results []search.Result `json:"results"`
 }
 
@@ -116,6 +204,7 @@ const (
 // map (the client stitches across servers, §5.2). If FromNode/ToNode are
 // non-zero they override position snapping.
 type RouteRequest struct {
+	ConsistencyEnvelope
 	From     geo.LatLng  `json:"from"`
 	To       geo.LatLng  `json:"to"`
 	FromNode int64       `json:"fromNode,omitempty"`
@@ -131,6 +220,7 @@ type RoutePoint struct {
 
 // RouteResponse carries the in-map route.
 type RouteResponse struct {
+	SessionEnvelope
 	Found        bool         `json:"found"`
 	Points       []RoutePoint `json:"points,omitempty"`
 	CostSeconds  float64      `json:"costSeconds"`
@@ -142,6 +232,7 @@ type RouteResponse struct {
 // IDs or positions the server snaps (a position entry is used where the
 // corresponding node ID is zero).
 type RouteMatrixRequest struct {
+	ConsistencyEnvelope
 	FromNodes     []int64      `json:"fromNodes"`
 	ToNodes       []int64      `json:"toNodes"`
 	FromPositions []geo.LatLng `json:"fromPositions,omitempty"`
@@ -151,23 +242,32 @@ type RouteMatrixRequest struct {
 // RouteMatrixResponse carries CostSeconds[i][j] for FromNodes[i]→ToNodes[j];
 // unreachable pairs hold a negative value.
 type RouteMatrixResponse struct {
+	SessionEnvelope
 	CostSeconds [][]float64 `json:"costSeconds"`
 }
 
 // LocalizeRequest submits sensor cues for localization (§5.2).
 type LocalizeRequest struct {
+	ConsistencyEnvelope
 	Cue loc.Cue `json:"cue"`
 }
 
 // LocalizeResponse carries the server's fix, if it could localize.
 type LocalizeResponse struct {
+	SessionEnvelope
 	Found bool    `json:"found"`
 	Fix   loc.Fix `json:"fix,omitempty"`
 }
 
-// ErrorResponse is returned with non-2xx statuses.
+// ErrorResponse is returned with non-2xx statuses. StatusStaleReplica
+// refusals additionally carry the refusing server's CURRENT mark: when
+// the refuser IS the origin of a held mark and its log incarnation
+// differs, the client learns the held incarnation is dead — its writes
+// are unrecoverable — and replaces the mark instead of demanding the
+// impossible forever.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error   string       `json:"error"`
+	Session *SessionMark `json:"session,omitempty"`
 }
 
 // SvcChanges names the replication endpoint (GET /v1/changes). It is not a
@@ -202,6 +302,16 @@ type ChangesResponse struct {
 	Seq      uint64   `json:"seq"`
 	FirstSeq uint64   `json:"firstSeq"`
 	Changes  []Change `json:"changes,omitempty"`
+	// Name identifies the answering server — the Origin a sync cursor over
+	// this log positions. Pullers record "I have consumed Name's log through
+	// seq N" and can then vouch for session marks minted by Name (absent on
+	// pre-session peers; their logs simply cannot vouch for marks).
+	Name string `json:"name,omitempty"`
+	// LogID identifies this log's incarnation. A puller observing it change
+	// between pulls knows the peer restarted with a fresh log — even if the
+	// new head has already overtaken the old cursor — and restarts its
+	// drain from zero, discarding positions against the old incarnation.
+	LogID uint64 `json:"logId,omitempty"`
 }
 
 // MaxBatchItems bounds one batch request; servers reject larger batches
