@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt vet staticcheck deprecation-guard build test race cover bench-fanout bench-resilience bench-replication bench-session bench-smoke
+.PHONY: verify fmt vet staticcheck deprecation-guard build test race cover bench-fanout bench-resilience bench-replication bench-session bench-route bench-smoke
 
 ## verify: the full CI gate — formatting, vet, the v2-API deprecation
 ## guard, build, tests under -race (twice, so flaky tests surface). CI
@@ -81,8 +81,15 @@ bench-replication:
 bench-session:
 	$(GO) test -run xxx -bench E17 -benchtime 20x .
 
+## bench-route: the E18 routing raw-speed comparison — CH vs bidirectional
+## Dijkstra point-to-point, bucket-based many-to-many vs the per-pair
+## loop. Writes the machine-readable BENCH_route.json artifact and fails
+## if the speedup floors (p2p ≥5×, matrix ≥10×) are not met.
+bench-route:
+	BENCH_ROUTE_JSON=BENCH_route.json $(GO) test -run TestE18BenchArtifact -count=1 -v .
+
 ## bench-smoke: compile and run EVERY benchmark for one iteration, so the
-## growing suite (E1–E15 plus per-package micro-benchmarks) can never rot
+## growing suite (E1–E18 plus per-package micro-benchmarks) can never rot
 ## uncompiled. Numbers are meaningless at 1x; only pass/fail matters.
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...

@@ -5,6 +5,7 @@
 package openflame
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"testing"
@@ -167,6 +168,9 @@ func BenchmarkAblation_ServerSideCH(b *testing.B) {
 		b.Run(fmt.Sprintf("ch=%v", useCH), func(b *testing.B) {
 			srv, err := mapserver.New(mapserver.Config{Name: "city", Map: world.Outdoor, UseCH: useCH})
 			if err != nil {
+				b.Fatal(err)
+			}
+			if err := srv.WaitCH(context.Background()); err != nil {
 				b.Fatal(err)
 			}
 			from := geo.LatLng{Lat: 40.4400, Lng: -79.9990}

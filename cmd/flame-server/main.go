@@ -66,7 +66,7 @@ func newFlagSet(name string) (*flag.FlagSet, *options) {
 	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
 	fs.StringVar(&o.name, "name", "", "server name (default: map name)")
 	fs.StringVar(&o.publicURL, "public-url", "", "URL to advertise in DNS (default http://<addr>)")
-	fs.BoolVar(&o.useCH, "ch", false, "preprocess routing with contraction hierarchies")
+	fs.BoolVar(&o.useCH, "ch", true, "preprocess routing with contraction hierarchies (built in the background; -ch=false serves bidirectional Dijkstra only)")
 	fs.IntVar(&o.minLevel, "min-level", discovery.DefaultMinLevel, "coarsest registration cell level")
 	fs.IntVar(&o.maxLevel, "max-level", discovery.DefaultMaxLevel, "finest registration cell level")
 	fs.BoolVar(&o.queryCache, "query-cache", true, "memoize query results per map generation")
@@ -222,6 +222,16 @@ func main() {
 	url := o.advertiseURL()
 	info := srv.Info()
 	fmt.Printf("map server %q: %d nodes, %d coverage cells\n", srv.Name(), m.NodeCount(), len(info.Coverage))
+	if o.useCH {
+		// The hierarchy builds in the background and swaps in atomically;
+		// boot is never gated on it — routing falls back to bidirectional
+		// Dijkstra until the swap.
+		go func() {
+			if err := srv.WaitCH(context.Background()); err == nil {
+				log.Printf("contraction hierarchies active")
+			}
+		}()
+	}
 	if o.registerURL == "" {
 		fmt.Println("install these records in your spatial DNS zone:")
 		ann := discovery.Announcement{Name: info.Name, URL: url, Services: info.Services, Technologies: info.Technologies}

@@ -18,7 +18,7 @@ func TestFlagDefaultsAndRoundTrip(t *testing.T) {
 	if err := fs.Parse(nil); err != nil {
 		t.Fatal(err)
 	}
-	if o.addr != ":8080" || o.mapPath != "" || o.useCH {
+	if o.addr != ":8080" || o.mapPath != "" || !o.useCH {
 		t.Fatalf("defaults changed: %+v", o)
 	}
 	if o.minLevel != discovery.DefaultMinLevel || o.maxLevel != discovery.DefaultMaxLevel {
@@ -28,12 +28,12 @@ func TestFlagDefaultsAndRoundTrip(t *testing.T) {
 	fs, o = newFlagSet("flame-server")
 	err := fs.Parse([]string{
 		"-map", "city.osm.xml", "-addr", ":9090", "-name", "my-map",
-		"-public-url", "http://example:9090", "-ch", "-min-level", "10", "-max-level", "18",
+		"-public-url", "http://example:9090", "-ch=false", "-min-level", "10", "-max-level", "18",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if o.mapPath != "city.osm.xml" || o.addr != ":9090" || o.name != "my-map" || !o.useCH {
+	if o.mapPath != "city.osm.xml" || o.addr != ":9090" || o.name != "my-map" || o.useCH {
 		t.Fatalf("flags lost: %+v", o)
 	}
 	if o.minLevel != 10 || o.maxLevel != 18 {

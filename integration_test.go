@@ -1,6 +1,7 @@
 package openflame
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -60,6 +61,9 @@ func TestFullStackOverRealSockets(t *testing.T) {
 	registry := discovery.NewRegistry(locZone, discovery.DefaultSuffix)
 	citySrv, err := mapserver.New(mapserver.Config{Name: "world-map", Map: world.Outdoor, UseCH: true})
 	if err != nil {
+		t.Fatal(err)
+	}
+	if err := citySrv.WaitCH(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	cityHTTP := httptest.NewServer(citySrv.Handler())

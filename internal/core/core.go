@@ -251,10 +251,12 @@ type DeployOptions struct {
 }
 
 // DeployWorld stands up the full paper scenario over a generated world: a
-// "world-map" server for the outdoor city (the Google-Maps analogue,
-// preprocessed with contraction hierarchies per Figure 1) and one
+// "world-map" server for the outdoor city (the Google-Maps analogue) and one
 // independently-operated server per store (local frame, precise alignment
-// fitted from survey correspondences, beacons and fiducials enabled).
+// fitted from survey correspondences, beacons and fiducials enabled). Every
+// server — world and store alike — preprocesses its routing graph into a
+// contraction hierarchy (Figure 1), and DeployWorld waits for those
+// background builds so callers see deterministic query behavior.
 func DeployWorld(w *worldgen.World) (*Federation, error) {
 	return DeployWorldOpts(w, DeployOptions{})
 }
@@ -288,6 +290,7 @@ func DeployWorldOpts(w *worldgen.World, opts DeployOptions) (*Federation, error)
 		srv, err := mapserver.New(mapserver.Config{
 			Name:              worldgenServerName(store),
 			Map:               store.Map,
+			UseCH:             true,
 			Alignment:         ga,
 			Beacons:           store.Beacons,
 			Fiducials:         store.Fiducials,
@@ -299,6 +302,14 @@ func DeployWorldOpts(w *worldgen.World, opts DeployOptions) (*Federation, error)
 			return nil, err
 		}
 		if _, err := f.AddServer(srv); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	// Hierarchies build in the background; a deployed-world fixture should
+	// answer queries the same way on every run, so wait for the swaps here.
+	for _, h := range f.Servers {
+		if err := h.Server.WaitCH(context.Background()); err != nil {
 			f.Close()
 			return nil, err
 		}

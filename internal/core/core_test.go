@@ -143,3 +143,21 @@ func TestDeployWorldOptsEnablesQueryCache(t *testing.T) {
 		}
 	}
 }
+
+// TestDeployWorldAllServersUseCH pins that CH preprocessing covers every
+// serving path: the world map AND each independently-operated store server
+// come up with an active hierarchy (DeployWorld waits for the background
+// builds).
+func TestDeployWorldAllServersUseCH(t *testing.T) {
+	w := worldgen.GenWorld(worldgen.DefaultWorldParams())
+	f, err := DeployWorld(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for _, h := range f.Servers {
+		if !h.Server.CHActive() {
+			t.Fatalf("server %q has no active hierarchy", h.Server.Name())
+		}
+	}
+}

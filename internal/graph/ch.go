@@ -2,7 +2,10 @@ package graph
 
 import (
 	"container/heap"
-	"math"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // CH is a contraction-hierarchies index over a Graph: every node is assigned
@@ -10,15 +13,44 @@ import (
 // ranked nodes. Queries run bidirectional Dijkstra over upward edges only,
 // which settles orders of magnitude fewer nodes than plain Dijkstra on
 // road-like graphs (§4.1, [11]).
+//
+// The index is a flat-array engine: the augmented edge set (originals plus
+// shortcuts) lives in parallel slices, the upward/downward adjacency is
+// CSR-packed, and every shortcut carries the edge-store indices of its two
+// constituent edges — resolved once at build time, so query-time path
+// unpacking is an index walk with no searching. Queries borrow an
+// epoch-stamped workspace from a pool and allocate nothing in steady state
+// (see QueryCost and QueryInto).
 type CH struct {
 	g    *Graph
 	rank []int32
-	// Upward adjacency: edges (original and shortcuts) to higher-ranked
-	// nodes, in forward and backward direction.
-	up   [][]halfEdge
-	down [][]halfEdge // reverse: for the backward search
+
+	// Augmented edge store, forward direction (eFrom[i] → eTo[i]). eMid is
+	// the shortcut middle node (-1 for original edges); eFirst/eSecond are
+	// the edge-store indices of a shortcut's constituents (u→mid, mid→to),
+	// -1 for originals.
+	eFrom, eTo      []int32
+	eW              []float64
+	eMid            []int32
+	eFirst, eSecond []int32
+
+	// CSR upward adjacency: for node u, edges u→v with rank[v] > rank[u],
+	// at [upHead[u], upHead[u+1]). upIdx is the edge-store index.
+	upHead []int32
+	upTo   []int32
+	upW    []float64
+	upIdx  []int32
+	// CSR downward adjacency, reversed for the backward search: for node a,
+	// edges b→a with rank[b] > rank[a]; downTo is b.
+	downHead []int32
+	downTo   []int32
+	downW    []float64
+	downIdx  []int32
+
 	// ShortcutCount is the number of shortcuts added by preprocessing.
 	ShortcutCount int
+
+	pool sync.Pool
 }
 
 // chNodePQ orders nodes by contraction priority.
@@ -41,7 +73,199 @@ func (q *chNodePQ) Pop() interface{} {
 	return x
 }
 
-// BuildCH preprocesses the graph into a contraction hierarchy.
+// witnessWS is the flat-array state of one bounded witness search: distances
+// and settled marks are epoch-stamped so consecutive searches reuse the
+// slices without clearing them.
+type witnessWS struct {
+	dist  []float64
+	stamp []uint32
+	done  []uint32
+	heap  []pqItem
+	epoch uint32
+}
+
+func newWitnessWS(n int) *witnessWS {
+	return &witnessWS{
+		dist:  make([]float64, n),
+		stamp: make([]uint32, n),
+		done:  make([]uint32, n),
+	}
+}
+
+func (w *witnessWS) nextEpoch() {
+	w.epoch++
+	if w.epoch == 0 { // wrapped: stale stamps would read as current
+		for i := range w.stamp {
+			w.stamp[i] = 0
+			w.done[i] = 0
+		}
+		w.epoch = 1
+	}
+	w.heap = w.heap[:0]
+}
+
+// heapPush/heapPop are inlined binary-heap primitives over a pqItem slice —
+// container/heap would box every item through interface{}, allocating on
+// the hottest path in the package.
+func heapPush(h []pqItem, it pqItem) []pqItem {
+	h = append(h, it)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].dist <= h[i].dist {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	return h
+}
+
+func heapPop(h []pqItem) (pqItem, []pqItem) {
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h[r].dist < h[l].dist {
+			m = r
+		}
+		if h[i].dist <= h[m].dist {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return top, h
+}
+
+// witnessSettleLimit bounds each witness search: failing to find a witness
+// within the budget is safe (a redundant shortcut may be added), so the
+// limit trades preprocessing time against hierarchy density.
+const witnessSettleLimit = 64
+
+// witnessSearch runs ONE bounded Dijkstra from u in the remaining graph,
+// avoiding v and pruned at limit. Afterwards ws holds tentative distances
+// (read with distTo) covering every witness question "is there a u→w path
+// avoiding v cheaper than X ≤ limit" for ALL of v's out-neighbors at once —
+// one search per in-neighbor instead of one per (in, out) pair, which is
+// what keeps contraction of the dense late-stage core tractable. A
+// tentative (unsettled) distance is an upper bound on the true distance, so
+// tentative < sw is already a proof of witness.
+func witnessSearch(out [][]halfEdge, contracted []bool, ws *witnessWS, u, v int32, limit float64) {
+	ws.nextEpoch()
+	ws.dist[u] = 0
+	ws.stamp[u] = ws.epoch
+	ws.heap = heapPush(ws.heap, pqItem{node: u})
+	settled := 0
+	for len(ws.heap) > 0 && settled < witnessSettleLimit {
+		var it pqItem
+		it, ws.heap = heapPop(ws.heap)
+		if ws.done[it.node] == ws.epoch {
+			continue
+		}
+		ws.done[it.node] = ws.epoch
+		settled++
+		if it.dist >= limit {
+			return
+		}
+		for _, e := range out[it.node] {
+			if e.to == v || contracted[e.to] {
+				continue
+			}
+			nd := it.dist + e.w
+			if nd >= limit {
+				continue
+			}
+			if ws.stamp[e.to] != ws.epoch || nd < ws.dist[e.to] {
+				ws.dist[e.to] = nd
+				ws.stamp[e.to] = ws.epoch
+				ws.heap = heapPush(ws.heap, pqItem{node: e.to, dist: nd})
+			}
+		}
+	}
+}
+
+// distTo reads the tentative distance the last witnessSearch computed.
+func (w *witnessWS) distTo(node int32) (float64, bool) {
+	if w.stamp[node] == w.epoch {
+		return w.dist[node], true
+	}
+	return 0, false
+}
+
+// forEachShortcut invokes fn for every shortcut contracting v would require
+// (no witness path beats going through v). The callback sees the in-edge,
+// the out-edge, and their summed weight.
+func forEachShortcut(out, in [][]halfEdge, contracted []bool, ws *witnessWS, v int32,
+	fn func(u, w int32, sw float64)) {
+	for _, ein := range in[v] {
+		u := ein.to
+		if contracted[u] || u == v {
+			continue
+		}
+		// One search from u covers all of v's out-neighbors; prune at the
+		// largest shortcut weight any of them could need.
+		maxSW := 0.0
+		eligible := false
+		for _, eout := range out[v] {
+			w := eout.to
+			if contracted[w] || w == v || w == u {
+				continue
+			}
+			eligible = true
+			if sw := ein.w + eout.w; sw > maxSW {
+				maxSW = sw
+			}
+		}
+		if !eligible {
+			continue
+		}
+		witnessSearch(out, contracted, ws, u, v, maxSW)
+		for _, eout := range out[v] {
+			w := eout.to
+			if contracted[w] || w == v || w == u {
+				continue
+			}
+			sw := ein.w + eout.w
+			if d, ok := ws.distTo(w); ok && d < sw {
+				continue // witness: a path avoiding v is strictly cheaper
+			}
+			fn(u, w, sw)
+		}
+	}
+}
+
+// simulateContraction counts the shortcuts contracting v would add minus
+// v's current degree — the classic edge-difference priority term.
+func simulateContraction(out, in [][]halfEdge, contracted []bool, ws *witnessWS, v int32) int {
+	shortcuts := 0
+	forEachShortcut(out, in, contracted, ws, v, func(_, _ int32, _ float64) { shortcuts++ })
+	degree := 0
+	for _, e := range in[v] {
+		if !contracted[e.to] {
+			degree++
+		}
+	}
+	for _, e := range out[v] {
+		if !contracted[e.to] {
+			degree++
+		}
+	}
+	return shortcuts - degree
+}
+
+// BuildCH preprocesses the graph into a contraction hierarchy. The initial
+// priority simulation fans out across GOMAXPROCS workers (each with its own
+// flat witness workspace); the contraction loop itself is sequential and
+// deterministic, so two builds of the same graph produce identical
+// hierarchies regardless of parallelism.
 func BuildCH(g *Graph) *CH {
 	n := len(g.ids)
 	// Working adjacency (mutated by contraction): remaining graph among
@@ -52,55 +276,51 @@ func BuildCH(g *Graph) *CH {
 		out[i] = append([]halfEdge(nil), g.out[i]...)
 		in[i] = append([]halfEdge(nil), g.in[i]...)
 	}
-	ch := &CH{
-		g:    g,
-		rank: make([]int32, n),
-		up:   make([][]halfEdge, n),
-		down: make([][]halfEdge, n),
-	}
+	ch := &CH{g: g, rank: make([]int32, n)}
 	contracted := make([]bool, n)
 	deletedNeighbors := make([]int32, n)
 
-	// The simulation-only contraction used to compute priorities.
-	simulate := func(v int32) (edgeDiff int) {
-		shortcuts := 0
-		for _, ein := range in[v] {
-			u := ein.to
-			if contracted[u] || u == v {
-				continue
-			}
-			for _, eout := range out[v] {
-				w := eout.to
-				if contracted[w] || w == v || w == u {
-					continue
+	// Initial priorities, in parallel: the working graph is read-only until
+	// the contraction loop starts.
+	prio := make([]float64, n)
+	if n > 0 {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > n {
+			workers = n
+		}
+		const chunk = 256
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ws := newWitnessWS(n)
+				for {
+					lo := int(next.Add(chunk)) - chunk
+					if lo >= n {
+						return
+					}
+					hi := lo + chunk
+					if hi > n {
+						hi = n
+					}
+					for v := int32(lo); v < int32(hi); v++ {
+						prio[v] = float64(simulateContraction(out, in, contracted, ws, v))
+					}
 				}
-				if !hasWitness(out, contracted, u, w, v, ein.w+eout.w) {
-					shortcuts++
-				}
-			}
+			}()
 		}
-		degree := 0
-		for _, e := range in[v] {
-			if !contracted[e.to] {
-				degree++
-			}
-		}
-		for _, e := range out[v] {
-			if !contracted[e.to] {
-				degree++
-			}
-		}
-		return shortcuts - degree
+		wg.Wait()
 	}
 
-	prio := make([]float64, n)
 	pqn := &chNodePQ{prio: prio}
 	for v := int32(0); v < int32(n); v++ {
-		prio[v] = float64(simulate(v))
 		pqn.nodes = append(pqn.nodes, v)
 	}
 	heap.Init(pqn)
 
+	ws := newWitnessWS(n)
 	nextRank := int32(0)
 	for pqn.Len() > 0 {
 		v := heap.Pop(pqn).(int32)
@@ -108,7 +328,7 @@ func BuildCH(g *Graph) *CH {
 			continue
 		}
 		// Lazy update: recompute and re-push if the priority got stale.
-		cur := float64(simulate(v)) + 2*float64(deletedNeighbors[v])
+		cur := float64(simulateContraction(out, in, contracted, ws, v)) + 2*float64(deletedNeighbors[v])
 		if pqn.Len() > 0 && cur > prio[pqn.nodes[0]] {
 			prio[v] = cur
 			heap.Push(pqn, v)
@@ -118,90 +338,131 @@ func BuildCH(g *Graph) *CH {
 		contracted[v] = true
 		ch.rank[v] = nextRank
 		nextRank++
-		for _, ein := range in[v] {
-			u := ein.to
-			if contracted[u] || u == v {
-				continue
-			}
-			deletedNeighbors[u]++
-			for _, eout := range out[v] {
-				w := eout.to
-				if contracted[w] || w == v || w == u {
-					continue
-				}
-				sw := ein.w + eout.w
-				if hasWitness(out, contracted, u, w, v, sw) {
-					continue
-				}
-				addOrImprove(&out[u], halfEdge{to: w, w: sw, mid: v})
-				addOrImprove(&in[w], halfEdge{to: u, w: sw, mid: v})
-				ch.ShortcutCount++
+		forEachShortcut(out, in, contracted, ws, v, func(u, w int32, sw float64) {
+			addOrImprove(&out[u], halfEdge{to: w, w: sw, mid: v})
+			addOrImprove(&in[w], halfEdge{to: u, w: sw, mid: v})
+			ch.ShortcutCount++
+		})
+		for _, e := range in[v] {
+			if !contracted[e.to] && e.to != v {
+				deletedNeighbors[e.to]++
 			}
 		}
 		for _, e := range out[v] {
-			if !contracted[e.to] {
+			if !contracted[e.to] && e.to != v {
 				deletedNeighbors[e.to]++
 			}
 		}
 	}
 
-	// Build upward/downward adjacency from the final augmented graph: an
-	// edge u→w (original or shortcut) is "upward" if rank[w] > rank[u].
-	for u := int32(0); u < int32(n); u++ {
-		for _, e := range out[u] {
-			if ch.rank[e.to] > ch.rank[u] {
-				ch.up[u] = append(ch.up[u], e)
-			}
-		}
-		for _, e := range in[u] {
-			if ch.rank[e.to] > ch.rank[u] {
-				ch.down[u] = append(ch.down[u], e)
-			}
-		}
-	}
+	ch.assemble(out)
 	return ch
 }
 
-// hasWitness reports whether a path from u to w avoiding v exists with cost
-// strictly less than limit. The search is bounded (settle limit) — failing
-// to find a witness is safe (a redundant shortcut may be added).
-func hasWitness(out [][]halfEdge, contracted []bool, u, w, v int32, limit float64) bool {
-	const settleLimit = 64
-	dist := map[int32]float64{u: 0}
-	done := map[int32]bool{}
-	q := &pq{{node: u, dist: 0}}
-	settled := 0
-	for q.Len() > 0 && settled < settleLimit {
-		it := heap.Pop(q).(pqItem)
-		if done[it.node] {
+// assemble packs the final augmented graph into the flat edge store and the
+// CSR upward/downward adjacency, and resolves every shortcut's constituent
+// edge indices. Resolution cannot miss: addOrImprove keeps exactly one
+// working edge per (from, to) pair for shortcuts, originals are never
+// removed, and a shortcut's constituents are frozen the moment its middle
+// node is contracted (no later shortcut ever targets a contracted node).
+func (c *CH) assemble(out [][]halfEdge) {
+	n := len(c.g.ids)
+	total := 0
+	for u := 0; u < n; u++ {
+		for _, e := range out[u] {
+			if e.to != int32(u) { // self-loops can never lie on a shortest path
+				total++
+			}
+		}
+	}
+	c.eFrom = make([]int32, 0, total)
+	c.eTo = make([]int32, 0, total)
+	c.eW = make([]float64, 0, total)
+	c.eMid = make([]int32, 0, total)
+	c.eFirst = make([]int32, total)
+	c.eSecond = make([]int32, total)
+
+	// (from, to) → cheapest edge index, for constituent resolution.
+	byPair := make(map[int64]int32, total)
+	pairKey := func(a, b int32) int64 { return int64(a)<<32 | int64(uint32(b)) }
+	for u := int32(0); u < int32(n); u++ {
+		for _, e := range out[u] {
+			if e.to == u {
+				continue
+			}
+			idx := int32(len(c.eFrom))
+			c.eFrom = append(c.eFrom, u)
+			c.eTo = append(c.eTo, e.to)
+			c.eW = append(c.eW, e.w)
+			c.eMid = append(c.eMid, e.mid)
+			k := pairKey(u, e.to)
+			if prev, ok := byPair[k]; !ok || e.w < c.eW[prev] {
+				byPair[k] = idx
+			}
+		}
+	}
+	for i := range c.eFrom {
+		c.eFirst[i], c.eSecond[i] = -1, -1
+		mid := c.eMid[i]
+		if mid < 0 {
 			continue
 		}
-		done[it.node] = true
-		settled++
-		if it.dist >= limit {
-			return false
+		first, ok1 := byPair[pairKey(c.eFrom[i], mid)]
+		second, ok2 := byPair[pairKey(mid, c.eTo[i])]
+		if !ok1 || !ok2 {
+			// Impossible by construction (see doc comment); a panic here
+			// means the contraction loop corrupted the working adjacency.
+			panic(fmt.Sprintf("graph: CH shortcut %d→%d via %d has no constituent edges",
+				c.eFrom[i], c.eTo[i], mid))
 		}
-		if it.node == w {
-			return it.dist < limit
-		}
-		for _, e := range out[it.node] {
-			if e.to == v || contracted[e.to] {
-				continue
-			}
-			nd := it.dist + e.w
-			if nd >= limit {
-				continue
-			}
-			if old, ok := dist[e.to]; !ok || nd < old {
-				dist[e.to] = nd
-				heap.Push(q, pqItem{node: e.to, dist: nd})
-			}
+		c.eFirst[i], c.eSecond[i] = first, second
+	}
+
+	// CSR passes: count, prefix-sum, fill.
+	upCount := make([]int32, n+1)
+	downCount := make([]int32, n+1)
+	for i := range c.eFrom {
+		u, v := c.eFrom[i], c.eTo[i]
+		if c.rank[v] > c.rank[u] {
+			upCount[u+1]++
+		} else {
+			downCount[v+1]++
 		}
 	}
-	if d, ok := dist[w]; ok && done[w] && d < limit {
-		return true
+	for i := 0; i < n; i++ {
+		upCount[i+1] += upCount[i]
+		downCount[i+1] += downCount[i]
 	}
-	return false
+	c.upHead = upCount
+	c.downHead = downCount
+	nUp := c.upHead[n]
+	nDown := c.downHead[n]
+	c.upTo = make([]int32, nUp)
+	c.upW = make([]float64, nUp)
+	c.upIdx = make([]int32, nUp)
+	c.downTo = make([]int32, nDown)
+	c.downW = make([]float64, nDown)
+	c.downIdx = make([]int32, nDown)
+	upFill := make([]int32, n)
+	downFill := make([]int32, n)
+	copy(upFill, c.upHead[:n])
+	copy(downFill, c.downHead[:n])
+	for i := range c.eFrom {
+		u, v := c.eFrom[i], c.eTo[i]
+		if c.rank[v] > c.rank[u] {
+			p := upFill[u]
+			upFill[u]++
+			c.upTo[p] = v
+			c.upW[p] = c.eW[i]
+			c.upIdx[p] = int32(i)
+		} else {
+			p := downFill[v]
+			downFill[v]++
+			c.downTo[p] = u
+			c.downW[p] = c.eW[i]
+			c.downIdx[p] = int32(i)
+		}
+	}
 }
 
 // addOrImprove inserts a parallel-edge-free adjacency entry, keeping the
@@ -218,137 +479,54 @@ func addOrImprove(edges *[]halfEdge, e halfEdge) {
 	*edges = append(*edges, e)
 }
 
-// Query computes the shortest path between external IDs using the hierarchy.
-func (c *CH) Query(src, dst int64) (Path, error) {
-	s, ok := c.g.index[src]
-	if !ok {
-		return Path{}, ErrNoPath
+// CheckInvariants verifies the structural guarantees queries assume: every
+// shortcut's constituent indices are resolved and connect through its middle
+// node, and their weights sum to no more than the shortcut's weight (exact
+// equality in the regular case; a strictly cheaper sum can only belong to a
+// redundant shortcut that no shortest path uses). It exists so tests pin
+// the "unpack cannot miss" property that the query path relies on.
+func (c *CH) CheckInvariants() error {
+	n := len(c.g.ids)
+	if len(c.upHead) != n+1 || len(c.downHead) != n+1 {
+		return fmt.Errorf("graph: CH adjacency heads sized %d/%d, want %d",
+			len(c.upHead), len(c.downHead), n+1)
 	}
-	t, ok := c.g.index[dst]
-	if !ok {
-		return Path{}, ErrNoPath
-	}
-	type label struct {
-		dist float64
-		prev int32
-		via  halfEdge // edge used to reach this node (for unpacking)
-		done bool
-	}
-	fwd := map[int32]*label{s: {dist: 0, prev: -1}}
-	bwd := map[int32]*label{t: {dist: 0, prev: -1}}
-	qf := &pq{{node: s}}
-	qb := &pq{{node: t}}
-	best := math.Inf(1)
-	meet := int32(-1)
-	settled := 0
-
-	expand := func(q *pq, labels map[int32]*label, adj [][]halfEdge, other map[int32]*label) {
-		it := heap.Pop(q).(pqItem)
-		u := it.node
-		lu := labels[u]
-		if lu.done {
-			return
-		}
-		lu.done = true
-		settled++
-		if ol, ok := other[u]; ok {
-			if cost := lu.dist + ol.dist; cost < best {
-				best, meet = cost, u
+	for i := range c.eFrom {
+		mid := c.eMid[i]
+		if mid < 0 {
+			if c.eFirst[i] >= 0 || c.eSecond[i] >= 0 {
+				return fmt.Errorf("graph: original edge %d has constituents", i)
 			}
+			continue
 		}
-		for _, e := range adj[u] {
-			nd := lu.dist + e.w
-			le, ok := labels[e.to]
-			if !ok || nd < le.dist {
-				labels[e.to] = &label{dist: nd, prev: u, via: e}
-				heap.Push(q, pqItem{node: e.to, dist: nd})
-			}
+		f, s := c.eFirst[i], c.eSecond[i]
+		if f < 0 || s < 0 {
+			return fmt.Errorf("graph: shortcut %d (%d→%d via %d) unresolved",
+				i, c.eFrom[i], c.eTo[i], mid)
 		}
-	}
-
-	for qf.Len() > 0 || qb.Len() > 0 {
-		topF, topB := math.Inf(1), math.Inf(1)
-		if qf.Len() > 0 {
-			topF = (*qf)[0].dist
+		if c.eFrom[f] != c.eFrom[i] || c.eTo[f] != mid {
+			return fmt.Errorf("graph: shortcut %d first constituent is %d→%d, want %d→%d",
+				i, c.eFrom[f], c.eTo[f], c.eFrom[i], mid)
 		}
-		if qb.Len() > 0 {
-			topB = (*qb)[0].dist
+		if c.eFrom[s] != mid || c.eTo[s] != c.eTo[i] {
+			return fmt.Errorf("graph: shortcut %d second constituent is %d→%d, want %d→%d",
+				i, c.eFrom[s], c.eTo[s], mid, c.eTo[i])
 		}
-		if math.Min(topF, topB) >= best {
-			break
-		}
-		if topF <= topB {
-			expand(qf, fwd, c.up, bwd)
-		} else {
-			expand(qb, bwd, c.down, fwd)
+		if sum := c.eW[f] + c.eW[s]; sum > c.eW[i]*(1+1e-12)+1e-12 {
+			return fmt.Errorf("graph: shortcut %d weight %v < constituent sum %v",
+				i, c.eW[i], sum)
 		}
 	}
-	if meet < 0 {
-		return Path{Settled: settled}, ErrNoPath
-	}
-	// Reconstruct the augmented-edge chain in original direction. Forward
-	// labels record via = edge prev→u; backward labels record via = edge
-	// u→prev (down adjacency stores reverse entries whose `to` is the
-	// original edge's source).
-	type hop struct{ from, to, mid int32 }
-	var chain []hop
-	for u := meet; ; {
-		l := fwd[u]
-		if l.prev < 0 {
-			break
+	seen := make(map[int32]bool, n)
+	for _, r := range c.rank {
+		if seen[r] {
+			return fmt.Errorf("graph: duplicate CH rank %d", r)
 		}
-		chain = append(chain, hop{from: l.prev, to: u, mid: l.via.mid})
-		u = l.prev
+		seen[r] = true
 	}
-	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
-		chain[i], chain[j] = chain[j], chain[i]
-	}
-	for u := meet; ; {
-		l := bwd[u]
-		if l.prev < 0 {
-			break
-		}
-		chain = append(chain, hop{from: u, to: l.prev, mid: l.via.mid})
-		u = l.prev
-	}
-
-	nodes := []int64{src}
-	for _, h := range chain {
-		nodes = c.unpack(nodes, h.from, h.to, h.mid)
-	}
-	return Path{Nodes: nodes, Cost: best, Settled: settled}, nil
+	return nil
 }
 
-// unpack appends the expansion of the augmented edge from→to (with shortcut
-// middle mid, or -1 for an original edge) to nodes, excluding `from` itself.
-func (c *CH) unpack(nodes []int64, from, to, mid int32) []int64 {
-	if mid < 0 {
-		return append(nodes, c.g.ids[to])
-	}
-	first, ok1 := c.findEdge(from, mid)
-	second, ok2 := c.findEdge(mid, to)
-	if !ok1 || !ok2 {
-		// Should not happen; degrade to the shortcut endpoints.
-		return append(nodes, c.g.ids[to])
-	}
-	nodes = c.unpack(nodes, from, mid, first.mid)
-	return c.unpack(nodes, mid, to, second.mid)
-}
-
-// findEdge locates the cheapest augmented edge from a to b.
-func (c *CH) findEdge(a, b int32) (halfEdge, bool) {
-	var best halfEdge
-	found := false
-	for _, e := range c.up[a] {
-		if e.to == b && (!found || e.w < best.w) {
-			best, found = e, true
-		}
-	}
-	// The edge may live in b's down list (when rank[a] > rank[b]).
-	for _, e := range c.down[b] {
-		if e.to == a && (!found || e.w < best.w) {
-			best, found = e, true
-		}
-	}
-	return best, found
-}
+// NumAugmentedEdges returns the size of the augmented edge store (original
+// edges surviving into the hierarchy plus shortcuts).
+func (c *CH) NumAugmentedEdges() int { return len(c.eFrom) }

@@ -1,0 +1,374 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"openflame/internal/geo"
+)
+
+// randomGraph builds a messy directed graph: a scatter of nodes with random
+// directed and bidirectional edges, deliberate parallel edges, and (for
+// some seeds) disconnected islands. Weights are integral, so equal-cost
+// paths sum to bit-identical float64 totals regardless of summation order —
+// letting parity tests require exact equality, not tolerance.
+func randomGraph(seed int64, n int, distanceWeights bool) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	weight := func() float64 {
+		if distanceWeights {
+			return float64(1 + rng.Intn(400)) // meters: the distance metric
+		}
+		return float64(10 + rng.Intn(990)) // deciseconds-ish: the time metric
+	}
+	b := NewBuilder()
+	origin := geo.LatLng{Lat: 40.44, Lng: -79.99}
+	for i := 0; i < n; i++ {
+		pos := geo.Offset(geo.Offset(origin, rng.Float64()*2000, 0), rng.Float64()*2000, 90)
+		b.AddNode(int64(i), pos)
+	}
+	for k := 0; k < n*3; k++ {
+		a, c := int64(rng.Intn(n)), int64(rng.Intn(n))
+		if a == c {
+			continue
+		}
+		if rng.Intn(2) == 0 {
+			_ = b.AddEdge(a, c, weight())
+		} else {
+			_ = b.AddBidirectional(a, c, weight())
+		}
+		if rng.Intn(8) == 0 { // parallel edge, possibly cheaper
+			_ = b.AddEdge(a, c, weight())
+		}
+	}
+	return b.Build()
+}
+
+func chkParity(t *testing.T, g *Graph, ch *CH, trials int, seed int64) {
+	t.Helper()
+	n := g.NumNodes()
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < trials; trial++ {
+		src, dst := int64(rng.Intn(n)), int64(rng.Intn(n))
+		pd, errD := g.Dijkstra(src, dst)
+		pc, errC := ch.Query(src, dst)
+		cost, errCost := ch.QueryCost(src, dst)
+		if (errD == nil) != (errC == nil) {
+			t.Fatalf("trial %d %d→%d: dijkstra err %v, ch err %v", trial, src, dst, errD, errC)
+		}
+		if (errC == nil) != (errCost == nil) {
+			t.Fatalf("trial %d %d→%d: ch err %v, cost-only err %v", trial, src, dst, errC, errCost)
+		}
+		if errD != nil {
+			continue
+		}
+		if pc.Cost != pd.Cost {
+			t.Fatalf("trial %d %d→%d: ch cost %v != dijkstra %v", trial, src, dst, pc.Cost, pd.Cost)
+		}
+		if cost != pd.Cost {
+			t.Fatalf("trial %d %d→%d: cost-only %v != dijkstra %v", trial, src, dst, cost, pd.Cost)
+		}
+		if pc.Nodes[0] != src || pc.Nodes[len(pc.Nodes)-1] != dst {
+			t.Fatalf("trial %d: ch endpoints %v", trial, pc.Nodes)
+		}
+		verifyPath(t, g, pc)
+	}
+}
+
+func TestCHParityRandomTimeWeights(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		g := randomGraph(seed, 120, false)
+		ch := BuildCH(g)
+		if err := ch.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		chkParity(t, g, ch, 80, seed*31)
+	}
+}
+
+func TestCHParityRandomDistanceWeights(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		g := randomGraph(seed+100, 120, true)
+		ch := BuildCH(g)
+		if err := ch.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		chkParity(t, g, ch, 80, seed*37)
+	}
+}
+
+// intWeight yields integral random weights: exact float64 sums in any
+// order, so parity can demand bit-identical costs.
+func intWeight(rng *rand.Rand) float64 { return float64(50 + rng.Intn(200)) }
+
+func TestCHParityGrid(t *testing.T) {
+	g := gridGraph(16, intWeight, 42)
+	ch := BuildCH(g)
+	if err := ch.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	chkParity(t, g, ch, 120, 7)
+}
+
+func TestCHMatrixParity(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		g := randomGraph(seed+200, 100, seed%2 == 0)
+		ch := BuildCH(g)
+		rng := rand.New(rand.NewSource(seed * 13))
+		sources := make([]int64, 7)
+		targets := make([]int64, 9)
+		for i := range sources {
+			sources[i] = int64(rng.Intn(g.NumNodes()))
+		}
+		for j := range targets {
+			targets[j] = int64(rng.Intn(g.NumNodes()))
+		}
+		sources[0] = targets[0]     // self pair
+		targets[8] = targets[7]     // repeated target
+		sources[6] = int64(1 << 40) // unknown external ID
+		got := ch.Matrix(sources, targets)
+		fallback := g.MatrixCosts(sources, targets)
+		for i, src := range sources {
+			for j, dst := range targets {
+				want := math.Inf(1)
+				if src != int64(1<<40) {
+					if p, err := g.Dijkstra(src, dst); err == nil {
+						want = p.Cost
+					}
+				}
+				if g1 := got[i][j]; g1 != want && !(math.IsInf(g1, 1) && math.IsInf(want, 1)) {
+					t.Fatalf("seed %d: matrix[%d][%d] (%d→%d) = %v, dijkstra %v", seed, i, j, src, dst, g1, want)
+				}
+				if f := fallback[i][j]; f != want && !(math.IsInf(f, 1) && math.IsInf(want, 1)) {
+					t.Fatalf("seed %d: fallback[%d][%d] (%d→%d) = %v, dijkstra %v", seed, i, j, src, dst, f, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMatrixEmptyAndUnknown(t *testing.T) {
+	g := gridGraph(4, unitWeight, 1)
+	ch := BuildCH(g)
+	if got := ch.Matrix(nil, []int64{1}); len(got) != 0 {
+		t.Fatalf("empty sources → %v", got)
+	}
+	got := ch.Matrix([]int64{0}, nil)
+	if len(got) != 1 || len(got[0]) != 0 {
+		t.Fatalf("empty targets → %v", got)
+	}
+	got = ch.Matrix([]int64{-1}, []int64{0})
+	if !math.IsInf(got[0][0], 1) {
+		t.Fatalf("unknown source priced: %v", got[0][0])
+	}
+	got = g.MatrixCosts([]int64{-1}, []int64{0})
+	if !math.IsInf(got[0][0], 1) {
+		t.Fatalf("fallback unknown source priced: %v", got[0][0])
+	}
+}
+
+// TestCHQueryZeroAllocs pins the tentpole guarantee: steady-state CH
+// queries allocate nothing. Cost-only queries are fully allocation-free;
+// path queries are allocation-free once the caller recycles the node
+// buffer through QueryInto.
+func TestCHQueryZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under -race; zero-alloc guarantee holds only in normal builds")
+	}
+	g := gridGraph(20, randWeight, 9)
+	ch := BuildCH(g)
+	pairs := [][2]int64{{0, 399}, {17, 250}, {380, 3}, {201, 202}, {5, 5}}
+	// Warm the pool and the heap/chain/stack capacities.
+	var buf []int64
+	for _, p := range pairs {
+		if _, err := ch.QueryInto(buf[:0], p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	if got := testing.AllocsPerRun(200, func() {
+		p := pairs[i%len(pairs)]
+		i++
+		if _, err := ch.QueryCost(p[0], p[1]); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Fatalf("QueryCost allocs/op = %v, want 0", got)
+	}
+	i = 0
+	if got := testing.AllocsPerRun(200, func() {
+		p := pairs[i%len(pairs)]
+		i++
+		res, err := ch.QueryInto(buf[:0], p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = res.Nodes[:0]
+	}); got != 0 {
+		t.Fatalf("QueryInto allocs/op = %v, want 0", got)
+	}
+}
+
+func TestCHQueryIntoReusesBuffer(t *testing.T) {
+	g := gridGraph(8, randWeight, 3)
+	ch := BuildCH(g)
+	buf := make([]int64, 0, 64)
+	p1, err := ch.QueryInto(buf, 0, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]int64(nil), p1.Nodes...)
+	p2, err := ch.QueryInto(p1.Nodes[:0], 0, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2.Nodes) != len(want) {
+		t.Fatalf("reused-buffer path length %d != %d", len(p2.Nodes), len(want))
+	}
+	for i := range want {
+		if p2.Nodes[i] != want[i] {
+			t.Fatalf("reused-buffer path diverges at %d: %v vs %v", i, p2.Nodes, want)
+		}
+	}
+	verifyPath(t, g, p2)
+}
+
+// TestCHConcurrentQueries hammers one hierarchy from many goroutines (the
+// serving pattern: one CH per map server, every request borrowing a pooled
+// workspace) and checks each answer against precomputed truth. Run under
+// -race in CI.
+func TestCHConcurrentQueries(t *testing.T) {
+	const n = 14
+	g := gridGraph(n, intWeight, 21)
+	ch := BuildCH(g)
+	type pair struct {
+		src, dst int64
+		cost     float64
+	}
+	rng := rand.New(rand.NewSource(5))
+	pairs := make([]pair, 32)
+	for i := range pairs {
+		src, dst := int64(rng.Intn(n*n)), int64(rng.Intn(n*n))
+		p, err := g.Dijkstra(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs[i] = pair{src, dst, p.Cost}
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var buf []int64
+			for i := 0; i < 200; i++ {
+				p := pairs[(i+w*7)%len(pairs)]
+				res, err := ch.QueryInto(buf[:0], p.src, p.dst)
+				if err != nil {
+					errc <- err
+					return
+				}
+				buf = res.Nodes
+				if res.Cost != p.cost {
+					errc <- errors.New("concurrent query cost mismatch")
+					return
+				}
+				if c, err := ch.QueryCost(p.src, p.dst); err != nil || c != p.cost {
+					errc <- errors.New("concurrent cost-only mismatch")
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+func TestCHInvariantsOnManyGraphs(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		g := randomGraph(seed+300, 80, false)
+		ch := BuildCH(g)
+		if err := ch.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if ch.NumAugmentedEdges() < g.NumEdges()-g.NumNodes() {
+			t.Fatalf("seed %d: edge store suspiciously small: %d augmented vs %d original",
+				seed, ch.NumAugmentedEdges(), g.NumEdges())
+		}
+	}
+}
+
+// TestCHBuildDeterministic pins that the parallel priority pass does not
+// perturb the hierarchy: two builds of the same graph answer identical
+// paths (not just costs) for every probed pair.
+func TestCHBuildDeterministic(t *testing.T) {
+	g := randomGraph(77, 100, false)
+	ch1 := BuildCH(g)
+	ch2 := BuildCH(g)
+	if ch1.ShortcutCount != ch2.ShortcutCount {
+		t.Fatalf("shortcut counts differ: %d vs %d", ch1.ShortcutCount, ch2.ShortcutCount)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 50; trial++ {
+		src, dst := int64(rng.Intn(100)), int64(rng.Intn(100))
+		p1, err1 := ch1.Query(src, dst)
+		p2, err2 := ch2.Query(src, dst)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%d→%d: errs %v vs %v", src, dst, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if len(p1.Nodes) != len(p2.Nodes) || p1.Cost != p2.Cost {
+			t.Fatalf("%d→%d: paths differ: %v vs %v", src, dst, p1.Nodes, p2.Nodes)
+		}
+		for i := range p1.Nodes {
+			if p1.Nodes[i] != p2.Nodes[i] {
+				t.Fatalf("%d→%d: node %d differs", src, dst, i)
+			}
+		}
+	}
+}
+
+func BenchmarkCHQueryCostGrid30(b *testing.B) {
+	const n = 30
+	g := gridGraph(n, randWeight, 77)
+	ch := BuildCH(g)
+	rng := rand.New(rand.NewSource(1))
+	pairs := make([][2]int64, 64)
+	for i := range pairs {
+		pairs[i] = [2]int64{int64(rng.Intn(n * n)), int64(rng.Intn(n * n))}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		if _, err := ch.QueryCost(p[0], p[1]); err != nil && !errors.Is(err, ErrNoPath) {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCHMatrixGrid30(b *testing.B) {
+	const n = 30
+	g := gridGraph(n, randWeight, 77)
+	ch := BuildCH(g)
+	rng := rand.New(rand.NewSource(2))
+	sources := make([]int64, 10)
+	targets := make([]int64, 10)
+	for i := range sources {
+		sources[i] = int64(rng.Intn(n * n))
+		targets[i] = int64(rng.Intn(n * n))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ch.Matrix(sources, targets)
+	}
+}

@@ -1,0 +1,170 @@
+package graph
+
+import "math"
+
+// bucketEntry records, for one node settled by a backward sweep, which
+// target column reached it and at what cost.
+type bucketEntry struct {
+	j int32
+	d float64
+}
+
+// Matrix prices all sources×targets pairs with the bucket-based many-to-many
+// CH algorithm: one backward upward sweep per target fills per-node buckets
+// with (target, distance) entries; one forward upward sweep per source then
+// scans the buckets of every node it settles. Total work is k_s+k_t sweeps
+// instead of k_s×k_t point-to-point queries, and no path is ever unpacked.
+// Unreachable pairs (and unknown external IDs) hold +Inf.
+func (c *CH) Matrix(sources, targets []int64) [][]float64 {
+	out := make([][]float64, len(sources))
+	for i := range out {
+		row := make([]float64, len(targets))
+		for j := range row {
+			row[j] = math.Inf(1)
+		}
+		out[i] = row
+	}
+	if len(sources) == 0 || len(targets) == 0 {
+		return out
+	}
+	ws := c.getWS()
+	defer c.putWS(ws)
+
+	// Backward sweeps: buckets[u] lists every target whose backward search
+	// settled u, with the exact u→target cost.
+	buckets := make(map[int32][]bucketEntry)
+	for j, id := range targets {
+		t, ok := c.g.index[id]
+		if !ok {
+			continue
+		}
+		ws.nextEpoch()
+		ep := ws.epoch
+		ws.distB[t], ws.stampB[t] = 0, ep
+		ws.heapB = heapPush(ws.heapB, pqItem{node: t})
+		for len(ws.heapB) > 0 {
+			var it pqItem
+			it, ws.heapB = heapPop(ws.heapB)
+			u := it.node
+			if ws.doneB[u] == ep {
+				continue
+			}
+			ws.doneB[u] = ep
+			buckets[u] = append(buckets[u], bucketEntry{j: int32(j), d: it.dist})
+			for i := c.downHead[u]; i < c.downHead[u+1]; i++ {
+				v := c.downTo[i]
+				nd := it.dist + c.downW[i]
+				if ws.stampB[v] != ep || nd < ws.distB[v] {
+					ws.distB[v] = nd
+					ws.stampB[v] = ep
+					ws.heapB = heapPush(ws.heapB, pqItem{node: v, dist: nd})
+				}
+			}
+		}
+	}
+
+	// Forward sweeps: every settled node's bucket relaxes one matrix cell.
+	for i, id := range sources {
+		s, ok := c.g.index[id]
+		if !ok {
+			continue
+		}
+		row := out[i]
+		ws.nextEpoch()
+		ep := ws.epoch
+		ws.distF[s], ws.stampF[s] = 0, ep
+		ws.heapF = heapPush(ws.heapF, pqItem{node: s})
+		for len(ws.heapF) > 0 {
+			var it pqItem
+			it, ws.heapF = heapPop(ws.heapF)
+			u := it.node
+			if ws.doneF[u] == ep {
+				continue
+			}
+			ws.doneF[u] = ep
+			for _, b := range buckets[u] {
+				if v := it.dist + b.d; v < row[b.j] {
+					row[b.j] = v
+				}
+			}
+			for k := c.upHead[u]; k < c.upHead[u+1]; k++ {
+				v := c.upTo[k]
+				nd := it.dist + c.upW[k]
+				if ws.stampF[v] != ep || nd < ws.distF[v] {
+					ws.distF[v] = nd
+					ws.stampF[v] = ep
+					ws.heapF = heapPush(ws.heapF, pqItem{node: v, dist: nd})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MatrixCosts is the hierarchy-free fallback for sources×targets pricing:
+// one truncated Dijkstra per source, stopped as soon as every distinct
+// target node is settled. It replaces k_s×k_t independent bidirectional
+// queries while a server's hierarchy is still building. Unreachable pairs
+// (and unknown external IDs) hold +Inf.
+func (g *Graph) MatrixCosts(sources, targets []int64) [][]float64 {
+	out := make([][]float64, len(sources))
+	for i := range out {
+		row := make([]float64, len(targets))
+		for j := range row {
+			row[j] = math.Inf(1)
+		}
+		out[i] = row
+	}
+	if len(sources) == 0 || len(targets) == 0 {
+		return out
+	}
+	n := len(g.ids)
+	// Distinct target nodes → the columns they fill (targets may repeat).
+	cols := make(map[int32][]int32)
+	for j, id := range targets {
+		if t, ok := g.index[id]; ok {
+			cols[t] = append(cols[t], int32(j))
+		}
+	}
+	dist := make([]float64, n)
+	stamp := make([]uint32, n)
+	done := make([]uint32, n)
+	var h []pqItem
+	epoch := uint32(0)
+	for i, id := range sources {
+		s, ok := g.index[id]
+		if !ok {
+			continue
+		}
+		row := out[i]
+		epoch++
+		h = h[:0]
+		dist[s], stamp[s] = 0, epoch
+		h = heapPush(h, pqItem{node: s})
+		remaining := len(cols)
+		for len(h) > 0 && remaining > 0 {
+			var it pqItem
+			it, h = heapPop(h)
+			u := it.node
+			if done[u] == epoch {
+				continue
+			}
+			done[u] = epoch
+			if js, ok := cols[u]; ok {
+				for _, j := range js {
+					row[j] = it.dist
+				}
+				remaining--
+			}
+			for _, e := range g.out[u] {
+				nd := it.dist + e.w
+				if stamp[e.to] != epoch || nd < dist[e.to] {
+					dist[e.to] = nd
+					stamp[e.to] = epoch
+					h = heapPush(h, pqItem{node: e.to, dist: nd})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package graph
+
+import "math"
+
+// chQueryWS is the reusable state of one bidirectional CH query. Distances,
+// settled marks, and predecessor records are epoch-stamped: bumping the
+// epoch invalidates every entry at once, so consecutive queries touch only
+// the nodes they actually visit. Workspaces are pooled on the CH, giving
+// steady-state queries zero heap allocations.
+type chQueryWS struct {
+	distF, distB         []float64
+	stampF, stampB       []uint32
+	doneF, doneB         []uint32
+	prevNodeF, prevNodeB []int32
+	prevEdgeF, prevEdgeB []int32
+	heapF, heapB         []pqItem
+	chain                []int32 // forward edge chain scratch (meet→source order)
+	stack                []int32 // shortcut expansion stack
+	epoch                uint32
+}
+
+func (c *CH) getWS() *chQueryWS {
+	if ws, ok := c.pool.Get().(*chQueryWS); ok {
+		return ws
+	}
+	n := len(c.g.ids)
+	return &chQueryWS{
+		distF: make([]float64, n), distB: make([]float64, n),
+		stampF: make([]uint32, n), stampB: make([]uint32, n),
+		doneF: make([]uint32, n), doneB: make([]uint32, n),
+		prevNodeF: make([]int32, n), prevNodeB: make([]int32, n),
+		prevEdgeF: make([]int32, n), prevEdgeB: make([]int32, n),
+	}
+}
+
+func (c *CH) putWS(ws *chQueryWS) { c.pool.Put(ws) }
+
+func (ws *chQueryWS) nextEpoch() {
+	ws.epoch++
+	if ws.epoch == 0 { // wrapped: stale stamps would read as current
+		for i := range ws.stampF {
+			ws.stampF[i], ws.stampB[i] = 0, 0
+			ws.doneF[i], ws.doneB[i] = 0, 0
+		}
+		ws.epoch = 1
+	}
+	ws.heapF = ws.heapF[:0]
+	ws.heapB = ws.heapB[:0]
+}
+
+// runQuery executes the bidirectional upward search between internal node
+// indices, returning the best connection cost, the meeting node (-1 if
+// disconnected), and the settled-node count (the E12 work metric).
+// Predecessor edges are recorded for path reconstruction.
+func (c *CH) runQuery(ws *chQueryWS, s, t int32) (float64, int32, int) {
+	ws.nextEpoch()
+	ep := ws.epoch
+	ws.distF[s], ws.stampF[s] = 0, ep
+	ws.prevEdgeF[s] = -1
+	ws.distB[t], ws.stampB[t] = 0, ep
+	ws.prevEdgeB[t] = -1
+	ws.heapF = heapPush(ws.heapF, pqItem{node: s})
+	ws.heapB = heapPush(ws.heapB, pqItem{node: t})
+	best := math.Inf(1)
+	meet := int32(-1)
+	settled := 0
+	for len(ws.heapF) > 0 || len(ws.heapB) > 0 {
+		topF, topB := math.Inf(1), math.Inf(1)
+		if len(ws.heapF) > 0 {
+			topF = ws.heapF[0].dist
+		}
+		if len(ws.heapB) > 0 {
+			topB = ws.heapB[0].dist
+		}
+		// In a CH search each frontier must run until its own minimum
+		// reaches the best connection (not the sum, as in plain
+		// bidirectional Dijkstra): the meeting node may sit far above both
+		// endpoints.
+		if math.Min(topF, topB) >= best {
+			break
+		}
+		if topF <= topB {
+			var it pqItem
+			it, ws.heapF = heapPop(ws.heapF)
+			u := it.node
+			if ws.doneF[u] == ep {
+				continue
+			}
+			ws.doneF[u] = ep
+			settled++
+			if ws.stampB[u] == ep {
+				if cost := it.dist + ws.distB[u]; cost < best {
+					best, meet = cost, u
+				}
+			}
+			for i := c.upHead[u]; i < c.upHead[u+1]; i++ {
+				v := c.upTo[i]
+				nd := it.dist + c.upW[i]
+				if ws.stampF[v] != ep || nd < ws.distF[v] {
+					ws.distF[v] = nd
+					ws.stampF[v] = ep
+					ws.prevNodeF[v] = u
+					ws.prevEdgeF[v] = c.upIdx[i]
+					ws.heapF = heapPush(ws.heapF, pqItem{node: v, dist: nd})
+				}
+			}
+		} else {
+			var it pqItem
+			it, ws.heapB = heapPop(ws.heapB)
+			u := it.node
+			if ws.doneB[u] == ep {
+				continue
+			}
+			ws.doneB[u] = ep
+			settled++
+			if ws.stampF[u] == ep {
+				if cost := it.dist + ws.distF[u]; cost < best {
+					best, meet = cost, u
+				}
+			}
+			for i := c.downHead[u]; i < c.downHead[u+1]; i++ {
+				v := c.downTo[i] // edge v→u descends into u; traverse reversed
+				nd := it.dist + c.downW[i]
+				if ws.stampB[v] != ep || nd < ws.distB[v] {
+					ws.distB[v] = nd
+					ws.stampB[v] = ep
+					ws.prevNodeB[v] = u
+					ws.prevEdgeB[v] = c.downIdx[i]
+					ws.heapB = heapPush(ws.heapB, pqItem{node: v, dist: nd})
+				}
+			}
+		}
+	}
+	return best, meet, settled
+}
+
+// QueryCost returns only the shortest-path cost between external IDs — the
+// serving-path variant for pricing, with no path reconstruction and zero
+// steady-state allocations.
+func (c *CH) QueryCost(src, dst int64) (float64, error) {
+	s, ok := c.g.index[src]
+	if !ok {
+		return 0, ErrNoPath
+	}
+	t, ok := c.g.index[dst]
+	if !ok {
+		return 0, ErrNoPath
+	}
+	ws := c.getWS()
+	best, meet, _ := c.runQuery(ws, s, t)
+	c.putWS(ws)
+	if meet < 0 {
+		return 0, ErrNoPath
+	}
+	return best, nil
+}
+
+// Query computes the shortest path between external IDs using the hierarchy.
+func (c *CH) Query(src, dst int64) (Path, error) {
+	return c.QueryInto(nil, src, dst)
+}
+
+// QueryInto is Query appending the path nodes to buf (which may be nil or a
+// recycled slice); with a caller-reused buffer of sufficient capacity the
+// query allocates nothing in steady state. The returned Path aliases buf's
+// backing array.
+func (c *CH) QueryInto(buf []int64, src, dst int64) (Path, error) {
+	s, ok := c.g.index[src]
+	if !ok {
+		return Path{Nodes: buf}, ErrNoPath
+	}
+	t, ok := c.g.index[dst]
+	if !ok {
+		return Path{Nodes: buf}, ErrNoPath
+	}
+	ws := c.getWS()
+	best, meet, settled := c.runQuery(ws, s, t)
+	if meet < 0 {
+		c.putWS(ws)
+		return Path{Nodes: buf, Settled: settled}, ErrNoPath
+	}
+	nodes := append(buf, src)
+	// Forward half: walk predecessor edges meet→source, then expand them in
+	// source→meet order.
+	ws.chain = ws.chain[:0]
+	for u := meet; ; {
+		e := ws.prevEdgeF[u]
+		if e < 0 {
+			break
+		}
+		ws.chain = append(ws.chain, e)
+		u = ws.prevNodeF[u]
+	}
+	for i := len(ws.chain) - 1; i >= 0; i-- {
+		nodes = c.appendExpansion(nodes, ws, ws.chain[i])
+	}
+	// Backward half: predecessor records already run meet→target in forward
+	// edge direction.
+	for u := meet; ; {
+		e := ws.prevEdgeB[u]
+		if e < 0 {
+			break
+		}
+		nodes = c.appendExpansion(nodes, ws, e)
+		u = ws.prevNodeB[u]
+	}
+	c.putWS(ws)
+	return Path{Nodes: nodes, Cost: best, Settled: settled}, nil
+}
+
+// appendExpansion appends the full expansion of one augmented edge —
+// excluding its source node — by iteratively substituting shortcuts with
+// their precomputed constituent indices. No searching: eFirst/eSecond were
+// resolved at build time, so the walk cannot miss (CheckInvariants pins
+// this; the old engine's "degrade to the shortcut endpoints" fallback is
+// gone).
+func (c *CH) appendExpansion(nodes []int64, ws *chQueryWS, edge int32) []int64 {
+	ws.stack = ws.stack[:0]
+	ws.stack = append(ws.stack, edge)
+	for len(ws.stack) > 0 {
+		e := ws.stack[len(ws.stack)-1]
+		ws.stack = ws.stack[:len(ws.stack)-1]
+		if c.eFirst[e] < 0 {
+			nodes = append(nodes, c.g.ids[c.eTo[e]])
+		} else {
+			// Push second then first so the first constituent expands first.
+			ws.stack = append(ws.stack, c.eSecond[e], c.eFirst[e])
+		}
+	}
+	return nodes
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"openflame/internal/align"
@@ -81,8 +82,7 @@ type Server struct {
 	searcher *search.Searcher
 	g        *graph.Graph
 	gDist    *graph.Graph // distance-weighted variant for MetricDistance
-	ch       *graph.CH
-	minSPM   float64 // fastest seconds-per-meter, for A* and estimates
+	minSPM   float64      // fastest seconds-per-meter, for A* and estimates
 	fpdb     *loc.FingerprintDB
 	fiducial *loc.FiducialIndex
 	visual   *loc.VisualIndex
@@ -92,6 +92,16 @@ type Server struct {
 	coverage []s2cell.CellID
 	portals  []wire.Portal
 	auth     *Policy
+
+	// chTime/chDist hold the contraction hierarchies over the time- and
+	// distance-weighted graphs. They are built in the background at
+	// construction and swapped in atomically: until then both are nil and
+	// every routing query falls back to bidirectional Dijkstra, so a server
+	// answers from its very first request. chReady closes when the build
+	// goroutine finishes (immediately when UseCH is off).
+	chTime  atomic.Pointer[graph.CH]
+	chDist  atomic.Pointer[graph.CH]
+	chReady chan struct{}
 
 	// syncMu guards syncPos: how far this server has consumed each named
 	// sibling's change log (origin name → log incarnation + last applied
@@ -134,8 +144,19 @@ func New(cfg Config) (*Server, error) {
 	s.searcher = search.New(s.store)
 	s.g = graph.FromOSM(cfg.Map, cfg.Profile)
 	s.gDist = graph.FromOSM(cfg.Map, graph.DistanceProfile(cfg.Profile))
+	s.chReady = make(chan struct{})
 	if cfg.UseCH {
-		s.ch = graph.BuildCH(s.g)
+		// Preprocess both metrics in the background; the server serves
+		// bidirectional Dijkstra until each hierarchy swaps in. The routing
+		// graphs are immutable after FromOSM (inventory updates touch tags
+		// only), so the build goroutine needs no locking.
+		go func() {
+			s.chTime.Store(graph.BuildCH(s.g))
+			s.chDist.Store(graph.BuildCH(s.gDist))
+			close(s.chReady)
+		}()
+	} else {
+		close(s.chReady)
 	}
 	s.minSPM = 1.0 / 1.4
 
@@ -366,7 +387,7 @@ func (s *Server) routeUncached(req wire.RouteRequest) wire.RouteResponse {
 	var p graph.Path
 	var err error
 	if req.Metric == wire.MetricDistance {
-		p, err = s.gDist.BiDijkstra(from, to)
+		p, err = s.queryDist(from, to)
 	} else {
 		p, err = s.query(from, to)
 	}
@@ -393,11 +414,36 @@ func (s *Server) routeUncached(req wire.RouteRequest) wire.RouteResponse {
 }
 
 func (s *Server) query(from, to int64) (graph.Path, error) {
-	if s.ch != nil {
-		return s.ch.Query(from, to)
+	if ch := s.chTime.Load(); ch != nil {
+		return ch.Query(from, to)
 	}
 	return s.g.BiDijkstra(from, to)
 }
+
+func (s *Server) queryDist(from, to int64) (graph.Path, error) {
+	if ch := s.chDist.Load(); ch != nil {
+		return ch.Query(from, to)
+	}
+	return s.gDist.BiDijkstra(from, to)
+}
+
+// WaitCH blocks until the background hierarchy build finishes or the
+// context expires. Servers answer from their very first request either way
+// (falling back to bidirectional Dijkstra until the swap), so only callers
+// needing deterministic query behavior — tests, benchmarks — wait.
+func (s *Server) WaitCH(ctx context.Context) error {
+	select {
+	case <-s.chReady:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// CHActive reports whether routing queries are currently answered by the
+// contraction hierarchy (false while the background build is in flight or
+// when Config.UseCH is off).
+func (s *Server) CHActive() bool { return s.chTime.Load() != nil }
 
 // RouteMatrix prices all from×to pairs; unreachable pairs are -1. Where a
 // node ID is zero, the corresponding position (if provided) is snapped.
@@ -434,6 +480,17 @@ func (s *Server) routeMatrixUncached(req wire.RouteMatrixRequest) wire.RouteMatr
 	}
 	from := resolve(fromIDs, req.FromPositions)
 	to := resolve(toIDs, req.ToPositions)
+	// Price all pairs at once: the bucket-based many-to-many CH query when
+	// the hierarchy is up (k_s+k_t sweeps instead of k_s×k_t point-to-point
+	// queries), else one truncated Dijkstra per source. Unresolvable
+	// endpoints (-1) never match a graph node, so their cells stay +Inf and
+	// fold into the wire's -1 convention below.
+	var costs [][]float64
+	if ch := s.chTime.Load(); ch != nil {
+		costs = ch.Matrix(from, to)
+	} else {
+		costs = s.g.MatrixCosts(from, to)
+	}
 	resp := wire.RouteMatrixResponse{CostSeconds: make([][]float64, len(from))}
 	for i, f := range from {
 		resp.CostSeconds[i] = make([]float64, len(to))
@@ -443,13 +500,10 @@ func (s *Server) routeMatrixUncached(req wire.RouteMatrixRequest) wire.RouteMatr
 				resp.CostSeconds[i][j] = -1
 			case f == t:
 				resp.CostSeconds[i][j] = 0
+			case math.IsInf(costs[i][j], 1):
+				resp.CostSeconds[i][j] = -1
 			default:
-				p, err := s.query(f, t)
-				if err != nil {
-					resp.CostSeconds[i][j] = -1
-				} else {
-					resp.CostSeconds[i][j] = p.Cost
-				}
+				resp.CostSeconds[i][j] = costs[i][j]
 			}
 		}
 	}

@@ -2,6 +2,7 @@ package mapserver
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math/rand"
 	"net/http"
@@ -48,6 +49,9 @@ func cityServer(t testing.TB) *Server {
 	city := worldgen.GenCity(worldgen.DefaultCityParams())
 	srv, err := New(Config{Name: "city", Map: city, UseCH: true})
 	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.WaitCH(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	return srv
@@ -526,5 +530,131 @@ func TestRouteMetricDistance(t *testing.T) {
 	}
 	if distRoute.LengthMeters >= timeRoute.LengthMeters {
 		t.Fatalf("distance route longer: %v vs %v", distRoute.LengthMeters, timeRoute.LengthMeters)
+	}
+}
+
+// twinServers builds two servers over the same city map — one preprocessed
+// with contraction hierarchies (waited for), one serving plain bidirectional
+// Dijkstra — so tests can assert the two answer identically.
+func twinServers(t testing.TB) (ch, plain *Server) {
+	t.Helper()
+	city := worldgen.GenCity(worldgen.DefaultCityParams())
+	var err error
+	ch, err = New(Config{Name: "city-ch", Map: city, UseCH: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.WaitCH(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	plain, err = New(Config{Name: "city-plain", Map: city})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch, plain
+}
+
+func TestWaitCHAndCHActive(t *testing.T) {
+	ch, plain := twinServers(t)
+	if !ch.CHActive() {
+		t.Fatal("hierarchy not active after WaitCH")
+	}
+	if plain.CHActive() {
+		t.Fatal("hierarchy active without UseCH")
+	}
+	// WaitCH on a no-CH server resolves immediately.
+	if err := plain.WaitCH(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// A cancelled context is reported when the build can never be awaited.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	blocked := &Server{chReady: make(chan struct{})} // never closes
+	if err := blocked.WaitCH(ctx); err == nil {
+		t.Fatal("WaitCH ignored context cancellation")
+	}
+}
+
+// closeEnough absorbs last-ulp float drift: CH sums the same edge weights
+// as Dijkstra but in a different association order.
+func closeEnough(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9*(1+a+b)
+}
+
+// TestRouteParityCHvsFallback pins the tentpole guarantee: enabling the
+// hierarchy changes route latency, never route answers — for the time
+// metric AND the distance metric (which routes on the second hierarchy).
+func TestRouteParityCHvsFallback(t *testing.T) {
+	ch, plain := twinServers(t)
+	ids := ch.Graph().NodeIDs()
+	rng := rand.New(rand.NewSource(99))
+	for _, metric := range []wire.RouteMetric{wire.MetricTime, wire.MetricDistance} {
+		for trial := 0; trial < 40; trial++ {
+			req := wire.RouteRequest{
+				FromNode: ids[rng.Intn(len(ids))],
+				ToNode:   ids[rng.Intn(len(ids))],
+				Metric:   metric,
+			}
+			a, b := ch.Route(req), plain.Route(req)
+			if a.Found != b.Found {
+				t.Fatalf("metric=%s %d->%d: found %v vs %v", metric, req.FromNode, req.ToNode, a.Found, b.Found)
+			}
+			if !a.Found {
+				continue
+			}
+			if !closeEnough(a.CostSeconds, b.CostSeconds) {
+				t.Fatalf("metric=%s %d->%d: cost %v vs %v", metric, req.FromNode, req.ToNode, a.CostSeconds, b.CostSeconds)
+			}
+			if !closeEnough(a.LengthMeters, b.LengthMeters) {
+				t.Fatalf("metric=%s %d->%d: length %v vs %v", metric, req.FromNode, req.ToNode, a.LengthMeters, b.LengthMeters)
+			}
+		}
+	}
+}
+
+// TestRouteMatrixParityCHvsFallback drives the bucket-based many-to-many
+// path against the truncated-Dijkstra fallback, including the wire
+// conventions both must honor: unresolvable endpoints (-1), identical
+// endpoints (0), unknown node IDs (-1).
+func TestRouteMatrixParityCHvsFallback(t *testing.T) {
+	ch, plain := twinServers(t)
+	ids := ch.Graph().NodeIDs()
+	rng := rand.New(rand.NewSource(7))
+	pick := func(k int) []int64 {
+		out := make([]int64, k)
+		for i := range out {
+			out[i] = ids[rng.Intn(len(ids))]
+		}
+		return out
+	}
+	req := wire.RouteMatrixRequest{FromNodes: pick(9), ToNodes: pick(11)}
+	req.ToNodes[3] = req.FromNodes[2] // identical pair → 0
+	req.ToNodes[5] = 1 << 40          // unknown ID → -1
+	req.ToNodes[7] = req.ToNodes[6]   // repeated column
+	a, b := ch.RouteMatrix(req), plain.RouteMatrix(req)
+	if len(a.CostSeconds) != len(req.FromNodes) || len(b.CostSeconds) != len(req.FromNodes) {
+		t.Fatalf("matrix rows: %d vs %d", len(a.CostSeconds), len(b.CostSeconds))
+	}
+	for i := range a.CostSeconds {
+		for j := range a.CostSeconds[i] {
+			if !closeEnough(a.CostSeconds[i][j], b.CostSeconds[i][j]) {
+				t.Fatalf("cell (%d,%d): %v vs %v", i, j, a.CostSeconds[i][j], b.CostSeconds[i][j])
+			}
+		}
+	}
+	for i := range a.CostSeconds {
+		if got := a.CostSeconds[i][5]; got != -1 {
+			t.Fatalf("unknown ID cell = %v, want -1", got)
+		}
+	}
+	if got := a.CostSeconds[2][3]; got != 0 {
+		t.Fatalf("identical pair cell = %v, want 0", got)
 	}
 }

@@ -1,0 +1,220 @@
+// E18: routing raw speed — the contraction-hierarchy serving paths
+// measured head-to-head against the bidirectional-Dijkstra fallback on a
+// graph ~20× the E12 central graph (2,500 nodes vs 126). Three point-to-
+// point variants (bidirectional baseline, CH with path unpacking, CH
+// cost-only) and two matrix variants (per-pair loop vs the bucket-based
+// many-to-many query). TestE18BenchArtifact renders the same measurements
+// into the machine-readable BENCH_route.json and enforces the speedup
+// floors the design claims: CH p2p ≥5× over bidirectional, many-to-many
+// matrix ≥10× over the per-pair loop.
+package openflame
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"openflame/internal/geo"
+	"openflame/internal/graph"
+)
+
+const (
+	e18GridN        = 50 // 50×50 = 2,500 nodes; E12's central graph has 126
+	e18Pairs        = 128
+	e18MatrixPoints = 14 // 14 sources × 14 targets = 196 priced pairs
+)
+
+var e18 struct {
+	once    sync.Once
+	g       *graph.Graph
+	ch      *graph.CH
+	pairs   [][2]int64
+	sources []int64
+	targets []int64
+}
+
+// e18Fixtures builds the benchmark graph once: a weighted grid with
+// integral edge weights (so CH and Dijkstra sums are bit-identical in any
+// association order) plus its contraction hierarchy and fixed query sets.
+func e18Fixtures() {
+	e18.once.Do(func() {
+		const n = e18GridN
+		rng := rand.New(rand.NewSource(18))
+		b := graph.NewBuilder()
+		id := func(r, c int) int64 { return int64(r*n + c + 1) }
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				b.AddNode(id(r, c), geo.LatLng{Lat: 40 + float64(r)*1e-4, Lng: -80 + float64(c)*1e-4})
+			}
+		}
+		w := func() float64 { return float64(20 + rng.Intn(180)) }
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				if c+1 < n {
+					if err := b.AddBidirectional(id(r, c), id(r, c+1), w()); err != nil {
+						panic(err)
+					}
+				}
+				if r+1 < n {
+					if err := b.AddBidirectional(id(r, c), id(r+1, c), w()); err != nil {
+						panic(err)
+					}
+				}
+			}
+		}
+		e18.g = b.Build()
+		e18.ch = graph.BuildCH(e18.g)
+		ids := e18.g.NodeIDs()
+		e18.pairs = make([][2]int64, e18Pairs)
+		for i := range e18.pairs {
+			e18.pairs[i] = [2]int64{ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]}
+		}
+		for i := 0; i < e18MatrixPoints; i++ {
+			e18.sources = append(e18.sources, ids[rng.Intn(len(ids))])
+			e18.targets = append(e18.targets, ids[rng.Intn(len(ids))])
+		}
+	})
+}
+
+func benchE18Bidi(b *testing.B) {
+	e18Fixtures()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := e18.pairs[i%len(e18.pairs)]
+		if _, err := e18.g.BiDijkstra(p[0], p[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchE18CH(b *testing.B) {
+	e18Fixtures()
+	var buf []int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := e18.pairs[i%len(e18.pairs)]
+		path, err := e18.ch.QueryInto(buf[:0], p[0], p[1])
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = path.Nodes
+	}
+}
+
+func benchE18CHCost(b *testing.B) {
+	e18Fixtures()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := e18.pairs[i%len(e18.pairs)]
+		if _, err := e18.ch.QueryCost(p[0], p[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchE18MatrixPerPair(b *testing.B) {
+	e18Fixtures()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The pre-hierarchy serving loop: one bidirectional query per cell.
+		for _, s := range e18.sources {
+			for _, t := range e18.targets {
+				if _, err := e18.g.BiDijkstra(s, t); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func benchE18MatrixBucket(b *testing.B) {
+	e18Fixtures()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e18.ch.Matrix(e18.sources, e18.targets)
+	}
+}
+
+func BenchmarkE18_Route(b *testing.B) {
+	b.Run("bidirectional", benchE18Bidi)
+	b.Run("ch", benchE18CH)
+	b.Run("ch-cost", benchE18CHCost)
+}
+
+func BenchmarkE18_RouteMatrix(b *testing.B) {
+	b.Run("perpair", benchE18MatrixPerPair)
+	b.Run("bucket", benchE18MatrixBucket)
+}
+
+// TestE18BenchArtifact writes BENCH_route.json (when BENCH_ROUTE_JSON
+// names the output path; `make bench-route` sets it) and enforces the
+// speedup floors. Skipped in the ordinary test run: full benchmark
+// iterations take seconds, and timing assertions belong in dedicated,
+// uncontended bench invocations.
+func TestE18BenchArtifact(t *testing.T) {
+	out := os.Getenv("BENCH_ROUTE_JSON")
+	if out == "" {
+		t.Skip("set BENCH_ROUTE_JSON=<path> (or run `make bench-route`) to produce the artifact")
+	}
+	e18Fixtures()
+	type result struct {
+		Name        string  `json:"name"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+	}
+	measure := func(name string, fn func(*testing.B)) result {
+		r := testing.Benchmark(fn)
+		return result{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+	}
+	bidi := measure("route/bidirectional", benchE18Bidi)
+	ch := measure("route/ch", benchE18CH)
+	chCost := measure("route/ch-cost", benchE18CHCost)
+	perPair := measure("matrix/perpair", benchE18MatrixPerPair)
+	bucket := measure("matrix/bucket", benchE18MatrixBucket)
+
+	artifact := struct {
+		Experiment    string   `json:"experiment"`
+		GraphNodes    int      `json:"graph_nodes"`
+		GraphEdges    int      `json:"graph_edges"`
+		Shortcuts     int      `json:"shortcuts"`
+		MatrixPairs   int      `json:"matrix_pairs"`
+		Results       []result `json:"results"`
+		P2PSpeedup    float64  `json:"p2p_speedup"`
+		MatrixSpeedup float64  `json:"matrix_speedup"`
+	}{
+		Experiment:    "E18",
+		GraphNodes:    e18.g.NumNodes(),
+		GraphEdges:    e18.g.NumEdges(),
+		Shortcuts:     e18.ch.ShortcutCount,
+		MatrixPairs:   len(e18.sources) * len(e18.targets),
+		Results:       []result{bidi, ch, chCost, perPair, bucket},
+		P2PSpeedup:    bidi.NsPerOp / ch.NsPerOp,
+		MatrixSpeedup: perPair.NsPerOp / bucket.NsPerOp,
+	}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("E18: p2p %.1fx (%.0fns vs %.0fns), matrix %.1fx, ch-cost allocs/op=%d",
+		artifact.P2PSpeedup, bidi.NsPerOp, ch.NsPerOp, artifact.MatrixSpeedup, chCost.AllocsPerOp)
+	if artifact.P2PSpeedup < 5 {
+		t.Errorf("CH point-to-point speedup %.2fx < 5x floor", artifact.P2PSpeedup)
+	}
+	if artifact.MatrixSpeedup < 10 {
+		t.Errorf("many-to-many matrix speedup %.2fx < 10x floor", artifact.MatrixSpeedup)
+	}
+}
