@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt vet staticcheck deprecation-guard build test race cover bench-fanout bench-resilience bench-replication bench-session bench-route bench-smoke
+.PHONY: verify fmt vet staticcheck deprecation-guard build test race cover bench-fanout bench-resilience bench-replication bench-session bench-route bench-overload bench-smoke
 
 ## verify: the full CI gate — formatting, vet, the v2-API deprecation
 ## guard, build, tests under -race (twice, so flaky tests surface). CI
@@ -88,8 +88,16 @@ bench-session:
 bench-route:
 	BENCH_ROUTE_JSON=BENCH_route.json $(GO) test -run TestE18BenchArtifact -count=1 -v .
 
+## bench-overload: the E19 overload-discipline experiment — open-loop load
+## at 2.5x measured capacity against identical servers with admission
+## control on vs off. Writes BENCH_overload.json and fails if shedding-on
+## goodput drops below the shedding-off baseline or the accepted-request
+## p99 exceeds the client timeout.
+bench-overload:
+	BENCH_OVERLOAD_JSON=BENCH_overload.json $(GO) test -run TestE19BenchArtifact -count=1 -v .
+
 ## bench-smoke: compile and run EVERY benchmark for one iteration, so the
-## growing suite (E1–E18 plus per-package micro-benchmarks) can never rot
+## growing suite (E1–E19 plus per-package micro-benchmarks) can never rot
 ## uncompiled. Numbers are meaningless at 1x; only pass/fail matters.
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...

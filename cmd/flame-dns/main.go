@@ -121,7 +121,16 @@ func main() {
 	if o.admin != "" {
 		registry := discovery.NewRegistry(zone, zone.Apex())
 		registry.LeaseTTL = o.lease
-		adminSrv := &http.Server{Addr: o.admin, Handler: discovery.RegistryHandler(registry)}
+		// The admin plane is tiny, trusted-ish traffic; fixed conservative
+		// ingest timeouts are enough to stop a slow-header client from
+		// parking a connection forever.
+		adminSrv := &http.Server{
+			Addr:              o.admin,
+			Handler:           discovery.RegistryHandler(registry),
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       30 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
 		go func() {
 			if err := adminSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				log.Fatalf("admin: %v", err)

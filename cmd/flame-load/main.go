@@ -1,0 +1,307 @@
+// Command flame-load is the open-loop workload driver for overload
+// experiments: it offers requests to one map server at a FIXED arrival
+// rate, regardless of how fast the server answers — the traffic model a
+// federation member actually faces (millions of independent clients do not
+// slow down because one server did). Offered load, goodput, shed rate and
+// accepted-request latency percentiles are reported at the end, optionally
+// as machine-readable JSON.
+//
+// The region mix is Zipf-skewed over a grid cut from -bbox (draw 0 = the
+// hottest region), mirroring how real demand concentrates on popular
+// places; queries for search/geocode are Zipf-ranked from -queries.
+//
+// Usage:
+//
+//	flame-load -url http://127.0.0.1:8080 -rate 500 -duration 30s \
+//	    -bbox 40.0,-80.0,40.1,-79.9 -mix route=80,search=20 -json out.json
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"openflame/internal/geo"
+	"openflame/internal/loadgen"
+	"openflame/internal/wire"
+)
+
+type options struct {
+	url        string
+	rate       float64
+	duration   time.Duration
+	timeout    time.Duration
+	mix        string
+	bbox       string
+	queries    string
+	zipf       float64
+	regions    int
+	writeRatio float64
+	seed       int64
+	jsonPath   string
+	user       string
+	app        string
+}
+
+func newFlagSet(name string) (*flag.FlagSet, *options) {
+	o := &options{}
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.StringVar(&o.url, "url", "", "map server base URL (required)")
+	fs.Float64Var(&o.rate, "rate", 100, "offered load in requests per second (open-loop: arrivals never wait for completions)")
+	fs.DurationVar(&o.duration, "duration", 10*time.Second, "how long to offer load")
+	fs.DurationVar(&o.timeout, "timeout", 2*time.Second, "per-request deadline; a response past it counts as a timeout, not goodput")
+	fs.StringVar(&o.mix, "mix", "route=70,search=20,geocode=10", "service mix as svc=weight pairs (route, search, geocode)")
+	fs.StringVar(&o.bbox, "bbox", "", "minLat,minLng,maxLat,maxLng region requests are drawn from (required)")
+	fs.StringVar(&o.queries, "queries", "cafe,library,hall,museum,market,park,station,bridge", "comma-separated search/geocode terms, Zipf-ranked (first = hottest)")
+	fs.Float64Var(&o.zipf, "zipf", 1.2, "Zipf exponent for the region and query mix (higher = more skew)")
+	fs.IntVar(&o.regions, "regions", 16, "number of Zipf-weighted sub-regions the bbox is cut into")
+	fs.Float64Var(&o.writeRatio, "write-ratio", 0, "fraction of write arrivals — rejected over HTTP (the serving API has no write endpoint; the in-process E19 bench exercises the write mix)")
+	fs.Int64Var(&o.seed, "seed", 1, "rng seed for the arrival mix (reproducible runs)")
+	fs.StringVar(&o.jsonPath, "json", "", "also write the result as JSON to this path")
+	fs.StringVar(&o.user, "user", "load@example.org", "X-Flame-User identity")
+	fs.StringVar(&o.app, "app", "flame-load", "X-Flame-App identity")
+	return fs, o
+}
+
+func (o *options) validate() error {
+	if o.url == "" {
+		return fmt.Errorf("-url is required")
+	}
+	if o.bbox == "" {
+		return fmt.Errorf("-bbox is required (the driver needs to know where the map lives)")
+	}
+	if o.writeRatio > 0 {
+		return fmt.Errorf("-write-ratio over HTTP is unsupported: the serving API has no write endpoint (writes are in-process, see mapserver.ApplyInventoryUpdate); use the E19 bench for mixed workloads")
+	}
+	if _, err := o.bounds(); err != nil {
+		return err
+	}
+	if _, err := o.mixWeights(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (o *options) bounds() ([4]float64, error) {
+	var b [4]float64
+	parts := strings.Split(o.bbox, ",")
+	if len(parts) != 4 {
+		return b, fmt.Errorf("-bbox wants minLat,minLng,maxLat,maxLng, got %q", o.bbox)
+	}
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return b, fmt.Errorf("-bbox part %d: %v", i, err)
+		}
+		b[i] = v
+	}
+	if b[2] <= b[0] || b[3] <= b[1] {
+		return b, fmt.Errorf("-bbox is empty: %v", b)
+	}
+	return b, nil
+}
+
+type mixEntry struct {
+	svc    string
+	weight float64
+}
+
+func (o *options) mixWeights() ([]mixEntry, error) {
+	var out []mixEntry
+	total := 0.0
+	for _, part := range strings.Split(o.mix, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("-mix wants svc=weight pairs, got %q", part)
+		}
+		switch kv[0] {
+		case "route", "search", "geocode":
+		default:
+			return nil, fmt.Errorf("-mix service %q not driveable (route, search, geocode)", kv[0])
+		}
+		w, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("-mix weight %q: %v", kv[1], err)
+		}
+		out = append(out, mixEntry{svc: kv[0], weight: w})
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("-mix has no positive weight")
+	}
+	for i := range out {
+		out[i].weight /= total
+	}
+	return out, nil
+}
+
+func (o *options) queryList() []string {
+	var out []string
+	for _, q := range strings.Split(o.queries, ",") {
+		if q = strings.TrimSpace(q); q != "" {
+			out = append(out, q)
+		}
+	}
+	if len(out) == 0 {
+		out = []string{"cafe"}
+	}
+	return out
+}
+
+// opFactory builds the per-arrival Op: service chosen by weight, region by
+// Zipf over the bbox grid, request fired as one POST.
+func (o *options) opFactory(client *http.Client) func(rng *rand.Rand, seq int, write bool) loadgen.Op {
+	b, _ := o.bounds()
+	mix, _ := o.mixWeights()
+	queries := o.queryList()
+	regions := o.regions
+	if regions < 1 {
+		regions = 1
+	}
+	// Per-arrival samplers share the generator's rng (loadgen calls the
+	// factory inline on the arrival goroutine).
+	var regionDraw, queryDraw func() uint64
+	var lastRng *rand.Rand
+	samplers := func(rng *rand.Rand) {
+		if rng != lastRng {
+			regionDraw = loadgen.Zipf(rng, o.zipf, uint64(regions))
+			queryDraw = loadgen.Zipf(rng, o.zipf, uint64(len(queries)))
+			lastRng = rng
+		}
+	}
+	latSpan := (b[2] - b[0]) / float64(regions)
+	pointIn := func(rng *rand.Rand, region int) geo.LatLng {
+		return geo.LatLng{
+			Lat: b[0] + float64(region)*latSpan + rng.Float64()*latSpan,
+			Lng: b[1] + rng.Float64()*(b[3]-b[1]),
+		}
+	}
+	return func(rng *rand.Rand, seq int, write bool) loadgen.Op {
+		samplers(rng)
+		region := int(regionDraw())
+		roll := rng.Float64()
+		var path string
+		var req interface{}
+		for _, m := range mix {
+			if roll -= m.weight; roll > 0 && m != mix[len(mix)-1] {
+				continue
+			}
+			switch m.svc {
+			case "route":
+				path = "/route"
+				req = wire.RouteRequest{From: pointIn(rng, region), To: pointIn(rng, region)}
+			case "search":
+				near := pointIn(rng, region)
+				path = "/search"
+				req = wire.SearchRequest{Query: queries[queryDraw()], Near: &near, Limit: 5}
+			case "geocode":
+				path = "/geocode"
+				req = wire.GeocodeRequest{Query: queries[queryDraw()], Limit: 5}
+			}
+			break
+		}
+		body, _ := json.Marshal(req)
+		url := o.url + path
+		return func(ctx context.Context) loadgen.Outcome {
+			hr, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+			if err != nil {
+				return loadgen.Error
+			}
+			hr.Header.Set("Content-Type", "application/json")
+			hr.Header.Set("X-Flame-User", o.user)
+			hr.Header.Set("X-Flame-App", o.app)
+			res, err := client.Do(hr)
+			if err != nil {
+				if ctx.Err() != nil {
+					return loadgen.Timeout
+				}
+				return loadgen.Error
+			}
+			defer res.Body.Close()
+			// Drain so the connection is reusable; the answer itself is
+			// not the experiment's subject.
+			_, _ = io.Copy(io.Discard, res.Body)
+			return loadgen.ForStatus(res.StatusCode)
+		}
+	}
+}
+
+// report is the machine-readable run summary.
+type report struct {
+	URL         string  `json:"url"`
+	RatePerSec  float64 `json:"offeredRatePerSec"`
+	DurationSec float64 `json:"durationSec"`
+	Arrivals    int64   `json:"arrivals"`
+	OK          int64   `json:"ok"`
+	Shed        int64   `json:"shed"`
+	Timeouts    int64   `json:"timeouts"`
+	Errors      int64   `json:"errors"`
+	Dropped     int64   `json:"dropped"`
+	GoodputPS   float64 `json:"goodputPerSec"`
+	P50MS       float64 `json:"p50AcceptedMs"`
+	P95MS       float64 `json:"p95AcceptedMs"`
+	P99MS       float64 `json:"p99AcceptedMs"`
+}
+
+func buildReport(o *options, res *loadgen.Result) report {
+	return report{
+		URL:         o.url,
+		RatePerSec:  o.rate,
+		DurationSec: res.Elapsed.Seconds(),
+		Arrivals:    res.Arrivals,
+		OK:          res.OK,
+		Shed:        res.Shed,
+		Timeouts:    res.Timeouts,
+		Errors:      res.Errors,
+		Dropped:     res.Dropped,
+		GoodputPS:   res.Goodput(),
+		P50MS:       float64(res.PercentileOK(50)) / float64(time.Millisecond),
+		P95MS:       float64(res.PercentileOK(95)) / float64(time.Millisecond),
+		P99MS:       float64(res.PercentileOK(99)) / float64(time.Millisecond),
+	}
+}
+
+func main() {
+	fs, o := newFlagSet("flame-load")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if err := o.validate(); err != nil {
+		log.Fatal(err)
+	}
+	// The generator must not be the bottleneck: raise the per-host
+	// connection pool well past the default 2 idle conns.
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        1024,
+		MaxIdleConnsPerHost: 1024,
+	}}
+	log.Printf("offering %.0f req/s to %s for %v (open-loop)", o.rate, o.url, o.duration)
+	res := loadgen.Run(context.Background(), loadgen.Config{
+		Rate:     o.rate,
+		Duration: o.duration,
+		Timeout:  o.timeout,
+		Seed:     o.seed,
+		Op:       o.opFactory(client),
+	})
+	rep := buildReport(o, res)
+	fmt.Printf("arrivals %d | ok %d (%.1f/s goodput) | shed %d | timeout %d | error %d | dropped %d\n",
+		rep.Arrivals, rep.OK, rep.GoodputPS, rep.Shed, rep.Timeouts, rep.Errors, rep.Dropped)
+	fmt.Printf("accepted latency: p50 %.1fms  p95 %.1fms  p99 %.1fms\n", rep.P50MS, rep.P95MS, rep.P99MS)
+	if o.jsonPath != "" {
+		b, _ := json.MarshalIndent(rep, "", "  ")
+		if err := os.WriteFile(o.jsonPath, append(b, '\n'), 0o644); err != nil {
+			log.Fatalf("write %s: %v", o.jsonPath, err)
+		}
+		log.Printf("wrote %s", o.jsonPath)
+	}
+}

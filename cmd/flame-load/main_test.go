@@ -1,0 +1,68 @@
+package main
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestFlagValidation(t *testing.T) {
+	parse := func(args ...string) (*options, error) {
+		fs, o := newFlagSet("test")
+		if err := fs.Parse(args); err != nil {
+			t.Fatalf("parse %v: %v", args, err)
+		}
+		return o, o.validate()
+	}
+	if _, err := parse(); err == nil || !strings.Contains(err.Error(), "-url") {
+		t.Fatalf("missing -url accepted: %v", err)
+	}
+	if _, err := parse("-url", "http://x"); err == nil || !strings.Contains(err.Error(), "-bbox") {
+		t.Fatalf("missing -bbox accepted: %v", err)
+	}
+	if _, err := parse("-url", "http://x", "-bbox", "1,2"); err == nil {
+		t.Fatal("short bbox accepted")
+	}
+	if _, err := parse("-url", "http://x", "-bbox", "1,2,0,3"); err == nil {
+		t.Fatal("inverted bbox accepted")
+	}
+	if _, err := parse("-url", "http://x", "-bbox", "0,0,1,1", "-mix", "tiles=1"); err == nil {
+		t.Fatal("undriveable mix service accepted")
+	}
+	// The HTTP driver has no write path; the flag must say so rather than
+	// silently issue reads.
+	if _, err := parse("-url", "http://x", "-bbox", "0,0,1,1", "-write-ratio", "0.2"); err == nil ||
+		!strings.Contains(err.Error(), "write") {
+		t.Fatalf("write-ratio accepted: %v", err)
+	}
+	o, err := parse("-url", "http://x", "-bbox", "40.0,-80.0,40.1,-79.9", "-mix", "route=3,search=1")
+	if err != nil {
+		t.Fatalf("valid flags rejected: %v", err)
+	}
+	mix, err := o.mixWeights()
+	if err != nil || len(mix) != 2 {
+		t.Fatalf("mix = %v, %v", mix, err)
+	}
+	if mix[0].weight != 0.75 || mix[1].weight != 0.25 {
+		t.Fatalf("weights not normalized: %v", mix)
+	}
+}
+
+// TestOpFactoryCoversMix checks every configured service is eventually
+// drawn and all request points land inside the bbox grid.
+func TestOpFactoryCoversMix(t *testing.T) {
+	fs, o := newFlagSet("test")
+	if err := fs.Parse([]string{"-url", "http://x", "-bbox", "40.0,-80.0,40.1,-79.9"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.validate(); err != nil {
+		t.Fatal(err)
+	}
+	factory := o.opFactory(nil)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		if op := factory(rng, i, false); op == nil {
+			t.Fatalf("arrival %d produced no op", i)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -52,6 +53,15 @@ type options struct {
 	syncPeers         string
 	syncInterval      time.Duration
 	consistencyWait   time.Duration
+	maxInFlight       int
+	maxQueue          int
+	queueWait         time.Duration
+	retryAfter        time.Duration
+	maxBodyBytes      int64
+	maxBatchBodyBytes int64
+	readHeaderTimeout time.Duration
+	readTimeout       time.Duration
+	idleTimeout       time.Duration
 }
 
 // defaultQueryCacheEntries sizes the query result cache when -query-cache
@@ -78,7 +88,41 @@ func newFlagSet(name string) (*flag.FlagSet, *options) {
 	fs.StringVar(&o.syncPeers, "sync-peers", "", "comma-separated sibling replica URLs to pull anti-entropy from")
 	fs.DurationVar(&o.syncInterval, "sync-interval", 5*time.Second, "anti-entropy pull interval (with -sync-peers)")
 	fs.DurationVar(&o.consistencyWait, "consistency-wait", 0, "how long a read carrying a session mark this replica has not caught up to may wait for anti-entropy before answering 412 stale-replica (0 = refuse immediately)")
+	fs.IntVar(&o.maxInFlight, "max-inflight", -1, "admission control: max concurrently executing requests; excess traffic queues briefly then is shed with 429 (-1 = auto: 4×GOMAXPROCS, 0 = no admission control)")
+	fs.IntVar(&o.maxQueue, "max-queue", 0, "admission control: queue depth in front of the in-flight slots (0 = same as the in-flight bound)")
+	fs.DurationVar(&o.queueWait, "queue-wait", mapserver.DefaultQueueWait, "admission control: max time a queued request waits for a slot before it is shed")
+	fs.DurationVar(&o.retryAfter, "retry-after", mapserver.DefaultRetryAfter, "Retry-After hint attached to shed (429) responses")
+	fs.Int64Var(&o.maxBodyBytes, "max-body-bytes", mapserver.DefaultMaxBodyBytes, "max request body size for single-service endpoints; larger POSTs earn 413 (<0 = unlimited)")
+	fs.Int64Var(&o.maxBatchBodyBytes, "max-batch-body-bytes", mapserver.DefaultMaxBatchBodyBytes, "max request body size for /v1/batch (<0 = unlimited)")
+	fs.DurationVar(&o.readHeaderTimeout, "read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout: a client that trickles its headers (slowloris) is cut off after this long (0 = no limit)")
+	fs.DurationVar(&o.readTimeout, "read-timeout", 30*time.Second, "http.Server ReadTimeout covering the whole request read (0 = no limit)")
+	fs.DurationVar(&o.idleTimeout, "idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections (0 = no limit)")
 	return fs, o
+}
+
+// inFlightBound resolves the -max-inflight sentinel: -1 sizes the bound to
+// the machine (a few slots per core keeps the CPU busy through the brief
+// I/O gaps of a request without letting hundreds of computations thrash),
+// 0 disables admission control, positive values pass through.
+func (o *options) inFlightBound() int {
+	if o.maxInFlight < 0 {
+		return 4 * runtime.GOMAXPROCS(0)
+	}
+	return o.maxInFlight
+}
+
+// httpServer builds the serving http.Server with the ingest timeouts.
+// Without them one slow-header (slowloris) or slow-body client holds a
+// connection — and its handler resources — forever. WriteTimeout stays 0:
+// per-request deadlines belong to the client and the admission layer, not
+// a blanket write cap that would sever a legitimately slow route response.
+func (o *options) httpServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: o.readHeaderTimeout,
+		ReadTimeout:       o.readTimeout,
+		IdleTimeout:       o.idleTimeout,
+	}
 }
 
 // validate rejects flag combinations that would silently misbehave.
@@ -162,6 +206,12 @@ func (o *options) buildServer() (*mapserver.Server, *osm.Map, error) {
 		MaxLevel:          o.maxLevel,
 		QueryCacheEntries: o.cacheEntries(),
 		ConsistencyWait:   o.consistencyWait,
+		MaxInFlight:       o.inFlightBound(),
+		MaxQueue:          o.maxQueue,
+		QueueWait:         o.queueWait,
+		RetryAfter:        o.retryAfter,
+		MaxBodyBytes:      o.maxBodyBytes,
+		MaxBatchBodyBytes: o.maxBatchBodyBytes,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -285,7 +335,7 @@ func main() {
 	// Serve BEFORE announcing: once the registration lands, clients route
 	// here immediately — a bound-but-not-serving window would burn their
 	// per-server timeouts and trip breakers on the newborn member.
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpSrv := o.httpServer(srv.Handler())
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 	log.Printf("listening on %s", o.addr)

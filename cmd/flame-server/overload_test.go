@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bufio"
+	"net"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+
+	"openflame/internal/mapserver"
+)
+
+func TestOverloadFlagDefaultsAndRoundTrip(t *testing.T) {
+	fs, o := newFlagSet("flame-server")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if o.maxInFlight != -1 || o.maxQueue != 0 {
+		t.Fatalf("admission defaults changed: %+v", o)
+	}
+	if o.queueWait != mapserver.DefaultQueueWait || o.retryAfter != mapserver.DefaultRetryAfter {
+		t.Fatalf("queue-wait/retry-after defaults changed: %+v", o)
+	}
+	if o.maxBodyBytes != mapserver.DefaultMaxBodyBytes || o.maxBatchBodyBytes != mapserver.DefaultMaxBatchBodyBytes {
+		t.Fatalf("body-cap defaults changed: %+v", o)
+	}
+	if o.readHeaderTimeout != 5*time.Second || o.readTimeout != 30*time.Second || o.idleTimeout != 2*time.Minute {
+		t.Fatalf("ingest-timeout defaults changed: %+v", o)
+	}
+	// The -1 sentinel sizes admission to the machine; 0 disables it.
+	if got := o.inFlightBound(); got != 4*runtime.GOMAXPROCS(0) {
+		t.Fatalf("auto inFlightBound = %d, want %d", got, 4*runtime.GOMAXPROCS(0))
+	}
+	o.maxInFlight = 0
+	if got := o.inFlightBound(); got != 0 {
+		t.Fatalf("disabled inFlightBound = %d, want 0", got)
+	}
+	o.maxInFlight = 7
+	if got := o.inFlightBound(); got != 7 {
+		t.Fatalf("explicit inFlightBound = %d, want 7", got)
+	}
+
+	fs, o = newFlagSet("flame-server")
+	err := fs.Parse([]string{
+		"-max-inflight", "32", "-max-queue", "64", "-queue-wait", "10ms", "-retry-after", "2s",
+		"-max-body-bytes", "2048", "-max-batch-body-bytes", "4096",
+		"-read-header-timeout", "1s", "-read-timeout", "5s", "-idle-timeout", "30s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.maxInFlight != 32 || o.maxQueue != 64 || o.queueWait != 10*time.Millisecond || o.retryAfter != 2*time.Second {
+		t.Fatalf("admission flags lost: %+v", o)
+	}
+	if o.maxBodyBytes != 2048 || o.maxBatchBodyBytes != 4096 {
+		t.Fatalf("body-cap flags lost: %+v", o)
+	}
+	if o.readHeaderTimeout != time.Second || o.readTimeout != 5*time.Second || o.idleTimeout != 30*time.Second {
+		t.Fatalf("ingest-timeout flags lost: %+v", o)
+	}
+	srv := o.httpServer(http.NotFoundHandler())
+	if srv.ReadHeaderTimeout != time.Second || srv.ReadTimeout != 5*time.Second || srv.IdleTimeout != 30*time.Second {
+		t.Fatalf("httpServer dropped the timeouts: %+v", srv)
+	}
+	if srv.WriteTimeout != 0 {
+		t.Fatalf("WriteTimeout = %v, want 0 (per-request deadlines belong to the client)", srv.WriteTimeout)
+	}
+}
+
+// TestSlowlorisConnectionReaped is the slowloris regression: a client that
+// opens a connection and trickles (or stops sending) its headers is cut
+// off at ReadHeaderTimeout instead of holding server resources forever —
+// the exact construction main() serves with.
+func TestSlowlorisConnectionReaped(t *testing.T) {
+	fs, o := newFlagSet("flame-server")
+	if err := fs.Parse([]string{"-read-header-timeout", "200ms"}); err != nil {
+		t.Fatal(err)
+	}
+	srv := o.httpServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Half a request line, then silence: the attack.
+	if _, err := conn.Write([]byte("POST /geocode HTTP/1.1\r\nHost: x\r\nX-Dribble:")); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server answered a half-sent request")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("slowloris connection held for %v, want reaping near the 200ms ReadHeaderTimeout", elapsed)
+	}
+
+	// A well-behaved request on the same server still answers.
+	conn2, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if _, err := conn2.Write([]byte("GET /ok HTTP/1.1\r\nHost: x\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.ReadResponse(bufio.NewReader(conn2), nil)
+	if err != nil {
+		t.Fatalf("healthy request failed on the hardened server: %v", err)
+	}
+	res.Body.Close()
+}

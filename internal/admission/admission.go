@@ -1,0 +1,200 @@
+// Package admission is the server-side overload-discipline layer: a
+// per-server admission controller bounding how many requests may execute
+// concurrently, with a short bounded queue in front and load shedding
+// behind it.
+//
+// The paper's federation absorbs planet-scale read traffic by splitting it
+// across independently operated map servers (§1, §3) — but each individual
+// server still meets its region's whole demand, and an open-loop client
+// population does not slow down because the server did. Without admission
+// control, every request past capacity becomes a goroutine that queues
+// invisibly on the scheduler until the client's deadline kills it: the
+// server burns its capacity computing answers nobody is waiting for and
+// goodput collapses exactly when traffic peaks. The controller inverts
+// that: a bounded number of requests execute, a short queue absorbs bursts,
+// and everything else is answered immediately with a cheap "come back
+// later" (HTTP 429 + Retry-After) that costs microseconds instead of a
+// compute slot — so the work the server does perform is work that still
+// has a waiting client.
+//
+// The shed path is deliberately allocation-light and runs BEFORE the
+// request body is read or decoded: an overloaded server's refusals must
+// not themselves consume the memory and CPU the refusal exists to protect.
+package admission
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Default knob values, chosen so a controller constructed from a bare
+// in-flight bound behaves sanely: the queue holds one burst of the
+// in-flight width, a queued request waits at most one scheduling breath,
+// and shed clients are told to retry after a full second (long enough for
+// a real overload to drain, short enough that capacity freed by a blip is
+// re-used promptly).
+const (
+	DefaultQueueWait  = 25 * time.Millisecond
+	DefaultRetryAfter = time.Second
+)
+
+// Config sizes a Controller.
+type Config struct {
+	// MaxInFlight bounds how many admitted requests may execute
+	// concurrently. Values <= 0 are invalid (a disabled controller is a
+	// nil *Controller, not a zero-width one).
+	MaxInFlight int
+	// MaxQueue bounds how many requests may wait for an execution slot
+	// beyond the in-flight bound. 0 defaults to MaxInFlight; shedding
+	// with no queue at all needs an explicit negative value.
+	MaxQueue int
+	// QueueWait bounds how long a queued request may wait for a slot
+	// before it is shed — the queue-deadline eviction that keeps queue
+	// residency (and with it, tail latency of ACCEPTED requests) short.
+	// 0 defaults to DefaultQueueWait.
+	QueueWait time.Duration
+	// RetryAfter is the backoff hint attached to shed responses.
+	// 0 defaults to DefaultRetryAfter.
+	RetryAfter time.Duration
+}
+
+// ErrShed is the verdict of an Acquire the controller refused: the server
+// is saturated (in-flight full and queue full, or the queue deadline
+// passed). Callers answer it with a cheap retryable refusal — HTTP 429
+// with Retry-After — never with queueing of their own.
+var ErrShed = errors.New("admission: overloaded, request shed")
+
+// Stats is a point-in-time snapshot of a controller's counters.
+type Stats struct {
+	// Admitted counts requests that received an execution slot (whether
+	// immediately or after queueing).
+	Admitted int64
+	// Queued counts admitted-or-shed requests that waited in the queue.
+	Queued int64
+	// ShedQueueFull counts requests refused instantly because both the
+	// in-flight slots and the queue were full.
+	ShedQueueFull int64
+	// ShedDeadline counts queued requests evicted by the queue deadline.
+	ShedDeadline int64
+	// Cancelled counts queued requests whose caller gave up first.
+	Cancelled int64
+	// InFlight and Waiting are current occupancy gauges.
+	InFlight, Waiting int64
+}
+
+// Shed returns the total refusals.
+func (s Stats) Shed() int64 { return s.ShedQueueFull + s.ShedDeadline }
+
+// Controller is one server's admission gate. Create with New; safe for
+// concurrent use. A nil *Controller admits everything (the disabled
+// configuration), so callers thread it without nil checks at every site.
+type Controller struct {
+	cfg   Config
+	slots chan struct{} // in-flight execution slots
+	queue chan struct{} // waiting slots in front of them
+
+	admitted      atomic.Int64
+	queued        atomic.Int64
+	shedQueueFull atomic.Int64
+	shedDeadline  atomic.Int64
+	cancelled     atomic.Int64
+}
+
+// New builds a controller from the config (nil for MaxInFlight <= 0 is the
+// caller's job; New panics on it to catch miswiring early).
+func New(cfg Config) *Controller {
+	if cfg.MaxInFlight <= 0 {
+		panic("admission: MaxInFlight must be > 0 (use a nil *Controller to disable)")
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = cfg.MaxInFlight
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	}
+	if cfg.QueueWait <= 0 {
+		cfg.QueueWait = DefaultQueueWait
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	return &Controller{
+		cfg:   cfg,
+		slots: make(chan struct{}, cfg.MaxInFlight),
+		queue: make(chan struct{}, cfg.MaxQueue),
+	}
+}
+
+// RetryAfter returns the configured backoff hint for shed responses.
+func (c *Controller) RetryAfter() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return c.cfg.RetryAfter
+}
+
+// done is the cancellation signal Acquire honors — the caller's
+// request context Done() channel (nil means "never cancelled").
+type done = <-chan struct{}
+
+// Acquire claims one execution slot, returning the release func the caller
+// must invoke when the request finishes. The fast path (a free slot) takes
+// one channel send. Saturated, the request waits in the bounded queue up
+// to the queue deadline; a full queue or an expired deadline returns
+// ErrShed, a cancelled caller returns the sentinel from its own signal.
+// The shed verdicts are immediate and allocation-free on the queue-full
+// path — exactly the property that lets an overloaded server answer its
+// excess traffic in microseconds.
+func (c *Controller) Acquire(cancel done) (release func(), err error) {
+	if c == nil {
+		return func() {}, nil
+	}
+	// Fast path: a free execution slot, no queueing.
+	select {
+	case c.slots <- struct{}{}:
+		c.admitted.Add(1)
+		return c.release, nil
+	default:
+	}
+	// Saturated: claim a queue slot or shed instantly.
+	select {
+	case c.queue <- struct{}{}:
+	default:
+		c.shedQueueFull.Add(1)
+		return nil, ErrShed
+	}
+	c.queued.Add(1)
+	defer func() { <-c.queue }()
+	deadline := time.NewTimer(c.cfg.QueueWait)
+	defer deadline.Stop()
+	select {
+	case c.slots <- struct{}{}:
+		c.admitted.Add(1)
+		return c.release, nil
+	case <-deadline.C:
+		c.shedDeadline.Add(1)
+		return nil, ErrShed
+	case <-cancel:
+		c.cancelled.Add(1)
+		return nil, errors.New("admission: caller cancelled while queued")
+	}
+}
+
+func (c *Controller) release() { <-c.slots }
+
+// Stats snapshots the controller's counters (zero value for nil).
+func (c *Controller) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Admitted:      c.admitted.Load(),
+		Queued:        c.queued.Load(),
+		ShedQueueFull: c.shedQueueFull.Load(),
+		ShedDeadline:  c.shedDeadline.Load(),
+		Cancelled:     c.cancelled.Load(),
+		InFlight:      int64(len(c.slots)),
+		Waiting:       int64(len(c.queue)),
+	}
+}

@@ -1,0 +1,270 @@
+package admission
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// saturate claims every in-flight slot and queue slot of c, returning the
+// releases for the in-flight holders (queue waiters are parked goroutines
+// that drain on their own once the deadline fires or a slot frees).
+func saturate(t *testing.T, c *Controller, inFlight, queued int) (releases []func(), waiters *sync.WaitGroup) {
+	t.Helper()
+	for i := 0; i < inFlight; i++ {
+		rel, err := c.Acquire(nil)
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		releases = append(releases, rel)
+	}
+	var wg sync.WaitGroup
+	started := make(chan struct{}, queued)
+	for i := 0; i < queued; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			started <- struct{}{}
+			rel, err := c.Acquire(nil)
+			if err == nil {
+				rel()
+			}
+		}()
+	}
+	for i := 0; i < queued; i++ {
+		<-started
+	}
+	// The queue slot is claimed a moment after the started signal; wait
+	// for occupancy to confirm every waiter is parked.
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Stats().Waiting < int64(queued) {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never filled: %+v", c.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return releases, &wg
+}
+
+func TestAcquireFastPath(t *testing.T) {
+	c := New(Config{MaxInFlight: 2})
+	rel1, err := c.Acquire(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := c.Acquire(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats(); got.Admitted != 2 || got.InFlight != 2 || got.Queued != 0 {
+		t.Fatalf("stats = %+v", got)
+	}
+	rel1()
+	rel2()
+	if got := c.Stats().InFlight; got != 0 {
+		t.Fatalf("in-flight after release = %d", got)
+	}
+}
+
+// TestShedInstantWhenQueueFull pins the cheap-shed property: with every
+// slot and queue position taken, Acquire refuses without waiting out the
+// queue deadline (which is set far above the assertion bound).
+func TestShedInstantWhenQueueFull(t *testing.T) {
+	c := New(Config{MaxInFlight: 2, MaxQueue: 2, QueueWait: 5 * time.Second})
+	releases, wg := saturate(t, c, 2, 2)
+	start := time.Now()
+	_, err := c.Acquire(nil)
+	elapsed := time.Since(start)
+	if err != ErrShed {
+		t.Fatalf("err = %v, want ErrShed", err)
+	}
+	// The instant-shed path is two failed channel sends; anything close to
+	// the 5s queue deadline means it queued. 100ms absorbs CI scheduler
+	// noise while still proving the request never waited.
+	if elapsed > 100*time.Millisecond {
+		t.Fatalf("shed took %v, want instant", elapsed)
+	}
+	if got := c.Stats().ShedQueueFull; got != 1 {
+		t.Fatalf("ShedQueueFull = %d", got)
+	}
+	for _, rel := range releases {
+		rel()
+	}
+	wg.Wait()
+}
+
+// TestQueueDeadlineEviction pins the bounded-queue-residency property: a
+// queued request is shed once QueueWait elapses, not parked until the
+// slot-holder finishes.
+func TestQueueDeadlineEviction(t *testing.T) {
+	c := New(Config{MaxInFlight: 1, MaxQueue: 4, QueueWait: 20 * time.Millisecond})
+	rel, err := c.Acquire(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = c.Acquire(nil)
+	elapsed := time.Since(start)
+	if err != ErrShed {
+		t.Fatalf("err = %v, want ErrShed", err)
+	}
+	if elapsed < 20*time.Millisecond {
+		t.Fatalf("evicted after %v, before the queue deadline", elapsed)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("eviction took %v — deadline never fired", elapsed)
+	}
+	s := c.Stats()
+	if s.ShedDeadline != 1 || s.Queued != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Waiting != 0 {
+		t.Fatalf("queue slot leaked after eviction: %+v", s)
+	}
+	rel()
+}
+
+// TestQueuedRequestAdmittedWhenSlotFrees is the queue's positive half: a
+// burst briefly past the in-flight bound is absorbed, not shed.
+func TestQueuedRequestAdmittedWhenSlotFrees(t *testing.T) {
+	c := New(Config{MaxInFlight: 1, MaxQueue: 1, QueueWait: 5 * time.Second})
+	rel, err := c.Acquire(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		rel2, err := c.Acquire(nil)
+		if err == nil {
+			defer rel2()
+		}
+		got <- err
+	}()
+	// Wait for the waiter to park, then free the slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Stats().Waiting < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiter never queued: %+v", c.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rel()
+	if err := <-got; err != nil {
+		t.Fatalf("queued acquire = %v, want admitted", err)
+	}
+	s := c.Stats()
+	if s.Admitted != 2 || s.Queued != 1 || s.Shed() != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestQueuedCallerCancellation(t *testing.T) {
+	c := New(Config{MaxInFlight: 1, MaxQueue: 1, QueueWait: 5 * time.Second})
+	rel, err := c.Acquire(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	got := make(chan error, 1)
+	go func() {
+		_, err := c.Acquire(ctx.Done())
+		got <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Stats().Waiting < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("waiter never queued: %+v", c.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-got; err == nil || err == ErrShed {
+		t.Fatalf("cancelled acquire = %v, want cancellation error", err)
+	}
+	s := c.Stats()
+	if s.Cancelled != 1 || s.Waiting != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestNilControllerAdmitsEverything(t *testing.T) {
+	var c *Controller
+	rel, err := c.Acquire(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel() // must not panic
+	if got := c.Stats(); got != (Stats{}) {
+		t.Fatalf("nil stats = %+v", got)
+	}
+	if got := c.RetryAfter(); got != 0 {
+		t.Fatalf("nil RetryAfter = %v", got)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	c := New(Config{MaxInFlight: 3})
+	if c.cfg.MaxQueue != 3 || c.cfg.QueueWait != DefaultQueueWait || c.cfg.RetryAfter != DefaultRetryAfter {
+		t.Fatalf("defaults: %+v", c.cfg)
+	}
+	// Negative MaxQueue = no queue at all: second acquire sheds instantly.
+	c = New(Config{MaxInFlight: 1, MaxQueue: -1, QueueWait: 5 * time.Second})
+	rel, err := c.Acquire(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	if _, err := c.Acquire(nil); err != ErrShed {
+		t.Fatalf("queueless acquire = %v, want ErrShed", err)
+	}
+}
+
+// TestHammer races admissions, sheds, cancellations and releases under
+// -race: the in-flight bound must hold at every instant and the counters
+// must reconcile with the observed outcomes.
+func TestHammer(t *testing.T) {
+	const inFlight = 4
+	c := New(Config{MaxInFlight: inFlight, MaxQueue: 8, QueueWait: 2 * time.Millisecond})
+	var executing atomic.Int64
+	var admitted, refused atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				rel, err := c.Acquire(nil)
+				if err != nil {
+					refused.Add(1)
+					continue
+				}
+				if n := executing.Add(1); n > inFlight {
+					t.Errorf("in-flight bound violated: %d > %d", n, inFlight)
+				}
+				if g%2 == 0 {
+					time.Sleep(50 * time.Microsecond)
+				}
+				executing.Add(-1)
+				rel()
+				admitted.Add(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := c.Stats()
+	if s.InFlight != 0 || s.Waiting != 0 {
+		t.Fatalf("slots leaked: %+v", s)
+	}
+	if s.Admitted != admitted.Load() {
+		t.Fatalf("admitted %d, callers saw %d", s.Admitted, admitted.Load())
+	}
+	if s.Shed() != refused.Load() {
+		t.Fatalf("shed %d, callers saw %d refusals", s.Shed(), refused.Load())
+	}
+	if admitted.Load()+refused.Load() != 32*50 {
+		t.Fatalf("outcomes %d+%d != %d", admitted.Load(), refused.Load(), 32*50)
+	}
+}

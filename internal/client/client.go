@@ -15,6 +15,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -273,9 +274,29 @@ func (c *Client) post(ctx context.Context, baseURL, path string, req interface{}
 		return nil, &resilience.HTTPError{
 			URL: baseURL + path, StatusCode: res.StatusCode,
 			Msg: e.Error, Session: e.Session,
+			RetryAfter: retryAfterHint(res, e),
 		}
 	}
 	return io.ReadAll(res.Body)
+}
+
+// retryAfterHint extracts an overloaded server's backoff hint from a 429:
+// the Retry-After header (delay-seconds form), falling back to the error
+// body's retryAfterSeconds. Zero for every other response — the hint only
+// means something on a shed.
+func retryAfterHint(res *http.Response, e wire.ErrorResponse) time.Duration {
+	if res.StatusCode != wire.StatusOverloaded {
+		return 0
+	}
+	if raw := res.Header.Get(wire.RetryAfterHeader); raw != "" {
+		if secs, err := strconv.Atoi(raw); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	if e.RetryAfterSeconds > 0 {
+		return time.Duration(e.RetryAfterSeconds) * time.Second
+	}
+	return 0
 }
 
 // InfoV2 fetches (and caches) a server's description. Concurrent fetches

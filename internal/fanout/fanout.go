@@ -86,14 +86,30 @@ type call[V any] struct {
 // forgotten, so sequential calls re-execute (callers wanting memoization
 // layer a cache above, as discovery.Client does).
 func (g *Group[V]) Do(key string, fn func() (V, error)) (V, error) {
+	return g.DoCtx(context.Background(), key, fn)
+}
+
+// DoCtx is Do with follower detach: a caller that joins an in-flight call
+// and whose ctx is cancelled before the leader finishes returns ctx.Err()
+// immediately instead of waiting — the leader is unaffected and completes
+// normally (its result still lands wherever the leader puts it, e.g. a
+// cache above this group). The LEADER's fn is never interrupted here: an
+// abandoned leader must finish for the followers and for the cache; fn
+// observes cancellation itself if it wants to stop early.
+func (g *Group[V]) DoCtx(ctx context.Context, key string, fn func() (V, error)) (V, error) {
 	g.mu.Lock()
 	if g.calls == nil {
 		g.calls = make(map[string]*call[V])
 	}
 	if c, ok := g.calls[key]; ok {
 		g.mu.Unlock()
-		<-c.done
-		return c.val, c.err
+		select {
+		case <-c.done:
+			return c.val, c.err
+		case <-ctx.Done():
+			var zero V
+			return zero, ctx.Err()
+		}
 	}
 	c := &call[V]{done: make(chan struct{})}
 	g.calls[key] = c

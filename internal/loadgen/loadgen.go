@@ -1,0 +1,243 @@
+// Package loadgen is an OPEN-LOOP workload generator: arrivals happen on a
+// fixed schedule derived from the offered rate, regardless of how many
+// earlier requests have completed. The distinction decides whether an
+// overload experiment means anything. A closed-loop driver (N workers, each
+// issuing its next request after the last returns) slows down exactly when
+// the server does — it politely self-throttles, and a server with no
+// admission control looks fine under it. Real federation traffic does not
+// slow down because one map server did: millions of independent clients
+// keep arriving (§1). Under an open-loop driver at 2–3× capacity, a server
+// without load shedding accumulates unbounded queues and its goodput
+// collapses; one that sheds keeps answering what it can. That difference is
+// what E19 measures.
+//
+// The generator is transport-agnostic: each arrival runs an Op built by the
+// caller's factory (an HTTP POST, an in-process handler call, an in-process
+// write). Config.WriteRatio decides per arrival whether the factory is
+// asked for a write op, and a Zipf helper skews region/query choice the way
+// real geography skews demand.
+package loadgen
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"openflame/internal/wire"
+)
+
+// Outcome classifies one completed request for the goodput accounting.
+type Outcome int
+
+const (
+	// OK: answered successfully within the deadline — counts toward goodput.
+	OK Outcome = iota
+	// Shed: refused by admission control (HTTP 429) — cheap, fast, honest.
+	Shed
+	// Timeout: the per-request deadline expired — capacity burned for
+	// nothing, the failure mode shedding exists to prevent.
+	Timeout
+	// Error: any other failure (5xx, transport).
+	Error
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OK:
+		return "ok"
+	case Shed:
+		return "shed"
+	case Timeout:
+		return "timeout"
+	case Error:
+		return "error"
+	}
+	return "unknown"
+}
+
+// ForStatus maps an HTTP status to its Outcome (timeouts are detected from
+// the transport error, not a status, so they are the caller's branch).
+func ForStatus(code int) Outcome {
+	switch {
+	case code == http.StatusOK || code == http.StatusNotModified:
+		return OK
+	case code == wire.StatusOverloaded:
+		return Shed
+	default:
+		return Error
+	}
+}
+
+// Op is one unit of offered work. It must honor ctx (the per-request
+// deadline) and classify its own result.
+type Op func(ctx context.Context) Outcome
+
+// Config drives one open-loop run.
+type Config struct {
+	// Rate is the offered load in arrivals per second. Required.
+	Rate float64
+	// Duration is how long arrivals keep coming. Required.
+	Duration time.Duration
+	// Timeout is the per-request deadline (0 = none) — in an overload
+	// experiment this is the client's patience, and a request that misses
+	// it is wasted server work.
+	Timeout time.Duration
+	// WriteRatio is the fraction of arrivals asked from the factory as
+	// writes (0 = read-only).
+	WriteRatio float64
+	// MaxOutstanding is a safety valve on concurrently executing ops so a
+	// fully wedged target cannot OOM the generator; arrivals past it are
+	// counted as Dropped (they still happened — open-loop — they just
+	// could not be carried). Default 16384.
+	MaxOutstanding int
+	// Seed makes the arrival mix (write coin flips, Zipf draws through the
+	// provided rng) reproducible.
+	Seed int64
+	// Op builds the work for arrival seq. The rng is only valid during the
+	// factory call (it belongs to the arrival goroutine); draw from it to
+	// pick regions/queries, not inside the returned Op.
+	Op func(rng *rand.Rand, seq int, write bool) Op
+}
+
+// Result aggregates one run. Counters are arrival-complete: Arrivals =
+// OK + Shed + Timeouts + Errors + Dropped once Run returns.
+type Result struct {
+	Arrivals, OK, Shed, Timeouts, Errors, Dropped int64
+	Writes                                        int64
+	Elapsed                                       time.Duration
+
+	mu          sync.Mutex
+	latenciesOK []time.Duration
+}
+
+// Goodput is successfully answered requests per second of wall clock — the
+// metric an overloaded server is judged by.
+func (r *Result) Goodput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.OK) / r.Elapsed.Seconds()
+}
+
+// PercentileOK returns the p-th percentile (0 < p <= 100) latency of
+// successful requests — shed and timed-out arrivals are excluded, because
+// the promise under test is "what we accept, we answer promptly".
+func (r *Result) PercentileOK(p float64) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.latenciesOK)
+	if n == 0 {
+		return 0
+	}
+	buf := make([]time.Duration, n)
+	copy(buf, r.latenciesOK)
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	idx := int(float64(n) * p / 100)
+	if idx >= n {
+		idx = n - 1
+	}
+	return buf[idx]
+}
+
+func (r *Result) record(out Outcome, lat time.Duration, write bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch out {
+	case OK:
+		r.OK++
+		r.latenciesOK = append(r.latenciesOK, lat)
+	case Shed:
+		r.Shed++
+	case Timeout:
+		r.Timeouts++
+	default:
+		r.Errors++
+	}
+	if write {
+		r.Writes++
+	}
+}
+
+// Run drives the open-loop schedule until Duration elapses or ctx is
+// cancelled, then waits for in-flight ops to finish and returns the tally.
+// Arrival i fires at start + i/Rate seconds; a generator running behind
+// schedule fires immediately and catches up — completions never gate
+// arrivals.
+func Run(ctx context.Context, cfg Config) *Result {
+	res := &Result{}
+	if cfg.Rate <= 0 || cfg.Duration <= 0 || cfg.Op == nil {
+		return res
+	}
+	maxOut := cfg.MaxOutstanding
+	if maxOut <= 0 {
+		maxOut = 16384
+	}
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sem := make(chan struct{}, maxOut)
+	var wg sync.WaitGroup
+	start := time.Now()
+	end := start.Add(cfg.Duration)
+	for i := 0; ; i++ {
+		now := time.Now()
+		if now.After(end) || ctx.Err() != nil {
+			break
+		}
+		if d := start.Add(time.Duration(i) * interval).Sub(now); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+			}
+			if ctx.Err() != nil {
+				break
+			}
+		}
+		res.Arrivals++
+		write := cfg.WriteRatio > 0 && rng.Float64() < cfg.WriteRatio
+		op := cfg.Op(rng, i, write)
+		select {
+		case sem <- struct{}{}:
+		default:
+			res.mu.Lock()
+			res.Dropped++
+			res.mu.Unlock()
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			opCtx := ctx
+			if cfg.Timeout > 0 {
+				var cancel context.CancelFunc
+				opCtx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+				defer cancel()
+			}
+			t0 := time.Now()
+			out := op(opCtx)
+			res.record(out, time.Since(t0), write)
+		}()
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// Zipf returns a sampler over [0, n) with Zipf exponent s (values s <= 1
+// are raised to 1.1, the classic "popular regions dominate" skew): draw 0
+// is the hottest region, and the tail is long. Deterministic given rng.
+func Zipf(rng *rand.Rand, s float64, n uint64) func() uint64 {
+	if n == 0 {
+		return func() uint64 { return 0 }
+	}
+	if s <= 1 {
+		s = 1.1
+	}
+	z := rand.NewZipf(rng, s, 1, n-1)
+	return z.Uint64
+}

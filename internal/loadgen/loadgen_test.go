@@ -1,0 +1,138 @@
+package loadgen
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestOpenLoopScheduleIgnoresCompletions pins the property that makes the
+// generator open-loop: ops that never finish within the run do not slow the
+// arrival schedule down.
+func TestOpenLoopScheduleIgnoresCompletions(t *testing.T) {
+	res := Run(context.Background(), Config{
+		Rate:     500,
+		Duration: 400 * time.Millisecond,
+		Op: func(rng *rand.Rand, seq int, write bool) Op {
+			return func(ctx context.Context) Outcome {
+				<-ctx.Done() // a wedged server: never answers
+				return Timeout
+			}
+		},
+		Timeout: 50 * time.Millisecond,
+	})
+	// 500/s for 0.4s ≈ 200 arrivals; a closed-loop driver with these
+	// never-returning ops would have issued at most a handful.
+	if res.Arrivals < 100 {
+		t.Fatalf("arrivals = %d, want the open-loop schedule (~200) despite wedged ops", res.Arrivals)
+	}
+	if got := res.OK + res.Shed + res.Timeouts + res.Errors + res.Dropped; got != res.Arrivals {
+		t.Fatalf("outcomes %d != arrivals %d", got, res.Arrivals)
+	}
+	if res.Timeouts == 0 {
+		t.Fatalf("wedged ops produced no timeouts: %+v", res)
+	}
+}
+
+func TestWriteRatioAndDeterminism(t *testing.T) {
+	run := func() (*Result, int64) {
+		var writes atomic.Int64
+		r := Run(context.Background(), Config{
+			Rate:       2000,
+			Duration:   200 * time.Millisecond,
+			WriteRatio: 0.3,
+			Seed:       42,
+			Op: func(rng *rand.Rand, seq int, write bool) Op {
+				if write {
+					writes.Add(1)
+				}
+				return func(ctx context.Context) Outcome { return OK }
+			},
+		})
+		return r, writes.Load()
+	}
+	r1, w1 := run()
+	if w1 == 0 || w1 == r1.Arrivals {
+		t.Fatalf("write ratio 0.3 produced %d writes of %d arrivals", w1, r1.Arrivals)
+	}
+	ratio := float64(w1) / float64(r1.Arrivals)
+	if ratio < 0.15 || ratio > 0.45 {
+		t.Fatalf("write ratio = %.2f, want ≈0.3", ratio)
+	}
+	if r1.Writes != w1 {
+		t.Fatalf("result counted %d writes, factory saw %d", r1.Writes, w1)
+	}
+}
+
+func TestOutstandingBoundCountsDropped(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	res := Run(context.Background(), Config{
+		Rate:           2000,
+		Duration:       150 * time.Millisecond,
+		MaxOutstanding: 4,
+		Op: func(rng *rand.Rand, seq int, write bool) Op {
+			return func(ctx context.Context) Outcome {
+				select {
+				case <-block:
+				case <-ctx.Done():
+				}
+				return Error
+			}
+		},
+		Timeout: 300 * time.Millisecond,
+	})
+	if res.Dropped == 0 {
+		t.Fatalf("outstanding bound of 4 never dropped at 2000/s: %+v", res)
+	}
+	if got := res.OK + res.Shed + res.Timeouts + res.Errors + res.Dropped; got != res.Arrivals {
+		t.Fatalf("outcomes %d != arrivals %d", got, res.Arrivals)
+	}
+}
+
+func TestPercentileAndGoodput(t *testing.T) {
+	r := &Result{}
+	for i := 1; i <= 100; i++ {
+		r.record(OK, time.Duration(i)*time.Millisecond, false)
+	}
+	r.Elapsed = 10 * time.Second
+	if got := r.PercentileOK(99); got < 99*time.Millisecond {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := r.PercentileOK(50); got < 50*time.Millisecond || got > 52*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := r.Goodput(); got != 10 {
+		t.Fatalf("goodput = %v, want 10/s", got)
+	}
+}
+
+func TestForStatus(t *testing.T) {
+	cases := map[int]Outcome{
+		http.StatusOK:                 OK,
+		http.StatusNotModified:        OK,
+		http.StatusTooManyRequests:    Shed,
+		http.StatusBadRequest:         Error,
+		http.StatusServiceUnavailable: Error,
+	}
+	for code, want := range cases {
+		if got := ForStatus(code); got != want {
+			t.Errorf("ForStatus(%d) = %v, want %v", code, got, want)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	draw := Zipf(rng, 1.2, 64)
+	counts := make([]int, 64)
+	for i := 0; i < 10000; i++ {
+		counts[draw()]++
+	}
+	if counts[0] <= counts[32]*2 {
+		t.Fatalf("no head skew: hot=%d mid=%d", counts[0], counts[32])
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 
+	"openflame/internal/admission"
 	"openflame/internal/fanout"
 	"openflame/internal/tiles"
 	"openflame/internal/wire"
@@ -106,25 +108,67 @@ func (p *Policy) Allow(svc wire.Service, user, app string) bool {
 // r.Context(): when the client disconnects or cancels mid-request (a
 // federated client skipping a slow member, §5.2), the response is abandoned
 // rather than written, and the handler goroutine is released immediately.
+//
+// The compute-bearing endpoints sit behind the admission controller (when
+// one is configured). /info, /healthz and /v1/changes deliberately do not:
+// an overloaded server must stay discoverable, report itself alive, and
+// keep feeding its sibling replicas — shedding anti-entropy would turn an
+// overload into a staleness incident.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/info", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(HeaderGeneration, strconv.FormatUint(s.Generation(), 10))
 		respond(w, r, func() (interface{}, int, string) { return s.Info(), http.StatusOK, "" })
 	})
-	mux.HandleFunc("/geocode", s.jsonEndpoint(wire.SvcGeocode))
-	mux.HandleFunc("/rgeocode", s.jsonEndpoint(wire.SvcRGeocode))
-	mux.HandleFunc("/search", s.jsonEndpoint(wire.SvcSearch))
-	mux.HandleFunc("/route", s.jsonEndpoint(wire.SvcRoute))
-	mux.HandleFunc("/routematrix", s.jsonEndpoint(wire.SvcRouteMatrix))
-	mux.HandleFunc("/localize", s.jsonEndpoint(wire.SvcLocalize))
-	mux.HandleFunc("/v1/batch", s.handleBatch)
+	mux.HandleFunc("/geocode", s.admit(s.jsonEndpoint(wire.SvcGeocode)))
+	mux.HandleFunc("/rgeocode", s.admit(s.jsonEndpoint(wire.SvcRGeocode)))
+	mux.HandleFunc("/search", s.admit(s.jsonEndpoint(wire.SvcSearch)))
+	mux.HandleFunc("/route", s.admit(s.jsonEndpoint(wire.SvcRoute)))
+	mux.HandleFunc("/routematrix", s.admit(s.jsonEndpoint(wire.SvcRouteMatrix)))
+	mux.HandleFunc("/localize", s.admit(s.jsonEndpoint(wire.SvcLocalize)))
+	mux.HandleFunc("/v1/batch", s.admit(s.handleBatch))
 	mux.HandleFunc("/v1/changes", s.guard(wire.SvcChanges, s.handleChanges))
-	mux.HandleFunc("/tiles/", s.guard(wire.SvcTiles, s.handleTile))
+	mux.HandleFunc("/tiles/", s.admit(s.guard(wire.SvcTiles, s.handleTile)))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
+}
+
+// admit wraps a handler with the admission gate. The shed path runs before
+// anything else — before the policy guard, before the body is read, before
+// any decode — and writes a pre-rendered refusal, so a saturated server
+// answers its excess traffic for the price of two failed channel sends and
+// one small write. A nil controller (admission off) returns h untouched.
+func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
+	if s.adm == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		release, err := s.adm.Acquire(r.Context().Done())
+		if err != nil {
+			if errors.Is(err, admission.ErrShed) {
+				s.shed(w)
+			} else {
+				// The caller hung up while queued; nobody reads this.
+				httpError(w, http.StatusServiceUnavailable, "request cancelled")
+			}
+			return
+		}
+		defer release()
+		h(w, r)
+	}
+}
+
+// shed answers one refused request: 429 + Retry-After with the body and
+// header value rendered once at construction, keeping the refusal
+// allocation-light.
+func (s *Server) shed(w http.ResponseWriter) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set(wire.RetryAfterHeader, s.shedRetryAfter)
+	w.WriteHeader(wire.StatusOverloaded)
+	_, _ = w.Write(s.shedBody)
 }
 
 // policyService maps an endpoint's service name to the policy service
@@ -184,21 +228,23 @@ func knownService(svc wire.Service) bool {
 	return false
 }
 
-// compute answers one decoded service request — the single compute path
+// computeCtx answers one decoded service request — the single compute path
 // shared by the dedicated endpoints and /v1/batch, so both faces hit the
-// same query cache.
-func (s *Server) compute(req interface{}) interface{} {
+// same query cache. ctx rides into the cache layer: a cancelled request
+// never starts a compute and a singleflight follower detaches instead of
+// waiting on a leader whose answer it will never send.
+func (s *Server) computeCtx(ctx context.Context, req interface{}) interface{} {
 	switch r := req.(type) {
 	case *wire.GeocodeRequest:
-		return s.Geocode(*r)
+		return s.geocodeCtx(ctx, *r)
 	case *wire.RGeocodeRequest:
-		return s.RGeocode(*r)
+		return s.rgeocodeCtx(ctx, *r)
 	case *wire.SearchRequest:
-		return s.Search(*r)
+		return s.searchCtx(ctx, *r)
 	case *wire.RouteRequest:
-		return s.Route(*r)
+		return s.routeCtx(ctx, *r)
 	case *wire.RouteMatrixRequest:
-		return s.RouteMatrix(*r)
+		return s.routeMatrixCtx(ctx, *r)
 	case *wire.LocalizeRequest:
 		return s.Localize(*r)
 	}
@@ -263,16 +309,34 @@ func withSession(v interface{}, m *wire.SessionMark) interface{} {
 // wire.StatusStaleReplica (after the configured anti-entropy grace), and a
 // sessioned answer carries the server's updated mark — taken AFTER the
 // compute, so the mark covers every write the answer reflects.
+//
+// ctx is re-checked between every stage (decode → freshness wait →
+// compute): a caller that hung up mid-pipeline earns 503 immediately and
+// never starts the expensive stage. In particular a WaitFresh abandoned by
+// cancellation answers 503, not 412 — the replica was not proven stale,
+// the caller just stopped waiting for the proof.
 func (s *Server) dispatch(ctx context.Context, svc wire.Service, body []byte) (interface{}, int, string) {
 	req, status, msg := decodeRequest(svc, body)
 	if status != http.StatusOK {
 		return nil, status, msg
 	}
+	if ctx.Err() != nil {
+		return nil, http.StatusServiceUnavailable, "request cancelled"
+	}
 	rc := takeConsistency(req)
 	if !s.WaitFresh(ctx, rc) {
+		if ctx.Err() != nil {
+			return nil, http.StatusServiceUnavailable, "request cancelled"
+		}
 		return nil, wire.StatusStaleReplica, s.staleError(rc)
 	}
-	v := s.compute(req)
+	if ctx.Err() != nil {
+		return nil, http.StatusServiceUnavailable, "request cancelled"
+	}
+	v := s.computeCtx(ctx, req)
+	if ctx.Err() != nil {
+		return nil, http.StatusServiceUnavailable, "request cancelled"
+	}
 	if rc != nil {
 		m := s.SessionMark()
 		v = withSession(v, &m)
@@ -287,13 +351,17 @@ func (s *Server) dispatch(ctx context.Context, svc wire.Service, body []byte) (i
 // ETagged — a malformed body always earns its 400, never a 304.
 func (s *Server) jsonEndpoint(svc wire.Service) http.HandlerFunc {
 	return s.guard(policyService(svc), func(w http.ResponseWriter, r *http.Request) {
-		body, ok := readBody(w, r)
+		body, ok := readBody(w, r, s.cfg.MaxBodyBytes)
 		if !ok {
 			return
 		}
 		req, status, msg := decodeRequest(svc, body)
 		if status != http.StatusOK {
 			httpError(w, status, msg)
+			return
+		}
+		if r.Context().Err() != nil {
+			httpError(w, http.StatusServiceUnavailable, "request cancelled")
 			return
 		}
 		// Session consistency gates BEFORE revalidation: a lagging replica
@@ -304,6 +372,11 @@ func (s *Server) jsonEndpoint(svc wire.Service) http.HandlerFunc {
 		// wire.ErrorResponse).
 		rc := takeConsistency(req)
 		if !s.WaitFresh(r.Context(), rc) {
+			// A wait abandoned by cancellation is not a staleness verdict.
+			if r.Context().Err() != nil {
+				httpError(w, http.StatusServiceUnavailable, "request cancelled")
+				return
+			}
 			m := s.SessionMark()
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(wire.StatusStaleReplica)
@@ -319,7 +392,12 @@ func (s *Server) jsonEndpoint(svc wire.Service) http.HandlerFunc {
 			return
 		}
 		respond(w, r, func() (interface{}, int, string) {
-			v := s.compute(req)
+			v := s.computeCtx(r.Context(), req)
+			if r.Context().Err() != nil {
+				// A detached singleflight follower carries a zero value;
+				// never dress it up as a 200.
+				return nil, http.StatusServiceUnavailable, "request cancelled"
+			}
 			if rc != nil {
 				m := s.SessionMark()
 				v = withSession(v, &m)
@@ -337,7 +415,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "request cancelled")
 		return
 	}
-	body, ok := readBody(w, r)
+	body, ok := readBody(w, r, s.cfg.MaxBatchBodyBytes)
 	if !ok {
 		return
 	}
@@ -594,14 +672,27 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 }
 
 // readBody enforces POST and returns the raw request body (needed intact
-// for ETag hashing before any decode).
-func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+// for ETag hashing before any decode), bounded by limit bytes: a body past
+// the cap stops reading mid-stream and earns 413, so an oversized (or
+// unbounded, Content-Length-less) POST costs at most limit bytes of memory
+// instead of everything the client cares to send. limit <= 0 means
+// unlimited (an explicit operator choice; Config defaults are finite).
+func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, bool) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return nil, false
 	}
+	if limit > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, limit)
+	}
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds the %d-byte limit", mbe.Limit))
+			return nil, false
+		}
 		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return nil, false
 	}

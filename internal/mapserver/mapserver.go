@@ -7,12 +7,15 @@ package mapserver
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"openflame/internal/admission"
 	"openflame/internal/align"
 	"openflame/internal/geo"
 	"openflame/internal/geocode"
@@ -72,7 +75,46 @@ type Config struct {
 	// (the client fails over to a sibling); a value around one sync
 	// interval lets a barely-lagging replica absorb the read instead.
 	ConsistencyWait time.Duration
+	// MaxInFlight, when > 0, enables the admission controller on the HTTP
+	// serving path: at most this many service requests execute
+	// concurrently, MaxQueue more wait up to QueueWait for a slot, and
+	// everything past that is shed with wire.StatusOverloaded +
+	// Retry-After BEFORE its body is read or decoded. Zero disables
+	// admission, reproducing the ungated server exactly. /info, /healthz
+	// and /v1/changes stay ungated: liveness checks and sibling
+	// anti-entropy must keep working through an overload.
+	MaxInFlight int
+	// MaxQueue bounds the admission queue (0 = MaxInFlight, < 0 = none).
+	MaxQueue int
+	// QueueWait bounds admission-queue residency before a waiter is shed
+	// (0 = admission.DefaultQueueWait).
+	QueueWait time.Duration
+	// RetryAfter is the backoff hint on shed responses
+	// (0 = admission.DefaultRetryAfter).
+	RetryAfter time.Duration
+	// MaxBodyBytes caps a single-service request body; an oversize POST is
+	// refused with 413 after reading at most the cap, never buffered
+	// whole. 0 = DefaultMaxBodyBytes, < 0 = unlimited (the pre-cap
+	// behavior, for tests pinning it).
+	MaxBodyBytes int64
+	// MaxBatchBodyBytes caps /v1/batch bodies, which legitimately carry up
+	// to wire.MaxBatchItems sub-requests. 0 = DefaultMaxBatchBodyBytes,
+	// < 0 = unlimited.
+	MaxBatchBodyBytes int64
 }
+
+// Default request-body caps: far above any legitimate service request
+// (point queries, route endpoints, localization cues) while keeping the
+// memory one connection can pin to single-digit megabytes.
+const (
+	DefaultMaxBodyBytes      = 1 << 20 // 1 MiB per service request
+	DefaultMaxBatchBodyBytes = 8 << 20 // 8 MiB for a full batch
+
+	// Re-exported admission defaults so CLI layers need not import the
+	// admission package for their flag defaults.
+	DefaultQueueWait  = admission.DefaultQueueWait
+	DefaultRetryAfter = admission.DefaultRetryAfter
+)
 
 // Server is a running map server (pre-HTTP; see Handler for the HTTP face).
 type Server struct {
@@ -92,6 +134,13 @@ type Server struct {
 	coverage []s2cell.CellID
 	portals  []wire.Portal
 	auth     *Policy
+
+	// adm gates the HTTP serving path (nil = admission off). shedBody and
+	// shedRetryAfter are the pre-rendered 429 response, built once so the
+	// shed path allocates nothing per refusal.
+	adm            *admission.Controller
+	shedBody       []byte
+	shedRetryAfter string
 
 	// chTime/chDist hold the contraction hierarchies over the time- and
 	// distance-weighted graphs. They are built in the background at
@@ -138,7 +187,36 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CoveragePadMeters == 0 {
 		cfg.CoveragePadMeters = 25
 	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if cfg.MaxBatchBodyBytes == 0 {
+		cfg.MaxBatchBodyBytes = DefaultMaxBatchBodyBytes
+	}
 	s := &Server{cfg: cfg, auth: cfg.Auth, syncPos: make(map[string]syncPosition)}
+	if cfg.MaxInFlight > 0 {
+		s.adm = admission.New(admission.Config{
+			MaxInFlight: cfg.MaxInFlight,
+			MaxQueue:    cfg.MaxQueue,
+			QueueWait:   cfg.QueueWait,
+			RetryAfter:  cfg.RetryAfter,
+		})
+		// Pre-render the shed response: refusing must cost a header write
+		// and one buffer copy, not a JSON encode per refused request.
+		secs := int(s.adm.RetryAfter().Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		s.shedRetryAfter = strconv.Itoa(secs)
+		body, err := json.Marshal(wire.ErrorResponse{
+			Error:             "overloaded: request shed, retry later",
+			RetryAfterSeconds: secs,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("mapserver: render shed body: %w", err)
+		}
+		s.shedBody = append(body, '\n')
+	}
 	s.store = store.New(cfg.Map)
 	s.geocoder = geocode.New(s.store)
 	s.searcher = search.New(s.store)
@@ -281,11 +359,22 @@ func (s *Server) Info() wire.Info {
 	return info
 }
 
+// AdmissionStats snapshots the admission controller's counters (zero value
+// when admission is off).
+func (s *Server) AdmissionStats() admission.Stats { return s.adm.Stats() }
+
 // Geocode answers a forward-geocode request (through the query cache when
 // one is configured; like all cached services, the response must be
 // treated as immutable by callers).
 func (s *Server) Geocode(req wire.GeocodeRequest) wire.GeocodeResponse {
-	return cachedQuery(s, wire.SvcGeocode, req, s.geocodeUncached)
+	return s.geocodeCtx(context.Background(), req)
+}
+
+// geocodeCtx is Geocode under a request context: a caller that hung up
+// never starts the compute, and a singleflight follower detaches instead
+// of waiting for a leader nobody is listening to anymore.
+func (s *Server) geocodeCtx(ctx context.Context, req wire.GeocodeRequest) wire.GeocodeResponse {
+	return cachedQuery(ctx, s, wire.SvcGeocode, req, s.geocodeUncached)
 }
 
 func (s *Server) geocodeUncached(req wire.GeocodeRequest) wire.GeocodeResponse {
@@ -310,7 +399,11 @@ func (s *Server) toWireGeocode(r geocode.Result) wire.GeocodeResult {
 
 // RGeocode answers a reverse-geocode request.
 func (s *Server) RGeocode(req wire.RGeocodeRequest) wire.RGeocodeResponse {
-	return cachedQuery(s, wire.SvcRGeocode, req, s.rgeocodeUncached)
+	return s.rgeocodeCtx(context.Background(), req)
+}
+
+func (s *Server) rgeocodeCtx(ctx context.Context, req wire.RGeocodeRequest) wire.RGeocodeResponse {
+	return cachedQuery(ctx, s, wire.SvcRGeocode, req, s.rgeocodeUncached)
 }
 
 func (s *Server) rgeocodeUncached(req wire.RGeocodeRequest) wire.RGeocodeResponse {
@@ -328,7 +421,11 @@ func (s *Server) rgeocodeUncached(req wire.RGeocodeRequest) wire.RGeocodeRespons
 // Search answers a location-based search, tagging results with the server
 // name so the client can attribute merged results (§5.2).
 func (s *Server) Search(req wire.SearchRequest) wire.SearchResponse {
-	return cachedQuery(s, wire.SvcSearch, req, s.searchUncached)
+	return s.searchCtx(context.Background(), req)
+}
+
+func (s *Server) searchCtx(ctx context.Context, req wire.SearchRequest) wire.SearchResponse {
+	return cachedQuery(ctx, s, wire.SvcSearch, req, s.searchUncached)
 }
 
 func (s *Server) searchUncached(req wire.SearchRequest) wire.SearchResponse {
@@ -364,7 +461,11 @@ func (s *Server) snapNode(ll geo.LatLng) (int64, bool) {
 // Route answers an in-map routing request (§5.2: each server calculates the
 // route relevant to the region it covers).
 func (s *Server) Route(req wire.RouteRequest) wire.RouteResponse {
-	return cachedQuery(s, wire.SvcRoute, req, s.routeUncached)
+	return s.routeCtx(context.Background(), req)
+}
+
+func (s *Server) routeCtx(ctx context.Context, req wire.RouteRequest) wire.RouteResponse {
+	return cachedQuery(ctx, s, wire.SvcRoute, req, s.routeUncached)
 }
 
 func (s *Server) routeUncached(req wire.RouteRequest) wire.RouteResponse {
@@ -448,7 +549,11 @@ func (s *Server) CHActive() bool { return s.chTime.Load() != nil }
 // RouteMatrix prices all from×to pairs; unreachable pairs are -1. Where a
 // node ID is zero, the corresponding position (if provided) is snapped.
 func (s *Server) RouteMatrix(req wire.RouteMatrixRequest) wire.RouteMatrixResponse {
-	return cachedQuery(s, wire.SvcRouteMatrix, req, s.routeMatrixUncached)
+	return s.routeMatrixCtx(context.Background(), req)
+}
+
+func (s *Server) routeMatrixCtx(ctx context.Context, req wire.RouteMatrixRequest) wire.RouteMatrixResponse {
+	return cachedQuery(ctx, s, wire.SvcRouteMatrix, req, s.routeMatrixUncached)
 }
 
 func (s *Server) routeMatrixUncached(req wire.RouteMatrixRequest) wire.RouteMatrixResponse {

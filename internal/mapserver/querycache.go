@@ -2,6 +2,7 @@ package mapserver
 
 import (
 	"container/list"
+	"context"
 	"encoding/json"
 	"fmt"
 	"sync"
@@ -143,7 +144,17 @@ func (s *Server) QueryCacheStats() QueryCacheStats {
 // read of exactly one map generation. A nil cache (the neutral
 // configuration) computes directly, reproducing the uncached server
 // exactly.
-func cachedQuery[Req, Resp any](s *Server, svc wire.Service, req Req, compute func(Req) Resp) Resp {
+//
+// ctx is the caller's request context, honored two ways: a request already
+// cancelled never starts a compute, and a singleflight FOLLOWER whose
+// caller hangs up detaches immediately (returning the zero response, which
+// nobody reads — the HTTP layer answers 503 on ctx.Err()) while the leader
+// finishes for the cache and the surviving followers.
+func cachedQuery[Req, Resp any](ctx context.Context, s *Server, svc wire.Service, req Req, compute func(Req) Resp) Resp {
+	var zero Resp
+	if ctx.Err() != nil {
+		return zero
+	}
 	c := s.qcache
 	if c == nil {
 		return compute(req)
@@ -158,7 +169,7 @@ func cachedQuery[Req, Resp any](s *Server, svc wire.Service, req Req, compute fu
 	if v, ok := c.get(k); ok {
 		return v.(Resp)
 	}
-	v, err := c.flight.Do(fmt.Sprintf("%d\x00%s", gen, key), func() (interface{}, error) {
+	v, err := c.flight.DoCtx(ctx, fmt.Sprintf("%d\x00%s", gen, key), func() (interface{}, error) {
 		// A previous flight for this key may have finished between our
 		// miss and winning the flight; its cached value is current.
 		if v, ok := c.peek(k); ok {
@@ -173,9 +184,14 @@ func cachedQuery[Req, Resp any](s *Server, svc wire.Service, req Req, compute fu
 		return resp, nil
 	})
 	if err != nil {
-		// The leader's compute panicked; Group contained the panic and
-		// handed followers this error. Compute independently rather than
-		// crash on the nil shared value.
+		// Two distinct failures land here. A detached follower (our ctx
+		// died while the leader computed) returns the unread zero value.
+		// A leader panic — contained by Group, handed to followers as an
+		// error — falls back to computing independently rather than crash
+		// on the nil shared value.
+		if ctx.Err() != nil {
+			return zero
+		}
 		return compute(req)
 	}
 	return v.(Resp)

@@ -2,6 +2,7 @@ package mapserver
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"reflect"
 	"sync"
@@ -141,7 +142,7 @@ func TestQueryCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = cachedQuery(srv, "flight-test", wire.GeocodeRequest{Query: "hot"}, compute)
+			results[i] = cachedQuery(context.Background(), srv, "flight-test", wire.GeocodeRequest{Query: "hot"}, compute)
 		}(i)
 	}
 	wg.Wait()
@@ -154,7 +155,7 @@ func TestQueryCacheSingleflight(t *testing.T) {
 		}
 	}
 	// A different request computes independently.
-	cachedQuery(srv, "flight-test", wire.GeocodeRequest{Query: "cold"}, compute)
+	cachedQuery(context.Background(), srv, "flight-test", wire.GeocodeRequest{Query: "cold"}, compute)
 	if n := computes.Load(); n != 2 {
 		t.Fatalf("distinct query coalesced: computes = %d", n)
 	}
@@ -189,13 +190,13 @@ func TestQueryCacheSkipsTornCompute(t *testing.T) {
 		return wire.GeocodeResponse{}
 	}
 	req := wire.GeocodeRequest{Query: "torn"}
-	cachedQuery(srv, "torn-test", req, compute)
-	cachedQuery(srv, "torn-test", req, compute)
+	cachedQuery(context.Background(), srv, "torn-test", req, compute)
+	cachedQuery(context.Background(), srv, "torn-test", req, compute)
 	if n := computes.Load(); n != 2 {
 		t.Fatalf("torn result was cached: computes = %d", n)
 	}
 	// The second compute saw a stable generation and is cached.
-	cachedQuery(srv, "torn-test", req, compute)
+	cachedQuery(context.Background(), srv, "torn-test", req, compute)
 	if n := computes.Load(); n != 2 {
 		t.Fatalf("stable result not cached: computes = %d", n)
 	}
@@ -251,10 +252,10 @@ func TestQueryCachePanicDoesNotPoisonFollowers(t *testing.T) {
 			}
 			close(leaderDone)
 		}()
-		cachedQuery(srv, "panic-test", wire.GeocodeRequest{Query: "x"}, compute)
+		cachedQuery(context.Background(), srv, "panic-test", wire.GeocodeRequest{Query: "x"}, compute)
 	}()
 	<-leaderIn
-	got := cachedQuery(srv, "panic-test", wire.GeocodeRequest{Query: "x"}, compute)
+	got := cachedQuery(context.Background(), srv, "panic-test", wire.GeocodeRequest{Query: "x"}, compute)
 	<-leaderDone
 	if len(got.Results) != 1 || got.Results[0].Name != "ok" {
 		t.Fatalf("follower result = %+v", got)

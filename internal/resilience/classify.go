@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"openflame/internal/wire"
 )
@@ -25,6 +26,14 @@ const (
 	// (4xx: bad request, policy denial). The server is healthy; not
 	// counted against it, and retrying the same request cannot help.
 	ClassPermanent
+	// ClassOverload: the server shed the request (429 Too Many Requests).
+	// Proof of liveness — an overloaded member answering refusals in
+	// microseconds is the OPPOSITE of a dead one, so it must never trip the
+	// breaker or feed failure counts (that would convert a load spike into
+	// a mass ejection from the fan-out). Retryable, but only after the
+	// server's Retry-After hint; in a replicated fan-out the caller fails
+	// over to a sibling first.
+	ClassOverload
 )
 
 func (c Class) String() string {
@@ -37,6 +46,8 @@ func (c Class) String() string {
 		return "transient"
 	case ClassPermanent:
 		return "permanent"
+	case ClassOverload:
+		return "overload"
 	}
 	return fmt.Sprintf("Class(%d)", int(c))
 }
@@ -51,6 +62,11 @@ type HTTPError struct {
 	// error body carried one (stale-replica refusals do) — the client's
 	// session layer uses it to heal marks from dead log incarnations.
 	Session *wire.SessionMark
+	// RetryAfter is the server's backoff hint on a 429 shed response
+	// (from the Retry-After header or the error body), used as the FLOOR
+	// of the retry backoff: the server said when capacity might exist;
+	// retrying sooner only deepens the overload.
+	RetryAfter time.Duration
 }
 
 func (e *HTTPError) Error() string {
@@ -88,6 +104,9 @@ func Classify(ctx context.Context, err error) Class {
 	if errors.As(err, &he) {
 		if he.StatusCode >= 500 {
 			return ClassTransient
+		}
+		if he.StatusCode == wire.StatusOverloaded {
+			return ClassOverload
 		}
 		return ClassPermanent
 	}

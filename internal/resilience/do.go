@@ -2,6 +2,7 @@ package resilience
 
 import (
 	"context"
+	"errors"
 	"sync/atomic"
 	"time"
 )
@@ -62,7 +63,7 @@ func Do[T any](ctx context.Context, t *Tracker, server string, attempt func(cont
 				break
 			}
 			t.recordRetry()
-			if err := t.backoff(ctx, n); err != nil {
+			if err := t.backoff(ctx, n, retryFloor(lastErr)); err != nil {
 				break
 			}
 		}
@@ -96,12 +97,28 @@ func Do[T any](ctx context.Context, t *Tracker, server string, attempt func(cont
 			// even though the call failed. Retrying cannot help.
 			t.reportRefusal(server, probe)
 			return zero, err
+		case ClassOverload:
+			// The server shed the request: alive (no breaker damage), but
+			// retrying before its Retry-After hint only deepens the
+			// overload — the hint floors the next backoff (see retryFloor).
+			t.reportShed(server, probe)
+			lastErr = err
 		default: // ClassTransient
 			t.reportFailure(server, probe)
 			lastErr = err
 		}
 	}
 	return zero, lastErr
+}
+
+// retryFloor extracts the server-provided backoff floor from the previous
+// attempt's error: a shed server's Retry-After hint; zero otherwise.
+func retryFloor(err error) time.Duration {
+	var he *HTTPError
+	if errors.As(err, &he) {
+		return he.RetryAfter
+	}
+	return 0
 }
 
 // hedged runs one attempt, spawning a racing second attempt if the first

@@ -1,0 +1,131 @@
+package resilience
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"openflame/internal/wire"
+)
+
+func overloadErr(retryAfter time.Duration) error {
+	return &HTTPError{
+		URL:        "http://srv/route",
+		StatusCode: wire.StatusOverloaded,
+		Msg:        "server overloaded",
+		RetryAfter: retryAfter,
+	}
+}
+
+func TestClassifyOverload(t *testing.T) {
+	if got := Classify(context.Background(), overloadErr(time.Second)); got != ClassOverload {
+		t.Fatalf("Classify(429) = %v, want %v", got, ClassOverload)
+	}
+	if got := ClassOverload.String(); got != "overload" {
+		t.Fatalf("ClassOverload.String() = %q", got)
+	}
+	// 429 without the typed error (e.g. a proxy) must not be mistaken for
+	// overload by message sniffing: only the status code decides.
+	if got := Classify(context.Background(), httpErr(503)); got != ClassTransient {
+		t.Fatalf("Classify(503) = %v, want transient", got)
+	}
+}
+
+// TestOverloadRetriesWithRetryAfterFloor pins the backoff contract: a shed
+// is retryable, and the server's Retry-After is a FLOOR under the
+// exponential backoff — the client never comes back sooner than the server
+// asked, even when its own schedule would.
+func TestOverloadRetriesWithRetryAfterFloor(t *testing.T) {
+	tr, _, slept := testTracker(Policy{Retry: RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond}})
+	attempts := 0
+	v, err := Do(context.Background(), tr, "srv", func(ctx context.Context) (string, error) {
+		attempts++
+		if attempts == 1 {
+			return "", overloadErr(750 * time.Millisecond)
+		}
+		return "ok", nil
+	})
+	if err != nil || v != "ok" {
+		t.Fatalf("Do = %q, %v", v, err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", attempts)
+	}
+	if len(*slept) != 1 || (*slept)[0] != 750*time.Millisecond {
+		t.Fatalf("backoffs = %v, want the 750ms Retry-After floor over the 1ms base", *slept)
+	}
+	if got := tr.Stats().Sheds; got != 1 {
+		t.Fatalf("Stats.Sheds = %d, want 1", got)
+	}
+}
+
+// TestOverloadWithoutHintUsesOwnBackoff: a shed carrying no Retry-After
+// falls back to the client's own exponential schedule.
+func TestOverloadWithoutHintUsesOwnBackoff(t *testing.T) {
+	tr, _, slept := testTracker(Policy{Retry: RetryPolicy{MaxAttempts: 2, BaseBackoff: 10 * time.Millisecond}})
+	_, _ = Do(context.Background(), tr, "srv", func(ctx context.Context) (string, error) {
+		return "", overloadErr(0)
+	})
+	if len(*slept) != 1 || (*slept)[0] != 10*time.Millisecond {
+		t.Fatalf("backoffs = %v, want [10ms]", *slept)
+	}
+}
+
+// TestOverloadNeverTripsBreaker is the tentpole's client-side half: a 429
+// is a LIVENESS PROOF (the server answered, fast, by design), so no number
+// of consecutive sheds may open the breaker or poison health — marking an
+// overloaded-but-alive server dead would amplify the overload onto its
+// siblings.
+func TestOverloadNeverTripsBreaker(t *testing.T) {
+	tr, _, _ := testTracker(Policy{
+		Retry:            RetryPolicy{MaxAttempts: 1},
+		BreakerThreshold: 3,
+	})
+	for i := 0; i < 10; i++ {
+		if _, err := Do(context.Background(), tr, "srv", func(ctx context.Context) (string, error) {
+			return "", overloadErr(time.Second)
+		}); err == nil {
+			t.Fatal("shed attempt reported success")
+		}
+	}
+	h := tr.Health("srv")
+	if h.State != StateClosed {
+		t.Fatalf("breaker %v after 10 consecutive sheds, want closed", h.State)
+	}
+	if h.ConsecutiveFailures != 0 {
+		t.Fatalf("consecutive failures = %d after sheds, want 0", h.ConsecutiveFailures)
+	}
+	if !tr.Available("srv") {
+		t.Fatal("server marked unavailable by sheds")
+	}
+	if got := tr.Stats().Sheds; got != 10 {
+		t.Fatalf("Stats.Sheds = %d, want 10", got)
+	}
+}
+
+// TestOverloadClosesHalfOpenBreaker: a shed received on a half-open probe
+// closes the breaker — the server is demonstrably alive, just busy.
+func TestOverloadClosesHalfOpenBreaker(t *testing.T) {
+	tr, clk, _ := testTracker(Policy{
+		Retry:            RetryPolicy{MaxAttempts: 1},
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Second,
+	})
+	for i := 0; i < 2; i++ {
+		_, _ = Do(context.Background(), tr, "srv", func(ctx context.Context) (string, error) {
+			return "", httpErr(503)
+		})
+	}
+	if got := tr.Health("srv").State; got != StateOpen {
+		t.Fatalf("breaker %v after threshold transient failures, want open", got)
+	}
+	clk.Advance(2 * time.Second)
+	if _, err := Do(context.Background(), tr, "srv", func(ctx context.Context) (string, error) {
+		return "", overloadErr(time.Second)
+	}); err == nil {
+		t.Fatal("probe shed reported success")
+	}
+	if got := tr.Health("srv").State; got != StateClosed {
+		t.Fatalf("breaker %v after probe answered 429, want closed", got)
+	}
+}

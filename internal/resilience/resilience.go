@@ -119,6 +119,7 @@ type Stats struct {
 	Hedges  int64 // hedge attempts spawned
 	Trips   int64 // breaker closed/half-open → open transitions
 	Rejects int64 // calls rejected locally by an open breaker
+	Sheds   int64 // 429 overload refusals received from servers
 }
 
 const (
@@ -348,6 +349,23 @@ func (t *Tracker) reportRefusal(server string, probe bool) {
 	s.closeLocked(probe)
 }
 
+// reportShed records a 429 overload refusal: a liveness signal exactly
+// like a 4xx refusal (the server answered, fast, on purpose), so the
+// failure streak resets and a probing breaker closes — a shed server sheds
+// load to its siblings WITHOUT being marked dead. Only the Sheds counter
+// distinguishes it, for experiments and operators.
+func (t *Tracker) reportShed(server string, probe bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats.Sheds++
+	s := t.state(server)
+	s.consecFails = 0
+	if probe {
+		s.probing = false
+	}
+	s.closeLocked(probe)
+}
+
 // reportCancelled releases a probe slot without a health verdict: the
 // caller went away, which says nothing about the server.
 func (t *Tracker) reportCancelled(server string, probe bool) {
@@ -422,8 +440,11 @@ func (t *Tracker) recordRetry() {
 }
 
 // backoff sleeps the jittered exponential delay before retry attempt n
-// (1-based), honoring ctx.
-func (t *Tracker) backoff(ctx context.Context, n int) error {
+// (1-based), honoring ctx. floor, when > 0, is a server-provided lower
+// bound (a 429's Retry-After): the jittered delay is raised to it, never
+// cut below it — the overloaded server's own estimate of when capacity
+// returns outranks the client's exponential schedule.
+func (t *Tracker) backoff(ctx context.Context, n int, floor time.Duration) error {
 	base := t.Retry.BaseBackoff
 	if base <= 0 {
 		base = defaultBackoff
@@ -443,6 +464,9 @@ func (t *Tracker) backoff(ctx context.Context, n int) error {
 		f := 0.5 + 0.5*t.rng.Float64()
 		t.mu.Unlock()
 		d = time.Duration(float64(d) * f)
+	}
+	if d < floor {
+		d = floor
 	}
 	if t.Sleep != nil {
 		return t.Sleep(ctx, d)

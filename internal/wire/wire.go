@@ -139,6 +139,20 @@ type SessionCarrier interface {
 // member); the client's query plan fails over to a replica-set sibling.
 const StatusStaleReplica = 412 // http.StatusPreconditionFailed
 
+// StatusOverloaded is the HTTP status of a load-shed request: the server's
+// admission controller refused it before any decode or compute, and the
+// response carries a Retry-After header (mirrored in the ErrorResponse
+// envelope) naming the backoff the server asks for. Like the stale-replica
+// refusal it is a 4xx about THIS request, not about the server's liveness:
+// an overloaded member is emphatically alive — resilience layers must not
+// open its breaker, and the client's plan sheds the load to a sibling (or
+// retries after the hint) instead of marking the member dead.
+const StatusOverloaded = 429 // http.StatusTooManyRequests
+
+// RetryAfterHeader is the standard header carrying the shed backoff hint,
+// in integral seconds (the HTTP delay-seconds form).
+const RetryAfterHeader = "Retry-After"
+
 // GeocodeRequest resolves a textual address.
 type GeocodeRequest struct {
 	ConsistencyEnvelope
@@ -268,6 +282,9 @@ type LocalizeResponse struct {
 type ErrorResponse struct {
 	Error   string       `json:"error"`
 	Session *SessionMark `json:"session,omitempty"`
+	// RetryAfterSeconds mirrors the Retry-After header on StatusOverloaded
+	// refusals, for consumers that only see the JSON envelope.
+	RetryAfterSeconds int `json:"retryAfterSeconds,omitempty"`
 }
 
 // SvcChanges names the replication endpoint (GET /v1/changes). It is not a
