@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt vet staticcheck deprecation-guard build test race cover bench-fanout bench-resilience bench-replication bench-session bench-route bench-overload bench-smoke
+.PHONY: verify fmt vet staticcheck deprecation-guard build test race cover bench-fanout bench-resilience bench-replication bench-session bench-route bench-overload bench-world bench-smoke
 
 ## verify: the full CI gate — formatting, vet, the v2-API deprecation
 ## guard, build, tests under -race (twice, so flaky tests surface). CI
@@ -96,8 +96,17 @@ bench-route:
 bench-overload:
 	BENCH_OVERLOAD_JSON=BENCH_overload.json $(GO) test -run TestE19BenchArtifact -count=1 -v .
 
+## bench-world: the E20 memory-lean world experiment — columnar node
+## storage vs the pointer-per-node layout, snapshot v2 load (streamed and
+## mmapped) vs the v1 gob decode, and serving latencies, all on a
+## city-scale world (~1.05M nodes; override with BENCH_WORLD_BLOCKS for a
+## quicker run). Writes BENCH_world.json and fails if the floors slip:
+## bytes/node ≥4× leaner, v2 load ≥5× faster, serving parity byte-exact.
+bench-world:
+	BENCH_WORLD_JSON=BENCH_world.json $(GO) test -run TestE20BenchArtifact -count=1 -timeout 30m -v .
+
 ## bench-smoke: compile and run EVERY benchmark for one iteration, so the
-## growing suite (E1–E19 plus per-package micro-benchmarks) can never rot
+## growing suite (E1–E20 plus per-package micro-benchmarks) can never rot
 ## uncompiled. Numbers are meaningless at 1x; only pass/fail matters.
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...

@@ -39,6 +39,7 @@ import (
 type options struct {
 	mapPath           string
 	snapshotPath      string
+	snapshotV1        bool
 	addr              string
 	name              string
 	publicURL         string
@@ -73,6 +74,7 @@ func newFlagSet(name string) (*flag.FlagSet, *options) {
 	fs := flag.NewFlagSet(name, flag.ContinueOnError)
 	fs.StringVar(&o.mapPath, "map", "", "OSM XML map file (required unless -snapshot exists)")
 	fs.StringVar(&o.snapshotPath, "snapshot", "", "binary snapshot path: loaded instead of -map when it exists (restoring per-node change versions), rewritten on shutdown — so a restarted replica resumes versioning above its persisted history")
+	fs.BoolVar(&o.snapshotV1, "snapshot-v1", false, "write the shutdown snapshot in the legacy v1 (gob) format for v1-era readers; loading accepts both formats regardless")
 	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
 	fs.StringVar(&o.name, "name", "", "server name (default: map name)")
 	fs.StringVar(&o.publicURL, "public-url", "", "URL to advertise in DNS (default http://<addr>)")
@@ -162,17 +164,15 @@ func (o *options) cacheEntries() int {
 // an existing file (recovering persisted node versions), else the OSM XML.
 func (o *options) loadMap() (*osm.Map, map[osm.NodeID]uint64, error) {
 	if o.snapshotPath != "" {
-		f, err := os.Open(o.snapshotPath)
+		// LoadSnapshotFile memory-maps v2 snapshots where the platform
+		// allows, aliasing the columns zero-copy instead of reading them
+		// onto the heap; v1 snapshots take the buffered-decode path.
+		m, vers, err := osm.LoadSnapshotFile(o.snapshotPath)
 		if err == nil {
-			defer f.Close()
-			m, vers, err := osm.ReadSnapshotVersions(f)
-			if err != nil {
-				return nil, nil, fmt.Errorf("parse snapshot: %w", err)
-			}
 			return m, vers, nil
 		}
 		if !errors.Is(err, os.ErrNotExist) {
-			return nil, nil, fmt.Errorf("open snapshot: %w", err)
+			return nil, nil, fmt.Errorf("load snapshot: %w", err)
 		}
 		// First boot: fall through to the XML source; the snapshot is
 		// written on shutdown.
@@ -232,7 +232,11 @@ func (o *options) saveSnapshot(srv *mapserver.Server, m *osm.Map) error {
 	if err != nil {
 		return err
 	}
-	if err := m.WriteSnapshotVersions(f, srv.Store().NodeVersions()); err != nil {
+	write := m.WriteSnapshotVersions
+	if o.snapshotV1 {
+		write = m.WriteSnapshotVersionsV1
+	}
+	if err := write(f, srv.Store().NodeVersions()); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err

@@ -4,6 +4,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"openflame/internal/geo"
+	"openflame/internal/osm"
 )
 
 func TestFlagDefaultsAndRoundTrip(t *testing.T) {
@@ -44,5 +47,67 @@ func TestRunWritesWorld(t *testing.T) {
 		if st.Size() == 0 {
 			t.Fatalf("%s is empty", name)
 		}
+	}
+	// The storage report runs after generation; the same stats must be
+	// queryable and sane.
+	st := w.Outdoor.StorageStats()
+	if st.Nodes == 0 || st.BytesPerNode <= 0 || st.InternedStrings == 0 {
+		t.Fatalf("storage stats degenerate: %+v", st)
+	}
+}
+
+func TestBBoxFlagParsing(t *testing.T) {
+	r, err := parseBBox("40.42, -80.02, 40.46, -79.92")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MinLat != 40.42 || r.MaxLng != -79.92 {
+		t.Fatalf("parsed %+v", r)
+	}
+	for _, bad := range []string{"1,2,3", "a,b,c,d", "41,-80,40,-79"} {
+		if _, err := parseBBox(bad); err == nil {
+			t.Fatalf("bbox %q accepted", bad)
+		}
+	}
+	if r, err := parseBBox(""); err != nil || r != (geo.Rect{}) {
+		t.Fatalf("empty bbox: %+v %v", r, err)
+	}
+}
+
+// TestRunImportWritesSnapshot smoke-tests the -import path end to end: a
+// small extract streams through the importer, lands as a v2 snapshot, and
+// loads back with the clip applied.
+func TestRunImportWritesSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "tiny.osm")
+	doc := `<?xml version="1.0"?><osm version="0.6">
+<node id="1" lat="40.43" lon="-80.00"><tag k="name" v="Kept Cafe"/><tag k="amenity" v="cafe"/></node>
+<node id="2" lat="40.44" lon="-80.00"/>
+<node id="3" lat="47.0" lon="-80.00"/>
+<way id="1"><nd ref="1"/><nd ref="2"/><tag k="highway" v="residential"/></way>
+</osm>`
+	if err := os.WriteFile(src, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o := &options{out: dir, importPath: src, bbox: "40.0,-81.0,41.0,-79.0"}
+	m, stats, err := o.runImport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.NodesRead != 3 || stats.NodesKept != 2 || stats.WaysKept != 1 {
+		t.Fatalf("import stats: %+v", stats)
+	}
+	if m.Name != "tiny" {
+		t.Fatalf("default name = %q", m.Name)
+	}
+	loaded, _, err := osm.LoadSnapshotFile(filepath.Join(dir, "imported.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NodeCount() != 2 || loaded.WayCount() != 1 {
+		t.Fatalf("snapshot counts: %d nodes %d ways", loaded.NodeCount(), loaded.WayCount())
+	}
+	if n := loaded.Node(1); n == nil || n.Tags.Get(osm.TagName) != "Kept Cafe" {
+		t.Fatalf("node 1: %+v", loaded.Node(1))
 	}
 }

@@ -1,0 +1,107 @@
+// Importing a real-format OSM extract must yield a world that actually
+// serves: search answers from the store index and contraction-hierarchy
+// routing runs over the imported road graph. The extract is generated in
+// OSM XML (the same shape Geofabrik city extracts take) and streamed
+// through osm.ImportExtract.
+package openflame
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"openflame/internal/graph"
+	"openflame/internal/osm"
+	"openflame/internal/search"
+	"openflame/internal/store"
+)
+
+// importTestExtract emits a 12×12 street grid with named POI nodes —
+// nodes first, then chain ways, as extract tools order them.
+func importTestExtract(w io.Writer) error {
+	const n = 12
+	if _, err := io.WriteString(w, `<?xml version="1.0"?><osm version="0.6">`); err != nil {
+		return err
+	}
+	id := func(r, c int) int { return r*n + c + 1 }
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			tags := ""
+			if (r+c)%7 == 0 {
+				tags = fmt.Sprintf(`<tag k="name" v="Imported Cafe %d"/><tag k="amenity" v="cafe"/>`, id(r, c))
+			}
+			if _, err := fmt.Fprintf(w, `<node id="%d" lat="%.6f" lon="%.6f">%s</node>`,
+				id(r, c), 40.0+float64(r)*0.001, -80.0+float64(c)*0.001, tags); err != nil {
+				return err
+			}
+		}
+	}
+	wid := 1
+	emitWay := func(ids []int) error {
+		if _, err := fmt.Fprintf(w, `<way id="%d"><tag k="highway" v="residential"/>`, wid); err != nil {
+			return err
+		}
+		wid++
+		for _, i := range ids {
+			if _, err := fmt.Fprintf(w, `<nd ref="%d"/>`, i); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, `</way>`)
+		return err
+	}
+	for r := 0; r < n; r++ {
+		row := make([]int, n)
+		for c := 0; c < n; c++ {
+			row[c] = id(r, c)
+		}
+		if err := emitWay(row); err != nil {
+			return err
+		}
+	}
+	for c := 0; c < n; c++ {
+		col := make([]int, n)
+		for r := 0; r < n; r++ {
+			col[r] = id(r, c)
+		}
+		if err := emitWay(col); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, `</osm>`)
+	return err
+}
+
+func TestImportedWorldServesSearchAndCHRoutes(t *testing.T) {
+	var doc strings.Builder
+	if err := importTestExtract(&doc); err != nil {
+		t.Fatal(err)
+	}
+	m, stats, err := osm.ImportExtract(strings.NewReader(doc.String()), osm.ImportOptions{Name: "imported-city"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.NodesKept != 144 || stats.WaysKept != 24 {
+		t.Fatalf("import: %+v", stats)
+	}
+
+	st := store.New(m)
+	results := search.New(st).Search("imported cafe", search.Options{Limit: 5})
+	if len(results) == 0 {
+		t.Fatal("imported world returned no search results")
+	}
+	if !strings.Contains(results[0].Name, "Imported Cafe") {
+		t.Fatalf("unexpected top hit %q", results[0].Name)
+	}
+
+	g := graph.FromOSM(m, graph.FootProfile)
+	ch := graph.BuildCH(g)
+	p, err := ch.Query(1, 144) // opposite grid corners
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Nodes) < 12 || p.Cost <= 0 {
+		t.Fatalf("CH route degenerate: %d nodes cost %.1f", len(p.Nodes), p.Cost)
+	}
+}

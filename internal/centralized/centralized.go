@@ -115,13 +115,20 @@ func MergeSources(sources []Source) (*osm.Map, error) {
 			if pid := n.Tags.Get(osm.TagPortalID); pid != "" {
 				if existing, ok := portalNode[pid]; ok {
 					remap[n.ID] = existing
-					// Merge tags into the existing node.
+					// Merge tags into the existing node. Node() hands out a
+					// view, so the union is written back through AddNode
+					// (same ID = replacement) instead of mutated in place.
 					en := merged.Node(existing)
+					tags := en.Tags.Clone()
+					if tags == nil {
+						tags = osm.Tags{}
+					}
 					for k, v := range n.Tags {
-						if !en.Tags.Has(k) {
-							en.Tags[k] = v
+						if !tags.Has(k) {
+							tags[k] = v
 						}
 					}
+					merged.AddNode(&osm.Node{ID: en.ID, Pos: en.Pos, Local: en.Local, Tags: tags})
 					return true
 				}
 			}
@@ -265,6 +272,8 @@ func (s *System) UpdateAndRebuild(src int, nodeInSource osm.NodeID, tags osm.Tag
 	if n == nil {
 		return fmt.Errorf("centralized: node %d not in source %d", nodeInSource, src)
 	}
-	n.Tags = tags
+	// Write the tag replacement through AddNode: Node() returns a view, so
+	// assigning n.Tags in place would be lost on a compacted map.
+	s.sources[src].Map.AddNode(&osm.Node{ID: n.ID, Pos: n.Pos, Local: n.Local, Tags: tags})
 	return s.Rebuild()
 }

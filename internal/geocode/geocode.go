@@ -44,28 +44,21 @@ func (g *Geocoder) Forward(query string, limit int) []Result {
 	if len(tokens) == 0 {
 		return nil
 	}
-	counts := make(map[osm.NodeID]int)
-	for _, tok := range tokens {
-		for _, id := range g.s.TokenPostings(tok) {
-			counts[id]++
-		}
-	}
-	results := make([]Result, 0, len(counts))
+	var results []Result
 	m := g.s.Map()
-	for id, c := range counts {
+	g.s.ForEachPostingMatch(tokens, func(id osm.NodeID, c int) {
 		n := m.Node(id)
 		if n == nil {
-			continue
+			return
 		}
-		r := Result{
+		results = append(results, Result{
 			NodeID:   id,
 			Name:     n.Tags.Get(osm.TagName),
 			Position: m.NodePosition(n),
 			Score:    float64(c) / float64(len(tokens)),
 			Address:  n.Tags.Get(osm.TagAddr),
-		}
-		results = append(results, r)
-	}
+		})
+	})
 	sort.Slice(results, func(i, j int) bool {
 		if results[i].Score != results[j].Score {
 			return results[i].Score > results[j].Score

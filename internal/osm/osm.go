@@ -143,12 +143,28 @@ type Frame struct {
 // spatial namespace independently managed by an organization" (§3).
 // Maps are safe for concurrent reads; writers must hold no concurrent
 // readers (the map server serializes mutation).
+//
+// Node storage is columnar (see columns): the bulk of the nodes live in
+// packed, immutable, ID-sorted arrays; mutations land in a small overlay
+// map (plus a tombstone set for removals) that compaction folds back into
+// the columns amortized on the write path. Node and Nodes return views
+// materialized from the columns — fresh values the caller may read freely
+// but whose mutation never reaches the map. All writes go through the
+// mutation methods (AddNode, RemoveNode, ...), which preserve the
+// Generation contract exactly as the pointer layout did.
 type Map struct {
 	Name  string
 	Frame Frame
 
-	mu        sync.RWMutex
-	nodes     map[NodeID]*Node
+	mu sync.RWMutex
+	// cols is the packed block; overlay holds nodes added or replaced since
+	// the last compaction (stored by reference, as AddNode documents);
+	// tomb marks packed nodes removed since. overlay and tomb are disjoint.
+	cols    *columns
+	overlay map[NodeID]*Node
+	tomb    map[NodeID]struct{}
+	// count is the live node population across both layers.
+	count     int
 	ways      map[WayID]*Way
 	relations map[RelationID]*Relation
 	nextNode  NodeID
@@ -159,6 +175,9 @@ type Map struct {
 	// computation know they saw one consistent snapshot of the map — the
 	// versioning the server-side query and tile caches key on.
 	gen uint64
+	// mapped pins the mmap'd snapshot backing cols when the map was loaded
+	// zero-copy (LoadSnapshotFile); nil otherwise.
+	mapped []byte
 }
 
 // Generation returns the map's mutation counter: zero for a fresh map,
@@ -176,14 +195,65 @@ func NewMap(name string, frame Frame) *Map {
 	return &Map{
 		Name:      name,
 		Frame:     frame,
-		nodes:     make(map[NodeID]*Node),
+		cols:      emptyColumns(),
+		overlay:   make(map[NodeID]*Node),
+		tomb:      make(map[NodeID]struct{}),
 		ways:      make(map[WayID]*Way),
 		relations: make(map[RelationID]*Relation),
 	}
 }
 
+// newMapFromColumns wires a prebuilt packed block straight into a Map —
+// the bulk-load path used by the snapshot v2 reader and the streaming
+// importer. Ways and relations are adopted by reference.
+func newMapFromColumns(name string, frame Frame, cols *columns,
+	ways map[WayID]*Way, relations map[RelationID]*Relation) *Map {
+	m := &Map{
+		Name:      name,
+		Frame:     frame,
+		cols:      cols,
+		overlay:   make(map[NodeID]*Node),
+		tomb:      make(map[NodeID]struct{}),
+		count:     cols.len(),
+		ways:      ways,
+		relations: relations,
+	}
+	if m.ways == nil {
+		m.ways = make(map[WayID]*Way)
+	}
+	if m.relations == nil {
+		m.relations = make(map[RelationID]*Relation)
+	}
+	if n := cols.len(); n > 0 {
+		m.nextNode = NodeID(cols.ids[n-1])
+	}
+	for id := range m.ways {
+		if id > m.nextWay {
+			m.nextWay = id
+		}
+	}
+	for id := range m.relations {
+		if id > m.nextRel {
+			m.nextRel = id
+		}
+	}
+	return m
+}
+
+// hasNodeLocked reports whether id is live, caller holds mu (read or write).
+func (m *Map) hasNodeLocked(id NodeID) bool {
+	if _, ok := m.overlay[id]; ok {
+		return true
+	}
+	if _, dead := m.tomb[id]; dead {
+		return false
+	}
+	return m.cols.find(id) >= 0
+}
+
 // AddNode inserts a node, allocating an ID if n.ID is zero, and returns the
-// ID. The node is stored by reference.
+// ID. The node is stored by reference (until the next compaction packs it
+// into the columns); adding an existing ID replaces that node.
 func (m *Map) AddNode(n *Node) NodeID {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -193,8 +263,13 @@ func (m *Map) AddNode(n *Node) NodeID {
 	} else if n.ID > m.nextNode {
 		m.nextNode = n.ID
 	}
-	m.nodes[n.ID] = n
+	if !m.hasNodeLocked(n.ID) {
+		m.count++
+	}
+	delete(m.tomb, n.ID)
+	m.overlay[n.ID] = n
 	m.gen++
+	m.maybeCompactLocked()
 	return n.ID
 }
 
@@ -204,7 +279,7 @@ func (m *Map) AddWay(w *Way) (WayID, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, nid := range w.NodeIDs {
-		if _, ok := m.nodes[nid]; !ok {
+		if !m.hasNodeLocked(nid) {
 			return 0, fmt.Errorf("osm: way references missing node %d", nid)
 		}
 	}
@@ -234,11 +309,27 @@ func (m *Map) AddRelation(r *Relation) RelationID {
 	return r.ID
 }
 
-// Node returns the node with the given ID, or nil.
+// Node returns the node with the given ID, or nil. The result is a view:
+// reading it is always safe, but writes to it never reach the map — use
+// AddNode (same ID) to replace a node's content.
 func (m *Map) Node(id NodeID) *Node {
 	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.nodes[id]
+	if n, ok := m.overlay[id]; ok {
+		m.mu.RUnlock()
+		return n
+	}
+	if _, dead := m.tomb[id]; dead {
+		m.mu.RUnlock()
+		return nil
+	}
+	cols := m.cols
+	m.mu.RUnlock()
+	// cols is immutable once published: materialize outside the lock.
+	i := cols.find(id)
+	if i < 0 {
+		return nil
+	}
+	return cols.node(i)
 }
 
 // Way returns the way with the given ID, or nil.
@@ -266,10 +357,16 @@ func (m *Map) RemoveNode(id NodeID) error {
 			}
 		}
 	}
-	if _, ok := m.nodes[id]; ok {
-		delete(m.nodes, id)
-		m.gen++
+	if !m.hasNodeLocked(id) {
+		return nil
 	}
+	delete(m.overlay, id)
+	if m.cols.find(id) >= 0 {
+		m.tomb[id] = struct{}{}
+	}
+	m.count--
+	m.gen++
+	m.maybeCompactLocked()
 	return nil
 }
 
@@ -287,7 +384,7 @@ func (m *Map) RemoveWay(id WayID) {
 func (m *Map) NodeCount() int {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	return len(m.nodes)
+	return m.count
 }
 
 // WayCount returns the number of ways.
@@ -305,24 +402,58 @@ func (m *Map) RelationCount() int {
 }
 
 // Nodes calls fn for each node in ascending ID order. Returning false stops
-// the iteration.
+// the iteration. The walk is O(n): the packed columns are sorted by
+// construction, so only the (small, compaction-bounded) overlay is sorted
+// per call — never the full key set. fn receives views; it must not retain
+// assumptions of pointer identity across walks, and the iteration sees one
+// consistent snapshot of membership as of the call.
 func (m *Map) Nodes(fn func(*Node) bool) {
-	m.mu.RLock()
-	ids := make([]NodeID, 0, len(m.nodes))
-	for id := range m.nodes {
-		ids = append(ids, id)
-	}
-	m.mu.RUnlock()
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		n := m.Node(id)
-		if n == nil {
+	cols, ov, tomb := m.nodeSnapshot()
+	oi, vi := 0, 0
+	for oi < cols.len() || vi < len(ov) {
+		if vi == len(ov) || (oi < cols.len() && cols.ids[oi] < int64(ov[vi].ID)) {
+			id := NodeID(cols.ids[oi])
+			if _, dead := tomb[id]; !dead {
+				if !fn(cols.node(oi)) {
+					return
+				}
+			}
+			oi++
 			continue
 		}
-		if !fn(n) {
+		if oi < cols.len() && cols.ids[oi] == int64(ov[vi].ID) {
+			oi++ // overlay overrides the packed copy
+		}
+		if !fn(ov[vi]) {
 			return
 		}
+		vi++
 	}
+}
+
+// nodeSnapshot captures a consistent view of the node layers: the packed
+// block (immutable), the overlay sorted by ID, and the tombstones. Taken
+// under RLock; safe to iterate after release.
+func (m *Map) nodeSnapshot() (*columns, []*Node, map[NodeID]struct{}) {
+	m.mu.RLock()
+	cols := m.cols
+	var ov []*Node
+	if len(m.overlay) > 0 {
+		ov = make([]*Node, 0, len(m.overlay))
+		for _, n := range m.overlay {
+			ov = append(ov, n)
+		}
+	}
+	var tomb map[NodeID]struct{}
+	if len(m.tomb) > 0 {
+		tomb = make(map[NodeID]struct{}, len(m.tomb))
+		for id := range m.tomb {
+			tomb[id] = struct{}{}
+		}
+	}
+	m.mu.RUnlock()
+	sort.Slice(ov, func(i, j int) bool { return ov[i].ID < ov[j].ID })
+	return cols, ov, tomb
 }
 
 // Ways calls fn for each way in ascending ID order.
@@ -365,16 +496,25 @@ func (m *Map) Relations(fn func(*Relation) bool) {
 	}
 }
 
-// WayNodes resolves a way's node IDs to nodes, skipping dangling references.
+// WayNodes resolves a way's node IDs to nodes (views), skipping dangling
+// references.
 func (m *Map) WayNodes(w *Way) []*Node {
 	out := make([]*Node, 0, len(w.NodeIDs))
 	m.mu.RLock()
-	defer m.mu.RUnlock()
+	cols := m.cols
 	for _, id := range w.NodeIDs {
-		if n := m.nodes[id]; n != nil {
+		if n, ok := m.overlay[id]; ok {
 			out = append(out, n)
+			continue
+		}
+		if _, dead := m.tomb[id]; dead {
+			continue
+		}
+		if i := cols.find(id); i >= 0 {
+			out = append(out, cols.node(i))
 		}
 	}
+	m.mu.RUnlock()
 	return out
 }
 
@@ -414,23 +554,46 @@ func rotate(p geo.Point, deg float64) geo.Point {
 // NodePosition, so local maps are bounded via their anchor).
 func (m *Map) Bounds() geo.Rect {
 	r := geo.EmptyRect()
-	m.mu.RLock()
-	nodes := make([]*Node, 0, len(m.nodes))
-	for _, n := range m.nodes {
-		nodes = append(nodes, n)
+	cols, ov, tomb := m.nodeSnapshot()
+	// Packed entries that are tombstoned or shadowed by an overlay
+	// replacement must not contribute their (stale) position.
+	skip := tomb
+	if len(ov) > 0 {
+		skip = make(map[NodeID]struct{}, len(tomb)+len(ov))
+		for id := range tomb {
+			skip[id] = struct{}{}
+		}
+		for _, n := range ov {
+			skip[n.ID] = struct{}{}
+		}
 	}
-	kind := m.Frame.Kind
-	m.mu.RUnlock()
-	if kind == FrameGeodetic {
-		for _, n := range nodes {
+	if m.Frame.Kind == FrameGeodetic {
+		// Geodetic bounds come straight off the lat/lng columns — no node
+		// materialization.
+		for i := 0; i < cols.len(); i++ {
+			if _, dead := skip[NodeID(cols.ids[i])]; dead {
+				continue
+			}
+			r = r.ExpandToInclude(cols.pos(i))
+		}
+		for _, n := range ov {
 			r = r.ExpandToInclude(n.Pos)
 		}
 		return r
 	}
 	pr := geo.NewLocalProjection(m.Frame.Anchor)
-	for _, n := range nodes {
-		p := rotate(n.Local, -m.Frame.AnchorBearingDeg)
+	expand := func(local geo.Point) {
+		p := rotate(local, -m.Frame.AnchorBearingDeg)
 		r = r.ExpandToInclude(pr.ToLatLng(p))
+	}
+	for i := 0; i < cols.len(); i++ {
+		if _, dead := skip[NodeID(cols.ids[i])]; dead {
+			continue
+		}
+		expand(cols.local(i))
+	}
+	for _, n := range ov {
+		expand(n.Local)
 	}
 	return r
 }

@@ -1,18 +1,31 @@
 package osm
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"io"
+	"os"
 
 	"openflame/internal/geo"
 )
 
-// Binary snapshots: a compact gob encoding of a Map for fast server
-// restarts, complementing the interoperable XML format. The format is
-// versioned; readers reject unknown versions rather than misparse.
+// Binary snapshots: a compact encoding of a Map for fast server restarts,
+// complementing the interoperable XML format. The format is versioned;
+// readers reject unknown versions rather than misparse.
+//
+// Version 1 is a gob document of per-node structs — simple, but a city-
+// sized map decodes one heap object at a time. Version 2 (snapshot_v2.go)
+// serializes the columnar storage directly: section-aligned little-endian
+// columns with lengths up front, so loading is one bulk read per column
+// (and, via LoadSnapshotFile, an mmap + zero-copy alias where the platform
+// allows). Writers emit v2 by default and v1 behind the WriteSnapshotV1
+// escape hatch; ReadSnapshot accepts both.
 
-const snapshotVersion = 1
+const (
+	snapshotV1 = 1
+	snapshotV2 = 2
+)
 
 type snapNode struct {
 	ID    int64
@@ -56,16 +69,23 @@ type snapshot struct {
 	NodeVers map[int64]uint64
 }
 
-// WriteSnapshot serializes the map in the binary snapshot format.
+// WriteSnapshot serializes the map in the current (v2) binary snapshot
+// format.
 func (m *Map) WriteSnapshot(w io.Writer) error {
 	return m.WriteSnapshotVersions(w, nil)
 }
 
-// WriteSnapshotVersions is WriteSnapshot carrying per-node update versions
-// (from store.Store.NodeVersions; nil writes none).
-func (m *Map) WriteSnapshotVersions(w io.Writer, vers map[NodeID]uint64) error {
+// WriteSnapshotV1 serializes the map in the legacy v1 (gob) snapshot
+// format — the escape hatch for feeding snapshots to v1-era readers.
+func (m *Map) WriteSnapshotV1(w io.Writer) error {
+	return m.WriteSnapshotVersionsV1(w, nil)
+}
+
+// WriteSnapshotVersionsV1 is WriteSnapshotV1 carrying per-node update
+// versions (from store.Store.NodeVersions; nil writes none).
+func (m *Map) WriteSnapshotVersionsV1(w io.Writer, vers map[NodeID]uint64) error {
 	snap := snapshot{
-		Version:   snapshotVersion,
+		Version:   snapshotV1,
 		Name:      m.Name,
 		FrameKind: int(m.Frame.Kind),
 		Anchor:    m.Frame.Anchor,
@@ -102,7 +122,7 @@ func (m *Map) WriteSnapshotVersions(w io.Writer, vers map[NodeID]uint64) error {
 	return gob.NewEncoder(w).Encode(snap)
 }
 
-// ReadSnapshot deserializes a map written by WriteSnapshot.
+// ReadSnapshot deserializes a map written by WriteSnapshot (v1 or v2).
 func ReadSnapshot(r io.Reader) (*Map, error) {
 	m, _, err := ReadSnapshotVersions(r)
 	return m, err
@@ -111,21 +131,60 @@ func ReadSnapshot(r io.Reader) (*Map, error) {
 // ReadSnapshotVersions is ReadSnapshot additionally returning the
 // persisted per-node update versions (nil when the snapshot carries none);
 // feed them to store.Store.RestoreNodeVersions after indexing.
+//
+// Both snapshot versions begin with a gob message whose Version field
+// names the format, so this reader — and the v1-era reader, which decoded
+// the same message — always fails with a clear "unsupported snapshot
+// version" on a format from the future, never a misparse.
 func ReadSnapshotVersions(r io.Reader) (*Map, map[NodeID]uint64, error) {
+	cr := &countingReader{r: r}
 	var snap snapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+	if err := gob.NewDecoder(cr).Decode(&snap); err != nil {
 		return nil, nil, fmt.Errorf("osm: snapshot decode: %w", err)
 	}
-	if snap.Version != snapshotVersion {
+	switch snap.Version {
+	case snapshotV1:
+		return buildFromV1(&snap)
+	case snapshotV2:
+		base := cr.n
+		rest, err := io.ReadAll(cr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("osm: snapshot v2 read: %w", err)
+		}
+		return decodeV2(rest, base, false)
+	default:
 		return nil, nil, fmt.Errorf("osm: unsupported snapshot version %d", snap.Version)
 	}
-	m := NewMap(snap.Name, Frame{
+}
+
+// buildFromV1 materializes a map from a decoded v1 document. v1 writers
+// emitted nodes in ascending ID order, so the common case funnels straight
+// into the columnar builder; unsorted documents fall back to AddNode.
+func buildFromV1(snap *snapshot) (*Map, map[NodeID]uint64, error) {
+	frame := Frame{
 		Kind:             FrameKind(snap.FrameKind),
 		Anchor:           snap.Anchor,
 		AnchorBearingDeg: snap.AnchorBrg,
-	})
-	for _, sn := range snap.Nodes {
-		m.AddNode(&Node{ID: NodeID(sn.ID), Pos: sn.Pos, Local: sn.Local, Tags: sn.Tags})
+	}
+	sorted := true
+	for i := 1; i < len(snap.Nodes); i++ {
+		if snap.Nodes[i-1].ID >= snap.Nodes[i].ID {
+			sorted = false
+			break
+		}
+	}
+	var m *Map
+	if sorted {
+		b := newColBuilder(len(snap.Nodes), nil)
+		for _, sn := range snap.Nodes {
+			b.add(NodeID(sn.ID), sn.Pos, sn.Local, sn.Tags)
+		}
+		m = newMapFromColumns(snap.Name, frame, b.finish(), nil, nil)
+	} else {
+		m = NewMap(snap.Name, frame)
+		for _, sn := range snap.Nodes {
+			m.AddNode(&Node{ID: NodeID(sn.ID), Pos: sn.Pos, Local: sn.Local, Tags: sn.Tags})
+		}
 	}
 	for _, sw := range snap.Ways {
 		ids := make([]NodeID, len(sw.NodeIDs))
@@ -151,4 +210,52 @@ func ReadSnapshotVersions(r io.Reader) (*Map, map[NodeID]uint64, error) {
 		}
 	}
 	return m, vers, nil
+}
+
+// LoadSnapshotFile reads a snapshot from disk. Where the platform supports
+// it and the file is v2, the column sections are memory-mapped and aliased
+// zero-copy into the returned map (the mapping lives as long as the map);
+// otherwise the file is read through the ordinary buffered path. The
+// fallback accepts both versions.
+func LoadSnapshotFile(path string) (*Map, map[NodeID]uint64, error) {
+	if m, vers, ok, err := loadSnapshotMapped(path); ok {
+		return m, vers, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadSnapshotVersions(bufio.NewReaderSize(f, 1<<20))
+}
+
+// Mapped reports whether the map's columns alias a memory-mapped snapshot.
+func (m *Map) Mapped() bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.mapped != nil
+}
+
+// countingReader tracks how many bytes have been consumed — the file
+// offset the section alignment of snapshot v2 is defined against. It
+// implements io.ByteReader so gob consumes exactly one message instead of
+// wrapping it in a bufio.Reader and over-reading into the sections.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingReader) ReadByte() (byte, error) {
+	var b [1]byte
+	if _, err := io.ReadFull(c.r, b[:]); err != nil {
+		return 0, err
+	}
+	c.n++
+	return b[0], nil
 }

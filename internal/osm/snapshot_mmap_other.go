@@ -1,0 +1,9 @@
+//go:build !linux && !darwin
+
+package osm
+
+// loadSnapshotMapped is the no-mmap stub: every load goes through the
+// portable buffered-read path in LoadSnapshotFile.
+func loadSnapshotMapped(path string) (*Map, map[NodeID]uint64, bool, error) {
+	return nil, nil, false, nil
+}

@@ -65,21 +65,15 @@ func (se *Searcher) Search(query string, opt Options) []Result {
 	if len(tokens) == 0 {
 		return nil
 	}
-	counts := make(map[osm.NodeID]int)
-	for _, tok := range tokens {
-		for _, id := range se.s.TokenPostings(tok) {
-			counts[id]++
-		}
-	}
 	m := se.s.Map()
-	results := make([]Result, 0, len(counts))
-	for id, c := range counts {
+	var results []Result
+	se.s.ForEachPostingMatch(tokens, func(id osm.NodeID, c int) {
 		if opt.RequireAllTokens && c < len(tokens) {
-			continue
+			return
 		}
 		n := m.Node(id)
 		if n == nil {
-			continue
+			return
 		}
 		r := Result{
 			NodeID:    id,
@@ -91,12 +85,12 @@ func (se *Searcher) Search(query string, opt Options) []Result {
 		if opt.Near != nil {
 			r.DistanceMeters = geo.DistanceMeters(*opt.Near, r.Position)
 			if opt.MaxDistanceMeters > 0 && r.DistanceMeters > opt.MaxDistanceMeters {
-				continue
+				return
 			}
 		}
 		r.Score = CombinedScore(r.TextScore, r.DistanceMeters, opt.Near != nil)
 		results = append(results, r)
-	}
+	})
 	SortResults(results)
 	if len(results) > limit {
 		results = results[:limit]

@@ -32,7 +32,11 @@ type Store struct {
 	m     *osm.Map
 	nodes *rtree.Tree // items: osm.NodeID at point rects
 	segs  *rtree.Tree // items: SegmentRef at segment bounds
-	inv   map[string]map[osm.NodeID]struct{}
+	// inv maps token → sorted posting list. Published lists are
+	// copy-on-write: a mid-list insert or any delete builds a fresh slice
+	// (tail appends only ever touch capacity beyond a reader's length), so
+	// ForEachPostingMatch can merge over them without copying.
+	inv map[string][]osm.NodeID
 	// bounds caches the map's geodetic bounds, maintained incrementally.
 	bounds geo.Rect
 	// changes is the sequence-numbered inventory-update log (tag
@@ -81,7 +85,7 @@ func New(m *osm.Map) *Store {
 		m:       m,
 		nodes:   rtree.New(),
 		segs:    rtree.New(),
-		inv:     make(map[string]map[osm.NodeID]struct{}),
+		inv:     make(map[string][]osm.NodeID),
 		bounds:  geo.EmptyRect(),
 		nodeVer: make(map[osm.NodeID]uint64),
 		logID:   newLogID(),
@@ -132,24 +136,47 @@ func (s *Store) indexNode(n *osm.Node) {
 	s.nodes.Insert(pointRect(pos), n.ID)
 	s.bounds = s.bounds.ExpandToInclude(pos)
 	for _, tok := range TokenizeTags(n.Tags) {
-		set := s.inv[tok]
-		if set == nil {
-			set = make(map[osm.NodeID]struct{})
-			s.inv[tok] = set
-		}
-		set[n.ID] = struct{}{}
+		s.inv[tok] = insertPosting(s.inv[tok], n.ID)
 	}
+}
+
+// insertPosting adds id to a sorted posting list. The index build appends
+// ascending IDs, so the common case is a tail append; a mid-list insert is
+// copy-on-write to keep published lists immutable.
+func insertPosting(lst []osm.NodeID, id osm.NodeID) []osm.NodeID {
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= id })
+	if i == len(lst) {
+		return append(lst, id)
+	}
+	if lst[i] == id {
+		return lst
+	}
+	out := make([]osm.NodeID, len(lst)+1)
+	copy(out, lst[:i])
+	out[i] = id
+	copy(out[i+1:], lst[i:])
+	return out
+}
+
+// removePosting removes id from a sorted posting list, copy-on-write.
+func removePosting(lst []osm.NodeID, id osm.NodeID) []osm.NodeID {
+	i := sort.Search(len(lst), func(i int) bool { return lst[i] >= id })
+	if i == len(lst) || lst[i] != id {
+		return lst
+	}
+	out := make([]osm.NodeID, 0, len(lst)-1)
+	out = append(out, lst[:i]...)
+	return append(out, lst[i+1:]...)
 }
 
 func (s *Store) unindexNode(n *osm.Node) {
 	pos := s.m.NodePosition(n)
 	s.nodes.Delete(pointRect(pos), n.ID)
 	for _, tok := range TokenizeTags(n.Tags) {
-		if set := s.inv[tok]; set != nil {
-			delete(set, n.ID)
-			if len(set) == 0 {
-				delete(s.inv, tok)
-			}
+		if lst := removePosting(s.inv[tok], n.ID); len(lst) == 0 {
+			delete(s.inv, tok)
+		} else {
+			s.inv[tok] = lst
 		}
 	}
 }
@@ -515,16 +542,53 @@ func (s *Store) ForEachSegmentNear(ll geo.LatLng, maxMeters float64, fn func(way
 	})
 }
 
-// TokenPostings returns the node IDs whose tags contain the token.
+// TokenPostings returns the node IDs whose tags contain the token, in
+// ascending ID order. The returned slice is the caller's to keep.
 func (s *Store) TokenPostings(token string) []osm.NodeID {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	set := s.inv[strings.ToLower(token)]
-	out := make([]osm.NodeID, 0, len(set))
-	for id := range set {
-		out = append(out, id)
+	return append([]osm.NodeID(nil), s.inv[strings.ToLower(token)]...)
+}
+
+// ForEachPostingMatch merges the sorted posting lists of the given
+// (already-tokenized, lowercase) tokens and calls fn once per distinct
+// matching node, ascending by ID, with the number of token lists
+// containing it. This is the retrieval core of search and forward geocode:
+// a k-way merge over the shared lists in place of the map[NodeID]int the
+// per-query intersection used to allocate and rehash.
+func (s *Store) ForEachPostingMatch(tokens []string, fn func(id osm.NodeID, hits int)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	lists := make([][]osm.NodeID, 0, len(tokens))
+	for _, tok := range tokens {
+		if lst := s.inv[tok]; len(lst) > 0 {
+			lists = append(lists, lst)
+		}
 	}
-	return out
+	if len(lists) == 0 {
+		return
+	}
+	idx := make([]int, len(lists))
+	for {
+		var min osm.NodeID
+		found := false
+		for i, l := range lists {
+			if idx[i] < len(l) && (!found || l[idx[i]] < min) {
+				min, found = l[idx[i]], true
+			}
+		}
+		if !found {
+			return
+		}
+		hits := 0
+		for i, l := range lists {
+			if idx[i] < len(l) && l[idx[i]] == min {
+				hits++
+				idx[i]++
+			}
+		}
+		fn(min, hits)
+	}
 }
 
 // TokenCount returns the number of distinct indexed tokens.
