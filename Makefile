@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt vet staticcheck deprecation-guard build test race cover bench-fanout bench-resilience bench-replication bench-session bench-route bench-overload bench-world bench-smoke
+.PHONY: verify fmt vet staticcheck deprecation-guard build test race cover bench-fanout bench-resilience bench-replication bench-session bench-route bench-overload bench-world bench-boot bench-smoke
 
 ## verify: the full CI gate — formatting, vet, the v2-API deprecation
 ## guard, build, tests under -race (twice, so flaky tests surface). CI
@@ -105,8 +105,19 @@ bench-overload:
 bench-world:
 	BENCH_WORLD_JSON=BENCH_world.json $(GO) test -run TestE20BenchArtifact -count=1 -timeout 30m -v .
 
+## bench-boot: the E21 boot-to-serving experiment — attaching the
+## persisted snapshot index (mmap + store.NewWithIndex) vs rebuilding
+## every serving index from the node columns, plus time-to-first-200
+## through a real HTTP listener, on the E20 city-scale world (override
+## with BENCH_BOOT_BLOCKS for a quicker run). Writes BENCH_boot.json and
+## fails if the floors slip: index attach ≥20× faster than the rebuild,
+## attach boot strictly faster to the first 200, serving results
+## byte-identical between the attached and rebuilt stores.
+bench-boot:
+	BENCH_BOOT_JSON=BENCH_boot.json $(GO) test -run TestE21BenchArtifact -count=1 -timeout 30m -v .
+
 ## bench-smoke: compile and run EVERY benchmark for one iteration, so the
-## growing suite (E1–E20 plus per-package micro-benchmarks) can never rot
+## growing suite (E1–E21 plus per-package micro-benchmarks) can never rot
 ## uncompiled. Numbers are meaningless at 1x; only pass/fail matters.
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...

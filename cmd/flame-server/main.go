@@ -18,6 +18,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -32,6 +33,7 @@ import (
 	"openflame/internal/mapserver"
 	"openflame/internal/osm"
 	"openflame/internal/s2cell"
+	"openflame/internal/store"
 )
 
 // options is the CLI surface, separated from main so tests can verify the
@@ -40,6 +42,7 @@ type options struct {
 	mapPath           string
 	snapshotPath      string
 	snapshotV1        bool
+	noPersistedIndex  bool
 	addr              string
 	name              string
 	publicURL         string
@@ -75,6 +78,7 @@ func newFlagSet(name string) (*flag.FlagSet, *options) {
 	fs.StringVar(&o.mapPath, "map", "", "OSM XML map file (required unless -snapshot exists)")
 	fs.StringVar(&o.snapshotPath, "snapshot", "", "binary snapshot path: loaded instead of -map when it exists (restoring per-node change versions), rewritten on shutdown — so a restarted replica resumes versioning above its persisted history")
 	fs.BoolVar(&o.snapshotV1, "snapshot-v1", false, "write the shutdown snapshot in the legacy v1 (gob) format for v1-era readers; loading accepts both formats regardless")
+	fs.BoolVar(&o.noPersistedIndex, "no-persisted-index", false, "rollback switch for the persisted serving index: ignore index sections in the loaded snapshot (forcing the full index rebuild) and write none on shutdown")
 	fs.StringVar(&o.addr, "addr", ":8080", "listen address")
 	fs.StringVar(&o.name, "name", "", "server name (default: map name)")
 	fs.StringVar(&o.publicURL, "public-url", "", "URL to advertise in DNS (default http://<addr>)")
@@ -161,46 +165,70 @@ func (o *options) cacheEntries() int {
 }
 
 // loadMap reads the served map: the binary snapshot when -snapshot names
-// an existing file (recovering persisted node versions), else the OSM XML.
-func (o *options) loadMap() (*osm.Map, map[osm.NodeID]uint64, error) {
+// an existing file (recovering persisted node versions and, unless
+// -no-persisted-index, the persisted serving index), else the OSM XML.
+func (o *options) loadMap() (*osm.Map, map[osm.NodeID]uint64, *osm.IndexData, error) {
 	if o.snapshotPath != "" {
-		// LoadSnapshotFile memory-maps v2 snapshots where the platform
-		// allows, aliasing the columns zero-copy instead of reading them
-		// onto the heap; v1 snapshots take the buffered-decode path.
-		m, vers, err := osm.LoadSnapshotFile(o.snapshotPath)
+		// LoadSnapshotFileIndexed memory-maps v2 snapshots where the
+		// platform allows, aliasing the columns — and any persisted index —
+		// zero-copy instead of reading them onto the heap; v1 snapshots
+		// take the buffered-decode path.
+		m, vers, idx, err := osm.LoadSnapshotFileIndexed(o.snapshotPath)
 		if err == nil {
-			return m, vers, nil
+			if o.noPersistedIndex {
+				idx = nil
+			}
+			return m, vers, idx, nil
 		}
 		if !errors.Is(err, os.ErrNotExist) {
-			return nil, nil, fmt.Errorf("load snapshot: %w", err)
+			return nil, nil, nil, fmt.Errorf("load snapshot: %w", err)
 		}
 		// First boot: fall through to the XML source; the snapshot is
 		// written on shutdown.
 		if o.mapPath == "" {
-			return nil, nil, fmt.Errorf("snapshot %s does not exist yet and no -map was given to bootstrap from", o.snapshotPath)
+			return nil, nil, nil, fmt.Errorf("snapshot %s does not exist yet and no -map was given to bootstrap from", o.snapshotPath)
 		}
 	}
 	f, err := os.Open(o.mapPath)
 	if err != nil {
-		return nil, nil, fmt.Errorf("open map: %w", err)
+		return nil, nil, nil, fmt.Errorf("open map: %w", err)
 	}
 	defer f.Close()
 	m, err := osm.ReadXML(f)
 	if err != nil {
-		return nil, nil, fmt.Errorf("parse map: %w", err)
+		return nil, nil, nil, fmt.Errorf("parse map: %w", err)
 	}
-	return m, nil, nil
+	return m, nil, nil, nil
+}
+
+// buildStore attaches the persisted index when the snapshot carried a
+// valid one, else runs (and times) the full rebuild — the line it logs is
+// the boot-latency tell operators watch for.
+func buildStore(m *osm.Map, idx *osm.IndexData) *store.Store {
+	if idx != nil {
+		if st, err := store.NewWithIndex(m, idx); err == nil {
+			log.Printf("index: attached")
+			return st
+		} else {
+			log.Printf("index: attach failed (%v), rebuilding", err)
+		}
+	}
+	start := time.Now()
+	st := store.New(m)
+	log.Printf("index: rebuilt (%d ms)", time.Since(start).Milliseconds())
+	return st
 }
 
 // buildServer loads the map and constructs the configured map server.
 func (o *options) buildServer() (*mapserver.Server, *osm.Map, error) {
-	m, vers, err := o.loadMap()
+	m, vers, idx, err := o.loadMap()
 	if err != nil {
 		return nil, nil, err
 	}
 	srv, err := mapserver.New(mapserver.Config{
 		Name:              o.name,
 		Map:               m,
+		Store:             buildStore(m, idx),
 		UseCH:             o.useCH,
 		MinLevel:          o.minLevel,
 		MaxLevel:          o.maxLevel,
@@ -232,9 +260,16 @@ func (o *options) saveSnapshot(srv *mapserver.Server, m *osm.Map) error {
 	if err != nil {
 		return err
 	}
-	write := m.WriteSnapshotVersions
+	// Persist the serving indexes alongside the map so the next boot
+	// attaches instead of rebuilding; -snapshot-v1 has no section format to
+	// carry them and -no-persisted-index is the explicit rollback.
+	write := func(w io.Writer, vers map[osm.NodeID]uint64) error {
+		return m.WriteSnapshotVersionsIndexed(w, vers, srv.Store().PersistedIndex())
+	}
 	if o.snapshotV1 {
 		write = m.WriteSnapshotVersionsV1
+	} else if o.noPersistedIndex {
+		write = m.WriteSnapshotVersions
 	}
 	if err := write(f, srv.Store().NodeVersions()); err != nil {
 		f.Close()

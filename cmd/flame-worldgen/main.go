@@ -25,6 +25,7 @@ import (
 	"openflame/internal/fanout"
 	"openflame/internal/geo"
 	"openflame/internal/osm"
+	"openflame/internal/store"
 	"openflame/internal/worldgen"
 )
 
@@ -116,7 +117,10 @@ func (o *options) runImport() (*osm.Map, *osm.ImportStats, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := m.WriteSnapshot(out); err != nil {
+	// Build the serving indexes now and persist them in the snapshot, so
+	// the server that mmaps this file attaches them instead of paying the
+	// full store.New rebuild on every boot.
+	if err := m.WriteSnapshotVersionsIndexed(out, nil, store.New(m).PersistedIndex()); err != nil {
 		out.Close()
 		return nil, nil, fmt.Errorf("write %s: %w", path, err)
 	}

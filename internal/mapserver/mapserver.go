@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -35,6 +36,11 @@ type Config struct {
 	Name string
 	// Map is the served map.
 	Map *osm.Map
+	// Store, when non-nil, is a pre-built index over Map (e.g. attached
+	// from a persisted snapshot index via store.NewWithIndex) that the
+	// server adopts instead of running the full store.New rebuild. It must
+	// index exactly Map.
+	Store *store.Store
 	// Profile weights the routing graph; nil means FootProfile.
 	Profile graph.Profile
 	// UseCH preprocesses the routing graph into a contraction hierarchy.
@@ -217,7 +223,11 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.shedBody = append(body, '\n')
 	}
-	s.store = store.New(cfg.Map)
+	if cfg.Store != nil {
+		s.store = cfg.Store
+	} else {
+		s.store = store.New(cfg.Map)
+	}
 	s.geocoder = geocode.New(s.store)
 	s.searcher = search.New(s.store)
 	s.g = graph.FromOSM(cfg.Map, cfg.Profile)
@@ -278,7 +288,24 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	// Portals: nodes tagged flame:portal, advertised with world positions.
-	for id, n := range cfg.Map.PortalNodes() {
+	// The store's reserved portal posting list replaces the old full-map
+	// walk — O(portals) off the index, which on an attached server means no
+	// node pages are touched at all. Matching Map.PortalNodes, a portal ID
+	// claimed by several nodes resolves to the highest node ID; the
+	// advertised list is sorted by portal ID.
+	byPortal := make(map[string]*osm.Node)
+	for _, nid := range s.store.PortalNodeIDs() {
+		if n := cfg.Map.Node(nid); n != nil {
+			byPortal[n.Tags.Get(osm.TagPortalID)] = n
+		}
+	}
+	ids := make([]string, 0, len(byPortal))
+	for id := range byPortal {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		n := byPortal[id]
 		s.portals = append(s.portals, wire.Portal{
 			ID:     id,
 			NodeID: int64(n.ID),

@@ -599,6 +599,13 @@ func (m *Map) Bounds() geo.Rect {
 }
 
 // FindNodes returns nodes whose tags satisfy pred, in ID order.
+//
+// This is a full linear walk — O(nodes) regardless of how many match — so
+// it has no place on a serving path: servers answer tag and text queries
+// from store.Store's inverted index and portal discovery from
+// store.Store.PortalNodeIDs. Its remaining legitimate uses are one-off
+// offline passes over a map (import tooling, examples, tests) where no
+// store exists yet and an arbitrary predicate beats building one.
 func (m *Map) FindNodes(pred func(*Node) bool) []*Node {
 	var out []*Node
 	m.Nodes(func(n *Node) bool {
@@ -610,7 +617,13 @@ func (m *Map) FindNodes(pred func(*Node) bool) []*Node {
 	return out
 }
 
-// PortalNodes returns nodes tagged as cross-map portals, keyed by portal ID.
+// PortalNodes returns nodes tagged as cross-map portals, keyed by portal
+// ID; an ID claimed by several nodes resolves to the highest node ID.
+//
+// Like FindNodes this is a full linear walk, kept for store-less tooling
+// and tests. The serving path (mapserver.New) discovers portals through
+// store.Store.PortalNodeIDs, which reads a persisted posting list instead
+// of touching every node.
 func (m *Map) PortalNodes() map[string]*Node {
 	out := make(map[string]*Node)
 	m.Nodes(func(n *Node) bool {

@@ -131,29 +131,39 @@ func ReadSnapshot(r io.Reader) (*Map, error) {
 // ReadSnapshotVersions is ReadSnapshot additionally returning the
 // persisted per-node update versions (nil when the snapshot carries none);
 // feed them to store.Store.RestoreNodeVersions after indexing.
+func ReadSnapshotVersions(r io.Reader) (*Map, map[NodeID]uint64, error) {
+	m, vers, _, err := ReadSnapshotIndexed(r)
+	return m, vers, err
+}
+
+// ReadSnapshotIndexed is ReadSnapshotVersions additionally returning the
+// persisted serving index when the snapshot carries a valid one (nil
+// otherwise — absent, stale-fingerprint, or corrupt index tails all
+// degrade to nil so the caller rebuilds; see store.NewWithIndex).
 //
 // Both snapshot versions begin with a gob message whose Version field
 // names the format, so this reader — and the v1-era reader, which decoded
 // the same message — always fails with a clear "unsupported snapshot
 // version" on a format from the future, never a misparse.
-func ReadSnapshotVersions(r io.Reader) (*Map, map[NodeID]uint64, error) {
+func ReadSnapshotIndexed(r io.Reader) (*Map, map[NodeID]uint64, *IndexData, error) {
 	cr := &countingReader{r: r}
 	var snap snapshot
 	if err := gob.NewDecoder(cr).Decode(&snap); err != nil {
-		return nil, nil, fmt.Errorf("osm: snapshot decode: %w", err)
+		return nil, nil, nil, fmt.Errorf("osm: snapshot decode: %w", err)
 	}
 	switch snap.Version {
 	case snapshotV1:
-		return buildFromV1(&snap)
+		m, vers, err := buildFromV1(&snap)
+		return m, vers, nil, err
 	case snapshotV2:
 		base := cr.n
 		rest, err := io.ReadAll(cr)
 		if err != nil {
-			return nil, nil, fmt.Errorf("osm: snapshot v2 read: %w", err)
+			return nil, nil, nil, fmt.Errorf("osm: snapshot v2 read: %w", err)
 		}
 		return decodeV2(rest, base, false)
 	default:
-		return nil, nil, fmt.Errorf("osm: unsupported snapshot version %d", snap.Version)
+		return nil, nil, nil, fmt.Errorf("osm: unsupported snapshot version %d", snap.Version)
 	}
 }
 
@@ -218,15 +228,24 @@ func buildFromV1(snap *snapshot) (*Map, map[NodeID]uint64, error) {
 // otherwise the file is read through the ordinary buffered path. The
 // fallback accepts both versions.
 func LoadSnapshotFile(path string) (*Map, map[NodeID]uint64, error) {
-	if m, vers, ok, err := loadSnapshotMapped(path); ok {
-		return m, vers, err
+	m, vers, _, err := LoadSnapshotFileIndexed(path)
+	return m, vers, err
+}
+
+// LoadSnapshotFileIndexed is LoadSnapshotFile additionally returning the
+// snapshot's persisted serving index, nil when absent or invalid. On the
+// mmap path the index columns alias the mapping — attaching them costs no
+// copies and no page faults beyond what serving touches.
+func LoadSnapshotFileIndexed(path string) (*Map, map[NodeID]uint64, *IndexData, error) {
+	if m, vers, idx, ok, err := loadSnapshotMapped(path); ok {
+		return m, vers, idx, err
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	defer f.Close()
-	return ReadSnapshotVersions(bufio.NewReaderSize(f, 1<<20))
+	return ReadSnapshotIndexed(bufio.NewReaderSize(f, 1<<20))
 }
 
 // Mapped reports whether the map's columns alias a memory-mapped snapshot.

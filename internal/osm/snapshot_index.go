@@ -1,0 +1,263 @@
+package osm
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"unsafe"
+
+	"openflame/internal/geo"
+	"openflame/internal/rtree"
+)
+
+// Persisted serving indexes: snapshot v2 can carry, after its trailer, the
+// store's static index structures as more aligned sections — both R-trees'
+// packed columns (rtree.StaticLayout), CSR posting lists over a token
+// pool, and the map's geodetic bounds — so a booting server attaches them
+// (zero-copy on the mmap path) instead of re-inserting every node and
+// segment into pointer trees.
+//
+// Layout, following the v2 trailer:
+//
+//	"OFSNIDX1"                    — index-section magic
+//	gob(v2IndexHeader)            — lengths, level offsets, fingerprint
+//	nItemLat    float64[NodeItems]   node-tree item latitudes (points, so
+//	nItemLng    float64[NodeItems]   the Max columns are not persisted)
+//	nItemID     int64[NodeItems]     node-tree payloads (NodeIDs, STR order)
+//	nMinLat..nMaxLng float64[NodeTreeNodes]×4
+//	nChildLo,nChildHi int32[NodeTreeNodes]
+//	sItemMinLat..sItemMaxLng float64[SegItems]×4  segment-tree item rects
+//	sWay        int64[SegItems]      owning way per segment
+//	sIdx        int32[SegItems]      segment index within the way
+//	sMinLat..sMaxLng float64[SegTreeNodes]×4
+//	sChildLo,sChildHi int32[SegTreeNodes]
+//	tokOff      uint32[Tokens+1]     cumulative byte offsets into tokBlob
+//	tokBlob     byte[TokenBytes]     sorted tokens, concatenated
+//	postOff     uint32[Tokens+1]     CSR offsets into postings
+//	postings    int64[Postings]      ascending NodeIDs per token
+//
+// Compatibility is free in both directions: a PR 8-era reader stops at the
+// trailer and never sees the sections; this reader treats "nothing after
+// the trailer" (or an unknown tail) as "no index". The fingerprint is a
+// CRC-32C over the exact node/way section bytes of the same file, so an
+// index that was not produced from these columns — a stale copy, a
+// hand-edited snapshot — is discarded at load and the caller rebuilds.
+
+const v2IndexMagic = "OFSNIDX1"
+
+type v2IndexHeader struct {
+	// Fingerprint of the snapshot's own node/way column bytes.
+	FPBytes int64
+	FPSum   uint32
+	Bounds  geo.Rect
+	// Static tree shapes; the level-offset columns are small (tree height
+	// + 1 entries) and ride in the header.
+	NodeItems     int64
+	NodeTreeNodes int64
+	NodeLevelOff  []int32
+	SegItems      int64
+	SegTreeNodes  int64
+	SegLevelOff   []int32
+	// Inverted-index shape.
+	Tokens     int64
+	TokenBytes int64
+	Postings   int64
+}
+
+// IndexData is the decoded (or to-be-written) persisted index: everything
+// store.NewWithIndex needs to start serving without a rebuild. On the mmap
+// load path every column aliases the mapping.
+type IndexData struct {
+	Bounds geo.Rect
+	// Node R-tree: point items carrying NodeIDs.
+	NodeTree  rtree.StaticLayout
+	NodeItems []NodeID
+	// Segment R-tree: rect items carrying (way, segment-index) pairs.
+	SegTree rtree.StaticLayout
+	SegWays []int64
+	SegIdxs []int32
+	// Inverted text index: Tokens[i]'s posting list is
+	// Postings[PostOff[i]:PostOff[i+1]], ascending.
+	Tokens   []string
+	PostOff  []uint32
+	Postings []NodeID
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// nodeIDCol reinterprets an int64 column as NodeIDs (identical layout) —
+// the cast that lets posting lists and tree payloads alias an mmap without
+// an 8-bytes-per-element copy.
+func nodeIDCol(v []int64) []NodeID {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*NodeID)(unsafe.Pointer(&v[0])), len(v))
+}
+
+func int64View(v []NodeID) []int64 {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&v[0])), len(v))
+}
+
+// writeIndexSections appends the index magic, header, and columns. fpBytes
+// and fpSum fingerprint the node/way sections already written to cw.
+func writeIndexSections(cw *countingWriter, idx *IndexData, fpBytes int64, fpSum uint32) error {
+	if len(idx.NodeItems) > 0 && !idx.NodeTree.PointItems() {
+		return fmt.Errorf("osm: persisted index: node tree must hold point items")
+	}
+	tokOff, tokBytes, err := poolOffsets(idx.Tokens)
+	if err != nil {
+		return err
+	}
+	if len(idx.PostOff) != len(idx.Tokens)+1 {
+		return fmt.Errorf("osm: persisted index: posting offsets disagree with tokens")
+	}
+	h := v2IndexHeader{
+		FPBytes:       fpBytes,
+		FPSum:         fpSum,
+		Bounds:        idx.Bounds,
+		NodeItems:     int64(len(idx.NodeItems)),
+		NodeTreeNodes: int64(len(idx.NodeTree.ChildLo)),
+		NodeLevelOff:  idx.NodeTree.LevelOff,
+		SegItems:      int64(len(idx.SegWays)),
+		SegTreeNodes:  int64(len(idx.SegTree.ChildLo)),
+		SegLevelOff:   idx.SegTree.LevelOff,
+		Tokens:        int64(len(idx.Tokens)),
+		TokenBytes:    tokBytes,
+		Postings:      int64(len(idx.Postings)),
+	}
+	if _, err := io.WriteString(cw, v2IndexMagic); err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(cw).Encode(h); err != nil {
+		return err
+	}
+	for _, s := range []func() error{
+		func() error { return writeFloat64s(cw, idx.NodeTree.ItemMinLat) },
+		func() error { return writeFloat64s(cw, idx.NodeTree.ItemMinLng) },
+		func() error { return writeInt64s(cw, int64View(idx.NodeItems)) },
+		func() error { return writeFloat64s(cw, idx.NodeTree.NodeMinLat) },
+		func() error { return writeFloat64s(cw, idx.NodeTree.NodeMinLng) },
+		func() error { return writeFloat64s(cw, idx.NodeTree.NodeMaxLat) },
+		func() error { return writeFloat64s(cw, idx.NodeTree.NodeMaxLng) },
+		func() error { return writeInt32s(cw, idx.NodeTree.ChildLo) },
+		func() error { return writeInt32s(cw, idx.NodeTree.ChildHi) },
+		func() error { return writeFloat64s(cw, idx.SegTree.ItemMinLat) },
+		func() error { return writeFloat64s(cw, idx.SegTree.ItemMinLng) },
+		func() error { return writeFloat64s(cw, idx.SegTree.ItemMaxLat) },
+		func() error { return writeFloat64s(cw, idx.SegTree.ItemMaxLng) },
+		func() error { return writeInt64s(cw, idx.SegWays) },
+		func() error { return writeInt32s(cw, idx.SegIdxs) },
+		func() error { return writeFloat64s(cw, idx.SegTree.NodeMinLat) },
+		func() error { return writeFloat64s(cw, idx.SegTree.NodeMinLng) },
+		func() error { return writeFloat64s(cw, idx.SegTree.NodeMaxLat) },
+		func() error { return writeFloat64s(cw, idx.SegTree.NodeMaxLng) },
+		func() error { return writeInt32s(cw, idx.SegTree.ChildLo) },
+		func() error { return writeInt32s(cw, idx.SegTree.ChildHi) },
+		func() error { return writeUint32s(cw, tokOff) },
+		func() error { return writeStrings(cw, idx.Tokens) },
+		func() error { return writeUint32s(cw, idx.PostOff) },
+		func() error { return writeInt64s(cw, int64View(idx.Postings)) },
+	} {
+		if err := s(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeIndexSections parses the optional index tail of a v2 snapshot.
+// data/base/off continue decodeV2's walk (off = first byte after the
+// trailer); [fpStart,fpEnd) is the byte range of the node/way sections
+// just decoded, checksummed only when an index tail is actually present.
+// A missing, unrecognized, mismatched, or corrupt index yields nil: the
+// load still succeeds and the caller rebuilds — a wrong index must never
+// be served, and a damaged one must never fail an otherwise-good snapshot.
+func decodeIndexSections(data []byte, base, off int64, alias bool, fpStart, fpEnd int64) *IndexData {
+	if int64(len(data))-off < int64(len(v2IndexMagic)) {
+		return nil
+	}
+	if string(data[off:off+int64(len(v2IndexMagic))]) != v2IndexMagic {
+		return nil
+	}
+	br := bytes.NewReader(data[off+int64(len(v2IndexMagic)):])
+	var h v2IndexHeader
+	if err := gob.NewDecoder(br).Decode(&h); err != nil {
+		return nil
+	}
+	if h.FPBytes != fpEnd-fpStart ||
+		h.FPSum != crc32.Checksum(data[fpStart:fpEnd], castagnoli) {
+		return nil // index built from different node/way columns: stale
+	}
+	for _, c := range []int64{h.NodeItems, h.NodeTreeNodes, h.SegItems,
+		h.SegTreeNodes, h.Tokens, h.TokenBytes, h.Postings} {
+		if c < 0 {
+			return nil
+		}
+	}
+	off = int64(len(data)) - int64(br.Len())
+
+	var err error
+	sec := func(elems, size int64) []byte {
+		if err != nil {
+			return nil
+		}
+		off += (8 - (base+off)%8) % 8
+		nb := elems * size
+		if nb < 0 || off+nb > int64(len(data)) {
+			err = fmt.Errorf("truncated")
+			return nil
+		}
+		b := data[off : off+nb : off+nb]
+		off += nb
+		return b
+	}
+
+	idx := &IndexData{Bounds: h.Bounds}
+	idx.NodeTree.ItemMinLat = float64Col(sec(h.NodeItems, 8), alias)
+	idx.NodeTree.ItemMinLng = float64Col(sec(h.NodeItems, 8), alias)
+	idx.NodeTree.ItemMaxLat = idx.NodeTree.ItemMinLat
+	idx.NodeTree.ItemMaxLng = idx.NodeTree.ItemMinLng
+	idx.NodeItems = nodeIDCol(int64Col(sec(h.NodeItems, 8), alias))
+	idx.NodeTree.NodeMinLat = float64Col(sec(h.NodeTreeNodes, 8), alias)
+	idx.NodeTree.NodeMinLng = float64Col(sec(h.NodeTreeNodes, 8), alias)
+	idx.NodeTree.NodeMaxLat = float64Col(sec(h.NodeTreeNodes, 8), alias)
+	idx.NodeTree.NodeMaxLng = float64Col(sec(h.NodeTreeNodes, 8), alias)
+	idx.NodeTree.ChildLo = int32Col(sec(h.NodeTreeNodes, 4), alias)
+	idx.NodeTree.ChildHi = int32Col(sec(h.NodeTreeNodes, 4), alias)
+	idx.NodeTree.LevelOff = h.NodeLevelOff
+	idx.SegTree.ItemMinLat = float64Col(sec(h.SegItems, 8), alias)
+	idx.SegTree.ItemMinLng = float64Col(sec(h.SegItems, 8), alias)
+	idx.SegTree.ItemMaxLat = float64Col(sec(h.SegItems, 8), alias)
+	idx.SegTree.ItemMaxLng = float64Col(sec(h.SegItems, 8), alias)
+	idx.SegWays = int64Col(sec(h.SegItems, 8), alias)
+	idx.SegIdxs = int32Col(sec(h.SegItems, 4), alias)
+	idx.SegTree.NodeMinLat = float64Col(sec(h.SegTreeNodes, 8), alias)
+	idx.SegTree.NodeMinLng = float64Col(sec(h.SegTreeNodes, 8), alias)
+	idx.SegTree.NodeMaxLat = float64Col(sec(h.SegTreeNodes, 8), alias)
+	idx.SegTree.NodeMaxLng = float64Col(sec(h.SegTreeNodes, 8), alias)
+	idx.SegTree.ChildLo = int32Col(sec(h.SegTreeNodes, 4), alias)
+	idx.SegTree.ChildHi = int32Col(sec(h.SegTreeNodes, 4), alias)
+	idx.SegTree.LevelOff = h.SegLevelOff
+	tokOff := uint32Col(sec(h.Tokens+1, 4), alias)
+	tokBlob := sec(h.TokenBytes, 1)
+	idx.PostOff = uint32Col(sec(h.Tokens+1, 4), alias)
+	idx.Postings = nodeIDCol(int64Col(sec(h.Postings, 8), alias))
+	if err != nil {
+		return nil
+	}
+	if idx.Tokens, err = poolStrings(tokOff, tokBlob, alias); err != nil {
+		return nil
+	}
+	if checkCSR(idx.PostOff, int64(len(idx.Postings)), "posting") != nil {
+		return nil
+	}
+	// The tree layouts get their full structural validation in
+	// rtree.StaticFromLayout at attach; a failure there also falls back.
+	return idx
+}

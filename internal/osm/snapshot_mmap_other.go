@@ -4,6 +4,6 @@ package osm
 
 // loadSnapshotMapped is the no-mmap stub: every load goes through the
 // portable buffered-read path in LoadSnapshotFile.
-func loadSnapshotMapped(path string) (*Map, map[NodeID]uint64, bool, error) {
-	return nil, nil, false, nil
+func loadSnapshotMapped(path string) (*Map, map[NodeID]uint64, *IndexData, bool, error) {
+	return nil, nil, nil, false, nil
 }

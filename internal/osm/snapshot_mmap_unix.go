@@ -19,35 +19,35 @@ import (
 // process: views handed out by Node()/Nodes() carry strings that alias the
 // mapping, and those may outlive the Map itself, so the mapping is never
 // unmapped.
-func loadSnapshotMapped(path string) (*Map, map[NodeID]uint64, bool, error) {
+func loadSnapshotMapped(path string) (*Map, map[NodeID]uint64, *IndexData, bool, error) {
 	if !hostLittleEndian {
-		return nil, nil, false, nil
+		return nil, nil, nil, false, nil
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, nil, false, nil
+		return nil, nil, nil, false, nil
 	}
 	defer f.Close()
 	st, err := f.Stat()
 	if err != nil || st.Size() == 0 || st.Size() != int64(int(st.Size())) {
-		return nil, nil, false, nil
+		return nil, nil, nil, false, nil
 	}
 	data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_PRIVATE)
 	if err != nil {
-		return nil, nil, false, nil
+		return nil, nil, nil, false, nil
 	}
 	var snap snapshot
 	br := bytes.NewReader(data)
 	if err := gob.NewDecoder(br).Decode(&snap); err != nil || snap.Version != snapshotV2 {
 		syscall.Munmap(data)
-		return nil, nil, false, nil
+		return nil, nil, nil, false, nil
 	}
 	base := int64(len(data)) - int64(br.Len())
-	m, vers, err := decodeV2(data[base:], base, true)
+	m, vers, idx, err := decodeV2(data[base:], base, true)
 	if err != nil {
 		syscall.Munmap(data)
-		return nil, nil, true, err
+		return nil, nil, nil, true, err
 	}
 	m.mapped = data
-	return m, vers, true, nil
+	return m, vers, idx, true, nil
 }

@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"math"
 	"sort"
@@ -78,6 +80,18 @@ var hostLittleEndian = func() bool {
 // carrying per-node update versions (nil writes none). The map is
 // compacted first so the columns describe every node.
 func (m *Map) WriteSnapshotVersions(w io.Writer, vers map[NodeID]uint64) error {
+	return m.writeV2(w, vers, nil)
+}
+
+// WriteSnapshotVersionsIndexed additionally appends the persisted serving
+// index (see snapshot_index.go) after the trailer, fingerprinted against
+// the node/way sections it was built from. idx nil writes a plain v2
+// snapshot.
+func (m *Map) WriteSnapshotVersionsIndexed(w io.Writer, vers map[NodeID]uint64, idx *IndexData) error {
+	return m.writeV2(w, vers, idx)
+}
+
+func (m *Map) writeV2(w io.Writer, vers map[NodeID]uint64, idx *IndexData) error {
 	m.mu.Lock()
 	m.compactLocked()
 	cols := m.cols
@@ -164,6 +178,14 @@ func (m *Map) WriteSnapshotVersions(w io.Writer, vers map[NodeID]uint64) error {
 	if err := gob.NewEncoder(cw).Encode(h); err != nil {
 		return err
 	}
+	// Fingerprint the node/way sections as they stream out: pad first so
+	// the leading alignment bytes stay outside the sum (the reader's region
+	// likewise starts at the aligned first-section offset).
+	if err := cw.pad(); err != nil {
+		return err
+	}
+	cw.crc = crc32.New(castagnoli)
+	fpStart := cw.n
 	for _, s := range []func() error{
 		func() error { return writeInt64s(cw, cols.ids) },
 		func() error { return writeFloat64s(cw, cols.lat) },
@@ -186,6 +208,9 @@ func (m *Map) WriteSnapshotVersions(w io.Writer, vers map[NodeID]uint64) error {
 			return err
 		}
 	}
+	fpBytes := cw.n - fpStart
+	fpSum := cw.crc.Sum32()
+	cw.crc = nil
 
 	tr := v2Trailer{}
 	for _, rel := range rels {
@@ -201,7 +226,13 @@ func (m *Map) WriteSnapshotVersions(w io.Writer, vers map[NodeID]uint64) error {
 			tr.NodeVers[int64(id)] = v
 		}
 	}
-	return gob.NewEncoder(cw).Encode(tr)
+	if err := gob.NewEncoder(cw).Encode(tr); err != nil {
+		return err
+	}
+	if idx == nil {
+		return nil
+	}
+	return writeIndexSections(cw, idx, fpBytes, fpSum)
 }
 
 // poolOffsets builds the cumulative byte-offset column for a string pool.
@@ -222,25 +253,29 @@ func poolOffsets(pool []string) ([]uint32, int64, error) {
 // file offset base (section alignment is defined against the file start).
 // With alias set, numeric columns and pool strings alias data directly —
 // the zero-copy mmap path; otherwise each section is copied out in one
-// bulk operation.
-func decodeV2(data []byte, base int64, alias bool) (*Map, map[NodeID]uint64, error) {
+// bulk operation. The third result is the persisted serving index, nil
+// when the snapshot carries none (or a stale/corrupt one — see
+// decodeIndexSections).
+func decodeV2(data []byte, base int64, alias bool) (*Map, map[NodeID]uint64, *IndexData, error) {
 	br := bytes.NewReader(data)
 	var magic [len(v2Magic)]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil || string(magic[:]) != v2Magic {
-		return nil, nil, fmt.Errorf("osm: snapshot v2: bad section magic")
+		return nil, nil, nil, fmt.Errorf("osm: snapshot v2: bad section magic")
 	}
 	var h v2Header
 	if err := gob.NewDecoder(br).Decode(&h); err != nil {
-		return nil, nil, fmt.Errorf("osm: snapshot v2 header: %w", err)
+		return nil, nil, nil, fmt.Errorf("osm: snapshot v2 header: %w", err)
 	}
 	for _, c := range []int64{h.Nodes, h.TagPairs, h.PoolCount, h.PoolBytes,
 		h.Ways, h.WayRefs, h.WayTagPairs, h.WayPoolCount, h.WayPoolBytes} {
 		if c < 0 {
-			return nil, nil, fmt.Errorf("osm: snapshot v2: negative section length")
+			return nil, nil, nil, fmt.Errorf("osm: snapshot v2: negative section length")
 		}
 	}
 
 	off := int64(len(data)) - int64(br.Len())
+	off += (8 - (base+off)%8) % 8
+	fpStart := off
 	sec := func(elems, size int64) ([]byte, error) {
 		off += (8 - (base+off)%8) % 8
 		nb := elems * size
@@ -280,50 +315,56 @@ func decodeV2(data []byte, base int64, alias bool) (*Map, map[NodeID]uint64, err
 	wayTagPairs := uint32Col(bytesFor(h.WayTagPairs*2, 4), false)
 	wayPoolOff := uint32Col(bytesFor(h.WayPoolCount+1, 4), false)
 	wayPoolBlob := bytesFor(h.WayPoolBytes, 1)
+	fpEnd := off
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 
 	pool, err := poolStrings(poolOff, poolBlob, alias)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	wpool, err := poolStrings(wayPoolOff, wayPoolBlob, false)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 
 	// Validate the invariants every later read relies on, so a corrupt
 	// file fails here instead of panicking mid-query.
 	for i := 1; i < len(ids); i++ {
 		if ids[i-1] >= ids[i] {
-			return nil, nil, fmt.Errorf("osm: snapshot v2: node IDs not sorted")
+			return nil, nil, nil, fmt.Errorf("osm: snapshot v2: node IDs not sorted")
 		}
 	}
 	if err := checkCSR(tagOff, int64(len(tagPairs)/2), "node tag"); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	for _, p := range tagPairs {
 		if int64(p) >= h.PoolCount {
-			return nil, nil, fmt.Errorf("osm: snapshot v2: tag pair index out of pool")
+			return nil, nil, nil, fmt.Errorf("osm: snapshot v2: tag pair index out of pool")
 		}
 	}
 	if err := checkCSR(wayNodeOff, int64(len(wayNodeRefs)), "way ref"); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if err := checkCSR(wayTagOff, int64(len(wayTagPairs)/2), "way tag"); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	for _, p := range wayTagPairs {
 		if int64(p) >= h.WayPoolCount {
-			return nil, nil, fmt.Errorf("osm: snapshot v2: way tag index out of pool")
+			return nil, nil, nil, fmt.Errorf("osm: snapshot v2: way tag index out of pool")
 		}
 	}
 
+	// bytes.Reader is an io.ByteReader, so gob consumes exactly one message
+	// and trr.Len() tells us where the trailer ends — anything after it is
+	// the optional persisted-index tail.
+	trr := bytes.NewReader(data[off:])
 	var tr v2Trailer
-	if err := gob.NewDecoder(bytes.NewReader(data[off:])).Decode(&tr); err != nil {
-		return nil, nil, fmt.Errorf("osm: snapshot v2 trailer: %w", err)
+	if err := gob.NewDecoder(trr).Decode(&tr); err != nil {
+		return nil, nil, nil, fmt.Errorf("osm: snapshot v2 trailer: %w", err)
 	}
+	idxOff := int64(len(data)) - int64(trr.Len())
 
 	cols := &columns{
 		ids: ids, lat: lat, lng: lng, locX: locX, locY: locY,
@@ -367,7 +408,8 @@ func decodeV2(data []byte, base int64, alias bool) (*Map, map[NodeID]uint64, err
 			vers[NodeID(id)] = v
 		}
 	}
-	return m, vers, nil
+	idx := decodeIndexSections(data, base, idxOff, alias, fpStart, fpEnd)
+	return m, vers, idx, nil
 }
 
 // checkCSR validates a CSR offset column: starts at zero, nondecreasing,
@@ -471,13 +513,17 @@ func uint32Col(b []byte, alias bool) []uint32 {
 // without re-encoding.
 
 type countingWriter struct {
-	w io.Writer
-	n int64
+	w   io.Writer
+	n   int64
+	crc hash.Hash32 // when set, tees written bytes into the fingerprint
 }
 
 func (c *countingWriter) Write(p []byte) (int, error) {
 	n, err := c.w.Write(p)
 	c.n += int64(n)
+	if c.crc != nil && n > 0 {
+		c.crc.Write(p[:n])
+	}
 	return n, err
 }
 
@@ -543,6 +589,44 @@ func writeUint32s(c *countingWriter, v []uint32) error {
 	buf := make([]byte, 4*len(v))
 	for i, x := range v {
 		binary.LittleEndian.PutUint32(buf[i*4:], x)
+	}
+	_, err := c.Write(buf)
+	return err
+}
+
+func int32Col(b []byte, alias bool) []int32 {
+	n := len(b) / 4
+	if n == 0 {
+		return nil
+	}
+	if alias && hostLittleEndian {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]int32, n)
+	if hostLittleEndian {
+		copy(unsafe.Slice((*byte)(unsafe.Pointer(&out[0])), len(b)), b)
+	} else {
+		for i := range out {
+			out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+		}
+	}
+	return out
+}
+
+func writeInt32s(c *countingWriter, v []int32) error {
+	if err := c.pad(); err != nil {
+		return err
+	}
+	if len(v) == 0 {
+		return nil
+	}
+	if hostLittleEndian {
+		_, err := c.Write(unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 4*len(v)))
+		return err
+	}
+	buf := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(buf[i*4:], uint32(x))
 	}
 	_, err := c.Write(buf)
 	return err

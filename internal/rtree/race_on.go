@@ -1,0 +1,8 @@
+//go:build race
+
+package rtree
+
+// raceEnabled reports whether the race detector is active. Under -race,
+// sync.Pool deliberately drops items to widen interleavings, so the
+// zero-allocation guarantees tests pin do not hold; they skip instead.
+const raceEnabled = true

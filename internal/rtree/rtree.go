@@ -1,11 +1,13 @@
-// Package rtree implements an in-memory R-tree with quadratic splits over
-// latitude/longitude rectangles. It is the spatial index behind the map
-// store's reverse-geocode, nearest-neighbour, and viewport queries.
+// Package rtree implements the spatial indexes behind the map store's
+// reverse-geocode, nearest-neighbour, and viewport queries: a dynamic
+// R-tree with quadratic splits (this file) for mutable sets, and a static
+// STR bulk-loaded tree over packed parallel arrays (static.go) for the
+// immutable bulk that dominates a serving store.
 package rtree
 
 import (
-	"container/heap"
 	"math"
+	"sync"
 
 	"openflame/internal/geo"
 )
@@ -15,40 +17,46 @@ const (
 	minEntries = maxEntries * 2 / 5 // 40% fill floor, standard for quadratic R-trees
 )
 
-// Item is the payload stored in the tree. Items are compared by identity of
-// the stored value, so callers typically store pointers or small IDs.
-type Item interface{}
-
-type entry struct {
+// entry holds a leaf payload or a child pointer. The payload is stored
+// inline as a concrete T — no interface boxing, so the hot insert path
+// (one entry append per Insert) allocates nothing per item beyond the
+// node's entry slice growth.
+type entry[T comparable] struct {
 	bound geo.Rect
-	child *node // nil for leaf entries
-	item  Item  // nil for internal entries
+	child *node[T] // nil for leaf entries
+	item  T        // zero for internal entries
 }
 
-type node struct {
+type node[T comparable] struct {
 	leaf    bool
-	entries []entry
+	entries []entry[T]
 }
 
-// Tree is an R-tree. The zero value is not usable; call New.
-// Tree is not safe for concurrent mutation; wrap with a lock if needed.
-type Tree struct {
-	root *node
+// Tree is a dynamic R-tree storing payloads of comparable type T (small
+// IDs or packed references; equality identifies items for Delete). The
+// zero value is not usable; call New. Tree is not safe for concurrent
+// mutation; wrap with a lock if needed.
+type Tree[T comparable] struct {
+	root *node[T]
 	size int
-	path []*node // scratch: root-to-leaf descent of the current insert
+	path []*node[T] // scratch: root-to-leaf descent of the current insert
+	// nnHeap pools Nearest's frontier heap across queries. A sync.Pool
+	// (not a plain scratch field) because readers legitimately share a
+	// Tree under an RLock.
+	nnHeap sync.Pool
 }
 
 // New creates an empty R-tree.
-func New() *Tree {
-	return &Tree{root: &node{leaf: true}}
+func New[T comparable]() *Tree[T] {
+	return &Tree[T]{root: &node[T]{leaf: true}}
 }
 
 // Len returns the number of items stored.
-func (t *Tree) Len() int { return t.size }
+func (t *Tree[T]) Len() int { return t.size }
 
 // Insert adds an item with the given bounding rectangle.
-func (t *Tree) Insert(bound geo.Rect, item Item) {
-	e := entry{bound: bound, item: item}
+func (t *Tree[T]) Insert(bound geo.Rect, item T) {
+	e := entry[T]{bound: bound, item: item}
 	leaf := t.chooseLeaf(t.root, e)
 	leaf.entries = append(leaf.entries, e)
 	t.size++
@@ -58,7 +66,7 @@ func (t *Tree) Insert(bound geo.Rect, item Item) {
 
 // Delete removes the first item equal to item with exactly the given bound.
 // It returns whether an item was removed.
-func (t *Tree) Delete(bound geo.Rect, item Item) bool {
+func (t *Tree[T]) Delete(bound geo.Rect, item T) bool {
 	path := t.findLeafPath(t.root, bound, item, nil)
 	if path == nil {
 		return false
@@ -77,11 +85,11 @@ func (t *Tree) Delete(bound geo.Rect, item Item) bool {
 
 // Search calls fn for every item whose bound intersects query. Returning
 // false from fn stops the search early.
-func (t *Tree) Search(query geo.Rect, fn func(bound geo.Rect, item Item) bool) {
+func (t *Tree[T]) Search(query geo.Rect, fn func(bound geo.Rect, item T) bool) {
 	t.search(t.root, query, fn)
 }
 
-func (t *Tree) search(n *node, query geo.Rect, fn func(geo.Rect, Item) bool) bool {
+func (t *Tree[T]) search(n *node[T], query geo.Rect, fn func(geo.Rect, T) bool) bool {
 	for _, e := range n.entries {
 		if !e.bound.Intersects(query) {
 			continue
@@ -98,18 +106,37 @@ func (t *Tree) search(n *node, query geo.Rect, fn func(geo.Rect, Item) bool) boo
 }
 
 // SearchItems returns all items whose bounds intersect query.
-func (t *Tree) SearchItems(query geo.Rect) []Item {
-	var out []Item
-	t.Search(query, func(_ geo.Rect, it Item) bool {
+func (t *Tree[T]) SearchItems(query geo.Rect) []T {
+	var out []T
+	t.Search(query, func(_ geo.Rect, it T) bool {
 		out = append(out, it)
 		return true
 	})
 	return out
 }
 
+// ForEach calls fn for every item in the tree (arbitrary order). Returning
+// false stops early.
+func (t *Tree[T]) ForEach(fn func(bound geo.Rect, item T) bool) {
+	t.forEach(t.root, fn)
+}
+
+func (t *Tree[T]) forEach(n *node[T], fn func(geo.Rect, T) bool) bool {
+	for _, e := range n.entries {
+		if n.leaf {
+			if !fn(e.bound, e.item) {
+				return false
+			}
+		} else if !t.forEach(e.child, fn) {
+			return false
+		}
+	}
+	return true
+}
+
 // Neighbor is a nearest-neighbour result.
-type Neighbor struct {
-	Item           Item
+type Neighbor[T comparable] struct {
+	Item           T
 	Bound          geo.Rect
 	DistanceMeters float64
 }
@@ -117,21 +144,35 @@ type Neighbor struct {
 // Nearest returns up to k items closest to ll, ordered by distance from ll
 // to the item's bounding rectangle (exact for point items). maxMeters <= 0
 // means unbounded.
-func (t *Tree) Nearest(ll geo.LatLng, k int, maxMeters float64) []Neighbor {
+func (t *Tree[T]) Nearest(ll geo.LatLng, k int, maxMeters float64) []Neighbor[T] {
+	return t.NearestAppend(nil, ll, k, maxMeters)
+}
+
+// NearestAppend is Nearest appending into out (pass a reused buffer
+// truncated to len 0 for an allocation-free query; the frontier heap is
+// pooled internally).
+func (t *Tree[T]) NearestAppend(out []Neighbor[T], ll geo.LatLng, k int, maxMeters float64) []Neighbor[T] {
 	if k <= 0 {
-		return nil
+		return out
 	}
-	pq := &nnQueue{}
-	heap.Init(pq)
-	heap.Push(pq, nnEntry{dist: 0, node: t.root})
-	var out []Neighbor
-	for pq.Len() > 0 && len(out) < k {
-		top := heap.Pop(pq).(nnEntry)
+	var pq *[]nnEntry[T]
+	if v := t.nnHeap.Get(); v != nil {
+		pq = v.(*[]nnEntry[T])
+		*pq = (*pq)[:0]
+	} else {
+		h := make([]nnEntry[T], 0, 64)
+		pq = &h
+	}
+	defer t.nnHeap.Put(pq)
+	heapPush(pq, nnEntry[T]{dist: 0, node: t.root})
+	base := len(out)
+	for len(*pq) > 0 && len(out)-base < k {
+		top := heapPop(pq)
 		if maxMeters > 0 && top.dist > maxMeters {
 			break
 		}
 		if top.node == nil {
-			out = append(out, Neighbor{Item: top.item, Bound: top.bound, DistanceMeters: top.dist})
+			out = append(out, Neighbor[T]{Item: top.item, Bound: top.bound, DistanceMeters: top.dist})
 			continue
 		}
 		for _, e := range top.node.entries {
@@ -140,9 +181,9 @@ func (t *Tree) Nearest(ll geo.LatLng, k int, maxMeters float64) []Neighbor {
 				continue
 			}
 			if top.node.leaf {
-				heap.Push(pq, nnEntry{dist: d, item: e.item, bound: e.bound})
+				heapPush(pq, nnEntry[T]{dist: d, item: e.item, bound: e.bound})
 			} else {
-				heap.Push(pq, nnEntry{dist: d, node: e.child})
+				heapPush(pq, nnEntry[T]{dist: d, node: e.child})
 			}
 		}
 	}
@@ -157,33 +198,61 @@ func rectDistance(ll geo.LatLng, r geo.Rect) float64 {
 	return geo.DistanceMeters(ll, geo.LatLng{Lat: lat, Lng: lng})
 }
 
-type nnEntry struct {
+type nnEntry[T comparable] struct {
 	dist  float64
-	node  *node // non-nil for tree nodes
-	item  Item
+	node  *node[T] // non-nil for tree nodes
+	item  T
 	bound geo.Rect
 }
 
-type nnQueue []nnEntry
+// heapPush/heapPop maintain a value-typed binary min-heap by dist —
+// container/heap would box every element through its interface methods.
+func heapPush[T comparable](q *[]nnEntry[T], e nnEntry[T]) {
+	h := append(*q, e)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].dist <= h[i].dist {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	*q = h
+}
 
-func (q nnQueue) Len() int            { return len(q) }
-func (q nnQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q nnQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *nnQueue) Push(x interface{}) { *q = append(*q, x.(nnEntry)) }
-func (q *nnQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	x := old[n-1]
-	*q = old[:n-1]
-	return x
+func heapPop[T comparable](q *[]nnEntry[T]) nnEntry[T] {
+	h := *q
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(h) && h[l].dist < h[min].dist {
+			min = l
+		}
+		if r < len(h) && h[r].dist < h[min].dist {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	*q = h
+	return top
 }
 
 // Bound returns the bounding rectangle of everything in the tree.
-func (t *Tree) Bound() geo.Rect {
+func (t *Tree[T]) Bound() geo.Rect {
 	return nodeBound(t.root)
 }
 
-func nodeBound(n *node) geo.Rect {
+func nodeBound[T comparable](n *node[T]) geo.Rect {
 	r := geo.EmptyRect()
 	for _, e := range n.entries {
 		r = r.Union(e.bound)
@@ -195,7 +264,7 @@ func nodeBound(n *node) geo.Rect {
 
 // The tree stores no parent pointers; instead chooseLeaf records the descent
 // path in t.path for adjustTree to walk back up.
-func (t *Tree) chooseLeaf(n *node, e entry) *node {
+func (t *Tree[T]) chooseLeaf(n *node[T], e entry[T]) *node[T] {
 	t.path = t.path[:0]
 	for !n.leaf {
 		t.path = append(t.path, n)
@@ -228,7 +297,7 @@ func rectArea(r geo.Rect) float64 {
 // path is scratch space recording the most recent root-to-leaf descent.
 // (declared on Tree to avoid allocation per insert)
 
-func (t *Tree) splitIfNeeded(n *node) *node {
+func (t *Tree[T]) splitIfNeeded(n *node[T]) *node[T] {
 	if len(n.entries) <= maxEntries {
 		return nil
 	}
@@ -237,7 +306,7 @@ func (t *Tree) splitIfNeeded(n *node) *node {
 
 // splitNode performs a quadratic split, mutating n and returning the new
 // sibling node.
-func splitNode(n *node) *node {
+func splitNode[T comparable](n *node[T]) *node[T] {
 	entries := n.entries
 	// Pick seeds: the pair wasting the most area if grouped together.
 	var s1, s2 int
@@ -251,11 +320,11 @@ func splitNode(n *node) *node {
 			}
 		}
 	}
-	g1 := []entry{entries[s1]}
-	g2 := []entry{entries[s2]}
+	g1 := []entry[T]{entries[s1]}
+	g2 := []entry[T]{entries[s2]}
 	b1 := entries[s1].bound
 	b2 := entries[s2].bound
-	rest := make([]entry, 0, len(entries)-2)
+	rest := make([]entry[T], 0, len(entries)-2)
 	for i, e := range entries {
 		if i != s1 && i != s2 {
 			rest = append(rest, e)
@@ -299,11 +368,11 @@ func splitNode(n *node) *node {
 		}
 	}
 	n.entries = g1
-	return &node{leaf: n.leaf, entries: g2}
+	return &node[T]{leaf: n.leaf, entries: g2}
 }
 
 // adjustTree propagates bound updates and splits up the recorded path.
-func (t *Tree) adjustTree(_ *node, split *node) {
+func (t *Tree[T]) adjustTree(_ *node[T], split *node[T]) {
 	for i := len(t.path) - 2; i >= 0; i-- {
 		parent := t.path[i]
 		child := t.path[i+1]
@@ -314,13 +383,13 @@ func (t *Tree) adjustTree(_ *node, split *node) {
 			}
 		}
 		if split != nil {
-			parent.entries = append(parent.entries, entry{bound: nodeBound(split), child: split})
+			parent.entries = append(parent.entries, entry[T]{bound: nodeBound(split), child: split})
 			split = t.splitIfNeeded(parent)
 		}
 	}
 	if split != nil {
 		// Root split: grow the tree.
-		newRoot := &node{leaf: false, entries: []entry{
+		newRoot := &node[T]{leaf: false, entries: []entry[T]{
 			{bound: nodeBound(t.root), child: t.root},
 			{bound: nodeBound(split), child: split},
 		}}
@@ -330,12 +399,12 @@ func (t *Tree) adjustTree(_ *node, split *node) {
 
 // findLeafPath returns the root-to-leaf node path to the leaf containing the
 // item, or nil.
-func (t *Tree) findLeafPath(n *node, bound geo.Rect, item Item, acc []*node) []*node {
+func (t *Tree[T]) findLeafPath(n *node[T], bound geo.Rect, item T, acc []*node[T]) []*node[T] {
 	acc = append(acc, n)
 	if n.leaf {
 		for _, e := range n.entries {
 			if e.item == item && e.bound == bound {
-				out := make([]*node, len(acc))
+				out := make([]*node[T], len(acc))
 				copy(out, acc)
 				return out
 			}
@@ -354,8 +423,8 @@ func (t *Tree) findLeafPath(n *node, bound geo.Rect, item Item, acc []*node) []*
 
 // condenseTree removes underfull nodes along the path and reinserts their
 // orphaned entries.
-func (t *Tree) condenseTree(path []*node) {
-	var orphans []entry
+func (t *Tree[T]) condenseTree(path []*node[T]) {
+	var orphans []entry[T]
 	for i := len(path) - 1; i >= 1; i-- {
 		n := path[i]
 		parent := path[i-1]
@@ -382,7 +451,7 @@ func (t *Tree) condenseTree(path []*node) {
 		t.root = t.root.entries[0].child
 	}
 	if !t.root.leaf && len(t.root.entries) == 0 {
-		t.root = &node{leaf: true}
+		t.root = &node[T]{leaf: true}
 	}
 	for _, e := range orphans {
 		t.size-- // Insert will re-increment
@@ -390,13 +459,13 @@ func (t *Tree) condenseTree(path []*node) {
 	}
 }
 
-func collectLeafEntries(n *node) []entry {
+func collectLeafEntries[T comparable](n *node[T]) []entry[T] {
 	if n.leaf {
-		out := make([]entry, len(n.entries))
+		out := make([]entry[T], len(n.entries))
 		copy(out, n.entries)
 		return out
 	}
-	var out []entry
+	var out []entry[T]
 	for _, e := range n.entries {
 		out = append(out, collectLeafEntries(e.child)...)
 	}

@@ -14,7 +14,7 @@ func ptRect(ll geo.LatLng) geo.Rect {
 }
 
 func TestEmptyTree(t *testing.T) {
-	tr := New()
+	tr := New[int]()
 	if tr.Len() != 0 {
 		t.Fatal("new tree not empty")
 	}
@@ -27,7 +27,7 @@ func TestEmptyTree(t *testing.T) {
 }
 
 func TestInsertSearchSmall(t *testing.T) {
-	tr := New()
+	tr := New[int]()
 	pts := []geo.LatLng{{Lat: 40, Lng: -80}, {Lat: 40.5, Lng: -80.5}, {Lat: 41, Lng: -81}}
 	for i, p := range pts {
 		tr.Insert(ptRect(p), i)
@@ -43,7 +43,7 @@ func TestInsertSearchSmall(t *testing.T) {
 
 func TestInsertManyAndSearchMatchesBruteForce(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	tr := New()
+	tr := New[int]()
 	const n = 2000
 	pts := make([]geo.LatLng, n)
 	for i := range pts {
@@ -66,8 +66,8 @@ func TestInsertManyAndSearchMatchesBruteForce(t *testing.T) {
 			}
 		}
 		var got []int
-		tr.Search(q, func(_ geo.Rect, it Item) bool {
-			got = append(got, it.(int))
+		tr.Search(q, func(_ geo.Rect, it int) bool {
+			got = append(got, it)
 			return true
 		})
 		sort.Ints(want)
@@ -84,12 +84,12 @@ func TestInsertManyAndSearchMatchesBruteForce(t *testing.T) {
 }
 
 func TestSearchEarlyStop(t *testing.T) {
-	tr := New()
+	tr := New[int]()
 	for i := 0; i < 100; i++ {
 		tr.Insert(ptRect(geo.LatLng{Lat: 40, Lng: -80}), i)
 	}
 	count := 0
-	tr.Search(geo.RectFromCenter(geo.LatLng{Lat: 40, Lng: -80}, 1, 1), func(_ geo.Rect, _ Item) bool {
+	tr.Search(geo.RectFromCenter(geo.LatLng{Lat: 40, Lng: -80}, 1, 1), func(_ geo.Rect, _ int) bool {
 		count++
 		return count < 5
 	})
@@ -100,7 +100,7 @@ func TestSearchEarlyStop(t *testing.T) {
 
 func TestNearestMatchesBruteForce(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	tr := New()
+	tr := New[int]()
 	const n = 1000
 	pts := make([]geo.LatLng, n)
 	for i := range pts {
@@ -132,7 +132,7 @@ func TestNearestMatchesBruteForce(t *testing.T) {
 }
 
 func TestNearestMaxMeters(t *testing.T) {
-	tr := New()
+	tr := New[string]()
 	center := geo.LatLng{Lat: 40, Lng: -80}
 	tr.Insert(ptRect(geo.Offset(center, 100, 0)), "near")
 	tr.Insert(ptRect(geo.Offset(center, 5000, 0)), "far")
@@ -144,7 +144,7 @@ func TestNearestMaxMeters(t *testing.T) {
 
 func TestDelete(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	tr := New()
+	tr := New[int]()
 	const n = 500
 	pts := make([]geo.LatLng, n)
 	for i := range pts {
@@ -164,7 +164,7 @@ func TestDelete(t *testing.T) {
 	world := geo.Rect{MinLat: 39, MinLng: -81, MaxLat: 42, MaxLng: -78}
 	found := map[int]bool{}
 	for _, it := range tr.SearchItems(world) {
-		found[it.(int)] = true
+		found[it] = true
 	}
 	for i := 0; i < n; i++ {
 		want := i%2 == 1
@@ -179,7 +179,7 @@ func TestDelete(t *testing.T) {
 }
 
 func TestDeleteAllThenReuse(t *testing.T) {
-	tr := New()
+	tr := New[int]()
 	pts := make([]geo.LatLng, 100)
 	rng := rand.New(rand.NewSource(9))
 	for i := range pts {
@@ -194,14 +194,14 @@ func TestDeleteAllThenReuse(t *testing.T) {
 	if tr.Len() != 0 {
 		t.Fatalf("Len = %d after deleting all", tr.Len())
 	}
-	tr.Insert(ptRect(geo.LatLng{Lat: 1, Lng: 1}), "x")
+	tr.Insert(ptRect(geo.LatLng{Lat: 1, Lng: 1}), 10001)
 	if got := tr.SearchItems(geo.RectFromCenter(geo.LatLng{Lat: 1, Lng: 1}, 0.1, 0.1)); len(got) != 1 {
 		t.Fatalf("reuse after drain failed: %v", got)
 	}
 }
 
 func TestRectItems(t *testing.T) {
-	tr := New()
+	tr := New[string]()
 	// Non-point rectangles (e.g. way bounding boxes).
 	r1 := geo.Rect{MinLat: 40, MinLng: -80, MaxLat: 40.1, MaxLng: -79.9}
 	r2 := geo.Rect{MinLat: 40.05, MinLng: -79.95, MaxLat: 40.2, MaxLng: -79.8}
@@ -214,7 +214,7 @@ func TestRectItems(t *testing.T) {
 }
 
 func TestBound(t *testing.T) {
-	tr := New()
+	tr := New[int]()
 	if !tr.Bound().IsEmpty() {
 		t.Fatal("empty tree has non-empty bound")
 	}
@@ -229,7 +229,7 @@ func TestBound(t *testing.T) {
 
 func BenchmarkInsert(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
-	tr := New()
+	tr := New[int]()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tr.Insert(ptRect(geo.LatLng{Lat: rng.Float64() * 90, Lng: rng.Float64() * 180}), i)
@@ -238,7 +238,7 @@ func BenchmarkInsert(b *testing.B) {
 
 func BenchmarkSearch(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
-	tr := New()
+	tr := New[int]()
 	for i := 0; i < 100000; i++ {
 		tr.Insert(ptRect(geo.LatLng{Lat: 40 + rng.Float64(), Lng: -80 + rng.Float64()}), i)
 	}
@@ -246,13 +246,13 @@ func BenchmarkSearch(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		q := geo.RectFromCenter(geo.LatLng{Lat: 40.5, Lng: -79.5}, 0.01, 0.01)
-		tr.Search(q, func(_ geo.Rect, _ Item) bool { return true })
+		tr.Search(q, func(_ geo.Rect, _ int) bool { return true })
 	}
 }
 
 func BenchmarkNearest(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
-	tr := New()
+	tr := New[int]()
 	for i := 0; i < 100000; i++ {
 		tr.Insert(ptRect(geo.LatLng{Lat: 40 + rng.Float64(), Lng: -80 + rng.Float64()}), i)
 	}

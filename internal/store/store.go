@@ -8,6 +8,7 @@ package store
 import (
 	crand "crypto/rand"
 	"encoding/binary"
+	"fmt"
 	"sort"
 	"strings"
 	"sync"
@@ -28,10 +29,13 @@ type SegmentRef struct {
 // Store indexes one osm.Map. Mutations go through the Store (not the
 // underlying map) so indexes stay consistent. Safe for concurrent use.
 type Store struct {
-	mu    sync.RWMutex
-	m     *osm.Map
-	nodes *rtree.Tree // items: osm.NodeID at point rects
-	segs  *rtree.Tree // items: SegmentRef at segment bounds
+	mu sync.RWMutex
+	m  *osm.Map
+	// The spatial indexes are static bulk-loaded trees with a small dynamic
+	// overlay for mutations (see spatialIndex); on a server booted from an
+	// indexed snapshot the static columns alias the mmap.
+	nodes *spatialIndex[osm.NodeID] // node positions (point rects)
+	segs  *spatialIndex[SegmentRef] // way segment bounds
 	// inv maps token → sorted posting list. Published lists are
 	// copy-on-write: a mid-list insert or any delete builds a fresh slice
 	// (tail appends only ever touch capacity beyond a reader's length), so
@@ -78,27 +82,164 @@ type Change struct {
 // converges on every retained (and future) change.
 const changeLogCap = 4096
 
-// New builds the indexes for m. The map must not be mutated externally
-// afterwards.
+// portalToken is the reserved inverted-index token whose posting list
+// holds every node carrying osm.TagPortalID, ascending by ID. Tokenize
+// only ever emits lowercase alphanumerics, so the NUL prefix cannot
+// collide with a real token, and the list rides posting-list persistence
+// for free — an attached server knows its portals without walking the map.
+const portalToken = "\x00portal"
+
+// New builds the indexes for m from scratch — the cold-start path (no
+// snapshot index, or a stale one). The three index families are
+// independent, so they build in parallel: node tree, segment tree, and
+// inverted text index each get a goroutine walking the (read-only,
+// RLock-shared) map. The map must not be mutated externally afterwards.
 func New(m *osm.Map) *Store {
 	s := &Store{
 		m:       m,
-		nodes:   rtree.New(),
-		segs:    rtree.New(),
 		inv:     make(map[string][]osm.NodeID),
 		bounds:  geo.EmptyRect(),
 		nodeVer: make(map[osm.NodeID]uint64),
 		logID:   newLogID(),
 	}
-	m.Nodes(func(n *osm.Node) bool {
-		s.indexNode(n)
-		return true
-	})
-	m.Ways(func(w *osm.Way) bool {
-		s.indexWay(w)
-		return true
-	})
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		ents := make([]rtree.Entry[osm.NodeID], 0, m.NodeCount())
+		bounds := geo.EmptyRect()
+		m.Nodes(func(n *osm.Node) bool {
+			pos := m.NodePosition(n)
+			bounds = bounds.ExpandToInclude(pos)
+			ents = append(ents, rtree.Entry[osm.NodeID]{Bound: pointRect(pos), Item: n.ID})
+			return true
+		})
+		s.nodes = newSpatial(rtree.BulkLoad(ents))
+		s.bounds = bounds
+	}()
+	go func() {
+		defer wg.Done()
+		var ents []rtree.Entry[SegmentRef]
+		m.Ways(func(w *osm.Way) bool {
+			nodes := m.WayNodes(w)
+			for i := 1; i < len(nodes); i++ {
+				a := m.NodePosition(nodes[i-1])
+				b := m.NodePosition(nodes[i])
+				r := geo.EmptyRect().ExpandToInclude(a).ExpandToInclude(b)
+				ents = append(ents, rtree.Entry[SegmentRef]{
+					Bound: r, Item: SegmentRef{WayID: w.ID, Index: i - 1},
+				})
+			}
+			return true
+		})
+		s.segs = newSpatial(rtree.BulkLoad(ents))
+	}()
+	go func() {
+		defer wg.Done()
+		// Nodes iterates in ascending ID order, so every insertPosting here
+		// is a tail append.
+		m.Nodes(func(n *osm.Node) bool {
+			for _, tok := range TokenizeTags(n.Tags) {
+				s.inv[tok] = insertPosting(s.inv[tok], n.ID)
+			}
+			if n.Tags[osm.TagPortalID] != "" {
+				s.inv[portalToken] = insertPosting(s.inv[portalToken], n.ID)
+			}
+			return true
+		})
+	}()
+	wg.Wait()
 	return s
+}
+
+// NewWithIndex attaches a persisted snapshot index (osm.IndexData, already
+// fingerprint-verified against the map's columns by the snapshot reader)
+// instead of rebuilding: the static trees are validated structurally and
+// adopted as-is, and posting lists slice the persisted CSR arena in place.
+// On the mmap path nothing here copies the tree columns — boot cost is
+// O(validation), not O(n log n) build.
+//
+// An error means the index is unusable (corrupt layout, count mismatch);
+// callers fall back to New.
+func NewWithIndex(m *osm.Map, idx *osm.IndexData) (*Store, error) {
+	if idx == nil {
+		return nil, fmt.Errorf("store: nil index")
+	}
+	nodeTree, err := rtree.StaticFromLayout(idx.NodeTree, idx.NodeItems)
+	if err != nil {
+		return nil, fmt.Errorf("store: node tree: %w", err)
+	}
+	if nodeTree.Len() != m.NodeCount() {
+		return nil, fmt.Errorf("store: index holds %d nodes, map %d", nodeTree.Len(), m.NodeCount())
+	}
+	if len(idx.SegWays) != len(idx.SegIdxs) {
+		return nil, fmt.Errorf("store: segment payload columns disagree")
+	}
+	refs := make([]SegmentRef, len(idx.SegWays))
+	for i := range refs {
+		refs[i] = SegmentRef{WayID: osm.WayID(idx.SegWays[i]), Index: int(idx.SegIdxs[i])}
+	}
+	segTree, err := rtree.StaticFromLayout(idx.SegTree, refs)
+	if err != nil {
+		return nil, fmt.Errorf("store: segment tree: %w", err)
+	}
+	if len(idx.PostOff) != len(idx.Tokens)+1 {
+		return nil, fmt.Errorf("store: posting offsets disagree with tokens")
+	}
+	inv := make(map[string][]osm.NodeID, len(idx.Tokens))
+	for i, tok := range idx.Tokens {
+		if lo, hi := idx.PostOff[i], idx.PostOff[i+1]; hi > lo {
+			// Three-index slices: a later copy-on-write append reallocates
+			// instead of scribbling past a reader's view (or into the mmap).
+			inv[tok] = idx.Postings[lo:hi:hi]
+		}
+	}
+	return &Store{
+		m:       m,
+		nodes:   newSpatial(nodeTree),
+		segs:    newSpatial(segTree),
+		inv:     inv,
+		bounds:  idx.Bounds,
+		nodeVer: make(map[osm.NodeID]uint64),
+		logID:   newLogID(),
+	}, nil
+}
+
+// PersistedIndex exports the serving indexes for snapshot persistence
+// (osm.WriteSnapshotVersionsIndexed). Both spatial overlays are compacted
+// first so the export is exactly two static trees; the inverted index
+// flattens into sorted tokens over one CSR postings arena. A server that
+// later attaches this export serves byte-identical results: BulkLoad is
+// deterministic and posting lists are persisted in full.
+func (s *Store) PersistedIndex() *osm.IndexData {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nodes.compact()
+	s.segs.compact()
+	idx := &osm.IndexData{
+		Bounds:    s.bounds,
+		NodeTree:  s.nodes.static.Layout(),
+		NodeItems: append([]osm.NodeID(nil), s.nodes.static.Items()...),
+	}
+	segItems := s.segs.static.Items()
+	idx.SegTree = s.segs.static.Layout()
+	idx.SegWays = make([]int64, len(segItems))
+	idx.SegIdxs = make([]int32, len(segItems))
+	for i, ref := range segItems {
+		idx.SegWays[i] = int64(ref.WayID)
+		idx.SegIdxs[i] = int32(ref.Index)
+	}
+	idx.Tokens = make([]string, 0, len(s.inv))
+	for tok := range s.inv {
+		idx.Tokens = append(idx.Tokens, tok)
+	}
+	sort.Strings(idx.Tokens)
+	idx.PostOff = make([]uint32, 1, len(idx.Tokens)+1)
+	for _, tok := range idx.Tokens {
+		idx.Postings = append(idx.Postings, s.inv[tok]...)
+		idx.PostOff = append(idx.PostOff, uint32(len(idx.Postings)))
+	}
+	return idx
 }
 
 // Map returns the underlying map.
@@ -133,10 +274,13 @@ func pointRect(ll geo.LatLng) geo.Rect {
 
 func (s *Store) indexNode(n *osm.Node) {
 	pos := s.m.NodePosition(n)
-	s.nodes.Insert(pointRect(pos), n.ID)
+	s.nodes.insert(pointRect(pos), n.ID)
 	s.bounds = s.bounds.ExpandToInclude(pos)
 	for _, tok := range TokenizeTags(n.Tags) {
 		s.inv[tok] = insertPosting(s.inv[tok], n.ID)
+	}
+	if n.Tags[osm.TagPortalID] != "" {
+		s.inv[portalToken] = insertPosting(s.inv[portalToken], n.ID)
 	}
 }
 
@@ -171,8 +315,12 @@ func removePosting(lst []osm.NodeID, id osm.NodeID) []osm.NodeID {
 
 func (s *Store) unindexNode(n *osm.Node) {
 	pos := s.m.NodePosition(n)
-	s.nodes.Delete(pointRect(pos), n.ID)
-	for _, tok := range TokenizeTags(n.Tags) {
+	s.nodes.delete(pointRect(pos), n.ID)
+	toks := TokenizeTags(n.Tags)
+	if n.Tags[osm.TagPortalID] != "" {
+		toks = append(toks, portalToken)
+	}
+	for _, tok := range toks {
 		if lst := removePosting(s.inv[tok], n.ID); len(lst) == 0 {
 			delete(s.inv, tok)
 		} else {
@@ -187,7 +335,7 @@ func (s *Store) indexWay(w *osm.Way) {
 		a := s.m.NodePosition(nodes[i-1])
 		b := s.m.NodePosition(nodes[i])
 		r := geo.EmptyRect().ExpandToInclude(a).ExpandToInclude(b)
-		s.segs.Insert(r, SegmentRef{WayID: w.ID, Index: i - 1})
+		s.segs.insert(r, SegmentRef{WayID: w.ID, Index: i - 1})
 	}
 }
 
@@ -197,6 +345,7 @@ func (s *Store) AddNode(n *osm.Node) osm.NodeID {
 	defer s.mu.Unlock()
 	id := s.m.AddNode(n)
 	s.indexNode(n)
+	s.nodes.maybeCompact()
 	return id
 }
 
@@ -209,6 +358,7 @@ func (s *Store) AddWay(w *osm.Way) (osm.WayID, error) {
 		return 0, err
 	}
 	s.indexWay(w)
+	s.segs.maybeCompact()
 	return id, nil
 }
 
@@ -296,6 +446,7 @@ func (s *Store) replaceTagsLocked(n *osm.Node, tags osm.Tags, ver uint64) {
 	nn := &osm.Node{ID: n.ID, Pos: n.Pos, Local: n.Local, Tags: tags}
 	s.m.AddNode(nn) // replaces the entry under the map's own lock
 	s.indexNode(nn)
+	s.nodes.maybeCompact()
 	s.nodeVer[n.ID] = ver
 	s.changeSeq++
 	s.changes = append(s.changes, Change{Seq: s.changeSeq, NodeID: n.ID, Tags: tags.Clone(), Ver: ver})
@@ -409,6 +560,7 @@ func (s *Store) RemoveNode(id osm.NodeID) bool {
 		return false
 	}
 	s.unindexNode(n)
+	s.nodes.maybeCompact()
 	return true
 }
 
@@ -417,8 +569,8 @@ func (s *Store) NodesInRect(r geo.Rect) []*osm.Node {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var out []*osm.Node
-	s.nodes.Search(r, func(_ geo.Rect, it rtree.Item) bool {
-		if n := s.m.Node(it.(osm.NodeID)); n != nil {
+	s.nodes.search(r, func(_ geo.Rect, id osm.NodeID) bool {
+		if n := s.m.Node(id); n != nil {
 			out = append(out, n)
 		}
 		return true
@@ -437,10 +589,10 @@ type NodeHit struct {
 func (s *Store) NearestNodes(ll geo.LatLng, k int, maxMeters float64) []NodeHit {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	nbrs := s.nodes.Nearest(ll, k, maxMeters)
+	nbrs := s.nodes.nearest(ll, k, maxMeters)
 	out := make([]NodeHit, 0, len(nbrs))
 	for _, nb := range nbrs {
-		if n := s.m.Node(nb.Item.(osm.NodeID)); n != nil {
+		if n := s.m.Node(nb.Item); n != nil {
 			out = append(out, NodeHit{Node: n, DistanceMeters: nb.DistanceMeters})
 		}
 	}
@@ -488,8 +640,7 @@ func (s *Store) SnapToWay(ll geo.LatLng, maxMeters float64) (Snap, bool) {
 	search := pointRect(ll).ExpandedMeters(maxMeters)
 	best := Snap{DistanceMeters: maxMeters + 1}
 	found := false
-	s.segs.Search(search, func(_ geo.Rect, it rtree.Item) bool {
-		ref := it.(SegmentRef)
+	s.segs.search(search, func(_ geo.Rect, ref SegmentRef) bool {
 		w := s.m.Way(ref.WayID)
 		if w == nil || ref.Index+1 >= len(w.NodeIDs) {
 			return true
@@ -526,8 +677,7 @@ func (s *Store) ForEachSegmentNear(ll geo.LatLng, maxMeters float64, fn func(way
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	search := pointRect(ll).ExpandedMeters(maxMeters)
-	s.segs.Search(search, func(_ geo.Rect, it rtree.Item) bool {
-		ref := it.(SegmentRef)
+	s.segs.search(search, func(_ geo.Rect, ref SegmentRef) bool {
 		w := s.m.Way(ref.WayID)
 		if w == nil || ref.Index+1 >= len(w.NodeIDs) {
 			return true
@@ -591,18 +741,33 @@ func (s *Store) ForEachPostingMatch(tokens []string, fn func(id osm.NodeID, hits
 	}
 }
 
-// TokenCount returns the number of distinct indexed tokens.
+// TokenCount returns the number of distinct indexed tokens (the internal
+// portal posting list is bookkeeping, not a searchable token).
 func (s *Store) TokenCount() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.inv)
+	n := len(s.inv)
+	if _, ok := s.inv[portalToken]; ok {
+		n--
+	}
+	return n
 }
 
 // NodeCount returns the number of indexed nodes.
 func (s *Store) NodeCount() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.nodes.Len()
+	return s.nodes.len()
+}
+
+// PortalNodeIDs returns the IDs of every node tagged as a portal,
+// ascending. It reads the reserved portal posting list, so it is O(answer)
+// — no map walk — and comes straight off the snapshot on an attached
+// server.
+func (s *Store) PortalNodeIDs() []osm.NodeID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]osm.NodeID(nil), s.inv[portalToken]...)
 }
 
 // Tokenize splits free text into lowercase alphanumeric tokens.
