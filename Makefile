@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify fmt vet staticcheck deprecation-guard build test race cover bench-fanout bench-resilience bench-replication bench-session bench-route bench-overload bench-world bench-boot bench-smoke
+.PHONY: verify fmt vet staticcheck deprecation-guard build test race cover bench-fanout bench-resilience bench-replication bench-session bench-route bench-overload bench-world bench-boot bench-watch bench-smoke
 
 ## verify: the full CI gate — formatting, vet, the v2-API deprecation
 ## guard, build, tests under -race (twice, so flaky tests surface). CI
@@ -116,8 +116,17 @@ bench-world:
 bench-boot:
 	BENCH_BOOT_JSON=BENCH_boot.json $(GO) test -run TestE21BenchArtifact -count=1 -timeout 30m -v .
 
+## bench-watch: the E22 streaming-read-path experiment — N polling clients
+## vs N push watchers on a churning region. Writes BENCH_watch.json and
+## fails if the floors slip: watch side ≥10× fewer HTTP requests than the
+## poll side, pushed-delta freshness p95 under the poll interval, every
+## watcher converged on the final write, and hub evaluations scaling with
+## churn rather than with the watcher population (coalescing).
+bench-watch:
+	BENCH_WATCH_JSON=BENCH_watch.json $(GO) test -run TestE22BenchArtifact -count=1 -v .
+
 ## bench-smoke: compile and run EVERY benchmark for one iteration, so the
-## growing suite (E1–E21 plus per-package micro-benchmarks) can never rot
+## growing suite (E1–E22 plus per-package micro-benchmarks) can never rot
 ## uncompiled. Numbers are meaningless at 1x; only pass/fail matters.
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...

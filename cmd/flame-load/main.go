@@ -17,6 +17,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -47,6 +48,7 @@ type options struct {
 	zipf       float64
 	regions    int
 	writeRatio float64
+	watchers   int
 	seed       int64
 	jsonPath   string
 	user       string
@@ -66,6 +68,7 @@ func newFlagSet(name string) (*flag.FlagSet, *options) {
 	fs.Float64Var(&o.zipf, "zipf", 1.2, "Zipf exponent for the region and query mix (higher = more skew)")
 	fs.IntVar(&o.regions, "regions", 16, "number of Zipf-weighted sub-regions the bbox is cut into")
 	fs.Float64Var(&o.writeRatio, "write-ratio", 0, "fraction of write arrivals — rejected over HTTP (the serving API has no write endpoint; the in-process E19 bench exercises the write mix)")
+	fs.IntVar(&o.watchers, "watchers", 0, "standing /v1/watch subscriptions held open for the whole run alongside the request arrivals (region and query Zipf-drawn like requests); received delta events are reported at the end")
 	fs.Int64Var(&o.seed, "seed", 1, "rng seed for the arrival mix (reproducible runs)")
 	fs.StringVar(&o.jsonPath, "json", "", "also write the result as JSON to this path")
 	fs.StringVar(&o.user, "user", "load@example.org", "X-Flame-User identity")
@@ -236,6 +239,72 @@ func (o *options) opFactory(client *http.Client) func(rng *rand.Rand, seq int, w
 	}
 }
 
+// watchFactory builds one standing subscription: a Zipf-drawn region point
+// and query submitted to /v1/watch, the SSE stream drained until the run
+// ends, delta frames counted.
+func (o *options) watchFactory(client *http.Client) func(ctx context.Context, rng *rand.Rand, i int) (int64, error) {
+	b, _ := o.bounds()
+	queries := o.queryList()
+	regions := o.regions
+	if regions < 1 {
+		regions = 1
+	}
+	latSpan := (b[2] - b[0]) / float64(regions)
+	return func(ctx context.Context, rng *rand.Rand, i int) (int64, error) {
+		region := int(loadgen.Zipf(rng, o.zipf, uint64(regions))())
+		near := geo.LatLng{
+			Lat: b[0] + float64(region)*latSpan + rng.Float64()*latSpan,
+			Lng: b[1] + rng.Float64()*(b[3]-b[1]),
+		}
+		sub := wire.SubscribeRequest{Query: wire.SearchRequest{
+			Query: queries[loadgen.Zipf(rng, o.zipf, uint64(len(queries)))()],
+			Near:  &near, MaxDistanceMeters: 1000, Limit: 5,
+		}}
+		body, _ := json.Marshal(&sub)
+		hr, err := http.NewRequestWithContext(ctx, http.MethodPost, o.url+"/v1/watch", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		hr.Header.Set("Content-Type", "application/json")
+		hr.Header.Set("Accept", "text/event-stream")
+		hr.Header.Set("X-Flame-User", o.user)
+		hr.Header.Set("X-Flame-App", o.app)
+		res, err := client.Do(hr)
+		if err != nil {
+			if ctx.Err() != nil {
+				return 0, nil
+			}
+			return 0, err
+		}
+		defer res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			_, _ = io.Copy(io.Discard, res.Body)
+			return 0, fmt.Errorf("watch: status %d", res.StatusCode)
+		}
+		var deltas int64
+		sc := bufio.NewScanner(res.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+		for sc.Scan() {
+			line := sc.Bytes()
+			rest, ok := bytes.CutPrefix(line, []byte("data:"))
+			if !ok {
+				continue
+			}
+			var ev wire.Event
+			if json.Unmarshal(bytes.TrimSpace(rest), &ev) == nil && ev.Type == wire.EventDelta {
+				deltas++
+			}
+		}
+		if ctx.Err() != nil {
+			return deltas, nil
+		}
+		if err := sc.Err(); err != nil {
+			return deltas, err
+		}
+		return deltas, fmt.Errorf("watch: stream ended early")
+	}
+}
+
 // report is the machine-readable run summary.
 type report struct {
 	URL         string  `json:"url"`
@@ -251,23 +320,30 @@ type report struct {
 	P50MS       float64 `json:"p50AcceptedMs"`
 	P95MS       float64 `json:"p95AcceptedMs"`
 	P99MS       float64 `json:"p99AcceptedMs"`
+
+	Watchers      int64 `json:"watchers,omitempty"`
+	WatcherDeltas int64 `json:"watcherDeltas,omitempty"`
+	WatcherErrors int64 `json:"watcherErrors,omitempty"`
 }
 
 func buildReport(o *options, res *loadgen.Result) report {
 	return report{
-		URL:         o.url,
-		RatePerSec:  o.rate,
-		DurationSec: res.Elapsed.Seconds(),
-		Arrivals:    res.Arrivals,
-		OK:          res.OK,
-		Shed:        res.Shed,
-		Timeouts:    res.Timeouts,
-		Errors:      res.Errors,
-		Dropped:     res.Dropped,
-		GoodputPS:   res.Goodput(),
-		P50MS:       float64(res.PercentileOK(50)) / float64(time.Millisecond),
-		P95MS:       float64(res.PercentileOK(95)) / float64(time.Millisecond),
-		P99MS:       float64(res.PercentileOK(99)) / float64(time.Millisecond),
+		URL:           o.url,
+		RatePerSec:    o.rate,
+		DurationSec:   res.Elapsed.Seconds(),
+		Arrivals:      res.Arrivals,
+		OK:            res.OK,
+		Shed:          res.Shed,
+		Timeouts:      res.Timeouts,
+		Errors:        res.Errors,
+		Dropped:       res.Dropped,
+		GoodputPS:     res.Goodput(),
+		P50MS:         float64(res.PercentileOK(50)) / float64(time.Millisecond),
+		P95MS:         float64(res.PercentileOK(95)) / float64(time.Millisecond),
+		P99MS:         float64(res.PercentileOK(99)) / float64(time.Millisecond),
+		Watchers:      res.Watchers,
+		WatcherDeltas: res.WatcherDeltas,
+		WatcherErrors: res.WatcherErrors,
 	}
 }
 
@@ -292,11 +368,16 @@ func main() {
 		Timeout:  o.timeout,
 		Seed:     o.seed,
 		Op:       o.opFactory(client),
+		Watchers: o.watchers,
+		Watch:    o.watchFactory(client),
 	})
 	rep := buildReport(o, res)
 	fmt.Printf("arrivals %d | ok %d (%.1f/s goodput) | shed %d | timeout %d | error %d | dropped %d\n",
 		rep.Arrivals, rep.OK, rep.GoodputPS, rep.Shed, rep.Timeouts, rep.Errors, rep.Dropped)
 	fmt.Printf("accepted latency: p50 %.1fms  p95 %.1fms  p99 %.1fms\n", rep.P50MS, rep.P95MS, rep.P99MS)
+	if rep.Watchers > 0 {
+		fmt.Printf("watchers %d | deltas %d | errors %d\n", rep.Watchers, rep.WatcherDeltas, rep.WatcherErrors)
+	}
 	if o.jsonPath != "" {
 		b, _ := json.MarshalIndent(rep, "", "  ")
 		if err := os.WriteFile(o.jsonPath, append(b, '\n'), 0o644); err != nil {

@@ -65,7 +65,10 @@ type options struct {
 	maxBatchBodyBytes int64
 	readHeaderTimeout time.Duration
 	readTimeout       time.Duration
+	writeTimeout      time.Duration
 	idleTimeout       time.Duration
+	maxWatchers       int
+	watchPing         time.Duration
 }
 
 // defaultQueryCacheEntries sizes the query result cache when -query-cache
@@ -102,7 +105,10 @@ func newFlagSet(name string) (*flag.FlagSet, *options) {
 	fs.Int64Var(&o.maxBatchBodyBytes, "max-batch-body-bytes", mapserver.DefaultMaxBatchBodyBytes, "max request body size for /v1/batch (<0 = unlimited)")
 	fs.DurationVar(&o.readHeaderTimeout, "read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout: a client that trickles its headers (slowloris) is cut off after this long (0 = no limit)")
 	fs.DurationVar(&o.readTimeout, "read-timeout", 30*time.Second, "http.Server ReadTimeout covering the whole request read (0 = no limit)")
+	fs.DurationVar(&o.writeTimeout, "write-timeout", 0, "http.Server WriteTimeout covering each response write (0 = no limit); /v1/watch streams reset their own per-event write deadline, so they outlive this cap")
 	fs.DurationVar(&o.idleTimeout, "idle-timeout", 2*time.Minute, "http.Server IdleTimeout for keep-alive connections (0 = no limit)")
+	fs.IntVar(&o.maxWatchers, "max-watchers", 0, "max concurrent /v1/watch subscriptions; excess earns 429/Retry-After (0 = default 1024, <0 = unlimited)")
+	fs.DurationVar(&o.watchPing, "watch-ping", mapserver.DefaultWatchPingInterval, "keepalive ping interval on idle watch streams")
 	return fs, o
 }
 
@@ -119,14 +125,19 @@ func (o *options) inFlightBound() int {
 
 // httpServer builds the serving http.Server with the ingest timeouts.
 // Without them one slow-header (slowloris) or slow-body client holds a
-// connection — and its handler resources — forever. WriteTimeout stays 0:
-// per-request deadlines belong to the client and the admission layer, not
-// a blanket write cap that would sever a legitimately slow route response.
+// connection — and its handler resources — forever. WriteTimeout defaults
+// to 0: per-request deadlines belong to the client and the admission
+// layer, not a blanket write cap that would sever a legitimately slow
+// route response. Operators who do set -write-timeout don't endanger
+// /v1/watch: the stream handler resets its own per-event write deadline
+// via http.ResponseController, so a healthy stream outlives any cap while
+// a stuck peer still fails a write promptly.
 func (o *options) httpServer(h http.Handler) *http.Server {
 	return &http.Server{
 		Handler:           h,
 		ReadHeaderTimeout: o.readHeaderTimeout,
 		ReadTimeout:       o.readTimeout,
+		WriteTimeout:      o.writeTimeout,
 		IdleTimeout:       o.idleTimeout,
 	}
 }
@@ -240,6 +251,8 @@ func (o *options) buildServer() (*mapserver.Server, *osm.Map, error) {
 		RetryAfter:        o.retryAfter,
 		MaxBodyBytes:      o.maxBodyBytes,
 		MaxBatchBodyBytes: o.maxBatchBodyBytes,
+		MaxWatchers:       o.maxWatchers,
+		WatchPingInterval: o.watchPing,
 	})
 	if err != nil {
 		return nil, nil, err

@@ -6,9 +6,14 @@
 //
 //	flame -root 127.0.0.1:5300 discover  <lat> <lng>
 //	flame -root 127.0.0.1:5300 search    <lat> <lng> <query...>
+//	flame -root 127.0.0.1:5300 watch     <lat> <lng> <query...>
 //	flame -root 127.0.0.1:5300 geocode   -world http://host:8080 <address...>
 //	flame -root 127.0.0.1:5300 route     <fromLat> <fromLng> <toLat> <toLng>
 //	flame -root 127.0.0.1:5300 tile      <lat> <lng> <zoom> <out.png>
+//
+// watch subscribes instead of asking: it prints the initial result set,
+// then +/- delta lines as the region's inventory churns, until interrupted
+// (-timeout defaults to none for this command unless set explicitly).
 //
 // Resilience flags (-retries, -retry-budget, -hedge-after,
 // -breaker-threshold) tune how the client treats an unreliable
@@ -128,6 +133,11 @@ func main() {
 	// Ctrl-C cancels every in-flight discovery and server call.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	// watch is open-ended by design: the default 30s deadline would sever a
+	// healthy stream, so it only applies when the operator set it themselves.
+	if args[0] == "watch" && !flagWasSet(fs, "timeout") {
+		o.timeout = 0
+	}
 	if o.timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, o.timeout)
@@ -152,6 +162,29 @@ func main() {
 		for i, r := range c.SearchV2(ctx, query, ll, 10, o.callOpts()...) {
 			fmt.Printf("%2d. %-32s %6.0fm score=%.2f via %s\n",
 				i+1, r.Name, r.DistanceMeters, r.Score, r.Source)
+		}
+	case "watch":
+		ll := parseLatLng(fs, args, 1)
+		query := strings.Join(args[3:], " ")
+		w, err := c.WatchV2(ctx, query, ll, 10, o.callOpts()...)
+		if err != nil {
+			log.Fatalf("watch: %v", err)
+		}
+		defer w.Stop()
+		for ev := range w.Events() {
+			if ev.Init {
+				fmt.Printf("=== %s: %d result(s)\n", ev.Server, len(ev.Results))
+				for i, r := range ev.Results {
+					fmt.Printf("%2d. %-32s %6.0fm score=%.2f\n", i+1, r.Name, r.DistanceMeters, r.Score)
+				}
+				continue
+			}
+			for _, r := range ev.Updated {
+				fmt.Printf(" + %-32s %6.0fm score=%.2f via %s\n", r.Name, r.DistanceMeters, r.Score, ev.Server)
+			}
+			for _, id := range ev.Removed {
+				fmt.Printf(" - node %d via %s\n", id, ev.Server)
+			}
 		}
 	case "geocode":
 		address := strings.Join(args[1:], " ")
@@ -196,8 +229,20 @@ func main() {
 }
 
 func usage(fs *flag.FlagSet) {
-	fmt.Fprintln(os.Stderr, "usage: flame [flags] discover|search|geocode|route|tile ...")
+	fmt.Fprintln(os.Stderr, "usage: flame [flags] discover|search|watch|geocode|route|tile ...")
 	fs.PrintDefaults()
+}
+
+// flagWasSet reports whether the named flag appeared on the command line
+// (as opposed to holding its default).
+func flagWasSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 func mustArg(fs *flag.FlagSet, args []string, i int) string {

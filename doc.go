@@ -26,6 +26,12 @@
 //	c.Discover / c.DiscoverCtx        →  c.DiscoverV2(ctx, ll)
 //	c.Info / c.InfoCtx                →  c.InfoV2(ctx, url)
 //	c.GetTilePNG / c.GetTilePNGCtx    →  c.TilePNGV2(ctx, url, z, x, y)
+//	(poll loop over SearchV2)         →  c.WatchV2(ctx, q, near, n)
+//
+// WatchV2 is new in v2 with no v1 counterpart: it subscribes to the query
+// instead of answering it once, delivering an initial result set and then
+// pushed deltas across replica failover and origin restarts (DESIGN.md
+// §11, experiment E22).
 //
 // Options: WithMaxServers bounds how many replica groups answer,
 // WithTimeout overrides the per-server timeout for one call (0 lifts it),

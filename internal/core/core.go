@@ -181,10 +181,12 @@ func (f *Federation) Drain(name string) (*ServerHandle, error) {
 }
 
 // RemoveServer deregisters the named member (if not already drained),
-// detaches it from its siblings' anti-entropy, closes its HTTP endpoint
-// (waiting for in-flight requests), and drops it from the federation.
-// Usable under live traffic: after one announcement TTL no client request
-// should touch the departed member.
+// detaches it from its siblings' anti-entropy, closes its HTTP endpoint,
+// and drops it from the federation. Removal models a member dying, not
+// draining: live connections — including standing watch streams — are
+// severed rather than waited out, since a healthy stream would otherwise
+// hold the endpoint open forever. Usable under live traffic: after one
+// announcement TTL no client request should touch the departed member.
 func (f *Federation) RemoveServer(name string) error {
 	h := f.FindServer(name)
 	if h == nil {
@@ -205,6 +207,7 @@ func (f *Federation) RemoveServer(name string) error {
 			sib.Syncer.RemovePeer(h.URL)
 		}
 	}
+	h.HTTP.CloseClientConnections()
 	h.HTTP.Close()
 	return nil
 }
@@ -235,9 +238,11 @@ func (f *Federation) NewClient() *client.Client {
 	return c
 }
 
-// Close shuts down all HTTP servers.
+// Close shuts down all HTTP servers. Like RemoveServer, it severs live
+// connections (standing watch streams would otherwise hold Close open).
 func (f *Federation) Close() {
 	for _, h := range f.Servers {
+		h.HTTP.CloseClientConnections()
 		h.HTTP.Close()
 	}
 }

@@ -100,6 +100,19 @@ type Config struct {
 	// factory call (it belongs to the arrival goroutine); draw from it to
 	// pick regions/queries, not inside the returned Op.
 	Op func(rng *rand.Rand, seq int, write bool) Op
+
+	// Watchers is a standing-subscription population held open alongside
+	// the arrival schedule (0 = none): each runs Watch for the whole
+	// Duration, modeling clients on the streaming read path instead of the
+	// polling one. Watchers are NOT arrivals — they ride outside the
+	// open-loop accounting, and their delta/error tallies land in the
+	// Result's watcher counters.
+	Watchers int
+	// Watch runs one standing subscription until ctx is cancelled (the run
+	// ending) and returns how many delta events it received. A non-nil
+	// error before cancellation counts as a watcher error. The rng is owned
+	// by the watcher goroutine and valid for the whole call.
+	Watch func(ctx context.Context, rng *rand.Rand, i int) (deltas int64, err error)
 }
 
 // Result aggregates one run. Counters are arrival-complete: Arrivals =
@@ -107,7 +120,11 @@ type Config struct {
 type Result struct {
 	Arrivals, OK, Shed, Timeouts, Errors, Dropped int64
 	Writes                                        int64
-	Elapsed                                       time.Duration
+	// Watchers is the standing-subscription population the run held open;
+	// WatcherDeltas the delta events they received in total; WatcherErrors
+	// how many of them failed before the run ended.
+	Watchers, WatcherDeltas, WatcherErrors int64
+	Elapsed                                time.Duration
 
 	mu          sync.Mutex
 	latenciesOK []time.Duration
@@ -181,6 +198,29 @@ func Run(ctx context.Context, cfg Config) *Result {
 	var wg sync.WaitGroup
 	start := time.Now()
 	end := start.Add(cfg.Duration)
+	// The watcher population opens before the first arrival and holds its
+	// subscriptions for the whole run; each watcher gets its own rng so the
+	// arrival mix stays reproducible regardless of the population size.
+	var watchWG sync.WaitGroup
+	if cfg.Watchers > 0 && cfg.Watch != nil {
+		res.Watchers = int64(cfg.Watchers)
+		wctx, wcancel := context.WithDeadline(ctx, end)
+		defer wcancel()
+		for i := 0; i < cfg.Watchers; i++ {
+			watchWG.Add(1)
+			wrng := rand.New(rand.NewSource(cfg.Seed ^ int64(0x9e3779b9*uint32(i+1))))
+			go func(i int, wrng *rand.Rand) {
+				defer watchWG.Done()
+				deltas, err := cfg.Watch(wctx, wrng, i)
+				res.mu.Lock()
+				res.WatcherDeltas += deltas
+				if err != nil && wctx.Err() == nil {
+					res.WatcherErrors++
+				}
+				res.mu.Unlock()
+			}(i, wrng)
+		}
+	}
 	for i := 0; ; i++ {
 		now := time.Now()
 		if now.After(end) || ctx.Err() != nil {
@@ -224,6 +264,7 @@ func Run(ctx context.Context, cfg Config) *Result {
 		}()
 	}
 	wg.Wait()
+	watchWG.Wait()
 	res.Elapsed = time.Since(start)
 	return res
 }

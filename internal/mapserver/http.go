@@ -127,6 +127,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/routematrix", s.admit(s.jsonEndpoint(wire.SvcRouteMatrix)))
 	mux.HandleFunc("/localize", s.admit(s.jsonEndpoint(wire.SvcLocalize)))
 	mux.HandleFunc("/v1/batch", s.admit(s.handleBatch))
+	// /v1/watch holds a connection for the subscription's lifetime, so it
+	// sits behind the hub's watcher bound instead of the request admission
+	// gate (a stream is not a request).
+	mux.HandleFunc("/v1/watch", s.guard(policyService(wire.SvcWatch), s.handleWatch))
 	mux.HandleFunc("/v1/changes", s.guard(wire.SvcChanges, s.handleChanges))
 	mux.HandleFunc("/tiles/", s.admit(s.guard(wire.SvcTiles, s.handleTile)))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -173,10 +177,14 @@ func (s *Server) shed(w http.ResponseWriter) {
 
 // policyService maps an endpoint's service name to the policy service
 // guarding it: routematrix falls under the route policy, exactly as its
-// dedicated endpoint always has.
+// dedicated endpoint always has, and watch falls under search — a watch
+// stream exposes exactly the data a search exposes.
 func policyService(svc wire.Service) wire.Service {
-	if svc == wire.SvcRouteMatrix {
+	switch svc {
+	case wire.SvcRouteMatrix:
 		return wire.SvcRoute
+	case wire.SvcWatch:
+		return wire.SvcSearch
 	}
 	return svc
 }

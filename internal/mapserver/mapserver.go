@@ -27,6 +27,7 @@ import (
 	"openflame/internal/search"
 	"openflame/internal/store"
 	"openflame/internal/tiles"
+	"openflame/internal/watch"
 	"openflame/internal/wire"
 )
 
@@ -107,6 +108,16 @@ type Config struct {
 	// to wire.MaxBatchItems sub-requests. 0 = DefaultMaxBatchBodyBytes,
 	// < 0 = unlimited.
 	MaxBatchBodyBytes int64
+	// MaxWatchers bounds concurrent watch subscriptions (POST /v1/watch
+	// streams), SEPARATELY from MaxInFlight: a stream is held for minutes,
+	// a request for milliseconds, and neither bound should starve the
+	// other. Excess subscriptions are shed with wire.StatusOverloaded +
+	// Retry-After exactly like admission sheds requests. 0 =
+	// watch.DefaultMaxWatchers, < 0 = unlimited.
+	MaxWatchers int
+	// WatchPingInterval is the keepalive cadence on idle watch streams
+	// (0 = DefaultWatchPingInterval).
+	WatchPingInterval time.Duration
 }
 
 // Default request-body caps: far above any legitimate service request
@@ -147,6 +158,14 @@ type Server struct {
 	adm            *admission.Controller
 	shedBody       []byte
 	shedRetryAfter string
+
+	// hub is the watch subscription registry (one change-log drain feeding
+	// every watcher, see internal/watch); watchShedBody/watchRetryAfter are
+	// its pre-rendered 429, built unconditionally because the watcher bound
+	// exists even when request admission is off.
+	hub             *watch.Hub
+	watchShedBody   []byte
+	watchRetryAfter string
 
 	// chTime/chDist hold the contraction hierarchies over the time- and
 	// distance-weighted graphs. They are built in the background at
@@ -286,6 +305,33 @@ func New(cfg Config) (*Server, error) {
 	if cfg.QueryCacheEntries > 0 {
 		s.qcache = newQueryCache(cfg.QueryCacheEntries)
 	}
+
+	// The watch hub drains the store's change log once for every watcher
+	// and evaluates standing queries through searchCtx — i.e. through the
+	// generation-keyed query cache, so a delta batch touching K groups of
+	// one hot tile still computes once.
+	s.hub = watch.New(watch.Config{
+		Source:      storeSource{st: s.store},
+		Eval:        s.watchEval,
+		Mark:        s.SessionMark,
+		MaxWatchers: cfg.MaxWatchers,
+	})
+	secs := int(admission.DefaultRetryAfter.Round(time.Second) / time.Second)
+	if s.adm != nil {
+		secs = int(s.adm.RetryAfter().Round(time.Second) / time.Second)
+	}
+	if secs < 1 {
+		secs = 1
+	}
+	s.watchRetryAfter = strconv.Itoa(secs)
+	wbody, err := json.Marshal(wire.ErrorResponse{
+		Error:             "overloaded: watcher limit reached, retry later",
+		RetryAfterSeconds: secs,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mapserver: render watch shed body: %w", err)
+	}
+	s.watchShedBody = append(wbody, '\n')
 
 	// Portals: nodes tagged flame:portal, advertised with world positions.
 	// The store's reserved portal posting list replaces the old full-map

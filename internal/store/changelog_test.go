@@ -120,3 +120,49 @@ func TestChangesSinceAbsurdCursor(t *testing.T) {
 		}
 	}
 }
+
+// TestChangeLogRecordsPosition: every change record carries the node's
+// (immutable) position — the geometry key the watch hub routes deltas by.
+func TestChangeLogRecordsPosition(t *testing.T) {
+	s, id := changelogFixture(t)
+	s.UpdateNodeTags(id, osm.Tags{"name": "Shelf B"})
+	chs := s.ChangesSince(0, 0)
+	if len(chs) != 1 {
+		t.Fatalf("ChangesSince(0) = %d records", len(chs))
+	}
+	want := geo.LatLng{Lat: 40.44, Lng: -79.99}
+	if chs[0].Pos != want {
+		t.Fatalf("change Pos = %v, want %v", chs[0].Pos, want)
+	}
+}
+
+// TestChangeNotifySignals: appending to the change log wakes the notify
+// channel exactly as a coalesced signal — at least one receive becomes
+// ready, and a drained channel re-arms on the next append.
+func TestChangeNotifySignals(t *testing.T) {
+	s, id := changelogFixture(t)
+	notify := s.ChangeNotify()
+	select {
+	case <-notify:
+		t.Fatalf("fresh store signalled notify")
+	default:
+	}
+	s.UpdateNodeTags(id, osm.Tags{"name": "v1"})
+	s.UpdateNodeTags(id, osm.Tags{"name": "v2"}) // coalesces into the same signal
+	select {
+	case <-notify:
+	default:
+		t.Fatalf("no notify after appends")
+	}
+	select {
+	case <-notify:
+		t.Fatalf("coalesced signal delivered twice")
+	default:
+	}
+	s.UpdateNodeTags(id, osm.Tags{"name": "v3"})
+	select {
+	case <-notify:
+	default:
+		t.Fatalf("notify did not re-arm after drain")
+	}
+}

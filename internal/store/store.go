@@ -56,6 +56,11 @@ type Store struct {
 	// nodeVer tracks each node's update version (see Change.Ver); absent
 	// means 0 (never tag-updated).
 	nodeVer map[osm.NodeID]uint64
+	// notify is a 1-buffered wakeup for change-log consumers: every log
+	// append sends non-blockingly, so a sleeping drain loop wakes without
+	// any writer ever waiting on a reader. A coalesced signal is enough —
+	// consumers re-read the head and drain everything pending.
+	notify chan struct{}
 }
 
 // Change is one sequence-numbered inventory update: the node's tags were
@@ -73,6 +78,11 @@ type Change struct {
 	// update would roll the node back and the newer write would be lost
 	// federation-wide.
 	Ver uint64
+	// Pos is the node's position, recorded so log consumers can route the
+	// change geometrically (the watch subsystem matches changes against
+	// standing regional queries) without a node lookup. Tag updates never
+	// move nodes, so the position is exact for the change's lifetime.
+	Pos geo.LatLng
 }
 
 // changeLogCap is the guaranteed retention of the change log (compaction
@@ -101,6 +111,7 @@ func New(m *osm.Map) *Store {
 		bounds:  geo.EmptyRect(),
 		nodeVer: make(map[osm.NodeID]uint64),
 		logID:   newLogID(),
+		notify:  make(chan struct{}, 1),
 	}
 	var wg sync.WaitGroup
 	wg.Add(3)
@@ -202,6 +213,7 @@ func NewWithIndex(m *osm.Map, idx *osm.IndexData) (*Store, error) {
 		bounds:  idx.Bounds,
 		nodeVer: make(map[osm.NodeID]uint64),
 		logID:   newLogID(),
+		notify:  make(chan struct{}, 1),
 	}, nil
 }
 
@@ -449,12 +461,20 @@ func (s *Store) replaceTagsLocked(n *osm.Node, tags osm.Tags, ver uint64) {
 	s.nodes.maybeCompact()
 	s.nodeVer[n.ID] = ver
 	s.changeSeq++
-	s.changes = append(s.changes, Change{Seq: s.changeSeq, NodeID: n.ID, Tags: tags.Clone(), Ver: ver})
+	s.changes = append(s.changes, Change{
+		Seq: s.changeSeq, NodeID: n.ID, Tags: tags.Clone(), Ver: ver,
+		Pos: s.m.NodePosition(nn),
+	})
 	// Compact lazily at 2x the cap so a hot write path past the cap pays
 	// an O(cap) copy once per cap writes, not on every write; between
 	// compactions the log retains AT LEAST the last changeLogCap changes.
 	if len(s.changes) > 2*changeLogCap {
 		s.changes = append([]Change(nil), s.changes[len(s.changes)-changeLogCap:]...)
+	}
+	// Wake any log consumer; the 1-buffered send coalesces and never blocks.
+	select {
+	case s.notify <- struct{}{}:
+	default:
 	}
 }
 
@@ -498,6 +518,12 @@ var logIDFallback atomic.Uint64
 // LogID returns the change log's incarnation id (stable for the store's
 // lifetime, fresh on every construction).
 func (s *Store) LogID() uint64 { return s.logID }
+
+// ChangeNotify returns the change-log wakeup channel: a 1-buffered signal
+// that receives after every log append (coalesced — one pending signal may
+// cover many appends). Consumers treat a receive as "the head may have
+// moved" and drain via ChangesSince.
+func (s *Store) ChangeNotify() <-chan struct{} { return s.notify }
 
 // ChangeSeq returns the head position of the inventory-update log: the
 // sequence number of the most recent logged change (0 = none yet). Two

@@ -1,0 +1,69 @@
+// Watch: the streaming read path (POST /v1/watch, SSE). A subscriber
+// POSTs a SubscribeRequest — a full SearchRequest (so the consistency
+// envelope rides inside the body like every other read) plus an optional
+// resume cursor — and receives a text/event-stream of Event frames: one
+// EventInit snapshot, then EventDelta frames as the region churns, with
+// EventSync cursor advances and EventPing keepalives in between.
+package wire
+
+import "openflame/internal/search"
+
+// SvcWatch names the streaming subscription endpoint (POST /v1/watch).
+// Like SvcRouteMatrix it is not a separately advertised capability:
+// policy-wise it exposes exactly the data SvcSearch exposes, and servers
+// advertising "search" serve it.
+const SvcWatch Service = "watch"
+
+// SubscribeRequest opens (or resumes) a watch: the standing query, and the
+// cursor of the last event the subscriber applied. A zero cursor means
+// "fresh subscription"; a non-zero one asks the server to resume — the
+// server replies with EventDelta/EventSync frames if its log still covers
+// (Seq, head], or a fresh EventInit snapshot if the cursor is unusable
+// (different log incarnation, compacted-away sequence, or a position past
+// the head). Never a silent gap: an unusable cursor always yields a full
+// re-snapshot.
+type SubscribeRequest struct {
+	Query SearchRequest `json:"query"`
+	// Log is the change-log incarnation the cursor positions (0 = none).
+	Log uint64 `json:"log,omitempty"`
+	// Seq is the last change sequence the subscriber's state reflects.
+	Seq uint64 `json:"seq,omitempty"`
+}
+
+// Event types. Every event except EventPing carries the (Log, Seq) cursor
+// the subscriber should resume from.
+const (
+	// EventInit carries the full current result set for the standing query.
+	// Sent first on every (re)subscription whose cursor cannot be resumed,
+	// and never again on a healthy stream.
+	EventInit = "init"
+	// EventDelta carries the net change to the result set since the
+	// previous event: Updated holds results that entered or changed,
+	// Removed the node IDs that left.
+	EventDelta = "delta"
+	// EventSync advances the cursor without data: changes happened on the
+	// server but none affected this query. Subscribers persist the cursor
+	// so a later resume does not replay (or worse, outlive) the skipped
+	// span.
+	EventSync = "sync"
+	// EventPing is a keepalive; it carries no cursor and no data.
+	EventPing = "ping"
+)
+
+// Event is one SSE frame of a watch stream (the JSON after "data: ").
+type Event struct {
+	Type string `json:"type"`
+	// Log/Seq are the resume cursor after applying this event.
+	Log uint64 `json:"log,omitempty"`
+	Seq uint64 `json:"seq,omitempty"`
+	// Results is the full result set (EventInit only).
+	Results []search.Result `json:"results,omitempty"`
+	// Updated holds results that entered or changed (EventDelta only).
+	Updated []search.Result `json:"updated,omitempty"`
+	// Removed holds node IDs that left the result set (EventDelta only).
+	Removed []int64 `json:"removed,omitempty"`
+	// Session is the post-apply session mark: a read issued with this mark
+	// (or a later one) observes everything the event reflects, so watch
+	// composes with read-your-writes and monotonic reads.
+	Session *SessionMark `json:"session,omitempty"`
+}
